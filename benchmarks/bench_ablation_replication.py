@@ -1,0 +1,62 @@
+"""Ablation: tuple migration (the paper) vs replication (Leung-Muntz).
+
+Section 3.2 rejects replicating long-lived tuples into every overlapped
+partition because it "requires additional secondary storage space and
+complicates update operations".  This bench quantifies the storage side:
+at increasing long-lived density, replication writes ever more partition
+pages (and re-reads them during the join), while migration's tuple cache
+stays cheap.
+"""
+
+import pytest
+
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.core.replicating import replicating_partition_join
+from repro.experiments.report import format_table
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig7_spec
+
+
+@pytest.mark.parametrize("long_lived_total", [16_000, 64_000, 128_000])
+def test_ablation_replication(benchmark, config, long_lived_total):
+    r, s = config.database(fig7_spec(long_lived_total))
+    model = CostModel.with_ratio(5)
+    join_config = PartitionJoinConfig(
+        memory_pages=config.memory_pages(8),
+        cost_model=model,
+        page_spec=config.page_spec(r.schema.tuple_bytes),
+        max_plan_candidates=config.max_plan_candidates,
+        collect_result=False,
+    )
+
+    def run_both():
+        migrated = partition_join(r, s, join_config)
+        replicated = replicating_partition_join(r, s, join_config)
+        return migrated, replicated
+
+    migrated, replicated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    mig_cost = migrated.layout.tracker.stats.cost(model)
+    rep_cost = replicated.layout.tracker.stats.cost(model)
+    mig_written = migrated.layout.tracker.phases["partition"].writes
+    rep_written = replicated.layout.tracker.phases["partition"].writes
+
+    print()
+    print(f"Replication ablation at {long_lived_total} long-lived tuples")
+    print(
+        format_table(
+            ("variant", "partition pages written", "total cost"),
+            [
+                ("migration (paper)", mig_written, mig_cost),
+                ("replication (LM92b)", rep_written, rep_cost),
+            ],
+        )
+    )
+    print(f"extra tuple copies stored by replication: {replicated.replicated_tuples}")
+
+    benchmark.extra_info["migration_cost"] = mig_cost
+    benchmark.extra_info["replication_cost"] = rep_cost
+    benchmark.extra_info["extra_copies"] = replicated.replicated_tuples
+    # Replication must write at least as many partition pages as migration.
+    assert rep_written >= mig_written
+    assert replicated.outcome.n_result_tuples == migrated.outcome.n_result_tuples

@@ -1,0 +1,36 @@
+"""Figure 4: sampling cost vs tuple-cache paging cost over partition size.
+
+Regenerates the paper's conceptual trade-off curve from the planner's
+actual search trace on a long-lived database: ``C_sample`` rises with the
+expected partition size, the tuple-cache component of ``C_join`` falls, and
+the planner picks the minimum of the sum.
+"""
+
+from repro.experiments.fig4 import run_fig4, shape_checks
+from repro.experiments.report import format_table, verdict_lines
+
+
+def test_fig4_cost_curve(benchmark, config):
+    result = benchmark.pedantic(
+        run_fig4, args=(config,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (point.part_size, point.c_sample, point.c_join_cache, point.total)
+        for point in result.curve
+    ]
+    print()
+    print("Figure 4 -- I/O cost vs partition size (partSize in pages)")
+    print(
+        format_table(
+            ("partSize", "C_sample", "C_cache", "C_sample + C_join"), rows
+        )
+    )
+    print(f"chosen partSize: {result.chosen_part_size} (buffSize {result.buff_size})")
+    problems = shape_checks(result)
+    print(verdict_lines("fig4", problems))
+
+    benchmark.extra_info["chosen_part_size"] = result.chosen_part_size
+    benchmark.extra_info["curve_points"] = len(result.curve)
+    benchmark.extra_info["shape_deviations"] = len(problems)
+    assert problems == []

@@ -1,0 +1,52 @@
+"""Figure 6 (Section 4.2): evaluation cost vs main memory size.
+
+Sweeps 1-32 MiB of buffer memory at random:sequential cost ratios 2:1, 5:1,
+and 10:1 over a database of instantaneous tuples, for the partition join,
+sort-merge, and (analytical) nested loops -- the paper's nine curves.
+
+Paper shape expectations: the partition join performs well at every memory
+size and beats sort-merge wherever the relations exceed memory; nested
+loops is worst at 1 MiB and competitive at 32 MiB, crossing the others as
+memory grows.
+"""
+
+from repro.experiments.fig6 import MEMORY_SWEEP_MB, run_fig6, shape_checks
+from repro.experiments.report import crossover, format_table, verdict_lines
+
+
+def test_fig6_memory_sweep(benchmark, config):
+    points = benchmark.pedantic(
+        run_fig6, args=(config,), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 6 -- evaluation cost vs main memory (weighted I/O)")
+    rows = [
+        (p.memory_mb, f"{p.ratio:.0f}:1", p.algorithm, p.cost) for p in points
+    ]
+    print(format_table(("memory_MiB", "ratio", "algorithm", "cost"), rows))
+
+    # Where does nested-loops overtake the partition join (the Figure 6
+    # crossover as memory grows)?
+    for ratio in (2, 5, 10):
+        partition = [
+            p.cost
+            for p in points
+            if p.algorithm == "partition" and p.ratio == ratio
+        ]
+        nested = [
+            p.cost
+            for p in points
+            if p.algorithm == "nested_loop" and p.ratio == ratio
+        ]
+        cross = crossover(list(MEMORY_SWEEP_MB), nested, partition)
+        print(
+            f"nested-loops crosses below partition join at ratio {ratio}:1: "
+            f"{f'{cross:.1f} MiB' if cross is not None else 'never'}"
+        )
+
+    problems = shape_checks(points)
+    print(verdict_lines("fig6", problems))
+    benchmark.extra_info["points"] = len(points)
+    benchmark.extra_info["shape_deviations"] = len(problems)
+    assert problems == []

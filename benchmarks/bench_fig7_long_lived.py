@@ -1,0 +1,46 @@
+"""Figure 7 (Section 4.3): evaluation cost vs long-lived tuple density.
+
+Databases with 8 000 to 128 000 long-lived tuples (8 000-tuple steps;
+scaled), memory fixed at 8 MiB and the cost ratio at 5:1.
+
+Paper shape expectations: the partition join outperforms sort-merge at all
+densities; sort-merge's backing-up makes its cost grow much faster than
+the partition join's cheap tuple-cache appends; nested loops is flat.
+"""
+
+from repro.experiments.fig7 import run_fig7, shape_checks
+from repro.experiments.report import format_table, verdict_lines
+
+
+def test_fig7_long_lived(benchmark, config):
+    points = benchmark.pedantic(
+        run_fig7, args=(config,), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 7 -- evaluation cost vs # of long-lived tuples (8 MiB, 5:1)")
+    rows = []
+    for p in points:
+        extra = ""
+        if p.algorithm == "sort_merge":
+            extra = f"backup={p.detail['backup_page_reads']}"
+        elif p.algorithm == "partition":
+            extra = f"cache_peak={p.detail['cache_tuples_peak']}"
+        rows.append((p.long_lived_total, p.algorithm, p.cost, extra))
+    print(format_table(("long_lived", "algorithm", "cost", "notes"), rows))
+
+    partition = [p.cost for p in points if p.algorithm == "partition"]
+    sort_merge = [p.cost for p in points if p.algorithm == "sort_merge"]
+    print(
+        f"growth over the sweep: partition {partition[0]:,.0f} -> {partition[-1]:,.0f} "
+        f"(+{partition[-1] - partition[0]:,.0f}), "
+        f"sort-merge {sort_merge[0]:,.0f} -> {sort_merge[-1]:,.0f} "
+        f"(+{sort_merge[-1] - sort_merge[0]:,.0f})"
+    )
+
+    problems = shape_checks(points)
+    print(verdict_lines("fig7", problems))
+    benchmark.extra_info["partition_growth"] = partition[-1] - partition[0]
+    benchmark.extra_info["sort_merge_growth"] = sort_merge[-1] - sort_merge[0]
+    benchmark.extra_info["shape_deviations"] = len(problems)
+    assert problems == []

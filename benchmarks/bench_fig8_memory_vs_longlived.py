@@ -1,0 +1,43 @@
+"""Figure 8 (Section 4.4): memory size vs long-lived density, partition join.
+
+Eight databases (16 000 to 128 000 long-lived tuples, scaled) each
+evaluated at 1, 2, 4, 16, and 32 MiB.  The paper's conclusion, which the
+shape checks assert: with ample memory the density curves converge (tuple
+caching becomes insignificant); with scarce memory they spread.
+"""
+
+from repro.experiments.fig8 import run_fig8, shape_checks
+from repro.experiments.report import format_table, verdict_lines
+
+
+def test_fig8_memory_vs_longlived(benchmark, config):
+    points = benchmark.pedantic(
+        run_fig8, args=(config,), rounds=1, iterations=1
+    )
+
+    print()
+    print("Figure 8 -- partition-join cost: memory x long-lived density")
+    memories = sorted({p.memory_mb for p in points})
+    totals = sorted({p.long_lived_total for p in points})
+    by_key = {(p.memory_mb, p.long_lived_total): p.cost for p in points}
+    rows = [
+        [total] + [by_key[(mb, total)] for mb in memories] for total in totals
+    ]
+    print(
+        format_table(
+            ["long_lived \\ MiB"] + [str(mb) for mb in memories], rows
+        )
+    )
+
+    spreads = {
+        mb: max(by_key[(mb, t)] for t in totals) - min(by_key[(mb, t)] for t in totals)
+        for mb in memories
+    }
+    print("cost spread across densities per memory size:", {k: round(v) for k, v in spreads.items()})
+
+    problems = shape_checks(points)
+    print(verdict_lines("fig8", problems))
+    benchmark.extra_info["spread_smallest_memory"] = spreads[memories[0]]
+    benchmark.extra_info["spread_largest_memory"] = spreads[memories[-1]]
+    benchmark.extra_info["shape_deviations"] = len(problems)
+    assert problems == []

@@ -1,0 +1,80 @@
+"""Extension bench: the AP-tree index join vs the partition join.
+
+Section 4.1 frames the design space: the Gunadhi-Segev line indexes
+append-only relations (the AP-tree access path); the paper's partition
+join needs no access path but touches both relations wholesale.  This
+bench stages the comparison the paper only argues qualitatively: on
+instantaneous data with few matches per probe, the index join's pruned
+probes are competitive; as long-lived density rises, every probe fans out
+over the long-lived leaves and the index join degrades, while the
+partition join's cost grows only via its tuple cache.
+
+(Index *construction* is uncharged, per the append-only story -- the index
+exists because inserts maintained it.  The paper's "additional update
+costs" caveat lives exactly there.)
+"""
+
+import pytest
+
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.experiments.report import format_table
+from repro.index.index_join import index_nested_loop_join
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig7_spec
+
+
+@pytest.mark.parametrize("long_lived_total", [0, 64_000])
+def test_index_vs_partition(benchmark, config, long_lived_total):
+    spec = fig7_spec(long_lived_total) if long_lived_total else fig7_spec(2).scaled(1)
+    if long_lived_total:
+        r, s = config.database(spec)
+    else:
+        from repro.workloads.specs import fig6_spec
+
+        r, s = config.database(fig6_spec())
+    model = CostModel.with_ratio(5)
+    page_spec = config.page_spec(r.schema.tuple_bytes)
+
+    def run_both():
+        partition = partition_join(
+            r,
+            s,
+            PartitionJoinConfig(
+                memory_pages=config.memory_pages(8),
+                cost_model=model,
+                page_spec=page_spec,
+                max_plan_candidates=config.max_plan_candidates,
+                collect_result=False,
+            ),
+        )
+        index = index_nested_loop_join(
+            r, s, page_spec=page_spec, collect_result=False
+        )
+        return partition, index
+
+    partition, index = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    partition_cost = partition.layout.tracker.stats.cost(model)
+    index_cost = index.layout.tracker.stats.cost(model)
+    print()
+    print(f"Index join vs partition join ({long_lived_total} long-lived tuples)")
+    print(
+        format_table(
+            ("algorithm", "cost", "notes"),
+            [
+                (
+                    "partition join",
+                    partition_cost,
+                    f"{partition.plan.num_partitions} partitions",
+                ),
+                (
+                    "AP-tree index join",
+                    index_cost,
+                    f"{index.index_pages_read} index pages over {index.n_probes} probes",
+                ),
+            ],
+        )
+    )
+    benchmark.extra_info["partition_cost"] = partition_cost
+    benchmark.extra_info["index_cost"] = index_cost
+    assert partition.outcome.n_result_tuples == index.n_result_tuples

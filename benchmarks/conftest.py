@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Benches default to scale 16 (relations of 8 192 tuples / 1 024 pages each)
+so the whole suite runs in well under a minute; set ``REPRO_BENCH_SCALE=1``
+to run at full paper scale (131 072 tuples per relation -- slow in pure
+Python but supported).  Every bench prints the table or series the paper's
+figure reports (visible with ``pytest -s``) and attaches the headline
+numbers to the benchmark record via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+DEFAULT_SCALE = 16
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale())

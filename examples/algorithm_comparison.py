@@ -1,0 +1,60 @@
+"""Comparing the three evaluation algorithms on one workload.
+
+A pocket edition of the paper's Section 4 experiments: generate a database
+with long-lived tuples, run the partition join, sort-merge, and nested
+loops at several memory sizes, and print the cost table -- who wins where,
+and why.
+
+    python examples/algorithm_comparison.py
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_algorithm
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig7_spec
+
+
+def main() -> None:
+    # A 1/16-scale version of the paper's Figure 7 database with 16 000
+    # long-lived tuples (scaled), about 6% of the database long-lived.
+    config = ExperimentConfig(scale=16)
+    r, s = config.database(fig7_spec(16_000))
+    model = CostModel.with_ratio(5)
+    print(f"database: {len(r)} + {len(s)} tuples, "
+          f"{config.page_spec().pages_for_tuples(len(r))} pages per relation")
+    print()
+
+    rows = []
+    notes = {
+        "partition": lambda run: f"{run.detail.get('num_partitions', '?')} partitions",
+        "sort_merge": lambda run: f"{run.detail.get('backup_page_reads', 0)} backup reads",
+        "nested_loop": lambda run: "analytical",
+    }
+    for memory_mb in (1, 2, 4, 8, 16, 32):
+        pages = config.memory_pages(memory_mb)
+        for algorithm in ("partition", "sort_merge", "nested_loop"):
+            run = run_algorithm(algorithm, r, s, pages, model, config)
+            rows.append((memory_mb, algorithm, run.cost, notes[algorithm](run)))
+
+    print("evaluation cost vs memory (weighted I/O, ratio 5:1)")
+    print(format_table(("memory_MiB", "algorithm", "cost", "notes"), rows))
+
+    # The paper's headline comparison: partition join vs sort-merge.  With
+    # long-lived tuples in play, sort-merge's backing-up is devastating at
+    # small memory while the partition join's tuple cache stays cheap.
+    print()
+    costs = {(mb, algo): cost for mb, algo, cost, _ in rows}
+    for memory_mb in (1, 2, 4, 8, 16, 32):
+        partition = costs[(memory_mb, "partition")]
+        sort_merge = costs[(memory_mb, "sort_merge")]
+        print(f"  at {memory_mb:>2} MiB: partition join is "
+              f"{sort_merge / partition:,.1f}x cheaper than sort-merge")
+    print()
+    print("(Block nested loops reads purely sequentially, which flatters it at")
+    print("this reduced scale; at paper scale its repeated inner scans dominate")
+    print("everything below ~16 MiB -- see benchmarks/bench_fig6_memory_sweep.py.)")
+
+
+if __name__ == "__main__":
+    main()

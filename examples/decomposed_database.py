@@ -1,0 +1,73 @@
+"""A fully decomposed temporal database, reassembled with multi-way joins.
+
+Temporal normal forms store one time-varying attribute per fragment; every
+query that wants the full picture is a chain of valid-time natural joins.
+This example builds a three-fragment personnel database, reassembles it
+with the engine's optimizer-driven ``join_many``, coalesces the result on
+disk, and checks the round trip.
+
+    python examples/decomposed_database.py
+"""
+
+import random
+
+from repro import RelationSchema, TemporalDatabase, ValidTimeRelation
+from repro.algebra.coalesce import coalesce
+from repro.algebra.external_coalesce import external_coalesce
+from repro.algebra.normalize import decompose
+
+
+def build_wide_history(n_employees: int = 150, seed: int = 3) -> ValidTimeRelation:
+    rng = random.Random(seed)
+    schema = RelationSchema(
+        "personnel",
+        join_attributes=("emp",),
+        payload_attributes=("dept", "grade", "office"),
+    )
+    rows = []
+    for e in range(n_employees):
+        chronon = rng.randrange(30)
+        dept, grade, office = f"d{e % 6}", e % 5, f"o{e % 11}"
+        for _ in range(rng.randrange(2, 5)):
+            duration = rng.randrange(20, 150)
+            rows.append((f"emp{e}", dept, grade, office, chronon, chronon + duration - 1))
+            chronon += duration
+            if rng.random() < 0.4:
+                dept = f"d{rng.randrange(6)}"
+            if rng.random() < 0.5:
+                grade = min(4, grade + 1)
+            if rng.random() < 0.3:
+                office = f"o{rng.randrange(11)}"
+    return ValidTimeRelation.from_rows(schema, rows)
+
+
+def main() -> None:
+    wide = build_wide_history()
+    fragments = decompose(wide, [("dept",), ("grade",), ("office",)])
+    print("decomposed personnel database:")
+    for fragment in fragments:
+        print(f"  {fragment.schema.name}: {len(fragment)} tuples "
+              f"({fragment.schema.payload_attributes[0]} history)")
+
+    db = TemporalDatabase(memory_pages=32)
+    for fragment in fragments:
+        db.create_relation(fragment.schema)
+        db.relation(fragment.schema.name).extend(fragment.tuples)
+
+    result = db.join_many([fragment.schema.name for fragment in fragments])
+    print(f"\nreassembled with {result.algorithm} "
+          f"(total simulated cost {result.cost:,.0f})")
+
+    # The join re-fragments timestamps at every fragment boundary;
+    # coalescing on disk restores maximal intervals.
+    rebuilt, layout = external_coalesce(result.relation, memory_pages=32)
+    print(f"coalesced {len(result.relation)} -> {len(rebuilt)} tuples "
+          f"(coalescing cost {layout.tracker.stats.cost(db.cost_model):,.0f})")
+
+    exact = rebuilt.multiset_equal(coalesce(wide))
+    print(f"round trip exact: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

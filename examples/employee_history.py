@@ -1,0 +1,74 @@
+"""Reconstructing a normalized temporal database (the paper's motivation).
+
+"Like its snapshot counterpart, the valid-time natural join supports the
+reconstruction of normalized data" (Section 1).  This example stores an
+employee history decomposed into per-attribute fragments -- the shape
+temporal normal forms prescribe [JSS92a] -- and reassembles the full
+history with the partition join, checking the round trip.
+
+    python examples/employee_history.py
+"""
+
+import random
+
+from repro import PartitionJoinConfig, RelationSchema, ValidTimeRelation, partition_join
+from repro.algebra.coalesce import coalesce
+from repro.algebra.normalize import decompose
+from repro.algebra.timeslice import timeslice
+
+
+def build_history(n_employees: int = 200, seed: int = 7) -> ValidTimeRelation:
+    """A synthetic employment history: dept and salary change over time."""
+    rng = random.Random(seed)
+    schema = RelationSchema(
+        "employment", join_attributes=("emp",), payload_attributes=("dept", "salary")
+    )
+    rows = []
+    for e in range(n_employees):
+        chronon = rng.randrange(50)
+        dept = f"d{rng.randrange(8)}"
+        salary = 60_000 + rng.randrange(40) * 1000
+        for _ in range(rng.randrange(2, 6)):  # a few history segments each
+            duration = rng.randrange(10, 120)
+            rows.append((f"emp{e}", dept, salary, chronon, chronon + duration - 1))
+            chronon += duration
+            if rng.random() < 0.5:
+                dept = f"d{rng.randrange(8)}"
+            if rng.random() < 0.7:
+                salary += rng.randrange(1, 8) * 1000
+    return ValidTimeRelation.from_rows(schema, rows)
+
+
+def main() -> None:
+    history = build_history()
+    print(f"full employment history: {len(history)} tuples")
+
+    # Vertical decomposition: one fragment per dependent attribute.
+    dept_history, salary_history = decompose(history, [("dept",), ("salary",)])
+    print(f"fragments after coalescing: dept={len(dept_history)} tuples, "
+          f"salary={len(salary_history)} tuples")
+
+    # Reassemble with the measured partition join.
+    run = partition_join(
+        dept_history, salary_history, PartitionJoinConfig(memory_pages=24)
+    )
+    rebuilt = coalesce(run.result)
+    print(f"reconstructed history: {len(rebuilt)} tuples after coalescing")
+
+    matches = rebuilt.multiset_equal(coalesce(history))
+    print(f"round trip exact: {matches}")
+    assert matches
+
+    # A point-in-time query against the reconstruction.
+    chronon = 120
+    snapshot = timeslice(rebuilt, chronon)
+    print(f"employees on the books at chronon {chronon}: {len(snapshot)}")
+    for row in snapshot[:5]:
+        print(f"  {row[0]:<8} dept={row[1]:<4} salary={row[2]}")
+
+    cost = run.total_cost(PartitionJoinConfig(memory_pages=24).cost_model)
+    print(f"simulated reconstruction I/O cost: {cost:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (offline editable installs fall back to ``setup.py develop``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Usage::
+
+    python -m repro params                 # the reconstructed Figure 5 table
+    python -m repro fig4 [--scale 16]      # planner cost curve (Figure 4)
+    python -m repro fig6 [--scale 16]      # memory sweep (Figure 6)
+    python -m repro fig7 [--scale 16]      # long-lived sweep (Figure 7)
+    python -m repro fig8 [--scale 16]      # memory x density grid (Figure 8)
+    python -m repro all [--scale 16]       # everything above
+
+Each figure command prints the measured series and the machine-checked
+shape verdict against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments import fig4, fig6, fig7, fig8
+from repro.experiments.report import format_table, parameter_table, verdict_lines
+
+
+def _print_fig4(config: ExperimentConfig) -> int:
+    result = run_fig4(config)
+    print("Figure 4 -- I/O cost vs partition size")
+    rows = [
+        (c.part_size, c.n_samples, c.c_sample, c.c_join_cache, c.total)
+        for c in result.curve
+    ]
+    print(format_table(("partSize", "m", "C_sample", "C_cache", "total"), rows))
+    print(f"chosen partSize: {result.chosen_part_size}")
+    problems = fig4.shape_checks(result)
+    print(verdict_lines("fig4", problems))
+    return len(problems)
+
+
+def _print_fig6(config: ExperimentConfig) -> int:
+    points = run_fig6(config)
+    print("Figure 6 -- evaluation cost vs main memory")
+    rows = [(p.memory_mb, f"{p.ratio:.0f}:1", p.algorithm, p.cost) for p in points]
+    print(format_table(("MiB", "ratio", "algorithm", "cost"), rows))
+    problems = fig6.shape_checks(points)
+    print(verdict_lines("fig6", problems))
+    return len(problems)
+
+
+def _print_fig7(config: ExperimentConfig) -> int:
+    points = run_fig7(config)
+    print("Figure 7 -- evaluation cost vs long-lived tuples (8 MiB, 5:1)")
+    rows = [(p.long_lived_total, p.algorithm, p.cost) for p in points]
+    print(format_table(("long_lived", "algorithm", "cost"), rows))
+    problems = fig7.shape_checks(points)
+    print(verdict_lines("fig7", problems))
+    return len(problems)
+
+
+def _print_fig8(config: ExperimentConfig) -> int:
+    points = run_fig8(config)
+    print("Figure 8 -- partition-join cost: memory x long-lived density")
+    memories = sorted({p.memory_mb for p in points})
+    totals = sorted({p.long_lived_total for p in points})
+    lookup = {(p.memory_mb, p.long_lived_total): p.cost for p in points}
+    rows = [[t] + [lookup[(m, t)] for m in memories] for t in totals]
+    print(format_table(["long_lived \\ MiB"] + [str(m) for m in memories], rows))
+    problems = fig8.shape_checks(points)
+    print(verdict_lines("fig8", problems))
+    return len(problems)
+
+
+def _print_summary(config: ExperimentConfig) -> int:
+    """The Section 4.5 narrative as a measured table: who wins where."""
+    points = run_fig6(config, ratios=(5,))
+    memories = sorted({p.memory_mb for p in points})
+    lookup = {(p.memory_mb, p.algorithm): p.cost for p in points}
+    rows = []
+    for mb in memories:
+        costs = {
+            algorithm: lookup[(mb, algorithm)]
+            for algorithm in ("partition", "sort_merge", "nested_loop")
+        }
+        winner = min(costs, key=costs.get)
+        advantage = sorted(costs.values())[1] / costs[winner]
+        rows.append((mb, winner, f"{advantage:.2f}x over runner-up"))
+    print("Section 4.5 summary -- cheapest algorithm per memory size (5:1)")
+    print(format_table(("memory_MiB", "winner", "margin"), rows))
+    problems = fig6.shape_checks(points)
+    print(verdict_lines("summary", problems))
+    return len(problems)
+
+
+_COMMANDS = {
+    "fig4": _print_fig4,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "summary": _print_summary,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point; returns the number of shape-check deviations."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the evaluation of 'Efficient Evaluation of "
+        "the Valid-Time Natural Join' (ICDE 1994).",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_COMMANDS) + ["params", "all"],
+        help="which figure to regenerate (or 'params' / 'all')",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=16,
+        help="uniform scale divisor (1 = paper scale; default 16)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "params":
+        print("Figure 5 -- reconstructed global parameters (see DESIGN.md)")
+        print(parameter_table())
+        return 0
+
+    config = ExperimentConfig(scale=args.scale)
+    if args.command == "all":
+        deviations = 0
+        for name in ("fig4", "fig6", "fig7", "fig8"):
+            deviations += _COMMANDS[name](config)
+            print()
+        return deviations
+    return _COMMANDS[args.command](config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Temporal aggregation over valid-time relations.
+
+The paper's simulations credit "the aggregation tree implementation used in
+the simulations" (Kline's structure, later published as Kline & Snodgrass,
+"Computing Temporal Aggregates", ICDE 1995).  This package provides that
+operator family: for a valid-time relation, compute an aggregate (COUNT,
+SUM, AVG, MIN, MAX) *as a function of time*, i.e. one result tuple per
+maximal interval over which the aggregate's input set is constant.
+
+* :mod:`repro.aggregate.tree` -- the aggregation tree: a dynamic segment
+  tree over the chronon domain with O(log lifespan) interval insertion,
+  supporting the additive aggregates (COUNT, SUM).
+* :mod:`repro.aggregate.sweep` -- the endpoint-sweep evaluator supporting
+  every aggregate, used as the oracle for the tree and for MIN/MAX.
+* :mod:`repro.aggregate.operator` -- the user-facing
+  :func:`temporal_aggregate` over relations, optionally grouped by key.
+"""
+
+from repro.aggregate.tree import AggregationTree
+from repro.aggregate.sweep import constant_intervals, sweep_aggregate
+from repro.aggregate.operator import temporal_aggregate
+
+__all__ = [
+    "AggregationTree",
+    "constant_intervals",
+    "sweep_aggregate",
+    "temporal_aggregate",
+]

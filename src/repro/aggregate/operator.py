@@ -1,0 +1,108 @@
+"""The user-facing temporal aggregation operator over relations.
+
+``temporal_aggregate(r, "count")`` answers "how many facts were valid at
+each moment?" as a valid-time relation: one tuple per maximal interval of
+constant aggregate value.  With ``per_key=True`` the aggregate is computed
+within each join-key group (e.g. salary history per employee).
+
+Additive aggregates route through the :class:`AggregationTree`; MIN/MAX
+and AVG use the endpoint sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.aggregate.sweep import SUPPORTED_OPS, sweep_aggregate
+from repro.aggregate.tree import AggregationTree
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+from repro.time.lifespan import lifespan_of
+
+#: Extracts the aggregated value from a tuple (defaults to 1 for COUNT).
+ValueOf = Callable[[VTTuple], float]
+
+
+def temporal_aggregate(
+    relation: ValidTimeRelation,
+    op: str,
+    *,
+    value_of: Optional[ValueOf] = None,
+    per_key: bool = False,
+    use_tree: Optional[bool] = None,
+) -> ValidTimeRelation:
+    """Aggregate *relation* over time.
+
+    Args:
+        relation: the input valid-time relation.
+        op: ``count``, ``sum``, ``avg``, ``min``, or ``max``.
+        value_of: extracts the numeric value per tuple (required for every
+            op except ``count``; commonly ``lambda t: t.payload[i]``).
+        per_key: aggregate within each join-key group instead of globally.
+        use_tree: force the aggregation tree on (only valid for the
+            additive ops) or off; by default the tree handles ``count`` and
+            ``sum`` and the sweep handles the rest.
+
+    Returns:
+        A valid-time relation with schema ``(key?, <op>)``: one tuple per
+        maximal interval of constant aggregate value; intervals where no
+        input tuple is valid are absent.
+    """
+    if op not in SUPPORTED_OPS:
+        raise ValueError(f"unsupported aggregate {op!r}; choose from {SUPPORTED_OPS}")
+    if op != "count" and value_of is None:
+        raise ValueError(f"aggregate {op!r} needs a value_of extractor")
+    additive = op in ("count", "sum")
+    if use_tree is None:
+        use_tree = additive
+    if use_tree and not additive:
+        raise ValueError(f"the aggregation tree only supports count/sum, not {op!r}")
+
+    if per_key:
+        schema = RelationSchema(
+            name=f"{relation.schema.name}_{op}",
+            join_attributes=relation.schema.join_attributes,
+            payload_attributes=(op,),
+            tuple_bytes=relation.schema.tuple_bytes,
+        )
+        result = ValidTimeRelation(schema)
+        for key, group in sorted(
+            relation.group_by_key().items(), key=lambda kv: repr(kv[0])
+        ):
+            for interval, value in _aggregate_group(group, op, value_of, use_tree):
+                result.add(VTTuple(key, (value,), interval))
+        return result
+
+    schema = RelationSchema(
+        name=f"{relation.schema.name}_{op}",
+        join_attributes=("scope",),
+        payload_attributes=(op,),
+        tuple_bytes=relation.schema.tuple_bytes,
+    )
+    result = ValidTimeRelation(schema)
+    for interval, value in _aggregate_group(
+        list(relation), op, value_of, use_tree
+    ):
+        result.add(VTTuple(("all",), (value,), interval))
+    return result
+
+
+def _aggregate_group(
+    tuples: List[VTTuple],
+    op: str,
+    value_of: Optional[ValueOf],
+    use_tree: bool,
+) -> List[Tuple[Interval, float]]:
+    if not tuples:
+        return []
+    extract: ValueOf = value_of if value_of is not None else (lambda tup: 1.0)
+    if use_tree:
+        domain = lifespan_of(tup.valid for tup in tuples)
+        tree = AggregationTree(domain)
+        for tup in tuples:
+            tree.insert(tup.valid, 1.0 if op == "count" else float(extract(tup)))
+        return tree.segments()
+    weighted = [(tup.valid, float(extract(tup))) for tup in tuples]
+    return sweep_aggregate(weighted, op)

@@ -1,0 +1,111 @@
+"""Endpoint-sweep temporal aggregation: the general (and oracle) evaluator.
+
+Sorting the 2n interval endpoints yields the maximal intervals over which
+the set of valid tuples is constant; any aggregate of the active set is
+then well-defined per segment.  O(n log n) regardless of interval length,
+and unlike the aggregation tree it supports non-additive aggregates
+(MIN/MAX) because the active *values* are tracked, not just their sum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.time.interval import Interval
+
+#: (interval, aggregate value) segments in chronological order.
+Segments = List[Tuple[Interval, float]]
+
+SUPPORTED_OPS = ("count", "sum", "avg", "min", "max")
+
+
+def constant_intervals(
+    intervals: Sequence[Interval],
+) -> List[Tuple[Interval, int]]:
+    """Maximal intervals with a constant number of covering input intervals.
+
+    The COUNT special case, returned with integer counts and zero-count
+    gaps dropped; adjacent equal-count segments are merged.
+    """
+    segments = sweep_aggregate(
+        list(zip(intervals, [1.0] * len(intervals))), "count"
+    )
+    return [(interval, int(value)) for interval, value in segments]
+
+
+def sweep_aggregate(
+    weighted: Sequence[Tuple[Interval, float]],
+    op: str,
+) -> Segments:
+    """Aggregate ``(interval, value)`` pairs over time.
+
+    Args:
+        weighted: contributions; each value is valid over its interval.
+        op: one of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+
+    Returns:
+        Chronologically ordered maximal segments where the input set is
+        constant, merged when adjacent segments agree on the aggregate,
+        with empty (no active tuple) segments omitted.
+    """
+    if op not in SUPPORTED_OPS:
+        raise ValueError(f"unsupported aggregate {op!r}; choose from {SUPPORTED_OPS}")
+    if not weighted:
+        return []
+
+    # Event list: value enters at start, leaves after end.
+    events: Dict[int, List[Tuple[float, int]]] = {}
+    for interval, value in weighted:
+        events.setdefault(interval.start, []).append((value, +1))
+        events.setdefault(interval.end + 1, []).append((value, -1))
+
+    active = Counter()  # value -> multiplicity
+    count = 0
+    total = 0.0
+    raw: Segments = []
+    boundaries = sorted(events)
+    for boundary, following in zip(boundaries, boundaries[1:] + [None]):
+        for value, delta in events[boundary]:
+            if delta > 0:
+                active[value] += 1
+                count += 1
+                total += value
+            else:
+                active[value] -= 1
+                if active[value] == 0:
+                    del active[value]
+                count -= 1
+                total -= value
+        if following is None or count == 0:
+            continue
+        segment = Interval(boundary, following - 1)
+        raw.append((segment, _evaluate(op, active, count, total)))
+
+    return _merge_equal_adjacent(raw)
+
+
+def _evaluate(op: str, active: Counter, count: int, total: float) -> float:
+    if op == "count":
+        return float(count)
+    if op == "sum":
+        return total
+    if op == "avg":
+        return total / count
+    if op == "min":
+        return min(active)
+    return max(active)
+
+
+def _merge_equal_adjacent(segments: Segments) -> Segments:
+    merged: Segments = []
+    for interval, value in segments:
+        if (
+            merged
+            and merged[-1][1] == value
+            and merged[-1][0].end + 1 == interval.start
+        ):
+            merged[-1] = (Interval(merged[-1][0].start, interval.end), value)
+        else:
+            merged.append((interval, value))
+    return merged

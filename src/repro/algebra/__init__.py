@@ -1,0 +1,47 @@
+"""A small valid-time relational algebra around the join operators.
+
+The paper motivates the valid-time natural join as "the operator used to
+reconstruct normalized valid-time databases" [JSS92a]; this package supplies
+the surrounding algebra a user of the join actually needs:
+
+* :mod:`repro.algebra.timeslice` -- the timeslice (snapshot) operator, the
+  basis of the snapshot-reducibility property tests.
+* :mod:`repro.algebra.coalesce` -- merging value-equivalent tuples with
+  adjacent or overlapping timestamps into maximal intervals.
+* :mod:`repro.algebra.select_project` -- temporal selection and projection.
+* :mod:`repro.algebra.setops` -- temporal union, difference, intersection.
+* :mod:`repro.algebra.normalize` -- vertical decomposition and its
+  reconstruction via the valid-time natural join.
+"""
+
+from repro.algebra.timeslice import snapshot_join, timeslice
+from repro.algebra.coalesce import coalesce
+from repro.algebra.select_project import (
+    select,
+    select_temporal,
+    project,
+)
+from repro.algebra.setops import (
+    temporal_difference,
+    temporal_intersection,
+    temporal_union,
+)
+from repro.algebra.normalize import decompose, reconstruct
+from repro.algebra.external_coalesce import external_coalesce
+from repro.algebra.external_setops import external_setop
+
+__all__ = [
+    "external_coalesce",
+    "external_setop",
+    "snapshot_join",
+    "timeslice",
+    "coalesce",
+    "select",
+    "select_temporal",
+    "project",
+    "temporal_difference",
+    "temporal_intersection",
+    "temporal_union",
+    "decompose",
+    "reconstruct",
+]

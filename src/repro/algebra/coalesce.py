@@ -1,0 +1,50 @@
+"""Coalescing: merging value-equivalent tuples into maximal intervals.
+
+A 1NF valid-time relation may represent one continuous fact as several
+tuples with identical explicit attributes and abutting or overlapping
+timestamps.  Coalescing replaces each such group by tuples with maximal
+timestamps, producing the canonical representation temporal normal forms
+assume [JSS92a].  The normalization round-trip tests rely on it: joining
+decomposed fragments back together fragments timestamps at the other
+fragment's boundaries, and coalescing restores the original stamps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.time.intervalset import normalize
+
+
+def coalesce(relation: ValidTimeRelation) -> ValidTimeRelation:
+    """Coalesce *relation*: maximal timestamps per value-equivalence class.
+
+    The result contains, for each distinct (key, payload) combination, one
+    tuple per maximal interval of the union of the group's timestamps.
+    Output order is deterministic (sorted by value then interval) so results
+    compare reproducibly.
+    """
+    groups: Dict[Tuple, List[VTTuple]] = {}
+    for tup in relation:
+        groups.setdefault((tup.key, tup.payload), []).append(tup)
+
+    result = ValidTimeRelation(relation.schema)
+    for (key, payload), members in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+        for interval in normalize(tup.valid for tup in members):
+            result.add(VTTuple(key, payload, interval))
+    return result
+
+
+def is_coalesced(relation: ValidTimeRelation) -> bool:
+    """True when no two value-equivalent tuples overlap or meet."""
+    groups: Dict[Tuple, List[VTTuple]] = {}
+    for tup in relation:
+        groups.setdefault((tup.key, tup.payload), []).append(tup)
+    for members in groups.values():
+        ordered = sorted(members, key=lambda tup: tup.vs)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.vs <= earlier.ve + 1:
+                return False
+    return True

@@ -1,0 +1,79 @@
+"""External coalescing: the canonicalization operator, I/O-costed.
+
+Coalescing (see :mod:`repro.algebra.coalesce`) is itself an expensive
+operation on disk-resident relations -- value-equivalent tuples can be
+scattered arbitrarily.  The standard evaluation reuses the external-sort
+machinery: sort on (key, payload, Vs), then merge adjacent-or-overlapping
+timestamps of each value-equivalence class in one streaming pass.  The
+result is written through the layout's excluded result stream, matching
+the join evaluators' convention, so the *coalescing* cost (sort plus one
+scan) is what the tracker reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.external_sort import external_sort
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.storage.layout import Device, DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+def external_coalesce(
+    relation: ValidTimeRelation,
+    memory_pages: int,
+    *,
+    page_spec: Optional[PageSpec] = None,
+    layout: Optional[DiskLayout] = None,
+) -> tuple[ValidTimeRelation, DiskLayout]:
+    """Coalesce *relation* on the simulated disk.
+
+    Returns the coalesced relation and the layout carrying the I/O cost
+    (one external sort of the input plus the merging scan, which is fused
+    into the sort's final read).
+    """
+    if layout is None:
+        layout = DiskLayout(spec=page_spec if page_spec is not None else PageSpec())
+    source = layout.place_relation(relation)
+
+    with layout.tracker.phase("sort"):
+        ordered = external_sort(
+            source,
+            layout,
+            memory_pages,
+            key=lambda tup: (repr(tup.key), repr(tup.payload), tup.vs, tup.ve),
+            name="coalesce",
+            devices=(Device.SCRATCH_A, Device.SCRATCH_B),
+        )
+    layout.disk.park_heads()
+
+    result = ValidTimeRelation(relation.schema)
+    result_file = layout.result_file("coalesced")
+    pending: Optional[VTTuple] = None
+
+    def flush(tup: VTTuple) -> None:
+        layout.write_result(result_file, tup)
+        result.add(tup)
+
+    with layout.tracker.phase("merge"):
+        for page in ordered.scan_pages():
+            for tup in page:
+                if (
+                    pending is not None
+                    and pending.key == tup.key
+                    and pending.payload == tup.payload
+                    and tup.vs <= pending.ve + 1
+                ):
+                    if tup.ve > pending.ve:
+                        pending = pending.with_valid(Interval(pending.vs, tup.ve))
+                    continue
+                if pending is not None:
+                    flush(pending)
+                pending = tup
+        if pending is not None:
+            flush(pending)
+    result_file.flush()
+    return result, layout

@@ -1,0 +1,158 @@
+"""External temporal set operations: union / difference / intersection, costed.
+
+The in-memory operators of :mod:`repro.algebra.setops` have disk-resident
+counterparts built on the same machinery as external coalescing: both
+operands are externally sorted on (key, payload, Vs), and a single
+synchronized merge pass computes the per-value-equivalence-class interval
+algebra.  Costs are reported through the layout's tracker, with result
+writes on the excluded stream, matching every other evaluator's
+convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.algebra.setops import _check_union_compatible
+from repro.baselines.external_sort import external_sort
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.storage.heapfile import HeapFile
+from repro.storage.layout import Device, DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+from repro.time.intervalset import normalize, subtract
+
+
+def external_setop(
+    op: str,
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    memory_pages: int,
+    *,
+    page_spec: Optional[PageSpec] = None,
+    layout: Optional[DiskLayout] = None,
+) -> Tuple[ValidTimeRelation, DiskLayout]:
+    """Evaluate a temporal set operation on the simulated disk.
+
+    Args:
+        op: ``"union"``, ``"difference"``, or ``"intersection"``.
+        r: left operand.
+        s: right operand (schema-compatible with *r*).
+        memory_pages: buffer budget for the external sorts.
+        page_spec: page geometry.
+        layout: pass to accumulate statistics across operations.
+
+    Returns:
+        The result relation and the layout carrying the I/O cost.
+    """
+    if op not in ("union", "difference", "intersection"):
+        raise ValueError(f"unknown set operation {op!r}")
+    _check_union_compatible(r, s)
+    if layout is None:
+        layout = DiskLayout(spec=page_spec if page_spec is not None else PageSpec())
+
+    r_file = layout.place_relation(r)
+    s_file = layout.place_relation(s)
+
+    def value_key(tup: VTTuple):
+        return (repr(tup.key), repr(tup.payload), tup.vs, tup.ve)
+
+    with layout.tracker.phase("sort"):
+        r_sorted = external_sort(
+            r_file, layout, memory_pages, key=value_key, name="setop_r",
+            devices=(Device.SCRATCH_A, Device.SCRATCH_B),
+        )
+        layout.disk.park_heads()
+        s_sorted = external_sort(
+            s_file, layout, memory_pages, key=value_key, name="setop_s",
+            devices=(Device.SCRATCH_C, Device.SCRATCH_D),
+        )
+    layout.disk.park_heads()
+
+    result = ValidTimeRelation(r.schema)
+    result_file = layout.result_file(f"setop_{op}")
+
+    with layout.tracker.phase("merge"):
+        for value, r_intervals, s_intervals in _merge_groups(r_sorted, s_sorted):
+            key, payload = value
+            for interval in _combine(op, r_intervals, s_intervals):
+                tup = VTTuple(key, payload, interval)
+                layout.write_result(result_file, tup)
+                result.add(tup)
+    result_file.flush()
+    return result, layout
+
+
+def _combine(
+    op: str, r_intervals: List[Interval], s_intervals: List[Interval]
+) -> List[Interval]:
+    if op == "union":
+        return normalize(r_intervals + s_intervals)
+    if op == "difference":
+        kept: List[Interval] = []
+        for interval in normalize(r_intervals):
+            kept.extend(subtract(interval, s_intervals))
+        return kept
+    common: List[Interval] = []
+    for a in normalize(r_intervals):
+        for b in normalize(s_intervals):
+            clipped = a.intersect(b)
+            if clipped is not None:
+                common.append(clipped)
+    return normalize(common)
+
+
+def _merge_groups(
+    r_sorted: HeapFile, s_sorted: HeapFile
+) -> Iterator[Tuple[Tuple, List[Interval], List[Interval]]]:
+    """Synchronized group iteration over two value-sorted files.
+
+    Yields ``((key, payload), r_intervals, s_intervals)`` for every value
+    present in either input, in sorted value order.
+    """
+    r_groups = _grouped_stream(r_sorted)
+    s_groups = _grouped_stream(s_sorted)
+    r_current = next(r_groups, None)
+    s_current = next(s_groups, None)
+    while r_current is not None or s_current is not None:
+        if s_current is None or (
+            r_current is not None and r_current[0] <= s_current[0]
+        ):
+            tag = r_current[0]
+        else:
+            tag = s_current[0]
+        r_intervals: List[Interval] = []
+        s_intervals: List[Interval] = []
+        value = None
+        if r_current is not None and r_current[0] == tag:
+            value = r_current[1]
+            r_intervals = r_current[2]
+            r_current = next(r_groups, None)
+        if s_current is not None and s_current[0] == tag:
+            value = s_current[1]
+            s_intervals = s_current[2]
+            s_current = next(s_groups, None)
+        assert value is not None
+        yield value, r_intervals, s_intervals
+
+
+def _grouped_stream(
+    source: HeapFile,
+) -> Iterator[Tuple[Tuple[str, str], Tuple, List[Interval]]]:
+    """Yield ``(sort_tag, (key, payload), intervals)`` per value group."""
+    tag: Optional[Tuple[str, str]] = None
+    value: Optional[Tuple] = None
+    intervals: List[Interval] = []
+    for page in source.scan_pages():
+        for tup in page:
+            this_tag = (repr(tup.key), repr(tup.payload))
+            if this_tag != tag:
+                if tag is not None:
+                    yield tag, value, intervals
+                tag = this_tag
+                value = (tup.key, tup.payload)
+                intervals = []
+            intervals.append(tup.valid)
+    if tag is not None:
+        yield tag, value, intervals

@@ -1,0 +1,76 @@
+"""Temporal selection and projection.
+
+Selection comes in two flavours: ordinary selection on explicit attribute
+values, and *temporal* selection restricting tuples to a query interval
+(tuples are clipped to the window, the valid-time analogue of a range
+predicate on the timestamp).
+
+Projection keeps the explicit join attributes -- dropping them would leave
+tuples unjoinable and breaks the decomposition/reconstruction contract of
+:mod:`repro.algebra.normalize` -- and may be followed by coalescing, since
+projecting payload attributes away typically creates value-equivalent
+tuples with adjacent timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+def select(
+    relation: ValidTimeRelation,
+    predicate: Callable[[VTTuple], bool],
+) -> ValidTimeRelation:
+    """Tuples of *relation* satisfying *predicate*, timestamps unchanged."""
+    result = ValidTimeRelation(relation.schema)
+    for tup in relation:
+        if predicate(tup):
+            result.add(tup)
+    return result
+
+
+def select_temporal(relation: ValidTimeRelation, window: Interval) -> ValidTimeRelation:
+    """Tuples valid during *window*, clipped to it.
+
+    A tuple overlapping the window appears with timestamp
+    ``overlap(tup[V], window)``; tuples entirely outside are dropped.
+    """
+    result = ValidTimeRelation(relation.schema)
+    for tup in relation:
+        clipped = tup.valid.intersect(window)
+        if clipped is not None:
+            result.add(tup.with_valid(clipped))
+    return result
+
+
+def project(
+    relation: ValidTimeRelation,
+    attributes: Tuple[str, ...],
+    *,
+    name: str = "",
+) -> ValidTimeRelation:
+    """Project onto *attributes* (the join attributes are always retained).
+
+    Args:
+        relation: input relation.
+        attributes: explicit attributes to keep; join attributes are added
+            automatically if omitted.
+        name: name of the result schema (defaults to ``<input>_proj``).
+    """
+    schema = relation.schema
+    keep = tuple(dict.fromkeys(schema.join_attributes + tuple(attributes)))
+    projected_schema = schema.project(name or f"{schema.name}_proj", keep)
+
+    payload_positions = [
+        schema.payload_attributes.index(attr)
+        for attr in projected_schema.payload_attributes
+    ]
+    result = ValidTimeRelation(projected_schema)
+    for tup in relation:
+        payload = tuple(tup.payload[i] for i in payload_positions)
+        result.add(VTTuple(tup.key, payload, tup.valid))
+    return result

@@ -1,0 +1,89 @@
+"""Temporal set operations: union, difference, intersection.
+
+These are the snapshot-reducible set operators over 1NF valid-time
+relations: for every chronon ``t``, the timeslice of the result equals the
+set operation applied to the operands' timeslices (on *sets* of rows --
+the operators coalesce per value-equivalence class internally, so duplicate
+representations of the same fact do not leak through).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+from repro.time.intervalset import normalize, subtract
+
+
+def _check_union_compatible(r: ValidTimeRelation, s: ValidTimeRelation) -> None:
+    if r.schema.attributes != s.schema.attributes:
+        raise SchemaError(
+            f"set operation requires identical attributes: "
+            f"{r.schema.name!r} has {r.schema.attributes}, "
+            f"{s.schema.name!r} has {s.schema.attributes}"
+        )
+
+
+def _grouped(relation: ValidTimeRelation) -> Dict[Tuple, List[Interval]]:
+    groups: Dict[Tuple, List[Interval]] = {}
+    for tup in relation:
+        groups.setdefault((tup.key, tup.payload), []).append(tup.valid)
+    return groups
+
+
+def _emit(
+    schema: RelationSchema, groups: Dict[Tuple, List[Interval]]
+) -> ValidTimeRelation:
+    result = ValidTimeRelation(schema)
+    for (key, payload), intervals in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+        for interval in intervals:
+            result.add(VTTuple(key, payload, interval))
+    return result
+
+
+def temporal_union(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """Facts valid in either operand; timestamps merged and coalesced."""
+    _check_union_compatible(r, s)
+    groups = _grouped(r)
+    for value, intervals in _grouped(s).items():
+        groups.setdefault(value, []).extend(intervals)
+    return _emit(r.schema, {value: normalize(iv) for value, iv in groups.items()})
+
+
+def temporal_difference(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """Facts of *r* restricted to the chronons where *s* does not assert them."""
+    _check_union_compatible(r, s)
+    s_groups = _grouped(s)
+    out: Dict[Tuple, List[Interval]] = {}
+    for value, intervals in _grouped(r).items():
+        removed = s_groups.get(value, [])
+        kept: List[Interval] = []
+        for interval in normalize(intervals):
+            kept.extend(subtract(interval, removed))
+        if kept:
+            out[value] = kept
+    return _emit(r.schema, out)
+
+
+def temporal_intersection(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """Facts asserted by both operands, over the common chronons."""
+    _check_union_compatible(r, s)
+    s_groups = _grouped(s)
+    out: Dict[Tuple, List[Interval]] = {}
+    for value, intervals in _grouped(r).items():
+        others = s_groups.get(value)
+        if not others:
+            continue
+        common: List[Interval] = []
+        for interval in normalize(intervals):
+            for other in normalize(others):
+                clipped = interval.intersect(other)
+                if clipped is not None:
+                    common.append(clipped)
+        if common:
+            out[value] = normalize(common)
+    return _emit(r.schema, out)

@@ -1,0 +1,30 @@
+"""Baseline evaluation algorithms the paper compares against.
+
+* :mod:`repro.baselines.reference` -- the Section 2 definition transcribed
+  as a naive in-memory join; the correctness oracle for everything else.
+* :mod:`repro.baselines.nested_loop` -- block nested-loop evaluation over
+  the simulated disk.
+* :mod:`repro.baselines.nested_loop_cost` -- the closed-form nested-loop
+  cost the paper plots ("we calculated analytical results for
+  nested-loops", Section 4.1).
+* :mod:`repro.baselines.external_sort` -- run formation and multiway merge
+  over the simulated disk.
+* :mod:`repro.baselines.sort_merge` -- sort-merge valid-time join with
+  backing-up over long-lived tuples (Section 4.3's comparison).
+"""
+
+from repro.baselines.reference import reference_join
+from repro.baselines.nested_loop import NestedLoopResult, nested_loop_join
+from repro.baselines.nested_loop_cost import nested_loop_cost
+from repro.baselines.external_sort import external_sort
+from repro.baselines.sort_merge import SortMergeResult, sort_merge_join
+
+__all__ = [
+    "reference_join",
+    "NestedLoopResult",
+    "nested_loop_join",
+    "nested_loop_cost",
+    "external_sort",
+    "SortMergeResult",
+    "sort_merge_join",
+]

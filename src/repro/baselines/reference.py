@@ -1,0 +1,29 @@
+"""The correctness oracle: the Section 2 definition, executed literally.
+
+``r JOIN_V s`` contains, for every pair ``x in r``, ``y in s`` with equal
+explicit join attributes and a non-bottom interval overlap, the tuple with
+both payloads and the maximal common interval.  This module evaluates that
+definition with two plain loops and no storage simulation; every other join
+implementation in the library is tested for multiset equality against it.
+"""
+
+from __future__ import annotations
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import join_tuples
+
+
+def reference_join(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """Evaluate the valid-time natural join by exhaustive pairing.
+
+    Quadratic and in-memory; intended for oracle use at test scale, not for
+    measurement.
+    """
+    result_schema = r.schema.join_result_schema(s.schema)
+    result = ValidTimeRelation(result_schema)
+    for x in r:
+        for y in s:
+            joined = join_tuples(x, y)
+            if joined is not None:
+                result.add(joined)
+    return result

@@ -1,0 +1,30 @@
+"""Bitemporal support: valid time plus transaction time.
+
+The paper closes with its larger goal: "this work can be considered as the
+first step towards the construction of an incremental evaluation system
+for a bitemporal database management system, that is, a DBMS that supports
+both valid and transaction time [SA86, JCG+92]."  This package supplies
+that second dimension:
+
+* :mod:`repro.bitemporal.model` -- bitemporal tuples (a valid-time
+  interval plus an append-only transaction-time interval) and the
+  :class:`BitemporalRelation` with insert / logical-delete semantics.
+* :mod:`repro.bitemporal.operators` -- transaction-time rollback
+  (``as_of``), bitemporal timeslices, and the bitemporal natural join,
+  which reduces to the valid-time natural join on every transaction-time
+  snapshot.
+"""
+
+from repro.bitemporal.model import UC, BitemporalRelation, BitemporalTuple
+from repro.bitemporal.operators import (
+    bitemporal_join,
+    bitemporal_timeslice,
+)
+
+__all__ = [
+    "UC",
+    "BitemporalRelation",
+    "BitemporalTuple",
+    "bitemporal_join",
+    "bitemporal_timeslice",
+]

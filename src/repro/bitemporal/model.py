@@ -1,0 +1,179 @@
+"""Bitemporal tuples and append-only bitemporal relations.
+
+A bitemporal tuple carries two timestamps: *valid time* (when the fact was
+true in the modelled reality -- the dimension the paper's join operates on)
+and *transaction time* (when the database believed it).  Transaction time
+is append-only [JMR+92]: a fact enters with transaction interval
+``[now, UC]`` ("until changed") and is never physically removed -- a
+logical delete merely closes the interval at the deletion time, preserving
+the ability to roll the database back to any past state.
+
+``UC`` is represented by the library's ``FOREVER`` sentinel, so transaction
+intervals are ordinary :class:`~repro.time.interval.Interval` values and
+the whole valid-time toolbox applies to the transaction dimension too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.chronon import FOREVER
+from repro.time.interval import Interval
+
+#: "Until changed": the open end of a current tuple's transaction interval.
+UC: int = FOREVER
+
+
+class BitemporalTuple:
+    """A fact with both valid-time and transaction-time intervals."""
+
+    __slots__ = ("key", "payload", "valid", "transaction")
+
+    def __init__(
+        self,
+        key: Tuple,
+        payload: Tuple,
+        valid: Interval,
+        transaction: Interval,
+    ) -> None:
+        object.__setattr__(self, "key", tuple(key))
+        object.__setattr__(self, "payload", tuple(payload))
+        object.__setattr__(self, "valid", valid)
+        object.__setattr__(self, "transaction", transaction)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BitemporalTuple is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitemporalTuple):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.payload == other.payload
+            and self.valid == other.valid
+            and self.transaction == other.transaction
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.payload, self.valid, self.transaction))
+
+    def __repr__(self) -> str:
+        return (
+            f"BitemporalTuple(key={self.key!r}, payload={self.payload!r}, "
+            f"valid={self.valid!r}, transaction={self.transaction!r})"
+        )
+
+    @property
+    def is_current(self) -> bool:
+        """True while the database still believes this fact."""
+        return self.transaction.end == UC
+
+    def known_at(self, tt: int) -> bool:
+        """Was this fact in the database's belief state at transaction time *tt*?"""
+        return self.transaction.contains_chronon(tt)
+
+    def as_valid_time(self) -> VTTuple:
+        """Project away the transaction dimension."""
+        return VTTuple(self.key, self.payload, self.valid)
+
+
+class BitemporalRelation:
+    """An append-only bitemporal relation.
+
+    Mutations happen at a supplied transaction chronon, which must not
+    decrease across operations (transaction time moves forward only).
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._tuples: List[BitemporalTuple] = []
+        self._clock: Optional[int] = None
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: Tuple, payload: Tuple, valid: Interval, *, tt: int) -> BitemporalTuple:
+        """Record a fact at transaction time *tt*; believed until changed."""
+        self._advance_clock(tt)
+        if len(key) != len(self.schema.join_attributes) or len(payload) != len(
+            self.schema.payload_attributes
+        ):
+            raise SchemaError(
+                f"tuple arity does not match schema {self.schema.name!r}"
+            )
+        tup = BitemporalTuple(key, payload, valid, Interval(tt, UC))
+        self._tuples.append(tup)
+        return tup
+
+    def logical_delete(self, tup: BitemporalTuple, *, tt: int) -> BitemporalTuple:
+        """Stop believing *tup* at transaction time *tt*.
+
+        The tuple's transaction interval is closed at ``tt - 1``; the fact
+        remains visible to rollbacks before *tt*.
+
+        Raises:
+            KeyError: if *tup* is not a current tuple of this relation.
+            ValueError: if *tt* does not exceed the tuple's insertion time.
+        """
+        self._advance_clock(tt)
+        if tup not in self._tuples or not tup.is_current:
+            raise KeyError(f"{tup!r} is not a current tuple of {self.schema.name!r}")
+        if tt <= tup.transaction.start:
+            raise ValueError("logical delete must happen after insertion")
+        closed = BitemporalTuple(
+            tup.key, tup.payload, tup.valid, Interval(tup.transaction.start, tt - 1)
+        )
+        self._tuples[self._tuples.index(tup)] = closed
+        return closed
+
+    def update(
+        self,
+        tup: BitemporalTuple,
+        payload: Tuple,
+        valid: Interval,
+        *,
+        tt: int,
+    ) -> BitemporalTuple:
+        """Logical delete plus re-insert: the bitemporal update idiom."""
+        self.logical_delete(tup, tt=tt)
+        return self.insert(tup.key, payload, valid, tt=tt)
+
+    def _advance_clock(self, tt: int) -> None:
+        if self._clock is not None and tt < self._clock:
+            raise ValueError(
+                f"transaction time moved backwards: {tt} after {self._clock}"
+            )
+        self._clock = tt
+
+    # -- queries ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[BitemporalTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def as_of(self, tt: int) -> ValidTimeRelation:
+        """Roll back: the valid-time relation the database held at *tt*.
+
+        The heart of transaction time -- every past belief state is
+        reconstructible.  The result is an ordinary valid-time relation, so
+        all of the library's operators (including the partition join) apply
+        to it.
+        """
+        relation = ValidTimeRelation(self.schema)
+        for tup in self._tuples:
+            if tup.known_at(tt):
+                relation.add(tup.as_valid_time())
+        return relation
+
+    def current(self) -> ValidTimeRelation:
+        """The belief state now (tuples whose transaction interval is open)."""
+        relation = ValidTimeRelation(self.schema)
+        for tup in self._tuples:
+            if tup.is_current:
+                relation.add(tup.as_valid_time())
+        return relation

@@ -1,0 +1,81 @@
+"""Bitemporal operators: timeslices and the bitemporal natural join.
+
+The bitemporal natural join pairs tuples on equal join attributes and
+overlap in *both* temporal dimensions, stamping the result with the
+rectangle ``(overlap(valid), overlap(transaction))``.  It is
+snapshot-reducible in the transaction dimension:
+
+    as_of(r JOIN_B s, tt)  ==  as_of(r, tt) JOIN_V as_of(s, tt)
+
+which is exactly how the paper envisioned reusing valid-time machinery in
+a bitemporal DBMS -- and how :func:`bitemporal_join` can evaluate through
+the partition join when asked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bitemporal.model import BitemporalRelation, BitemporalTuple
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.model.relation import ValidTimeRelation
+
+
+def bitemporal_timeslice(
+    relation: BitemporalRelation, tt: int, vt: int
+) -> List[Tuple]:
+    """The snapshot state: what the database believed at *tt* about *vt*."""
+    return sorted(relation.as_of(tt).timeslice(vt), key=repr)
+
+
+def bitemporal_join(
+    r: BitemporalRelation,
+    s: BitemporalRelation,
+) -> List[BitemporalTuple]:
+    """The bitemporal natural join: overlap in both dimensions.
+
+    Returns result tuples stamped with the maximal common valid-time and
+    transaction-time intervals, one per qualifying pair.
+    """
+    result_schema = r.schema.join_result_schema(s.schema)
+    results: List[BitemporalTuple] = []
+    s_by_key: dict = {}
+    for tup in s:
+        s_by_key.setdefault(tup.key, []).append(tup)
+    for x in r:
+        for y in s_by_key.get(x.key, ()):
+            valid = x.valid.intersect(y.valid)
+            if valid is None:
+                continue
+            transaction = x.transaction.intersect(y.transaction)
+            if transaction is None:
+                continue
+            results.append(
+                BitemporalTuple(
+                    x.key, x.payload + y.payload, valid, transaction
+                )
+            )
+    _ = result_schema  # schema validated; results are schema-shaped tuples
+    return results
+
+
+def bitemporal_join_as_of(
+    r: BitemporalRelation,
+    s: BitemporalRelation,
+    tt: int,
+    *,
+    config: Optional[PartitionJoinConfig] = None,
+) -> ValidTimeRelation:
+    """The join of the *tt* belief states, via the paper's partition join.
+
+    This is the operational bridge the paper's conclusion sketches: a
+    bitemporal query at a fixed transaction time reduces to a valid-time
+    natural join, evaluated with the measured partition algorithm.
+    """
+    r_slice = r.as_of(tt)
+    s_slice = s.as_of(tt)
+    if config is None:
+        config = PartitionJoinConfig(memory_pages=16)
+    run = partition_join(r_slice, s_slice, config)
+    assert run.result is not None
+    return run.result

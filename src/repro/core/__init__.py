@@ -1,0 +1,40 @@
+"""The paper's contribution: the valid-time partition join.
+
+Modules map one-to-one onto the paper's algorithms:
+
+* :mod:`repro.core.intervals` -- ``chooseIntervals`` (Appendix A.3) and the
+  :class:`PartitionMap` used to locate tuples within a partitioning.
+* :mod:`repro.core.cache_estimate` -- ``estimateCacheSizes`` (Appendix A.4).
+* :mod:`repro.core.planner` -- ``determinePartIntervals`` (Appendix A.2),
+  including the Figure 4 cost curve.
+* :mod:`repro.core.partitioner` -- ``doPartitioning`` (Section 3.2): Grace
+  partitioning with last-overlap placement.
+* :mod:`repro.core.joiner` -- ``joinPartitions`` (Appendix A.1): the
+  backward sweep with tuple-cache migration.
+* :mod:`repro.core.partition_join` -- the top-level ``partitionJoin``
+  driver (Figure 2) and its configuration.
+* :mod:`repro.core.replicating` -- the replication-based alternative the
+  paper argues against (Leung-Muntz style), kept for the ablation bench.
+"""
+
+from repro.core.intervals import PartitionMap, choose_intervals
+from repro.core.cache_estimate import estimate_cache_sizes
+from repro.core.planner import CandidateCost, PartitionPlan, determine_part_intervals
+from repro.core.partitioner import do_partitioning
+from repro.core.joiner import join_partitions
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.core.replicating import replicating_partition_join
+
+__all__ = [
+    "PartitionMap",
+    "choose_intervals",
+    "estimate_cache_sizes",
+    "CandidateCost",
+    "PartitionPlan",
+    "determine_part_intervals",
+    "do_partitioning",
+    "join_partitions",
+    "PartitionJoinConfig",
+    "partition_join",
+    "replicating_partition_join",
+]

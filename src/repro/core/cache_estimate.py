@@ -1,0 +1,61 @@
+"""``estimateCacheSizes`` (Appendix A.4): predicted tuple-cache pages.
+
+For each partition, the estimated tuple-cache size is the number of sampled
+tuples that overlap it *beyond their last partition's own join step* --
+i.e. a tuple overlapping partitions ``p_min .. p_max`` occupies the cache
+while partitions ``p_min .. p_max - 1`` are being joined -- scaled to the
+population.
+
+The appendix's pseudo-code scales by ``|samples| / |r|``; scaling a sample
+count up to a population estimate requires the reciprocal, ``population /
+|samples|``, so we use that (with the note that this is an erratum-level
+transcription fix, not a design change).  The samples come from the outer
+relation while the cache holds inner-relation tuples; following the paper's
+stated "implicit assumption that the distribution, over valid time, of
+tuples in the outer and inner relations is similar", the caller passes the
+*inner* relation's cardinality as the population.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.intervals import PartitionMap
+from repro.model.vtuple import VTTuple
+from repro.storage.page import PageSpec
+
+
+def estimate_cache_sizes(
+    samples: Sequence[VTTuple],
+    population_tuples: int,
+    partition_map: PartitionMap,
+    spec: PageSpec,
+) -> List[int]:
+    """Estimate tuple-cache pages per partition.
+
+    Args:
+        samples: sampled tuples (drawn from the outer relation).
+        population_tuples: cardinality of the relation whose tuples will be
+            cached (the inner relation).
+        partition_map: the candidate partitioning.
+        spec: page geometry, to convert tuple counts to pages.
+
+    Returns:
+        One estimated page count per partition (index-aligned with
+        ``partition_map``); partition ``i``'s entry is the cache expected
+        while ``r_i JOIN s_i`` is computed.
+    """
+    if population_tuples < 0:
+        raise ValueError(f"negative population {population_tuples}")
+    counts = [0] * len(partition_map)
+    for tup in samples:
+        first = partition_map.first_overlapping(tup.valid)
+        last = partition_map.last_overlapping(tup.valid)
+        # The tuple is cached for every overlapped partition except its last,
+        # where it is read from the partition itself (Figure 9).
+        for index in range(first, last):
+            counts[index] += 1
+    if not samples:
+        return [0] * len(partition_map)
+    scale = population_tuples / len(samples)
+    return [spec.pages_for_tuples(round(count * scale)) for count in counts]

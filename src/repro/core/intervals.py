@@ -1,0 +1,195 @@
+"""``chooseIntervals`` (Appendix A.3): partitioning intervals from a sample.
+
+The paper's algorithm collects, into a multiset, every chronon covered by
+any sampled tuple, sorts the multiset, picks every k-th element as a
+partitioning chronon, and turns adjacent chosen chronons into partitioning
+intervals.  Picking every k-th element of the sorted coverage multiset is an
+*equi-depth* split: each partitioning interval covers an equal share of
+sampled tuple-chronon mass, which is what makes the resulting partitions of
+``r`` approximately equal-sized (Section 3.3's standing assumption).
+
+Enumerating the multiset explicitly is linear in total tuple *duration* and
+infeasible for long-lived tuples at paper scale, so
+:func:`_coverage_quantiles` computes the same chosen chronons with an
+endpoint sweep: sort interval starts and ends, walk the chronon line
+maintaining the number of intervals covering the current run, and locate the
+multiset positions arithmetically inside runs of constant coverage.  A
+property test checks the sweep against the naive multiset construction on
+small inputs.
+
+The returned intervals are non-overlapping, ascending, and tile the sampled
+lifespan exactly.  Tuples outside the sampled lifespan are handled by
+:class:`PartitionMap`, which clamps them into the first or last partition --
+equivalent to extending the outermost intervals to the ends of the time-line
+as Section 3.3 assumes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence
+
+from repro.model.errors import PlanError
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+def choose_intervals(samples: Sequence[VTTuple], num_partitions: int) -> List[Interval]:
+    """Choose ``num_partitions`` partitioning intervals from *samples*.
+
+    Args:
+        samples: sampled tuples of the outer relation.
+        num_partitions: desired number of partitions (>= 1).
+
+    Returns:
+        Ascending, non-overlapping intervals tiling the sampled lifespan.
+        Fewer than ``num_partitions`` intervals are returned when the sample
+        cannot support that many distinct boundaries (e.g. every sampled
+        chronon is identical); never more.
+
+    Raises:
+        PlanError: if *samples* is empty or *num_partitions* < 1.
+    """
+    if num_partitions < 1:
+        raise PlanError(f"num_partitions must be >= 1, got {num_partitions}")
+    if not samples:
+        raise PlanError("cannot choose partitioning intervals from an empty sample")
+
+    lo = min(tup.vs for tup in samples)
+    hi = max(tup.ve for tup in samples)
+    if num_partitions == 1 or lo == hi:
+        return [Interval(lo, hi)]
+
+    # Interior boundaries at equal shares of the coverage multiset.
+    positions = _equal_depth_positions(samples, num_partitions)
+    boundaries = _coverage_quantiles(samples, positions)
+
+    # Deduplicate and drop degenerate boundaries at the lifespan edges.
+    cut_points: List[int] = []
+    for chronon in boundaries:
+        if lo < chronon <= hi and (not cut_points or chronon > cut_points[-1]):
+            cut_points.append(chronon)
+
+    intervals: List[Interval] = []
+    start = lo
+    for cut in cut_points:
+        intervals.append(Interval(start, cut - 1))
+        start = cut
+    intervals.append(Interval(start, hi))
+    return intervals
+
+
+def _equal_depth_positions(samples: Sequence[VTTuple], num_partitions: int) -> List[int]:
+    """1-based multiset positions of the interior boundary chronons."""
+    total = sum(tup.valid.duration for tup in samples)
+    step = total / num_partitions
+    return [int(round(i * step)) for i in range(1, num_partitions)]
+
+
+def _coverage_quantiles(samples: Sequence[VTTuple], positions: Sequence[int]) -> List[int]:
+    """Chronons at the given 1-based positions of the coverage multiset.
+
+    The coverage multiset contains chronon ``t`` once per sampled tuple
+    whose interval contains ``t``.  Equivalent to indexing the paper's
+    sorted ``chronons`` multiset, computed by sweeping interval endpoints.
+    """
+    if not positions:
+        return []
+    starts = sorted(tup.vs for tup in samples)
+    ends = sorted(tup.ve for tup in samples)
+    wanted = sorted(max(1, p) for p in positions)  # one result per position
+    results: List[int] = []
+
+    coverage = 0  # intervals covering the current run of chronons
+    cumulative = 0  # multiset elements at chronons before the current run
+    run_start = starts[0]
+    si = ei = 0
+    wi = 0
+    n = len(samples)
+    while wi < len(wanted):
+        # The current run extends until the next endpoint event.
+        next_start = starts[si] if si < n else None
+        next_end_excl = ends[ei] + 1 if ei < n else None
+        if next_start is not None and (next_end_excl is None or next_start <= next_end_excl):
+            event = next_start
+        else:
+            event = next_end_excl
+        if event is None:
+            # Past the last interval; clamp remaining positions to the end.
+            results.extend(ends[-1] for _ in range(wi, len(wanted)))
+            break
+        if event > run_start and coverage > 0:
+            run_len = event - run_start
+            while wi < len(wanted) and cumulative + coverage * run_len >= wanted[wi]:
+                offset = (wanted[wi] - cumulative - 1) // coverage
+                results.append(run_start + offset)
+                wi += 1
+            cumulative += coverage * run_len
+        run_start = max(run_start, event)
+        if next_start is not None and event == next_start:
+            coverage += 1
+            si += 1
+        else:
+            coverage -= 1
+            ei += 1
+    return results
+
+
+class PartitionMap:
+    """Locate tuples within a partitioning (Section 3.3's placement rules).
+
+    Wraps the ascending partitioning intervals with the two lookups every
+    algorithm needs:
+
+    * :meth:`last_overlapping` -- the partition a tuple is physically stored
+      in ("a tuple x is physically stored in partition r_i if
+      overlap(x[V], p_i) != bottom and there is no later such partition").
+    * :meth:`first_overlapping` -- where migration of a long-lived tuple
+      stops.
+
+    Tuples extending past the covered lifespan are clamped into the first or
+    last partition, which is equivalent to the paper's assumption that the
+    partitioning covers the whole valid-time line.
+    """
+
+    def __init__(self, intervals: Sequence[Interval]) -> None:
+        if not intervals:
+            raise PlanError("a partitioning needs at least one interval")
+        previous_end: int | None = None
+        for interval in intervals:
+            if previous_end is not None and interval.start != previous_end + 1:
+                raise PlanError(
+                    f"partitioning intervals must tile the lifespan; gap or overlap "
+                    f"before {interval!r}"
+                )
+            previous_end = interval.end
+        self.intervals: List[Interval] = list(intervals)
+        self._ends = [interval.end for interval in intervals]
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self.intervals[index]
+
+    def index_of_chronon(self, chronon: int) -> int:
+        """Index of the partition containing *chronon* (clamped to the edges)."""
+        index = bisect_left(self._ends, chronon)
+        return min(index, len(self.intervals) - 1)
+
+    def last_overlapping(self, valid: Interval) -> int:
+        """Index of the last partition *valid* overlaps (storage partition)."""
+        return self.index_of_chronon(valid.end)
+
+    def first_overlapping(self, valid: Interval) -> int:
+        """Index of the first partition *valid* overlaps (migration floor)."""
+        return self.index_of_chronon(valid.start)
+
+    def overlaps_partition(self, valid: Interval, index: int) -> bool:
+        """Does *valid* overlap partition *index*, under edge clamping?
+
+        Clamping means the first partition also owns everything before the
+        covered lifespan and the last everything after it, so the three-way
+        index comparison (not a raw interval test) is the correct check.
+        """
+        return self.first_overlapping(valid) <= index <= self.last_overlapping(valid)

@@ -1,0 +1,341 @@
+"""``joinPartitions`` (Appendix A.1, Figure 9): the backward partition sweep.
+
+The computation proceeds from partition ``n`` down to partition ``1``.  The
+outer-relation partition lives in memory; long-lived outer tuples are
+*retained* in that buffer across iterations, and long-lived inner tuples are
+migrated through the paged *tuple cache*:
+
+for i from n to 1:
+    purge outer buffer of tuples not overlapping p_i; read r_i into it
+    join the outer buffer with each page of the old tuple cache,
+        copying cache tuples that overlap p_{i-1} into the new cache
+    join the outer buffer with each page of s_i,
+        copying s_i tuples that overlap p_{i-1} into the new cache
+
+Every tuple is therefore present in every partition it overlaps exactly
+when that partition's join is computed, without ever being replicated in
+secondary storage.
+
+The paper's Section 5 future-work idea -- "the paging cost ... can be
+reduced if sufficient buffer space is allocated to retain, with high
+probability, the entire tuple cache in main memory.  Trading off outer
+relation partition space for tuple cache space" -- is implemented via
+``cache_memory_tuples``: that many cached tuples stay resident and only the
+excess pages to disk.
+
+Two concerns the paper leaves implicit are made explicit here:
+
+* **Exactly-once emission.**  A pair of tuples co-resides in every partition
+  their overlap spans; emitting on each co-residence would duplicate
+  results.  The pair is emitted only in the partition containing the *end*
+  chronon of their overlap -- the first partition of the backward sweep
+  where both are present -- which the integration tests verify against the
+  reference join.
+* **Buffer overflow ("thrashing").**  When a partition exceeds the
+  ``buffSize`` outer area (a mis-estimated partitioning -- the Kolmogorov
+  bound makes this a <=1% event), correctness is preserved and performance
+  degraded, exactly as Section 3.4 promises: the overflow is spilled to a
+  temp file and joined in additional blocks, each block re-reading the
+  inner partition and tuple cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.intervals import PartitionMap
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.heapfile import HeapFile
+from repro.storage.layout import DiskLayout
+from repro.time.interval import Interval
+
+#: Builds a result tuple from a matched pair and their interval overlap, or
+#: None to reject the pair.  The default is the natural-join combination;
+#: predicate variants (overlap-join, contain-join, ...) substitute their own.
+PairFn = Callable[[VTTuple, VTTuple, Interval], Optional[VTTuple]]
+
+
+def natural_pair(x: VTTuple, y: VTTuple, common: Interval) -> VTTuple:
+    """The Section 2 result tuple: both payloads, overlap timestamp."""
+    return VTTuple(x.key, x.payload + y.payload, common)
+
+
+@dataclass
+class JoinOutcome:
+    """What a partition-sweep join produced and observed.
+
+    Attributes:
+        result: the materialized result relation (None when not collected).
+        n_result_tuples: result cardinality (always tracked).
+        overflow_blocks: extra outer blocks processed due to partition
+            overflow (0 when the planner's estimate held everywhere).
+        cache_tuples_peak: largest tuple-cache population seen.
+        cache_tuples_spilled: cached tuples that overflowed the resident
+            area and paged through disk (equals every cached tuple when no
+            residency is reserved).
+    """
+
+    result: Optional[ValidTimeRelation]
+    n_result_tuples: int = 0
+    overflow_blocks: int = 0
+    cache_tuples_peak: int = 0
+    cache_tuples_spilled: int = 0
+
+
+def join_partitions(
+    r_parts: Sequence[HeapFile],
+    s_parts: Sequence[HeapFile],
+    partition_map: PartitionMap,
+    buff_size: int,
+    layout: DiskLayout,
+    result_schema: Optional[RelationSchema] = None,
+    *,
+    collect: bool = True,
+    pair_fn: PairFn = natural_pair,
+    direction: str = "backward",
+    cache_memory_tuples: int = 0,
+) -> JoinOutcome:
+    """Join pre-partitioned relations ``r`` and ``s`` (Appendix A.1).
+
+    Args:
+        r_parts: outer partitions, index-aligned with *partition_map*.
+        s_parts: inner partitions, same alignment.
+        partition_map: the partitioning both sides were built with.
+        buff_size: pages of the outer-partition buffer area (Figure 3).
+        layout: disk layout (tuple cache goes to the CACHE device, result to
+            the excluded RESULT stream).
+        result_schema: schema of the result, required when *collect* is True.
+        collect: materialize the result relation in memory as well as
+            writing it through the result stream.
+    """
+    if len(r_parts) != len(partition_map) or len(s_parts) != len(partition_map):
+        raise ValueError("partition lists must align with the partition map")
+    if collect and result_schema is None:
+        raise ValueError("collect=True requires a result_schema")
+    if direction not in ("backward", "forward"):
+        raise ValueError(f"direction must be 'backward' or 'forward', got {direction!r}")
+
+    n = len(partition_map)
+    if direction == "backward":
+        # The paper's order: tuples stored in their last partition, the
+        # sweep runs n..1, migration moves backward, and a pair is owned by
+        # the partition holding its overlap's END chronon.
+        order = range(n - 1, -1, -1)
+        step = -1
+    else:
+        # Footnote 1's equivalent strategy: first-partition storage, sweep
+        # 1..n, forward migration, ownership by the overlap's START chronon.
+        order = range(n)
+        step = 1
+
+    spec = layout.spec
+    block_tuples = max(1, buff_size * spec.capacity)
+    inner_total = sum(part.n_tuples for part in s_parts)
+    result_file = layout.result_file("join_result")
+    collected = ValidTimeRelation(result_schema) if collect else None
+    outcome = JoinOutcome(result=collected)
+
+    outer_retained: List[VTTuple] = []
+    cache: Optional[_TupleCache] = None
+
+    for index in order:
+        next_index = index + step  # the partition the sweep visits next
+        has_next = 0 <= next_index < n
+
+        # Purge retained outer tuples that do not reach this partition, then
+        # read the partition itself from disk.
+        outer: List[VTTuple] = [
+            tup
+            for tup in outer_retained
+            if partition_map.overlaps_partition(tup.valid, index)
+        ]
+        for page in r_parts[index].scan_pages():
+            outer.extend(page)
+
+        new_cache: Optional[_TupleCache] = None
+        if has_next:
+            new_cache = _TupleCache(
+                layout, f"tuple_cache_{next_index}", cache_memory_tuples, inner_total
+            )
+
+        blocks = _split_blocks(outer, block_tuples)
+        if len(blocks) > 1:
+            outcome.overflow_blocks += len(blocks) - 1
+            _charge_spill(blocks[1:], layout, spec, index)
+
+        for block_number, block in enumerate(blocks):
+            probe_index = _build_index(block)
+            migrate = block_number == 0  # migration happens exactly once
+            if cache is not None:
+                _probe_pages(
+                    cache.pages(),
+                    probe_index,
+                    partition_map,
+                    index,
+                    next_index if has_next else None,
+                    new_cache if migrate else None,
+                    result_file,
+                    collected,
+                    outcome,
+                    layout,
+                    pair_fn,
+                    direction,
+                )
+            _probe_pages(
+                s_parts[index].scan_pages(),
+                probe_index,
+                partition_map,
+                index,
+                next_index if has_next else None,
+                new_cache if migrate else None,
+                result_file,
+                collected,
+                outcome,
+                layout,
+                pair_fn,
+                direction,
+            )
+
+        if new_cache is not None:
+            new_cache.flush()
+            outcome.cache_tuples_peak = max(outcome.cache_tuples_peak, new_cache.n_tuples)
+            if new_cache.spill is not None:
+                outcome.cache_tuples_spilled += new_cache.spill.n_tuples
+        cache = new_cache
+        outer_retained = outer
+
+    result_file.flush()
+    return outcome
+
+
+class _TupleCache:
+    """The long-lived tuple cache: an optional resident area plus a paged
+    spill file (the Section 5 partition-space / cache-space trade-off).
+
+    With ``memory_tuples == 0`` every cached tuple pages through disk --
+    exactly the paper's Figure 3 configuration, where the cache owns a
+    single in-transit buffer page.
+    """
+
+    def __init__(
+        self, layout: DiskLayout, name: str, memory_tuples: int, capacity_hint: int
+    ) -> None:
+        self._layout = layout
+        self._name = name
+        self._memory_tuples = memory_tuples
+        self._capacity_hint = max(1, capacity_hint)
+        self.resident: List[VTTuple] = []
+        self.spill: Optional[HeapFile] = None
+
+    def append(self, tup: VTTuple) -> None:
+        if len(self.resident) < self._memory_tuples:
+            self.resident.append(tup)
+            return
+        if self.spill is None:
+            self.spill = self._layout.cache_file(
+                self._name, capacity_tuples=self._capacity_hint
+            )
+        self.spill.append(tup)
+
+    def flush(self) -> None:
+        if self.spill is not None:
+            self.spill.flush()
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.resident) + (self.spill.n_tuples if self.spill else 0)
+
+    def pages(self):
+        """Iterate page-shaped tuple lists: resident first (no I/O charge),
+        then the spill file (charged reads)."""
+        if self.resident:
+            yield self.resident
+        if self.spill is not None:
+            yield from self.spill.scan_pages()
+
+
+def _split_blocks(outer: List[VTTuple], block_tuples: int) -> List[List[VTTuple]]:
+    """Split the outer partition into buffer-sized blocks (usually one)."""
+    if len(outer) <= block_tuples:
+        return [outer]
+    return [outer[i : i + block_tuples] for i in range(0, len(outer), block_tuples)]
+
+
+def _charge_spill(
+    overflow_blocks: List[List[VTTuple]],
+    layout: DiskLayout,
+    spec,
+    index: int,
+) -> None:
+    """Charge the write and read-back of spilled overflow blocks.
+
+    The tuples themselves stay in Python memory (the simulation is of cost,
+    not capacity); what matters is that the overflow pays a round trip to
+    the TEMP device, which this spill file records.
+    """
+    n_tuples = sum(len(block) for block in overflow_blocks)
+    spill = layout.temp_file(f"overflow_spill_{index}", capacity_tuples=n_tuples)
+    for block in overflow_blocks:
+        spill.append_many(block)
+    spill.flush()
+    for _ in spill.scan_pages():
+        pass
+
+
+def _build_index(block: Sequence[VTTuple]) -> Dict[Tuple, List[VTTuple]]:
+    """Hash the outer block on the explicit join attributes."""
+    probe_index: Dict[Tuple, List[VTTuple]] = {}
+    for tup in block:
+        probe_index.setdefault(tup.key, []).append(tup)
+    return probe_index
+
+
+def _probe_pages(
+    pages,
+    probe_index: Dict[Tuple, List[VTTuple]],
+    partition_map: PartitionMap,
+    index: int,
+    next_index: Optional[int],
+    new_cache: Optional["_TupleCache"],
+    result_file: HeapFile,
+    collected: Optional[ValidTimeRelation],
+    outcome: JoinOutcome,
+    layout: DiskLayout,
+    pair_fn: PairFn,
+    direction: str,
+) -> None:
+    """Join every page of the *pages* stream against the outer block.
+
+    When *new_cache* is given, tuples overlapping the sweep's next
+    partition are migrated into it as their page passes through memory
+    (Figure 9's ``newCachePage`` handling).
+    """
+    for page in pages:
+        for inner_tup in page:
+            for outer_tup in probe_index.get(inner_tup.key, ()):
+                common = outer_tup.valid.intersect(inner_tup.valid)
+                if common is None:
+                    continue
+                # Exactly-once rule: the pair belongs to the first partition
+                # of the sweep where both tuples co-reside -- the partition
+                # holding the overlap's end chronon (backward sweep) or its
+                # start chronon (forward sweep).
+                owner_chronon = common.end if direction == "backward" else common.start
+                if partition_map.index_of_chronon(owner_chronon) != index:
+                    continue
+                joined = pair_fn(outer_tup, inner_tup, common)
+                if joined is None:
+                    continue
+                outcome.n_result_tuples += 1
+                layout.write_result(result_file, joined)
+                if collected is not None:
+                    collected.add(joined)
+            if (
+                new_cache is not None
+                and next_index is not None
+                and partition_map.overlaps_partition(inner_tup.valid, next_index)
+            ):
+                new_cache.append(inner_tup)

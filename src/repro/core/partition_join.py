@@ -1,0 +1,252 @@
+"""``partitionJoin`` (Figure 2): the top-level valid-time partition join.
+
+Wires the three phases together over a fresh disk layout:
+
+1. ``determinePartIntervals`` -- sample the outer relation and choose the
+   cost-minimizing partitioning (phase ``"sample"``).
+2. ``doPartitioning`` -- Grace-partition both inputs (phase ``"partition"``).
+3. ``joinPartitions`` -- the backward sweep (phase ``"join"``).
+
+Device heads are parked between phases so sequentiality cannot leak across
+phase boundaries, and per-phase I/O is recorded on the layout's
+:class:`~repro.storage.iostats.PhaseTracker`, giving exactly the paper's
+``C_total = C_sample + C_partition + C_join`` decomposition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.joiner import JoinOutcome, PairFn, join_partitions, natural_pair
+from repro.core.partitioner import do_partitioning
+from repro.core.planner import PartitionPlan, determine_part_intervals
+from repro.model.errors import PlanError
+from repro.model.relation import ValidTimeRelation
+from repro.storage.buffer import JoinBufferAllocation
+from repro.storage.iostats import CostModel
+from repro.storage.layout import DiskLayout
+from repro.storage.page import PageSpec
+
+
+@dataclass
+class PartitionJoinConfig:
+    """Knobs of the partition-join evaluation.
+
+    Attributes:
+        memory_pages: total main-memory buffer pages (the Figure 3 budget:
+            ``buffSize`` plus the three fixed single-page areas).
+        cost_model: random/sequential I/O weights.
+        page_spec: page geometry.
+        seed: RNG seed for sampling (fixed for reproducible experiments).
+        allow_scan_sampling: Section 4.2 sampling optimization switch.
+        max_plan_candidates: planner candidate-grid size.
+        collect_result: materialize the result relation in memory.
+        sweep_direction: ``"backward"`` (the paper: last-partition storage,
+            sweep n..1) or ``"forward"`` (footnote 1's equivalent strategy:
+            first-partition storage, sweep 1..n).
+        cache_buffer_pages: pages of the buffer re-purposed to keep the
+            tuple cache resident -- the Section 5 future-work trade-off
+            ("trading off outer relation partition space for tuple cache
+            space").  Taken out of the outer-partition area; 0 reproduces
+            the paper's Figure 3 allocation.
+        sample_inner_relation: base the planner's tuple-cache estimate on a
+            small charged sample of the inner relation instead of assuming
+            the outer's temporal distribution transfers (the Section 5
+            mis-estimation caveat).
+    """
+
+    memory_pages: int
+    cost_model: CostModel = field(default_factory=CostModel)
+    page_spec: PageSpec = field(default_factory=PageSpec)
+    seed: int = 0x1CDE1994
+    allow_scan_sampling: bool = True
+    max_plan_candidates: int = 64
+    collect_result: bool = True
+    sweep_direction: str = "backward"
+    cache_buffer_pages: int = 0
+    sample_inner_relation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_buffer_pages < 0:
+            raise ValueError("cache_buffer_pages must be non-negative")
+
+
+@dataclass
+class PartitionJoinResult:
+    """Everything a partition-join run produced.
+
+    Attributes:
+        outcome: result relation and sweep observations.
+        plan: the partitioning plan that was executed.
+        layout: the disk layout, carrying the phase-tracked I/O statistics.
+    """
+
+    outcome: JoinOutcome
+    plan: PartitionPlan
+    layout: DiskLayout
+
+    @property
+    def result(self) -> Optional[ValidTimeRelation]:
+        return self.outcome.result
+
+    def total_cost(self, cost_model: CostModel) -> float:
+        """Weighted evaluation cost (result writes excluded, as in the paper)."""
+        return self.layout.tracker.stats.cost(cost_model)
+
+
+def partition_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    config: PartitionJoinConfig,
+    *,
+    layout: Optional[DiskLayout] = None,
+    pair_fn: PairFn = natural_pair,
+) -> PartitionJoinResult:
+    """Evaluate the valid-time natural join ``r JOIN_V s`` by partitioning.
+
+    Args:
+        r: outer relation (the one sampled; the paper samples the outer).
+        s: inner relation.
+        config: evaluation knobs.
+        layout: pass a pre-built layout to accumulate statistics across
+            operations; a fresh one is created otherwise.
+
+    Raises:
+        SchemaError: if the schemas are not join-compatible.
+        PlanError: if memory is too small for the Figure 3 allocation.
+    """
+    result_schema = r.schema.join_result_schema(s.schema)
+    if layout is None:
+        layout = DiskLayout(spec=config.page_spec)
+    allocation = JoinBufferAllocation(config.memory_pages)
+    # The Section 5 trade-off: pages reserved for a resident tuple cache
+    # come out of the outer-partition area.
+    buff_size = allocation.buff_size - config.cache_buffer_pages
+    if buff_size < 1:
+        raise PlanError(
+            f"cache reservation of {config.cache_buffer_pages} pages leaves no "
+            f"outer-partition space in a {config.memory_pages}-page buffer"
+        )
+    rng = random.Random(config.seed)
+
+    r_file = layout.place_relation(r)
+    s_file = layout.place_relation(s)
+    tracker = layout.tracker
+
+    # Degenerate case: a whole relation fits in the outer-partition area, so
+    # a single partition suffices -- no sampling, no Grace partitioning, one
+    # linear scan of each input.  (The trivial "plan" is one interval
+    # covering the inputs' joint lifespan, known from catalog metadata.)
+    if min(r_file.n_pages, s_file.n_pages) <= buff_size:
+        return _single_partition_join(
+            r, s, r_file, s_file, result_schema, allocation, config, layout, pair_fn
+        )
+
+    with tracker.phase("sample"):
+        plan = determine_part_intervals(
+            buff_size,
+            r_file,
+            inner_tuples=len(s),
+            cost_model=config.cost_model,
+            rng=rng,
+            allow_scan_sampling=config.allow_scan_sampling,
+            max_candidates=config.max_plan_candidates,
+            inner=s_file if config.sample_inner_relation else None,
+        )
+    layout.disk.park_heads()
+
+    partition_map = plan.partition_map()
+    placement = "last" if config.sweep_direction == "backward" else "first"
+    with tracker.phase("partition"):
+        r_parts = do_partitioning(
+            r_file, partition_map, layout, "r", config.memory_pages, placement=placement
+        )
+        layout.disk.park_heads()
+        s_parts = do_partitioning(
+            s_file, partition_map, layout, "s", config.memory_pages, placement=placement
+        )
+    layout.disk.park_heads()
+
+    with tracker.phase("join"):
+        outcome = join_partitions(
+            r_parts,
+            s_parts,
+            partition_map,
+            buff_size,
+            layout,
+            result_schema,
+            collect=config.collect_result,
+            pair_fn=pair_fn,
+            direction=config.sweep_direction,
+            cache_memory_tuples=config.cache_buffer_pages * layout.spec.capacity,
+        )
+
+    return PartitionJoinResult(outcome=outcome, plan=plan, layout=layout)
+
+
+def _single_partition_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    r_file,
+    s_file,
+    result_schema,
+    allocation: JoinBufferAllocation,
+    config: PartitionJoinConfig,
+    layout: DiskLayout,
+    pair_fn: PairFn,
+) -> PartitionJoinResult:
+    """One-partition evaluation when a relation fits in the buffer.
+
+    The smaller relation becomes the single in-memory "partition"; the other
+    streams through the inner page.  Sampling and partitioning cost nothing,
+    matching what any real system does when the memory budget swallows an
+    input.
+    """
+    from repro.core.intervals import PartitionMap
+    from repro.core.planner import CandidateCost, PartitionPlan
+    from repro.time.interval import Interval
+    from repro.time.lifespan import lifespan_of
+
+    swap = not (r_file.n_pages <= allocation.buff_size)
+    outer_file, inner_file = (s_file, r_file) if swap else (r_file, s_file)
+
+    def oriented_pair(x, y, common):
+        return pair_fn(y, x, common) if swap else pair_fn(x, y, common)
+
+    lifespan = lifespan_of(
+        [tup.valid for tup in r.tuples] + [tup.valid for tup in s.tuples]
+    )
+    interval = lifespan if lifespan is not None else Interval(0, 0)
+    partition_map = PartitionMap([Interval(interval.start, interval.end)])
+
+    with layout.tracker.phase("join"):
+        outcome = join_partitions(
+            [outer_file],
+            [inner_file],
+            partition_map,
+            allocation.buff_size,
+            layout,
+            result_schema,
+            collect=config.collect_result,
+            pair_fn=oriented_pair,
+        )
+    plan = PartitionPlan(
+        intervals=list(partition_map.intervals),
+        part_size=outer_file.n_pages,
+        buff_size=allocation.buff_size,
+        chosen=CandidateCost(
+            part_size=outer_file.n_pages,
+            error_size=allocation.buff_size - outer_file.n_pages,
+            n_samples=0,
+            num_partitions=1,
+            c_sample=0.0,
+            c_join_scan=float(
+                2 * config.cost_model.io_ran
+                + (outer_file.n_pages + inner_file.n_pages - 2) * config.cost_model.io_seq
+            ),
+            c_join_cache=0.0,
+        ),
+    )
+    return PartitionJoinResult(outcome=outcome, plan=plan, layout=layout)

@@ -1,0 +1,372 @@
+"""``determinePartIntervals`` (Appendix A.2): the partition-size planner.
+
+The planner sweeps candidate outer-partition sizes ``partSize`` from 1 to
+``buffSize - 1`` pages.  For each candidate it:
+
+1. computes ``errorSize = buffSize - partSize`` and, from the Kolmogorov
+   bound, the samples ``m = ceil((1.63 x |r| / errorSize)^2)`` needed so a
+   partition overflows its error space with probability at most 1%;
+2. estimates ``C_sample`` -- ``m x IO_ran``, capped by the Section 4.2
+   sequential-scan optimization at one linear scan of the outer relation;
+3. chooses partitioning intervals from a prefix of the sample set
+   (Appendix A.3) and estimates the tuple-cache pages per partition
+   (Appendix A.4);
+4. estimates ``C_join = 2 x (numPartitions x IO_ran + (partSize - 1) x
+   numPartitions x IO_seq)`` plus ``2 x (IO_ran + IO_seq x (m_c - 1))`` for
+   each partition's ``m_c`` cache pages -- partitions of both relations read
+   once, each cache page written once and read once.
+
+The candidate minimizing ``C_sample + C_join`` wins; the full per-candidate
+curve is retained because it *is* Figure 4.
+
+Deviations from the appendix, all documented in DESIGN.md:
+
+* Samples are drawn incrementally as in the appendix (each candidate only
+  pays for the increment beyond what earlier candidates drew), with the
+  Section 4.2 rule applied to the *cumulative* draw: once the cumulative
+  requirement makes a sequential scan cheaper than further random draws,
+  one scan is charged and supplies every later increment.
+* The sweep prunes: ``C_sample`` is non-decreasing in ``partSize`` and
+  ``C_join`` is non-negative, so as soon as a candidate's sampling cost
+  alone reaches the best total seen, every remaining (larger) candidate is
+  provably worse and the planner stops drawing.  Figure 4 regeneration
+  passes ``prune=False`` to get the full curve.
+* At paper scale ``buffSize`` is thousands of pages; evaluating every
+  integer candidate makes the planner itself quadratic.  The sweep uses a
+  geometrically spaced candidate grid (all integers when ``buffSize`` is
+  small); the cost curve is smooth (Figure 4), so the grid loses little.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cache_estimate import estimate_cache_sizes
+from repro.core.intervals import PartitionMap, choose_intervals
+from repro.model.errors import PlanError
+from repro.model.vtuple import VTTuple
+from repro.sampling.kolmogorov import required_samples
+from repro.sampling.sampler import SamplePlan, SampleStrategy, plan_sampling
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import CostModel
+from repro.time.interval import Interval
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    """One point of the Figure 4 curve.
+
+    Attributes:
+        part_size: candidate outer-partition size, in pages.
+        error_size: overflow slack, ``buffSize - partSize`` pages.
+        n_samples: Kolmogorov sample requirement for this slack.
+        num_partitions: partitions the outer relation splits into.
+        c_sample: estimated sampling cost (scan-capped).
+        c_join_scan: partition-read component of ``C_join``.
+        c_join_cache: tuple-cache paging component of ``C_join``.
+    """
+
+    part_size: int
+    error_size: int
+    n_samples: int
+    num_partitions: int  # achieved interval count
+    c_sample: float
+    c_join_scan: float
+    c_join_cache: float
+    num_requested: int = 0  # partition count the estimate charged for
+
+    @property
+    def c_join(self) -> float:
+        return self.c_join_scan + self.c_join_cache
+
+    @property
+    def total(self) -> float:
+        return self.c_sample + self.c_join
+
+
+@dataclass
+class PartitionPlan:
+    """The planner's output: a partitioning plus its cost pedigree.
+
+    Attributes:
+        intervals: the chosen partitioning intervals (ascending tiling).
+        part_size: chosen outer-partition size in pages.
+        buff_size: the buffer constraint the plan was made for.
+        chosen: the winning candidate's cost breakdown.
+        curve: every evaluated candidate (the Figure 4 data).
+        sample_plan: how the samples were actually drawn.
+        cache_pages: estimated tuple-cache pages per partition.
+    """
+
+    intervals: List[Interval]
+    part_size: int
+    buff_size: int
+    chosen: Optional[CandidateCost]  # None only for trivial/degenerate plans
+    curve: List[CandidateCost] = field(default_factory=list)
+    sample_plan: Optional[SamplePlan] = None
+    cache_pages: List[int] = field(default_factory=list)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.intervals)
+
+    def partition_map(self) -> PartitionMap:
+        return PartitionMap(self.intervals)
+
+
+#: Sample floor for estimate quality (see determine_part_intervals).
+_MIN_ESTIMATE_SAMPLES = 64
+
+
+def candidate_part_sizes(buff_size: int, max_candidates: int = 64) -> List[int]:
+    """The candidate grid: all sizes when small, geometric otherwise."""
+    if buff_size < 2:
+        raise PlanError(f"buffSize must be >= 2 pages to leave error space, got {buff_size}")
+    largest = buff_size - 1
+    if largest <= max_candidates:
+        return list(range(1, largest + 1))
+    sizes: List[int] = []
+    value = 1.0
+    ratio = largest ** (1.0 / (max_candidates - 1))
+    for _ in range(max_candidates):
+        size = int(round(value))
+        if not sizes or size > sizes[-1]:
+            sizes.append(min(size, largest))
+        value *= ratio
+    if sizes[-1] != largest:
+        sizes.append(largest)
+    return sizes
+
+
+def estimate_join_cost(
+    relation_pages: int,
+    num_partitions: int,
+    cache_pages: Sequence[int],
+    cost_model: CostModel,
+) -> tuple[float, float]:
+    """The two components of the Appendix A.2 ``C_join`` estimate.
+
+    Returns ``(scan_component, cache_component)``: reading every partition
+    of both relations (the leading factor 2), plus writing and re-reading
+    each partition's tuple cache (the inner factor 2).
+
+    The appendix writes the scan component as ``numPartitions x IO_ran +
+    (partSize - 1) x numPartitions x IO_seq``, which assumes ``numPartitions
+    x partSize = |r|``; rearranged over the whole relation this is
+    ``num x IO_ran + (|r| - num) x IO_seq``.  The *requested* partition
+    count is charged, exactly as the appendix does: when the sample is too
+    small to realize that many boundaries, the pessimistic seek term steers
+    the search away from the candidate -- which is the correct direction,
+    because an under-sampled fine partitioning hides unestimated
+    tuple-cache paging.
+    """
+    scan = 2 * (
+        num_partitions * cost_model.io_ran
+        + max(0, relation_pages - num_partitions) * cost_model.io_seq
+    )
+    cache = 0.0
+    for pages in cache_pages:
+        if pages > 0:
+            cache += 2 * (cost_model.io_ran + cost_model.io_seq * (pages - 1))
+    return scan, cache
+
+
+class _IncrementalSampler:
+    """Draws ever-larger sample prefixes, switching to one scan when cheaper.
+
+    Positions are pre-shuffled so every prefix is a uniform without-
+    replacement sample.  Random draws charge one page read each (through the
+    head model); the scan charges one linear pass of the relation and
+    supplies every later increment for free -- the Section 4.2 optimization
+    applied to the cumulative requirement.
+    """
+
+    def __init__(
+        self,
+        outer: HeapFile,
+        cost_model: CostModel,
+        rng: random.Random,
+        allow_scan: bool,
+    ) -> None:
+        self._outer = outer
+        self._cost_model = cost_model
+        self._allow_scan = allow_scan
+        self._positions = list(range(outer.n_tuples))
+        rng.shuffle(self._positions)
+        self._samples: List[VTTuple] = []
+        self._all_tuples: Optional[List[VTTuple]] = None
+        self.scan_done = False
+
+    def prefix(self, needed: int) -> List[VTTuple]:
+        """The first *needed* samples, drawing (and charging) as required."""
+        needed = min(needed, self._outer.n_tuples)
+        if needed <= len(self._samples):
+            return self._samples[:needed]
+        scan_cost = self._cost_model.cost_of_run(self._outer.n_pages)
+        random_cost = needed * self._cost_model.io_ran
+        if self._allow_scan and (self.scan_done or random_cost >= scan_cost):
+            if not self.scan_done:
+                self._all_tuples = [
+                    tup for page in self._outer.scan_pages() for tup in page
+                ]
+                self.scan_done = True
+            assert self._all_tuples is not None
+            while len(self._samples) < needed:
+                position = self._positions[len(self._samples)]
+                self._samples.append(self._all_tuples[position])
+        else:
+            while len(self._samples) < needed:
+                position = self._positions[len(self._samples)]
+                tup = self._outer.read_tuple(position)
+                if tup is not None:
+                    self._samples.append(tup)
+        return self._samples[:needed]
+
+    def estimate_cost(self, needed: int) -> float:
+        """Estimated ``C_sample`` for a candidate needing *needed* samples."""
+        return plan_sampling(
+            min(needed, self._outer.n_tuples),
+            self._outer.n_pages,
+            self._cost_model,
+            allow_scan=self._allow_scan,
+        ).estimated_cost
+
+    def executed_plan(self) -> SamplePlan:
+        """How the draw actually went, for the plan record."""
+        strategy = SampleStrategy.SCAN if self.scan_done else SampleStrategy.RANDOM
+        cost = (
+            self._cost_model.cost_of_run(self._outer.n_pages)
+            if self.scan_done
+            else len(self._samples) * self._cost_model.io_ran
+        )
+        return SamplePlan(len(self._samples), strategy, cost)
+
+
+def determine_part_intervals(
+    buff_size: int,
+    outer: HeapFile,
+    inner_tuples: int,
+    cost_model: CostModel,
+    rng: random.Random,
+    *,
+    allow_scan_sampling: bool = True,
+    max_candidates: int = 64,
+    prune: bool = True,
+    inner: Optional[HeapFile] = None,
+) -> PartitionPlan:
+    """Plan the partitioning of the join inputs (Appendix A.2).
+
+    Args:
+        buff_size: pages available for the outer-partition area (``buffSize``
+            of Figure 3 -- the fixed single-page areas are already excluded).
+        outer: the outer relation on disk; sampling I/O is charged to it.
+        inner_tuples: cardinality of the inner relation, for the cache
+            estimate.
+        cost_model: active random/sequential weights.
+        rng: source of randomness for sample positions.
+        allow_scan_sampling: disable to force per-sample random I/O
+            (ablation of the Section 4.2 optimization).
+        max_candidates: size of the candidate grid.
+        prune: stop the sweep once a candidate's sampling cost alone exceeds
+            the best total (disable to trace the full Figure 4 curve).
+        inner: pass the inner relation to base the tuple-cache estimate on a
+            (small, charged) sample of the *inner* relation instead of the
+            outer's.  The paper assumes similar temporal distributions and
+            notes in Section 5 that when the assumption fails "gross
+            mis-estimation of tuple caching costs may result"; this option
+            is the fix it suggests considering ("directly sampling the
+            inner relation").
+
+    Raises:
+        PlanError: if the outer relation is empty or the buffer is too small.
+    """
+    if outer.n_tuples == 0:
+        raise PlanError("cannot plan a partitioning for an empty outer relation")
+    relation_pages = outer.n_pages
+    sizes = candidate_part_sizes(buff_size, max_candidates)
+    sampler = _IncrementalSampler(outer, cost_model, rng, allow_scan_sampling)
+    inner_sampler: Optional[_IncrementalSampler] = None
+    if inner is not None and inner.n_tuples > 0:
+        inner_sampler = _IncrementalSampler(inner, cost_model, rng, allow_scan_sampling)
+
+    best: Optional[CandidateCost] = None
+    best_intervals: Optional[List[Interval]] = None
+    best_cache: List[int] = []
+    curve: List[CandidateCost] = []
+    for part_size in sizes:
+        needed = required_samples(relation_pages, buff_size - part_size)
+        c_sample = sampler.estimate_cost(needed)
+        if prune and best is not None:
+            # A larger candidate can save at most the best candidate's cache
+            # cost plus the seek overhead of its extra partitions; once the
+            # added sampling cost exceeds that, every remaining candidate is
+            # provably worse (C_sample is non-decreasing in partSize).
+            scan_saving = (
+                2 * (best.num_requested - 1) * (cost_model.io_ran - cost_model.io_seq)
+            )
+            if c_sample - best.c_sample >= best.c_join_cache + scan_saving:
+                break
+        # Partitions must be read back whole, so the count rounds *up* (a
+        # floor leaves a remainder that overflows the buffer), and each
+        # partition needs a bucket buffer page during Grace partitioning
+        # ("we assume that the number of partitions is small"), capping the
+        # count at the memory size.
+        num_partitions = max(
+            1, min(math.ceil(relation_pages / part_size), buff_size + 2)
+        )
+        # The Kolmogorov requirement governs overflow risk, not estimate
+        # quality: tiny requirements (a large error space needs only a
+        # handful of samples) would make the cache estimate of Appendix A.4
+        # blind to moderate long-lived fractions and steer the search into
+        # fine partitionings whose migration cost it cannot see.  Detecting
+        # a long-lived fraction f needs on the order of 1/f samples
+        # regardless of relation size, so the floor is absolute: a few
+        # dozen random reads, charged like any others and negligible
+        # against a relation scan at realistic sizes.
+        estimate_floor = min(_MIN_ESTIMATE_SAMPLES, outer.n_tuples)
+        prefix = sampler.prefix(max(needed, estimate_floor))
+        intervals = choose_intervals(prefix, num_partitions)
+        partition_map = PartitionMap(intervals)
+        if inner_sampler is not None:
+            cache_basis = inner_sampler.prefix(
+                min(_MIN_ESTIMATE_SAMPLES, inner_tuples)
+            )
+        else:
+            cache_basis = prefix
+        cache_pages = estimate_cache_sizes(
+            cache_basis, inner_tuples, partition_map, outer.spec
+        )
+        scan, cache = estimate_join_cost(
+            relation_pages, num_partitions, cache_pages, cost_model
+        )
+        candidate = CandidateCost(
+            part_size=part_size,
+            error_size=buff_size - part_size,
+            n_samples=needed,
+            num_partitions=len(intervals),
+            c_sample=c_sample,
+            c_join_scan=scan,
+            c_join_cache=cache,
+            num_requested=num_partitions,
+        )
+        curve.append(candidate)
+        # "if cost <= minCost" in the appendix: later (larger) candidates win
+        # ties, preferring fewer, larger partitions.
+        if best is None or candidate.total <= best.total:
+            best = candidate
+            best_intervals = intervals
+            best_cache = cache_pages
+
+    assert best is not None and best_intervals is not None
+    return PartitionPlan(
+        intervals=best_intervals,
+        part_size=best.part_size,
+        buff_size=buff_size,
+        chosen=best,
+        curve=curve,
+        sample_plan=sampler.executed_plan(),
+        cache_pages=best_cache,
+    )

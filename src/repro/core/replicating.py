@@ -1,0 +1,196 @@
+"""Replication-based temporal partition join (the road not taken).
+
+Section 3.2 discusses the straightforward alternative to tuple migration:
+"simply replicate the tuple across all overlapping partitions [LM92b].
+However, replication requires additional secondary storage space and
+complicates update operations."  Leung and Muntz used this strategy in
+their multiprocessor setting.
+
+This module implements that alternative so the ablation bench can quantify
+the trade-off the paper argues from: during partitioning every tuple is
+written to *every* partition it overlaps (more partitioning I/O and more
+partition pages to read back), and the join phase needs no tuple cache at
+all.  Exactly-once emission uses the same end-chronon ownership rule as the
+migrating joiner, so both variants produce identical results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.intervals import PartitionMap
+from repro.core.joiner import JoinOutcome, _build_index
+from repro.core.partition_join import PartitionJoinConfig
+from repro.core.planner import PartitionPlan, determine_part_intervals
+from repro.model.errors import PlanError
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple, join_tuples
+from repro.storage.buffer import JoinBufferAllocation
+from repro.storage.heapfile import HeapFile
+from repro.storage.layout import DiskLayout
+
+
+@dataclass
+class ReplicatingJoinResult:
+    """Result of a replication-based partition join run."""
+
+    outcome: JoinOutcome
+    plan: PartitionPlan
+    layout: DiskLayout
+    replicated_tuples: int = 0  # extra copies written beyond one per tuple
+
+
+def replicating_partition_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    config: PartitionJoinConfig,
+    *,
+    layout: Optional[DiskLayout] = None,
+) -> ReplicatingJoinResult:
+    """Evaluate ``r JOIN_V s`` with tuple replication instead of migration."""
+    result_schema = r.schema.join_result_schema(s.schema)
+    if layout is None:
+        layout = DiskLayout(spec=config.page_spec)
+    allocation = JoinBufferAllocation(config.memory_pages)
+    rng = random.Random(config.seed)
+
+    if len(r) == 0 or len(s) == 0:
+        outcome = JoinOutcome(
+            result=ValidTimeRelation(result_schema) if config.collect_result else None
+        )
+        trivial = PartitionPlan(
+            intervals=[], part_size=0, buff_size=allocation.buff_size, chosen=None
+        )
+        return ReplicatingJoinResult(outcome=outcome, plan=trivial, layout=layout)
+
+    r_file = layout.place_relation(r)
+    s_file = layout.place_relation(s)
+    tracker = layout.tracker
+
+    with tracker.phase("sample"):
+        plan = determine_part_intervals(
+            allocation.buff_size,
+            r_file,
+            inner_tuples=len(s),
+            cost_model=config.cost_model,
+            rng=rng,
+            allow_scan_sampling=config.allow_scan_sampling,
+            max_candidates=config.max_plan_candidates,
+        )
+    layout.disk.park_heads()
+
+    partition_map = plan.partition_map()
+    replicated = 0
+    with tracker.phase("partition"):
+        r_parts, extra_r = _replicating_partition(
+            r_file, partition_map, layout, "r", config.memory_pages
+        )
+        layout.disk.park_heads()
+        s_parts, extra_s = _replicating_partition(
+            s_file, partition_map, layout, "s", config.memory_pages
+        )
+        replicated = extra_r + extra_s
+    layout.disk.park_heads()
+
+    with tracker.phase("join"):
+        outcome = _join_replicated(
+            r_parts,
+            s_parts,
+            partition_map,
+            allocation.buff_size,
+            layout,
+            result_schema,
+            collect=config.collect_result,
+        )
+
+    return ReplicatingJoinResult(
+        outcome=outcome, plan=plan, layout=layout, replicated_tuples=replicated
+    )
+
+
+def _replicating_partition(
+    source: HeapFile,
+    partition_map: PartitionMap,
+    layout: DiskLayout,
+    name: str,
+    memory_pages: int,
+) -> Tuple[List[HeapFile], int]:
+    """Grace partitioning that copies tuples into every overlapped partition."""
+    n_partitions = len(partition_map)
+    if memory_pages < 2:
+        raise PlanError(f"partitioning needs >= 2 buffer pages, got {memory_pages}")
+    bucket_buffer_pages = max(1, (memory_pages - 1) // n_partitions)
+    spec = source.spec
+    partitions = [
+        layout.temp_file(f"{name}_rep_part{i}", capacity_tuples=max(1, source.n_tuples))
+        for i in range(n_partitions)
+    ]
+    buffers: List[List[VTTuple]] = [[] for _ in range(n_partitions)]
+    flush_threshold = bucket_buffer_pages * spec.capacity
+    extra_copies = 0
+
+    for page in source.scan_pages():
+        for tup in page:
+            first = partition_map.first_overlapping(tup.valid)
+            last = partition_map.last_overlapping(tup.valid)
+            extra_copies += last - first
+            for index in range(first, last + 1):
+                bucket = buffers[index]
+                bucket.append(tup)
+                if len(bucket) >= flush_threshold:
+                    partitions[index].append_many(bucket)
+                    partitions[index].flush()
+                    buffers[index] = []
+    for index, bucket in enumerate(buffers):
+        if bucket:
+            partitions[index].append_many(bucket)
+            partitions[index].flush()
+    return partitions, extra_copies
+
+
+def _join_replicated(
+    r_parts: List[HeapFile],
+    s_parts: List[HeapFile],
+    partition_map: PartitionMap,
+    buff_size: int,
+    layout: DiskLayout,
+    result_schema,
+    *,
+    collect: bool,
+) -> JoinOutcome:
+    """Join replicated partitions pairwise; no cache, no retained tuples."""
+    spec = layout.spec
+    block_tuples = max(1, buff_size * spec.capacity)
+    result_file = layout.result_file("rep_join_result")
+    collected = ValidTimeRelation(result_schema) if collect else None
+    outcome = JoinOutcome(result=collected)
+
+    for index in range(len(partition_map) - 1, -1, -1):
+        outer: List[VTTuple] = []
+        for page in r_parts[index].scan_pages():
+            outer.extend(page)
+        blocks = (
+            [outer]
+            if len(outer) <= block_tuples
+            else [outer[i : i + block_tuples] for i in range(0, len(outer), block_tuples)]
+        )
+        if len(blocks) > 1:
+            outcome.overflow_blocks += len(blocks) - 1
+        for block in blocks:
+            probe_index: Dict[Tuple, List[VTTuple]] = _build_index(block)
+            for page in s_parts[index].scan_pages():
+                for inner_tup in page:
+                    for outer_tup in probe_index.get(inner_tup.key, ()):
+                        joined = join_tuples(outer_tup, inner_tup)
+                        if joined is None:
+                            continue
+                        if partition_map.index_of_chronon(joined.ve) != index:
+                            continue
+                        outcome.n_result_tuples += 1
+                        layout.write_result(result_file, joined)
+                        if collected is not None:
+                            collected.add(joined)
+    result_file.flush()
+    return outcome

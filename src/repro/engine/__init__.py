@@ -1,0 +1,23 @@
+"""A small temporal query engine over the library's operators.
+
+The paper situates itself in "implementation-related issues, most notably
+indexing and query processing strategies"; this package supplies the query
+-processing shell a user actually interacts with:
+
+* :mod:`repro.engine.optimizer` -- analytical cost estimates for the three
+  evaluation algorithms and a cost-based chooser.
+* :mod:`repro.engine.database` -- :class:`TemporalDatabase`: named
+  relations, inserts, joins (with automatic algorithm selection),
+  timeslices, and temporal aggregation behind one facade.
+"""
+
+from repro.engine.optimizer import JoinEstimate, choose_algorithm, estimate_costs
+from repro.engine.database import QueryResult, TemporalDatabase
+
+__all__ = [
+    "JoinEstimate",
+    "choose_algorithm",
+    "estimate_costs",
+    "QueryResult",
+    "TemporalDatabase",
+]

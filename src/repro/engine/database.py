@@ -1,0 +1,214 @@
+"""The :class:`TemporalDatabase` facade.
+
+One object that holds named valid-time relations and exposes the library's
+operators the way a user expects from a database: create, insert, join
+(algorithm chosen by the optimizer unless forced), timeslice, aggregate.
+Every join reports which algorithm ran and what it cost under the active
+cost model, so the facade doubles as a workbench for exploring the paper's
+trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.aggregate.operator import temporal_aggregate
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.sort_merge import sort_merge_join
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.engine.catalog import RelationStatistics, analyze
+from repro.engine.optimizer import JoinEstimate, choose_algorithm, estimate_costs
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.storage.iostats import CostModel
+from repro.storage.page import PageSpec
+
+
+@dataclass
+class QueryResult:
+    """A join's result plus its execution pedigree."""
+
+    relation: ValidTimeRelation
+    algorithm: str
+    cost: float
+    estimates: Dict[str, JoinEstimate] = field(default_factory=dict)
+
+
+class TemporalDatabase:
+    """Named valid-time relations plus a configured execution environment.
+
+    Args:
+        memory_pages: buffer budget every operator runs under.
+        cost_model: random/sequential weights for reported costs.
+        page_spec: page geometry of the simulated storage.
+    """
+
+    def __init__(
+        self,
+        memory_pages: int = 64,
+        cost_model: Optional[CostModel] = None,
+        page_spec: Optional[PageSpec] = None,
+    ) -> None:
+        self.memory_pages = memory_pages
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.page_spec = page_spec if page_spec is not None else PageSpec()
+        self._relations: Dict[str, ValidTimeRelation] = {}
+        self._statistics: Dict[str, Tuple[int, RelationStatistics]] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    def create_relation(self, schema: RelationSchema) -> ValidTimeRelation:
+        """Register an empty relation under its schema name."""
+        if schema.name in self._relations:
+            raise SchemaError(f"relation {schema.name!r} already exists")
+        relation = ValidTimeRelation(schema)
+        self._relations[schema.name] = relation
+        return relation
+
+    def relation(self, name: str) -> ValidTimeRelation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r}") from None
+
+    def insert(self, name: str, rows: Iterable[Tuple]) -> int:
+        """Append ``(attributes..., vs, ve)`` rows; returns the count added."""
+        relation = self.relation(name)
+        added = ValidTimeRelation.from_rows(relation.schema, rows)
+        relation.extend(added.tuples)
+        return len(added)
+
+    def names(self) -> List[str]:
+        return sorted(self._relations)
+
+    # -- statistics -----------------------------------------------------------
+
+    def statistics(self, name: str) -> RelationStatistics:
+        """Catalog statistics for *name* (recomputed lazily after changes)."""
+        relation = self.relation(name)
+        cached = self._statistics.get(name)
+        if cached is None or cached[0] != len(relation):
+            stats = analyze(relation, self.page_spec)
+            self._statistics[name] = (len(relation), stats)
+            return stats
+        return cached[1]
+
+    def explain(self, outer: str, inner: str) -> Dict[str, JoinEstimate]:
+        """The optimizer's per-algorithm estimates for a join."""
+        return estimate_costs(
+            self.statistics(outer).n_pages,
+            self.statistics(inner).n_pages,
+            self.memory_pages,
+            self.cost_model,
+            long_lived_fraction=self.statistics(inner).long_lived_fraction,
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def join(self, outer: str, inner: str, *, method: str = "auto") -> QueryResult:
+        """Valid-time natural join of two named relations.
+
+        Args:
+            outer: outer relation name.
+            inner: inner relation name.
+            method: ``"auto"`` (cost-based choice), ``"partition"``,
+                ``"sort_merge"``, or ``"nested_loop"``.
+        """
+        r = self.relation(outer)
+        s = self.relation(inner)
+        estimates = self.explain(outer, inner)
+        if method == "auto":
+            method = choose_algorithm(
+                self.statistics(outer).n_pages,
+                self.statistics(inner).n_pages,
+                self.memory_pages,
+                self.cost_model,
+                long_lived_fraction=self.statistics(inner).long_lived_fraction,
+            )
+
+        if method == "partition":
+            run = partition_join(
+                r,
+                s,
+                PartitionJoinConfig(
+                    memory_pages=self.memory_pages,
+                    cost_model=self.cost_model,
+                    page_spec=self.page_spec,
+                ),
+            )
+            relation, cost = run.result, run.total_cost(self.cost_model)
+        elif method == "sort_merge":
+            run = sort_merge_join(
+                r, s, self.memory_pages, page_spec=self.page_spec
+            )
+            relation = run.result
+            cost = run.layout.tracker.stats.cost(self.cost_model)
+        elif method == "nested_loop":
+            run = nested_loop_join(
+                r, s, self.memory_pages, page_spec=self.page_spec
+            )
+            relation = run.result
+            cost = run.layout.tracker.stats.cost(self.cost_model)
+        else:
+            raise ValueError(f"unknown join method {method!r}")
+        assert relation is not None
+        return QueryResult(
+            relation=relation, algorithm=method, cost=cost, estimates=estimates
+        )
+
+    def join_many(self, names: List[str], *, method: str = "auto") -> QueryResult:
+        """Left-deep multi-way valid-time natural join of named relations.
+
+        The reconstruction query of a fully decomposed temporal database
+        [JSS92a]: join the fragments back together, choosing the algorithm
+        per step.  Intermediate results are registered under synthetic
+        catalog names so the optimizer sees their statistics.
+
+        Args:
+            names: two or more relation names, joined left to right.
+            method: per-step method (``"auto"`` re-chooses at every step).
+        """
+        if len(names) < 2:
+            raise SchemaError("join_many needs at least two relations")
+        current = names[0]
+        total_cost = 0.0
+        algorithms = []
+        step_result: Optional[QueryResult] = None
+        temporaries: List[str] = []
+        try:
+            for step, name in enumerate(names[1:]):
+                step_result = self.join(current, name, method=method)
+                total_cost += step_result.cost
+                algorithms.append(step_result.algorithm)
+                temp_name = step_result.relation.schema.name
+                if temp_name in self._relations:
+                    temp_name = f"{temp_name}__step{step}"
+                self._relations[temp_name] = step_result.relation
+                temporaries.append(temp_name)
+                current = temp_name
+        finally:
+            for temp_name in temporaries[:-1]:
+                self._relations.pop(temp_name, None)
+                self._statistics.pop(temp_name, None)
+        final_name = temporaries[-1] if temporaries else current
+        self._relations.pop(final_name, None)
+        self._statistics.pop(final_name, None)
+        assert step_result is not None
+        return QueryResult(
+            relation=step_result.relation,
+            algorithm="+".join(algorithms),
+            cost=total_cost,
+            estimates=step_result.estimates,
+        )
+
+    def timeslice(self, name: str, chronon: int) -> List[Tuple]:
+        """Snapshot rows of a named relation at *chronon*."""
+        return sorted(self.relation(name).timeslice(chronon), key=repr)
+
+    def aggregate(self, name: str, op: str, **kwargs) -> ValidTimeRelation:
+        """Temporal aggregation over a named relation (see
+        :func:`repro.aggregate.operator.temporal_aggregate`)."""
+        return temporal_aggregate(self.relation(name), op, **kwargs)

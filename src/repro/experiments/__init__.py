@@ -1,0 +1,44 @@
+"""The paper's evaluation, reproduced: Figures 4, 6, 7, and 8.
+
+* :mod:`repro.experiments.config` -- experiment configuration and scaling.
+* :mod:`repro.experiments.runner` -- one-call execution of each algorithm
+  under a configuration, returning weighted costs.
+* :mod:`repro.experiments.fig4` -- the sampling vs tuple-cache cost curve.
+* :mod:`repro.experiments.fig6` -- evaluation cost vs main memory, three
+  algorithms x three random:sequential ratios (Section 4.2).
+* :mod:`repro.experiments.fig7` -- evaluation cost vs long-lived tuple
+  density at fixed memory (Section 4.3).
+* :mod:`repro.experiments.fig8` -- memory x long-lived density grid for the
+  partition join (Section 4.4).
+* :mod:`repro.experiments.report` -- ASCII tables and shape checks.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunCost, run_algorithm
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.report import format_table, parameter_table
+from repro.experiments.export import (
+    export_fig4,
+    export_fig6,
+    export_fig7,
+    export_fig8,
+)
+
+__all__ = [
+    "export_fig4",
+    "export_fig6",
+    "export_fig7",
+    "export_fig8",
+    "ExperimentConfig",
+    "RunCost",
+    "run_algorithm",
+    "run_fig4",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "format_table",
+    "parameter_table",
+]

@@ -1,0 +1,86 @@
+"""Exporting experiment results as CSV for external plotting.
+
+The benches print human-readable tables; downstream analysis (gnuplot,
+pandas, a spreadsheet) wants machine-readable series.  One writer per
+figure, all sharing the plain ``csv`` module and a stable column order, so
+re-running an experiment overwrites its file deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.experiments.fig4 import Fig4Result
+from repro.experiments.fig6 import Fig6Point
+from repro.experiments.fig7 import Fig7Point
+from repro.experiments.fig8 import Fig8Point
+
+PathLike = Union[str, Path]
+
+
+def _write(path: PathLike, header: Sequence[str], rows: List[Sequence[object]]) -> int:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return len(rows)
+
+
+def export_fig4(result: Fig4Result, path: PathLike) -> int:
+    """Write the Figure 4 cost curve; returns the row count."""
+    rows = [
+        (
+            point.part_size,
+            point.n_samples,
+            point.c_sample,
+            point.c_join_scan,
+            point.c_join_cache,
+            point.total,
+        )
+        for point in result.curve
+    ]
+    return _write(
+        path,
+        ("part_size", "n_samples", "c_sample", "c_join_scan", "c_join_cache", "total"),
+        rows,
+    )
+
+
+def export_fig6(points: List[Fig6Point], path: PathLike) -> int:
+    """Write the Figure 6 sweep; returns the row count."""
+    rows = [
+        (p.memory_mb, p.ratio, p.algorithm, p.cost, p.memory_pages, p.relation_pages)
+        for p in points
+    ]
+    return _write(
+        path,
+        ("memory_mb", "ratio", "algorithm", "cost", "memory_pages", "relation_pages"),
+        rows,
+    )
+
+
+def export_fig7(points: List[Fig7Point], path: PathLike) -> int:
+    """Write the Figure 7 sweep; returns the row count."""
+    rows = [
+        (
+            p.long_lived_total,
+            p.algorithm,
+            p.cost,
+            p.detail.get("backup_page_reads", ""),
+            p.detail.get("cache_tuples_peak", ""),
+        )
+        for p in points
+    ]
+    return _write(
+        path,
+        ("long_lived_total", "algorithm", "cost", "backup_page_reads", "cache_tuples_peak"),
+        rows,
+    )
+
+
+def export_fig8(points: List[Fig8Point], path: PathLike) -> int:
+    """Write the Figure 8 grid; returns the row count."""
+    rows = [(p.memory_mb, p.long_lived_total, p.cost) for p in points]
+    return _write(path, ("memory_mb", "long_lived_total", "cost"), rows)

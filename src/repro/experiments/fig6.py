@@ -1,0 +1,141 @@
+"""Figure 6 (Section 4.2): evaluation cost vs main memory size.
+
+The database holds 262 144 instantaneous tuples uniformly spread over the
+lifespan (no long-lived tuples, so neither tuple-cache paging nor
+backing-up occurs).  Main memory sweeps 1-32 MiB (log-scaled x-axis in the
+paper) and the random:sequential cost ratio takes 2:1, 5:1, and 10:1; each
+(algorithm, ratio) combination is one curve.
+
+Paper observations the shape checks encode:
+
+* the partition join "shows relatively good performance at all memory
+  sizes" and improves with memory;
+* it beats sort-merge at every memory size;
+* nested-loops is by far the worst at 1 MiB and competitive at 32 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunCost, run_algorithm
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig6_spec
+
+#: The paper's sweep values.
+MEMORY_SWEEP_MB: Tuple[float, ...] = (1, 2, 4, 8, 16, 32)
+RATIOS: Tuple[float, ...] = (2, 5, 10)
+ALGORITHMS: Tuple[str, ...] = ("partition", "sort_merge", "nested_loop")
+
+
+@dataclass
+class Fig6Point:
+    """One measured point: an algorithm at one memory size and cost ratio."""
+
+    memory_mb: float
+    ratio: float
+    algorithm: str
+    cost: float
+    detail: Dict[str, object]
+    memory_pages: int = 0
+    relation_pages: int = 0
+
+
+def run_fig6(
+    config: ExperimentConfig,
+    *,
+    memory_mb: Sequence[float] = MEMORY_SWEEP_MB,
+    ratios: Sequence[float] = RATIOS,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> List[Fig6Point]:
+    """Regenerate the Figure 6 sweep at the configured scale."""
+    r, s = config.database(fig6_spec())
+    relation_pages = config.page_spec(r.schema.tuple_bytes).pages_for_tuples(len(r))
+    points: List[Fig6Point] = []
+    for mb in memory_mb:
+        pages = config.memory_pages(mb)
+        for ratio in ratios:
+            model = CostModel.with_ratio(ratio)
+            for algorithm in algorithms:
+                run: RunCost = run_algorithm(algorithm, r, s, pages, model, config)
+                points.append(
+                    Fig6Point(
+                        memory_mb=mb,
+                        ratio=ratio,
+                        algorithm=algorithm,
+                        cost=run.cost,
+                        detail=run.detail,
+                        memory_pages=pages,
+                        relation_pages=relation_pages,
+                    )
+                )
+    return points
+
+
+def shape_checks(points: List[Fig6Point]) -> List[str]:
+    """Deviations from the paper's Figure 6 claims (empty = all good)."""
+    problems: List[str] = []
+    by_key: Dict[Tuple[float, float, str], float] = {
+        (p.memory_mb, p.ratio, p.algorithm): p.cost for p in points
+    }
+    memories = sorted({p.memory_mb for p in points})
+    ratios = sorted({p.ratio for p in points})
+    algorithms = {p.algorithm for p in points}
+
+    pages_of: Dict[float, Tuple[int, int]] = {
+        p.memory_mb: (p.memory_pages, p.relation_pages) for p in points
+    }
+    if {"partition", "sort_merge"} <= algorithms:
+        for mb in memories:
+            memory_pages, relation_pages = pages_of[mb]
+            for ratio in ratios:
+                partition = by_key[(mb, ratio, "partition")]
+                sort_merge = by_key[(mb, ratio, "sort_merge")]
+                if memory_pages < relation_pages:
+                    # Relation exceeds memory: the paper's regime, where the
+                    # partition join must win outright.
+                    if partition >= sort_merge:
+                        problems.append(
+                            f"partition ({partition:.0f}) not below sort-merge "
+                            f"({sort_merge:.0f}) at {mb} MiB, ratio {ratio}:1"
+                        )
+                elif partition > sort_merge * 4 / 3:
+                    # Memory at or above a relation's size: our sort-merge
+                    # exploits single-run sorting (a charitable baseline the
+                    # paper's implementation did not have) and both
+                    # algorithms converge toward a few linear scans.
+                    # Exactly at the boundary the partition join still pays
+                    # its sampling pass -- structurally at most one extra
+                    # pass over sort-merge's three, hence the 4/3 bound.
+                    # Above the boundary the single-partition shortcut
+                    # removes even that.
+                    problems.append(
+                        f"partition ({partition:.0f}) above converged sort-merge "
+                        f"({sort_merge:.0f}) by >4/3 at {mb} MiB, ratio {ratio}:1"
+                    )
+    if "nested_loop" in algorithms and len(memories) > 1:
+        for ratio in ratios:
+            small = by_key[(memories[0], ratio, "nested_loop")]
+            large = by_key[(memories[-1], ratio, "nested_loop")]
+            if small <= large:
+                problems.append(
+                    f"nested-loops did not improve with memory at ratio {ratio}:1"
+                )
+            if "partition" in algorithms:
+                partition_small = by_key[(memories[0], ratio, "partition")]
+                if small <= partition_small:
+                    problems.append(
+                        f"nested-loops ({small:.0f}) not worst at {memories[0]} MiB, "
+                        f"ratio {ratio}:1 (partition {partition_small:.0f})"
+                    )
+    if "partition" in algorithms and len(memories) > 1:
+        for ratio in ratios:
+            first = by_key[(memories[0], ratio, "partition")]
+            last = by_key[(memories[-1], ratio, "partition")]
+            if last > first:
+                problems.append(
+                    f"partition join cost rose with memory at ratio {ratio}:1"
+                )
+    return problems

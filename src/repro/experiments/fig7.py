@@ -1,0 +1,104 @@
+"""Figure 7 (Section 4.3): evaluation cost vs long-lived tuple density.
+
+Databases of 262 144 tuples with 8 000 to 128 000 long-lived tuples in
+8 000-tuple steps; long-lived tuples start uniformly in the first half of
+the lifespan and last half of it.  Memory is fixed at 8 MiB ("the memory
+size at which all three algorithms performed most closely" in Figure 6) and
+the cost ratio at 5:1.
+
+Paper observations the shape checks encode:
+
+* the partition join outperforms sort-merge at every density;
+* sort-merge cost grows substantially with density (backing-up), while the
+  partition join's grows only mildly (cheap tuple-cache appends);
+* nested-loops is flat ("long-lived tuples do not affect [its]
+  performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_algorithm
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig7_spec
+
+#: The paper's density sweep: total long-lived tuples in the database.
+LONG_LIVED_SWEEP: Tuple[int, ...] = tuple(range(8_000, 128_001, 8_000))
+FIXED_MEMORY_MB: float = 8
+FIXED_RATIO: float = 5
+ALGORITHMS: Tuple[str, ...] = ("partition", "sort_merge", "nested_loop")
+
+
+@dataclass
+class Fig7Point:
+    """One measured point: an algorithm at one long-lived density."""
+
+    long_lived_total: int
+    algorithm: str
+    cost: float
+    detail: Dict[str, object]
+
+
+def run_fig7(
+    config: ExperimentConfig,
+    *,
+    long_lived_totals: Sequence[int] = LONG_LIVED_SWEEP,
+    memory_mb: float = FIXED_MEMORY_MB,
+    ratio: float = FIXED_RATIO,
+    algorithms: Sequence[str] = ALGORITHMS,
+) -> List[Fig7Point]:
+    """Regenerate the Figure 7 sweep at the configured scale."""
+    pages = config.memory_pages(memory_mb)
+    model = CostModel.with_ratio(ratio)
+    points: List[Fig7Point] = []
+    for total in long_lived_totals:
+        r, s = config.database(fig7_spec(total))
+        for algorithm in algorithms:
+            run = run_algorithm(algorithm, r, s, pages, model, config)
+            points.append(
+                Fig7Point(
+                    long_lived_total=total,
+                    algorithm=algorithm,
+                    cost=run.cost,
+                    detail=run.detail,
+                )
+            )
+    return points
+
+
+def shape_checks(points: List[Fig7Point]) -> List[str]:
+    """Deviations from the paper's Figure 7 claims (empty = all good)."""
+    problems: List[str] = []
+    by_key: Dict[Tuple[int, str], float] = {
+        (p.long_lived_total, p.algorithm): p.cost for p in points
+    }
+    totals = sorted({p.long_lived_total for p in points})
+    algorithms = {p.algorithm for p in points}
+
+    if {"partition", "sort_merge"} <= algorithms:
+        for total in totals:
+            partition = by_key[(total, "partition")]
+            sort_merge = by_key[(total, "sort_merge")]
+            if partition >= sort_merge:
+                problems.append(
+                    f"partition ({partition:.0f}) not below sort-merge "
+                    f"({sort_merge:.0f}) at {total} long-lived tuples"
+                )
+        if len(totals) > 1:
+            growth_sm = by_key[(totals[-1], "sort_merge")] - by_key[(totals[0], "sort_merge")]
+            growth_pj = by_key[(totals[-1], "partition")] - by_key[(totals[0], "partition")]
+            if growth_sm <= 0:
+                problems.append("sort-merge cost did not grow with long-lived density")
+            if growth_pj > growth_sm:
+                problems.append(
+                    f"partition join's growth ({growth_pj:.0f}) exceeded "
+                    f"sort-merge's ({growth_sm:.0f})"
+                )
+    if "nested_loop" in algorithms and len(totals) > 1:
+        nl_costs = [by_key[(total, "nested_loop")] for total in totals]
+        if max(nl_costs) - min(nl_costs) > 1e-6:
+            problems.append("nested-loops cost varied with long-lived density")
+    return problems

@@ -1,0 +1,96 @@
+"""Figure 8 (Section 4.4): main memory vs long-lived density, partition join.
+
+Eight databases with 16 000 to 128 000 long-lived tuples (16 000-tuple
+steps) are each evaluated at 1, 2, 4, 16, and 32 MiB of memory.  The paper
+concludes: "at large memory sizes (16 and 32 megabytes) the evaluation cost
+for all databases becomes fairly equal ... At smaller memory sizes, there
+is a more pronounced difference" -- memory availability dominates tuple
+caching, so the density curves converge as memory grows.
+
+The shape checks encode exactly that: the cost spread across densities at
+the smallest memory exceeds the spread at the largest, and each density's
+cost falls with memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_algorithm
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import fig8_spec
+
+#: The paper's grids.
+LONG_LIVED_SWEEP: Tuple[int, ...] = tuple(range(16_000, 128_001, 16_000))
+MEMORY_SWEEP_MB: Tuple[float, ...] = (1, 2, 4, 16, 32)
+FIXED_RATIO: float = 5
+
+
+@dataclass
+class Fig8Point:
+    """Partition-join cost at one (memory, long-lived density) grid cell."""
+
+    memory_mb: float
+    long_lived_total: int
+    cost: float
+    detail: Dict[str, object]
+
+
+def run_fig8(
+    config: ExperimentConfig,
+    *,
+    long_lived_totals: Sequence[int] = LONG_LIVED_SWEEP,
+    memory_mb: Sequence[float] = MEMORY_SWEEP_MB,
+    ratio: float = FIXED_RATIO,
+) -> List[Fig8Point]:
+    """Regenerate the Figure 8 grid at the configured scale."""
+    model = CostModel.with_ratio(ratio)
+    points: List[Fig8Point] = []
+    for total in long_lived_totals:
+        r, s = config.database(fig8_spec(total))
+        for mb in memory_mb:
+            run = run_algorithm(
+                "partition", r, s, config.memory_pages(mb), model, config
+            )
+            points.append(
+                Fig8Point(
+                    memory_mb=mb,
+                    long_lived_total=total,
+                    cost=run.cost,
+                    detail=run.detail,
+                )
+            )
+    return points
+
+
+def shape_checks(points: List[Fig8Point]) -> List[str]:
+    """Deviations from the paper's Figure 8 claims (empty = all good)."""
+    problems: List[str] = []
+    by_key: Dict[Tuple[float, int], float] = {
+        (p.memory_mb, p.long_lived_total): p.cost for p in points
+    }
+    memories = sorted({p.memory_mb for p in points})
+    totals = sorted({p.long_lived_total for p in points})
+    if len(memories) < 2 or len(totals) < 2:
+        return problems
+
+    def spread(mb: float) -> float:
+        costs = [by_key[(mb, total)] for total in totals]
+        return max(costs) - min(costs)
+
+    if spread(memories[0]) <= spread(memories[-1]):
+        problems.append(
+            f"density spread at {memories[0]} MiB ({spread(memories[0]):.0f}) "
+            f"not above spread at {memories[-1]} MiB ({spread(memories[-1]):.0f})"
+        )
+    for total in totals:
+        first = by_key[(memories[0], total)]
+        last = by_key[(memories[-1], total)]
+        if last > first:
+            problems.append(
+                f"cost rose with memory for {total} long-lived tuples "
+                f"({first:.0f} -> {last:.0f})"
+            )
+    return problems

@@ -1,0 +1,70 @@
+"""Plain-text reporting: parameter tables, result tables, series.
+
+The benches print through these helpers so a run's output reads like the
+paper's tables: one row per measured point, aligned columns, and explicit
+shape-check verdicts underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.workloads.specs import PAPER_PARAMETERS
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.0f}"
+    return str(value)
+
+
+def parameter_table() -> str:
+    """The reconstructed Figure 5 global parameter table."""
+    rows = [(name, value) for name, value in PAPER_PARAMETERS.items()]
+    return format_table(("parameter", "value"), rows)
+
+
+def verdict_lines(title: str, problems: List[str]) -> str:
+    """Shape-check verdict block for a figure reproduction."""
+    if not problems:
+        return f"[{title}] shape checks: all paper claims hold"
+    lines = [f"[{title}] shape checks: {len(problems)} deviation(s)"]
+    lines.extend(f"  - {problem}" for problem in problems)
+    return "\n".join(lines)
+
+
+def crossover(
+    xs: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
+) -> float | None:
+    """x-coordinate where series A crosses below series B (None if never).
+
+    Linear interpolation between sweep points; used to report where
+    nested-loops overtakes the other algorithms as memory grows.
+    """
+    if len(xs) != len(series_a) or len(xs) != len(series_b):
+        raise ValueError("series must align with the x values")
+    for i in range(1, len(xs)):
+        before = series_a[i - 1] - series_b[i - 1]
+        after = series_a[i] - series_b[i]
+        if before > 0 >= after:
+            if before == after:
+                return xs[i]
+            fraction = before / (before - after)
+            return xs[i - 1] + fraction * (xs[i] - xs[i - 1])
+    return None

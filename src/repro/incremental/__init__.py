@@ -1,0 +1,27 @@
+"""Incremental maintenance of a materialized valid-time natural join.
+
+Section 3.1 sketches the idea the authors develop in [SSJ93]: "suppose that
+r JOIN s is materialized as a view, and an update happens to r in partition
+r_i.  As tuples in r_i can only join with tuples in s_i, the consistency of
+the view is insured by recomputing only r_i JOIN s_i."  The partitioning
+thus doubles as the change-locality structure for view maintenance -- the
+reason the paper prefers migration over replication in the first place.
+
+* :mod:`repro.incremental.view` -- :class:`MaterializedVTJoin`, a
+  partition-aligned materialized join with per-tuple insert/delete.
+* :mod:`repro.incremental.maintenance` -- batch application and the
+  full-recompute consistency check.
+"""
+
+from repro.incremental.view import MaterializedVTJoin, UpdateStats
+from repro.incremental.maintenance import apply_batch, verify_against_recompute
+from repro.incremental.paged_view import MaintenanceCost, PagedMaterializedJoin
+
+__all__ = [
+    "MaterializedVTJoin",
+    "UpdateStats",
+    "apply_batch",
+    "verify_against_recompute",
+    "MaintenanceCost",
+    "PagedMaterializedJoin",
+]

@@ -1,0 +1,69 @@
+"""Batch maintenance and consistency checking for materialized joins.
+
+Thin orchestration over :class:`~repro.incremental.view.MaterializedVTJoin`:
+apply a mixed batch of updates while accumulating the locality statistics,
+and verify the maintained view against a from-scratch recomputation (the
+invariant the property tests exercise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.baselines.reference import reference_join
+from repro.incremental.view import MaterializedVTJoin, UpdateStats
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+
+#: One update: ("insert" | "delete", "r" | "s", tuple).
+Update = Tuple[str, str, VTTuple]
+
+
+@dataclass
+class BatchStats:
+    """Aggregated locality statistics over a batch of updates."""
+
+    updates: int = 0
+    partitions_touched: int = 0
+    pairs_probed: int = 0
+    delta_tuples: int = 0
+
+    def fold(self, stats: UpdateStats) -> None:
+        self.updates += 1
+        self.partitions_touched += stats.partitions_touched
+        self.pairs_probed += stats.pairs_probed
+        self.delta_tuples += stats.delta_tuples
+
+
+def apply_batch(view: MaterializedVTJoin, updates: Iterable[Update]) -> BatchStats:
+    """Apply *updates* in order, returning aggregated statistics.
+
+    Raises:
+        ValueError: on an unknown operation or relation name.
+    """
+    operations = {
+        ("insert", "r"): view.insert_r,
+        ("delete", "r"): view.delete_r,
+        ("insert", "s"): view.insert_s,
+        ("delete", "s"): view.delete_s,
+    }
+    totals = BatchStats()
+    for operation, relation, tup in updates:
+        try:
+            apply_update = operations[(operation, relation)]
+        except KeyError:
+            raise ValueError(
+                f"unknown update ({operation!r}, {relation!r})"
+            ) from None
+        totals.fold(apply_update(tup))
+    return totals
+
+
+def verify_against_recompute(
+    view: MaterializedVTJoin,
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+) -> bool:
+    """True when the maintained view equals ``reference_join(r, s)``."""
+    return view.snapshot().multiset_equal(reference_join(r, s))

@@ -1,0 +1,21 @@
+"""Temporal access paths (the related work's indexing substrate).
+
+Section 4.1 recounts the competing line of work: "With the append-only
+assumption, a new access path, the append-only tree, was developed that
+provides a temporal index on the relation" [SG89, GS91].  The paper's own
+algorithm deliberately avoids auxiliary access paths ("each with
+additional update costs"); this package builds the access path anyway, so
+the avoided alternative is concrete and comparable:
+
+* :mod:`repro.index.ap_tree` -- the append-only tree: a right-growing
+  search tree over timestamp-ordered insertions with interval-stabbing and
+  range queries.
+* :mod:`repro.index.index_join` -- an index-nested-loop valid-time join
+  that probes the AP-tree, for comparison against the partition join on
+  append-only data.
+"""
+
+from repro.index.ap_tree import AppendOnlyTree
+from repro.index.index_join import index_nested_loop_join
+
+__all__ = ["AppendOnlyTree", "index_nested_loop_join"]

@@ -1,0 +1,185 @@
+"""The append-only tree: a temporal index for timestamp-ordered insertion.
+
+Gunadhi and Segev's access path [SG89] exploits the append-only
+assumption -- "tuples are inserted in timestamp order into a relation, and
+once inserted into a relation are never deleted" -- to keep a fully packed
+search tree whose inserts only ever touch the rightmost path.  This
+implementation realizes that as an *implicit* packed tree: level 0 is the
+sequence of leaves (filled left to right, so the structure never
+rebalances), and each higher level summarizes groups of ``fanout`` nodes
+with their minimum valid-time start and -- the nested-index refinement of
+[GS91] -- their maximum valid-time end, which lets interval queries prune
+subtrees whose tuples all expired before the query starts.
+
+Every node carries a page number, so evaluation algorithms can charge
+index probes through the simulated disk (one page per node).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+class _Summary:
+    """Aggregates of one node: the Vs lower bound and Ve upper bound."""
+
+    __slots__ = ("min_vs", "max_ve", "page_no")
+
+    def __init__(self, min_vs: int, max_ve: int, page_no: int) -> None:
+        self.min_vs = min_vs
+        self.max_ve = max_ve
+        self.page_no = page_no
+
+
+class AppendOnlyTree:
+    """A right-growing temporal index over append-only insertions.
+
+    Args:
+        fanout: tuples per leaf and children per internal node.
+
+    Raises:
+        ValueError: on a fanout below 2, or (at insert time) on a tuple
+            whose start chronon precedes the last inserted one -- the
+            append-only assumption is enforced, not trusted.
+    """
+
+    def __init__(self, fanout: int = 8) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self.fanout = fanout
+        self._leaves: List[List[VTTuple]] = []
+        #: ``_levels[k]`` summarizes groups of fanout^(k+1) leaves.
+        self._levels: List[List[_Summary]] = [[]]  # level 0: one per leaf
+        self._last_vs: Optional[int] = None
+        self._n_tuples = 0
+        self._n_pages = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def insert(self, tup: VTTuple) -> None:
+        """Append *tup*; its start chronon must not precede the previous one."""
+        if self._last_vs is not None and tup.vs < self._last_vs:
+            raise ValueError(
+                f"append-only violation: Vs {tup.vs} after {self._last_vs}"
+            )
+        self._last_vs = tup.vs
+        self._n_tuples += 1
+
+        if not self._leaves or len(self._leaves[-1]) >= self.fanout:
+            self._leaves.append([])
+            self._levels[0].append(_Summary(tup.vs, tup.ve, self._new_page()))
+            self._extend_upper_levels()
+        self._leaves[-1].append(tup)
+
+        # Refresh aggregates up the rightmost path.
+        for level in self._levels:
+            if level:
+                level[-1].max_ve = max(level[-1].max_ve, tup.ve)
+
+    def _new_page(self) -> int:
+        self._n_pages += 1
+        return self._n_pages - 1
+
+    def _extend_upper_levels(self) -> None:
+        """Create summary entries so every level groups its child level."""
+        child_level = 0
+        while True:
+            n_children = len(self._levels[child_level])
+            if n_children <= self.fanout:
+                # The level above would have a single node; the current top
+                # level acts as the root's children.
+                break
+            if len(self._levels) == child_level + 1:
+                self._levels.append([])
+            parent_level = self._levels[child_level + 1]
+            expected_parents = -(-n_children // self.fanout)  # ceil
+            while len(parent_level) < expected_parents:
+                # A parent may be created after several of its children (the
+                # level above only materializes once this level outgrows the
+                # fanout), so aggregate over every child already present.
+                start = len(parent_level) * self.fanout
+                children = self._levels[child_level][start : start + self.fanout]
+                parent_level.append(
+                    _Summary(
+                        children[0].min_vs,
+                        max(child.max_ve for child in children),
+                        self._new_page(),
+                    )
+                )
+            child_level += 1
+
+    # -- queries --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_tuples
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes (== index pages) allocated."""
+        return self._n_pages
+
+    @property
+    def height(self) -> int:
+        """Summary levels plus the leaf level (empty tree has height 1)."""
+        return len(self._levels) + 1
+
+    def overlapping(self, interval: Interval) -> List[VTTuple]:
+        """Tuples whose validity overlaps *interval*, in insertion order."""
+        results, _ = self.probe(interval)
+        return results
+
+    def stab(self, chronon: int) -> List[VTTuple]:
+        """Tuples valid at *chronon*."""
+        return self.overlapping(Interval(chronon, chronon))
+
+    def probe(self, interval: Interval) -> Tuple[List[VTTuple], List[int]]:
+        """Search and also return the visited node pages.
+
+        Evaluation algorithms use the page list to charge index I/O
+        through the simulated disk.
+        """
+        if not self._leaves:
+            return [], []
+        visited: List[int] = []
+        results: List[VTTuple] = []
+        top = len(self._levels) - 1
+        for node_index in range(len(self._levels[top])):
+            self._search(top, node_index, interval, results, visited)
+        return results, visited
+
+    def _search(
+        self,
+        level: int,
+        node_index: int,
+        interval: Interval,
+        results: List[VTTuple],
+        visited: List[int],
+    ) -> None:
+        summary = self._levels[level][node_index]
+        # Prune: every tuple below starts at or after min_vs (append order)
+        # and none outlives max_ve.
+        if summary.min_vs > interval.end or summary.max_ve < interval.start:
+            return
+        visited.append(summary.page_no)
+        if level == 0:
+            for tup in self._leaves[node_index]:
+                if tup.valid.overlaps(interval):
+                    results.append(tup)
+            return
+        first_child = node_index * self.fanout
+        last_child = min(
+            first_child + self.fanout, len(self._levels[level - 1])
+        )
+        for child_index in range(first_child, last_child):
+            self._search(level - 1, child_index, interval, results, visited)
+
+
+def build_ap_tree(tuples, fanout: int = 8) -> AppendOnlyTree:
+    """Bulk-build an AP-tree from tuples already in Vs order."""
+    tree = AppendOnlyTree(fanout)
+    for tup in tuples:
+        tree.insert(tup)
+    return tree

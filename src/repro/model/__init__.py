@@ -1,0 +1,35 @@
+"""Tuple-timestamped data model for valid-time relations (paper Section 2).
+
+A valid-time relation schema ``R = (A1..An, B1..Bk | Vs, Ve)`` consists of
+explicit join attributes ``A``, additional non-joining attributes ``B``, and
+the implicit valid-time start and end attributes.  Tuples are stamped with a
+single inclusive interval ``[Vs, Ve]``.
+
+* :mod:`repro.model.errors` -- the library's exception hierarchy.
+* :mod:`repro.model.schema` -- relation schemas and physical tuple sizes.
+* :mod:`repro.model.vtuple` -- the valid-time tuple.
+* :mod:`repro.model.relation` -- in-memory valid-time relations.
+"""
+
+from repro.model.errors import (
+    BufferOverflowError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple, join_tuples
+from repro.model.relation import ValidTimeRelation
+
+__all__ = [
+    "BufferOverflowError",
+    "PlanError",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "RelationSchema",
+    "VTTuple",
+    "join_tuples",
+    "ValidTimeRelation",
+]

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the valid-time join library.
+
+Every exception raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible."""
+
+
+class StorageError(ReproError):
+    """Invalid operation against the simulated storage layer."""
+
+
+class BufferOverflowError(StorageError):
+    """A buffer-pool reservation exceeded the configured memory size."""
+
+
+class PlanError(ReproError):
+    """The partition planner could not produce a usable plan."""

@@ -1,0 +1,157 @@
+"""In-memory valid-time relations.
+
+A :class:`ValidTimeRelation` is an ordered multiset of :class:`VTTuple`
+conforming to a :class:`RelationSchema`.  It is the logical-level
+representation; the storage layer (:mod:`repro.storage.heapfile`) holds the
+physical, paged representation the cost experiments run against.
+
+Relations are multisets: the paper's 1NF tuple-timestamped model permits
+duplicate snapshot tuples with different timestamps (and the join algorithms
+are compared by result *multiset* in the test-suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+from repro.time.lifespan import Lifespan, lifespan_of
+
+
+class ValidTimeRelation:
+    """An instance of a valid-time relation schema.
+
+    Args:
+        schema: the relation's schema.
+        tuples: optional initial contents (validated against the schema).
+    """
+
+    def __init__(self, schema: RelationSchema, tuples: Optional[Iterable[VTTuple]] = None):
+        self.schema = schema
+        self._tuples: List[VTTuple] = []
+        if tuples is not None:
+            for tup in tuples:
+                self.add(tup)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        rows: Iterable[Tuple],
+    ) -> "ValidTimeRelation":
+        """Build a relation from ``(attr..., vs, ve)`` rows.
+
+        Each row supplies the explicit attributes in schema order followed by
+        the inclusive valid-time start and end chronons.
+        """
+        relation = cls(schema)
+        n_join = len(schema.join_attributes)
+        n_attrs = len(schema.attributes)
+        for row in rows:
+            if len(row) != n_attrs + 2:
+                raise SchemaError(
+                    f"row of arity {len(row)} does not match schema "
+                    f"{schema.name!r} (expected {n_attrs} attributes + vs, ve)"
+                )
+            key = tuple(row[:n_join])
+            payload = tuple(row[n_join:n_attrs])
+            relation.add(VTTuple(key, payload, Interval(row[-2], row[-1])))
+        return relation
+
+    def add(self, tup: VTTuple) -> None:
+        """Append *tup* after validating its arity against the schema."""
+        if len(tup.key) != len(self.schema.join_attributes):
+            raise SchemaError(
+                f"tuple key arity {len(tup.key)} does not match schema "
+                f"{self.schema.name!r} join attributes {self.schema.join_attributes}"
+            )
+        if len(tup.payload) != len(self.schema.payload_attributes):
+            raise SchemaError(
+                f"tuple payload arity {len(tup.payload)} does not match schema "
+                f"{self.schema.name!r} payload attributes {self.schema.payload_attributes}"
+            )
+        self._tuples.append(tup)
+
+    def extend(self, tuples: Iterable[VTTuple]) -> None:
+        """Append every tuple in *tuples* with validation."""
+        for tup in tuples:
+            self.add(tup)
+
+    # -- container protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[VTTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, tup: object) -> bool:
+        return tup in self._tuples
+
+    def __repr__(self) -> str:
+        return f"ValidTimeRelation({self.schema.name!r}, {len(self)} tuples)"
+
+    @property
+    def tuples(self) -> Tuple[VTTuple, ...]:
+        """Immutable snapshot of the current contents."""
+        return tuple(self._tuples)
+
+    # -- temporal queries -----------------------------------------------------
+
+    def lifespan(self) -> Optional[Lifespan]:
+        """The relation lifespan: hull of all tuple timestamps (None if empty)."""
+        return lifespan_of(tup.valid for tup in self._tuples)
+
+    def overlapping(self, interval: Interval) -> Iterator[VTTuple]:
+        """Iterate over tuples whose validity overlaps *interval*."""
+        return (tup for tup in self._tuples if tup.valid.overlaps(interval))
+
+    def timeslice(self, chronon: int) -> List[Tuple]:
+        """The snapshot state at *chronon*: explicit attribute rows, no timestamps.
+
+        This is the timeslice operator ``tau_t``; the snapshot-reducibility
+        property tests use it to check that timeslice commutes with the join.
+        """
+        return [
+            tup.key + tup.payload
+            for tup in self._tuples
+            if tup.valid.contains_chronon(chronon)
+        ]
+
+    # -- grouping helpers ------------------------------------------------------
+
+    def group_by_key(self) -> Dict[Tuple, List[VTTuple]]:
+        """Group tuples by their explicit join-attribute values."""
+        groups: Dict[Tuple, List[VTTuple]] = {}
+        for tup in self._tuples:
+            groups.setdefault(tup.key, []).append(tup)
+        return groups
+
+    def sorted_by(self, sort_key: Callable[[VTTuple], Tuple]) -> "ValidTimeRelation":
+        """A copy of this relation with tuples ordered by *sort_key*."""
+        ordered = sorted(self._tuples, key=sort_key)
+        result = ValidTimeRelation(self.schema)
+        result._tuples = ordered
+        return result
+
+    def sorted_by_vs(self) -> "ValidTimeRelation":
+        """A copy sorted on valid-time start (the sort-merge baseline order)."""
+        return self.sorted_by(lambda tup: (tup.vs, tup.ve, tup.key))
+
+    # -- multiset comparison ----------------------------------------------------
+
+    def as_multiset(self) -> Dict[VTTuple, int]:
+        """Contents as a tuple -> multiplicity map (order-insensitive equality)."""
+        counts: Dict[VTTuple, int] = {}
+        for tup in self._tuples:
+            counts[tup] = counts.get(tup, 0) + 1
+        return counts
+
+    def multiset_equal(self, other: "ValidTimeRelation") -> bool:
+        """True when both relations hold the same tuples with the same counts."""
+        return self.as_multiset() == other.as_multiset()

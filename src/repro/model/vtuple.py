@@ -1,0 +1,96 @@
+"""The valid-time tuple.
+
+A :class:`VTTuple` is the unit every algorithm in the library moves around:
+a key (the values of the explicit join attributes), a payload (the values of
+the non-joining attributes), and a validity interval.  Instances are
+immutable, hashable, and deliberately tiny -- the paper-scale experiments
+materialize hundreds of thousands of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.time.interval import Interval
+
+
+class VTTuple:
+    """A tuple of a valid-time relation.
+
+    Attributes:
+        key: values of the explicit join attributes, in schema order.
+        payload: values of the non-joining attributes, in schema order.
+        valid: the validity interval ``[Vs, Ve]``.
+    """
+
+    __slots__ = ("key", "payload", "valid")
+
+    key: Tuple
+    payload: Tuple
+    valid: Interval
+
+    def __init__(self, key: Tuple, payload: Tuple, valid: Interval) -> None:
+        object.__setattr__(self, "key", tuple(key))
+        object.__setattr__(self, "payload", tuple(payload))
+        object.__setattr__(self, "valid", valid)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("VTTuple is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VTTuple):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.payload == other.payload
+            and self.valid == other.valid
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.payload, self.valid))
+
+    def __repr__(self) -> str:
+        return f"VTTuple(key={self.key!r}, payload={self.payload!r}, valid={self.valid!r})"
+
+    # -- temporal accessors -------------------------------------------------
+
+    @property
+    def vs(self) -> int:
+        """Valid-time start chronon."""
+        return self.valid.start
+
+    @property
+    def ve(self) -> int:
+        """Valid-time end chronon."""
+        return self.valid.end
+
+    def overlaps(self, interval: Interval) -> bool:
+        """True when the tuple is valid during some chronon of *interval*."""
+        return self.valid.overlaps(interval)
+
+    def value_equivalent(self, other: "VTTuple") -> bool:
+        """True when key and payload match (timestamps may differ).
+
+        Value-equivalence is the grouping used by coalescing [JSS92a].
+        """
+        return self.key == other.key and self.payload == other.payload
+
+    def with_valid(self, valid: Interval) -> "VTTuple":
+        """Copy of this tuple restamped with *valid*."""
+        return VTTuple(self.key, self.payload, valid)
+
+
+def join_tuples(x: VTTuple, y: VTTuple) -> Optional[VTTuple]:
+    """Join two tuples per the Section 2 definition of the VT natural join.
+
+    Returns the result tuple ``z`` with ``z[A] = x[A] = y[A]``, payload the
+    concatenation of both payloads, and validity ``overlap(x[V], y[V])`` --
+    or None when the keys differ or the intervals are disjoint (the paper's
+    condition ``z[V] != bottom``).
+    """
+    if x.key != y.key:
+        return None
+    common = x.valid.intersect(y.valid)
+    if common is None:
+        return None
+    return VTTuple(x.key, x.payload + y.payload, common)

@@ -1,0 +1,28 @@
+"""Sampling machinery for partition-interval estimation (Section 3.4).
+
+* :mod:`repro.sampling.kolmogorov` -- the Kolmogorov test statistic used to
+  size the sample: with confidence ``1 - alpha`` every sampled percentile is
+  within ``d_alpha / sqrt(m)`` of the true percentile [Con71, DNS91].
+* :mod:`repro.sampling.sampler` -- drawing the samples from a heap file,
+  including the sequential-scan optimization of Section 4.2 that caps the
+  sampling cost at one linear scan of the outer relation.
+"""
+
+from repro.sampling.kolmogorov import (
+    KOLMOGOROV_D,
+    kolmogorov_d,
+    max_percentile_error,
+    required_samples,
+)
+from repro.sampling.sampler import SamplePlan, SampleStrategy, draw_samples, plan_sampling
+
+__all__ = [
+    "KOLMOGOROV_D",
+    "kolmogorov_d",
+    "max_percentile_error",
+    "required_samples",
+    "SamplePlan",
+    "SampleStrategy",
+    "draw_samples",
+    "plan_sampling",
+]

@@ -1,0 +1,40 @@
+"""Simulated paged storage with random/sequential I/O cost accounting.
+
+The paper evaluates join algorithms by "the number of I/O operations
+performed by an algorithm, distinguishing between the higher cost of random
+access and the lower cost of sequential access" (Section 4.1).  This package
+is the substrate that makes those measurements possible:
+
+* :mod:`repro.storage.iostats` -- I/O counters and the weighted cost model
+  (random:sequential ratios 2:1, 5:1, 10:1 in the experiments).
+* :mod:`repro.storage.page` -- fixed-capacity pages and page geometry.
+* :mod:`repro.storage.disk` -- the simulated multi-device disk: contiguous
+  extents, per-device head position, an access is sequential exactly when it
+  hits the page under or immediately after the head.
+* :mod:`repro.storage.heapfile` -- paged relation files over an extent.
+* :mod:`repro.storage.buffer` -- main-memory budget bookkeeping (Figure 3's
+  buffer allocation).
+* :mod:`repro.storage.layout` -- the canonical device layout used by every
+  experiment (base relations, temp, tuple cache, result).
+"""
+
+from repro.storage.iostats import CostModel, IOStatistics, PhaseTracker
+from repro.storage.page import PageSpec
+from repro.storage.disk import Extent, SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.buffer import BufferPool, Reservation
+from repro.storage.layout import Device, DiskLayout
+
+__all__ = [
+    "CostModel",
+    "IOStatistics",
+    "PhaseTracker",
+    "PageSpec",
+    "Extent",
+    "SimulatedDisk",
+    "HeapFile",
+    "BufferPool",
+    "Reservation",
+    "Device",
+    "DiskLayout",
+]

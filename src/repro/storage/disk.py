@@ -1,0 +1,208 @@
+"""The simulated disk: contiguous extents and head-position cost accounting.
+
+The reproduction's equivalent of the paper's "main-memory simulations"
+(Section 4.1).  Pages live in Python lists; what is simulated is the *cost*
+of moving them:
+
+* The address space is divided into **devices**, each with its own
+  independent head.  Placing base relations, temporary partitions, the tuple
+  cache, and the result on separate devices reproduces the paper's
+  accounting, where e.g. reading an inner-partition page and appending to
+  the tuple cache do not destroy each other's sequentiality, while two
+  interleaved streams on the *same* device do (the paper: in-memory
+  partition buckets "must be flushed more often, requiring more random
+  I/O").
+* An **extent** is a named, contiguous run of pages on one device ("if
+  partitions are stored on consecutive disk pages then, after an initial
+  disk seek to the first page of a partition, its remaining pages are read
+  sequentially").
+* Every :meth:`SimulatedDisk.read` / :meth:`SimulatedDisk.write` records one
+  I/O operation: sequential when the target page is at or immediately after
+  the device head, random otherwise.
+
+Loading pre-existing base relations uses :meth:`SimulatedDisk.load`, which
+bypasses accounting -- the paper's measurements start with the inputs
+already on disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.errors import StorageError
+from repro.storage.iostats import IOStatistics
+
+
+class Extent:
+    """A named run of pages on one device, contiguous per segment.
+
+    An extent normally occupies a single physically contiguous segment of
+    its device, reserved at allocation time.  If an extent outgrows its
+    reservation a new contiguous segment is chained on; crossing a segment
+    boundary costs a seek, exactly as a physical file fragment would.
+
+    Page contents are arbitrary Python objects (the library stores lists of
+    tuples); the simulator never inspects them.
+    """
+
+    __slots__ = ("name", "device", "_segments", "_pages", "_disk")
+
+    def __init__(self, name: str, device: int, disk: "SimulatedDisk") -> None:
+        self.name = name
+        self.device = device
+        self._segments: List[Tuple[int, int]] = []  # (physical base, capacity)
+        self._pages: List[object] = []
+        self._disk = disk
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages currently stored in the extent."""
+        return len(self._pages)
+
+    @property
+    def capacity(self) -> int:
+        """Total reserved pages across all segments."""
+        return sum(cap for _, cap in self._segments)
+
+    def physical_address(self, index: int) -> int:
+        """Physical device address of page *index*."""
+        if index < 0:
+            raise StorageError(f"negative page index {index} in extent {self.name!r}")
+        remaining = index
+        for base, cap in self._segments:
+            if remaining < cap:
+                return base + remaining
+            remaining -= cap
+        raise StorageError(
+            f"page index {index} beyond capacity {self.capacity} of extent {self.name!r}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Extent({self.name!r}, device={self.device}, pages={self.n_pages}, "
+            f"capacity={self.capacity})"
+        )
+
+
+class SimulatedDisk:
+    """Multi-device disk simulator with per-device head tracking.
+
+    Args:
+        stats: the I/O counter stream every charged access is recorded to.
+            Callers typically pass ``PhaseTracker().stats`` so phase-level
+            accounting composes on top.
+    """
+
+    def __init__(self, stats: Optional[IOStatistics] = None) -> None:
+        self.stats = stats if stats is not None else IOStatistics()
+        #: Per-device breakdown of the same operations counted in ``stats``.
+        self.device_stats: Dict[int, IOStatistics] = {}
+        self._heads: Dict[int, Optional[int]] = {}
+        self._alloc_pointer: Dict[int, int] = {}
+        self._extents: List[Extent] = []
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, name: str, device: int = 0, capacity: int = 1) -> Extent:
+        """Reserve a contiguous extent of *capacity* pages on *device*."""
+        if capacity < 1:
+            raise StorageError(f"extent capacity must be >= 1, got {capacity}")
+        extent = Extent(name, device, self)
+        self._reserve_segment(extent, capacity)
+        self._extents.append(extent)
+        return extent
+
+    def _reserve_segment(self, extent: Extent, capacity: int) -> None:
+        pointer = self._alloc_pointer.get(extent.device, 0)
+        extent._segments.append((pointer, capacity))
+        # A one-page guard gap between reservations: two distinct files are
+        # never treated as physically adjacent, so finishing one extent and
+        # starting the next always costs a seek.
+        self._alloc_pointer[extent.device] = pointer + capacity + 1
+
+    def _ensure_capacity(self, extent: Extent, index: int) -> None:
+        while index >= extent.capacity:
+            # Chain a new segment at least as large as the current extent so
+            # repeated growth stays amortized; the segment boundary itself
+            # costs a seek via the head model.
+            self._reserve_segment(extent, max(extent.capacity, 1))
+
+    # -- charged page access ---------------------------------------------------
+
+    def read(self, extent: Extent, index: int) -> object:
+        """Read page *index* of *extent*, charging one I/O operation."""
+        if index >= extent.n_pages:
+            raise StorageError(
+                f"read past end of extent {extent.name!r}: "
+                f"page {index} of {extent.n_pages}"
+            )
+        self._charge(extent, index, write=False)
+        return extent._pages[index]
+
+    def write(self, extent: Extent, index: int, page: object) -> None:
+        """Write *page* at *index* (appending when ``index == n_pages``)."""
+        if index > extent.n_pages:
+            raise StorageError(
+                f"write would leave a hole in extent {extent.name!r}: "
+                f"page {index}, current length {extent.n_pages}"
+            )
+        self._ensure_capacity(extent, index)
+        self._charge(extent, index, write=True)
+        if index == extent.n_pages:
+            extent._pages.append(page)
+        else:
+            extent._pages[index] = page
+
+    def append(self, extent: Extent, page: object) -> int:
+        """Append *page* to *extent*; returns its page index."""
+        index = extent.n_pages
+        self.write(extent, index, page)
+        return index
+
+    def _charge(self, extent: Extent, index: int, *, write: bool) -> None:
+        physical = extent.physical_address(index)
+        head = self._heads.get(extent.device)
+        sequential = head is not None and (physical == head + 1 or physical == head)
+        self._heads[extent.device] = physical
+        self.stats.record(write=write, sequential=sequential, count=1)
+        per_device = self.device_stats.setdefault(extent.device, IOStatistics())
+        per_device.record(write=write, sequential=sequential, count=1)
+
+    # -- uncharged access ---------------------------------------------------------
+
+    def load(self, extent: Extent, pages: List[object]) -> None:
+        """Install *pages* into *extent* without charging I/O.
+
+        Used to place pre-existing base relations on disk before an
+        experiment starts measuring.
+        """
+        self._ensure_capacity(extent, max(len(pages) - 1, 0))
+        extent._pages = list(pages)
+
+    def peek(self, extent: Extent, index: int) -> object:
+        """Read a page without charging (test and verification use only)."""
+        if index >= extent.n_pages:
+            raise StorageError(
+                f"peek past end of extent {extent.name!r}: "
+                f"page {index} of {extent.n_pages}"
+            )
+        return extent._pages[index]
+
+    def truncate(self, extent: Extent) -> None:
+        """Drop the contents of *extent* (reservation is kept)."""
+        extent._pages = []
+
+    # -- head control ----------------------------------------------------------------
+
+    def park_heads(self) -> None:
+        """Forget all head positions: the next access on every device is random.
+
+        Experiments call this between phases that a real system would not run
+        back-to-back, so a lucky head position cannot leak sequentiality
+        across phase boundaries.
+        """
+        self._heads = {}
+
+    def head_position(self, device: int) -> Optional[int]:
+        """Current head position of *device* (None if never accessed)."""
+        return self._heads.get(device)

@@ -1,0 +1,65 @@
+"""Page geometry: how many tuples fit on a disk page.
+
+Every cost in the paper is expressed in pages, so the only physical fact the
+simulator needs about a page is its tuple capacity.  A :class:`PageSpec`
+derives that capacity from the page and tuple sizes and provides the
+page-count arithmetic used by planners and cost formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.errors import StorageError
+
+#: Default page size (bytes).  See the DESIGN.md substitution table: 1 KiB
+#: pages with 128-byte tuples give 8 tuples per page.
+DEFAULT_PAGE_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """Geometry of fixed-size pages holding fixed-size tuples.
+
+    Attributes:
+        page_bytes: size of one disk page.
+        tuple_bytes: size of one stored tuple.
+    """
+
+    page_bytes: int = DEFAULT_PAGE_BYTES
+    tuple_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise StorageError(f"page_bytes must be positive, got {self.page_bytes}")
+        if self.tuple_bytes <= 0:
+            raise StorageError(f"tuple_bytes must be positive, got {self.tuple_bytes}")
+        if self.tuple_bytes > self.page_bytes:
+            raise StorageError(
+                f"tuple of {self.tuple_bytes} bytes does not fit a "
+                f"{self.page_bytes}-byte page"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Tuples per page."""
+        return self.page_bytes // self.tuple_bytes
+
+    def pages_for_tuples(self, n_tuples: int) -> int:
+        """Pages needed to store *n_tuples* (0 tuples -> 0 pages)."""
+        if n_tuples < 0:
+            raise StorageError(f"negative tuple count {n_tuples}")
+        return math.ceil(n_tuples / self.capacity)
+
+    def pages_for_bytes(self, n_bytes: int) -> int:
+        """Pages spanned by *n_bytes* of storage (e.g. a memory budget)."""
+        if n_bytes < 0:
+            raise StorageError(f"negative byte count {n_bytes}")
+        return n_bytes // self.page_bytes
+
+    def tuples_for_pages(self, n_pages: int) -> int:
+        """Maximum tuples storable in *n_pages*."""
+        if n_pages < 0:
+            raise StorageError(f"negative page count {n_pages}")
+        return n_pages * self.capacity

@@ -1,0 +1,142 @@
+"""Saving and loading valid-time relations as portable files.
+
+The simulator keeps relations in memory; a usable library also needs them
+to survive a process.  Two formats:
+
+* **CSV** -- one row per tuple, explicit attributes in schema order plus
+  ``vs``/``ve`` columns; human-editable, loses non-string payload types
+  unless column converters are supplied.
+* **JSON lines** -- schema header record followed by one record per tuple;
+  round-trips every JSON-representable payload exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+PathLike = Union[str, Path]
+
+#: Per-column converters applied when loading CSV (e.g. ``int``).
+Converters = Optional[Sequence[Callable[[str], object]]]
+
+
+def save_csv(relation: ValidTimeRelation, path: PathLike) -> int:
+    """Write *relation* to CSV; returns the number of tuples written."""
+    schema = relation.schema
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(schema.attributes) + ["vs", "ve"])
+        count = 0
+        for tup in relation:
+            writer.writerow(list(tup.key) + list(tup.payload) + [tup.vs, tup.ve])
+            count += 1
+    return count
+
+
+def load_csv(
+    schema: RelationSchema,
+    path: PathLike,
+    *,
+    converters: Converters = None,
+) -> ValidTimeRelation:
+    """Read a CSV written by :func:`save_csv` into a relation.
+
+    Args:
+        schema: the target schema; the file's header must match its
+            attribute names.
+        path: the CSV file.
+        converters: optional one-per-explicit-attribute converters applied
+            to the string cells (CSV is untyped).
+    """
+    expected_header = list(schema.attributes) + ["vs", "ve"]
+    if converters is not None and len(converters) != len(schema.attributes):
+        raise SchemaError(
+            f"need {len(schema.attributes)} converters, got {len(converters)}"
+        )
+    relation = ValidTimeRelation(schema)
+    n_join = len(schema.join_attributes)
+    n_attrs = len(schema.attributes)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != expected_header:
+            raise SchemaError(
+                f"CSV header {header} does not match schema columns {expected_header}"
+            )
+        for row in reader:
+            if len(row) != n_attrs + 2:
+                raise SchemaError(f"malformed CSV row: {row}")
+            values = list(row[:n_attrs])
+            if converters is not None:
+                values = [convert(cell) for convert, cell in zip(converters, values)]
+            relation.add(
+                VTTuple(
+                    tuple(values[:n_join]),
+                    tuple(values[n_join:]),
+                    Interval(int(row[-2]), int(row[-1])),
+                )
+            )
+    return relation
+
+
+def save_jsonl(relation: ValidTimeRelation, path: PathLike) -> int:
+    """Write *relation* as JSON lines (schema header + one record per tuple)."""
+    schema = relation.schema
+    with open(path, "w") as handle:
+        header = {
+            "name": schema.name,
+            "join_attributes": list(schema.join_attributes),
+            "payload_attributes": list(schema.payload_attributes),
+            "tuple_bytes": schema.tuple_bytes,
+        }
+        handle.write(json.dumps(header) + "\n")
+        count = 0
+        for tup in relation:
+            record = {
+                "key": list(tup.key),
+                "payload": list(tup.payload),
+                "vs": tup.vs,
+                "ve": tup.ve,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> ValidTimeRelation:
+    """Read a JSON-lines file written by :func:`save_jsonl`.
+
+    The schema is reconstructed from the header record, so no schema
+    argument is needed.
+    """
+    with open(path) as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise SchemaError(f"{path} is empty; expected a schema header")
+        header = json.loads(header_line)
+        schema = RelationSchema(
+            name=header["name"],
+            join_attributes=tuple(header["join_attributes"]),
+            payload_attributes=tuple(header["payload_attributes"]),
+            tuple_bytes=header["tuple_bytes"],
+        )
+        relation = ValidTimeRelation(schema)
+        for line in handle:
+            record = json.loads(line)
+            relation.add(
+                VTTuple(
+                    tuple(record["key"]),
+                    tuple(record["payload"]),
+                    Interval(record["vs"], record["ve"]),
+                )
+            )
+    return relation

@@ -1,0 +1,52 @@
+"""Valid-time domain: chronons, intervals, Allen's relations, lifespans.
+
+The paper (Section 2) models the valid-time line as a sequence of
+minimal-duration intervals called *chronons* [DS93].  Timestamps are single
+intervals denoted by inclusive starting and ending chronons.  This package
+provides that time domain:
+
+* :mod:`repro.time.chronon` -- the chronon scale, sentinels, granularities.
+* :mod:`repro.time.interval` -- inclusive intervals ``[Vs, Ve]`` and the
+  ``overlap`` function exactly as defined in Section 2 of the paper.
+* :mod:`repro.time.allen` -- Allen's thirteen interval relations [All83],
+  used by the extended join variants of Leung and Muntz [LM90].
+* :mod:`repro.time.lifespan` -- lifespans (interval hulls) of tuple
+  collections and partitioning-interval coverage checks.
+"""
+
+from repro.time.chronon import (
+    BEGINNING,
+    FOREVER,
+    Granularity,
+    is_chronon,
+    validate_chronon,
+)
+from repro.time.interval import Interval, hull, overlap, overlaps
+from repro.time.allen import AllenRelation, relate
+from repro.time.lifespan import Lifespan, covers_lifespan, lifespan_of
+from repro.time.intervalset import covers, normalize, subtract, total_duration
+from repro.time.intervalset_class import IntervalSet
+from repro.time.granularity import GranularityConversion
+
+__all__ = [
+    "BEGINNING",
+    "FOREVER",
+    "Granularity",
+    "is_chronon",
+    "validate_chronon",
+    "Interval",
+    "hull",
+    "overlap",
+    "overlaps",
+    "AllenRelation",
+    "relate",
+    "Lifespan",
+    "covers_lifespan",
+    "lifespan_of",
+    "covers",
+    "normalize",
+    "subtract",
+    "total_duration",
+    "IntervalSet",
+    "GranularityConversion",
+]

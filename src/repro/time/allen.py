@@ -1,0 +1,96 @@
+"""Allen's thirteen interval relations [All83].
+
+Leung and Muntz extended sort-merge temporal joins to the predicates defined
+by Allen [LM90]; the join variants in :mod:`repro.variants.allen_joins` are
+built on the classification implemented here.
+
+The thirteen relations partition all possible configurations of two
+non-empty intervals: six basic relations, their six inverses, and equality.
+On a discrete chronon time-line "meets" holds when one interval ends exactly
+one chronon before the other starts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.time.interval import Interval
+
+
+class AllenRelation(enum.Enum):
+    """One of Allen's thirteen qualitative interval relations."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met_by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTS = "starts"
+    STARTED_BY = "started_by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished_by"
+    EQUAL = "equal"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The relation that holds with the arguments swapped."""
+        return _INVERSES[self]
+
+    @property
+    def intersects(self) -> bool:
+        """True when the relation implies the intervals share a chronon."""
+        return self not in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        )
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+}
+
+
+def relate(u: Interval, v: Interval) -> AllenRelation:
+    """Classify the configuration of *u* relative to *v*.
+
+    Exactly one relation holds for any pair of intervals; the classification
+    is exhaustive, so the final branch needs no guard.
+    """
+    if u.end + 1 < v.start:
+        return AllenRelation.BEFORE
+    if v.end + 1 < u.start:
+        return AllenRelation.AFTER
+    if u.end + 1 == v.start:
+        return AllenRelation.MEETS
+    if v.end + 1 == u.start:
+        return AllenRelation.MET_BY
+    if u.start == v.start and u.end == v.end:
+        return AllenRelation.EQUAL
+    if u.start == v.start:
+        return AllenRelation.STARTS if u.end < v.end else AllenRelation.STARTED_BY
+    if u.end == v.end:
+        return AllenRelation.FINISHES if u.start > v.start else AllenRelation.FINISHED_BY
+    if v.start < u.start and u.end < v.end:
+        return AllenRelation.DURING
+    if u.start < v.start and v.end < u.end:
+        return AllenRelation.CONTAINS
+    if u.start < v.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY

@@ -1,0 +1,47 @@
+"""Calendar support: dates as chronons at day granularity.
+
+The paper works in abstract chronons; real data carries dates.  This
+module fixes a day-granularity mapping (chronon 0 = 1970-01-01, matching
+the Unix epoch) so applications can build valid-time intervals from
+``datetime.date`` values and render query results back as dates.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+from typing import Tuple
+
+from repro.time.interval import Interval
+
+#: Chronon 0 at day granularity.
+EPOCH = date(1970, 1, 1)
+
+
+def day_to_chronon(day: date) -> int:
+    """The chronon (day number since the epoch) containing *day*."""
+    return (day - EPOCH).days
+
+
+def chronon_to_day(chronon: int) -> date:
+    """The calendar day of *chronon* (inverse of :func:`day_to_chronon`)."""
+    return EPOCH + timedelta(days=chronon)
+
+
+def between(start: date, end: date) -> Interval:
+    """The valid-time interval covering *start* through *end*, inclusive.
+
+    Raises:
+        ValueError: if *end* precedes *start* (via Interval validation).
+    """
+    return Interval(day_to_chronon(start), day_to_chronon(end))
+
+
+def on(day: date) -> Interval:
+    """The instantaneous interval of a single calendar day."""
+    chronon = day_to_chronon(day)
+    return Interval(chronon, chronon)
+
+
+def as_dates(interval: Interval) -> Tuple[date, date]:
+    """Render an interval back as its inclusive (start, end) days."""
+    return chronon_to_day(interval.start), chronon_to_day(interval.end)

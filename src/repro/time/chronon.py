@@ -1,0 +1,83 @@
+"""Chronons: the indivisible units of the valid-time line.
+
+Following Dyreson and Snodgrass [DS93], the time-line is partitioned into
+minimal-duration intervals termed *chronons*.  A chronon is represented here
+as a plain ``int`` for efficiency -- relations hold hundreds of thousands of
+timestamps, so a wrapper class per chronon would be prohibitively expensive.
+This module supplies the scale around those ints: validation, the sentinel
+chronons bounding the representable time-line, and :class:`Granularity` for
+translating chronons to and from human-readable instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Sentinels bounding the representable valid-time line.  The paper's
+# experiments use a finite relation lifespan, so these bounds exist only to
+# catch programming errors (e.g. reversed intervals built from unvalidated
+# input), not to model infinite time.
+BEGINNING: int = -(2**62)
+FOREVER: int = 2**62
+
+
+def is_chronon(value: object) -> bool:
+    """Return True when *value* is usable as a chronon.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``: a ``True``
+    timestamp is invariably a bug in calling code.
+    """
+    return isinstance(value, int) and not isinstance(value, bool) and BEGINNING <= value <= FOREVER
+
+
+def validate_chronon(value: object, what: str = "chronon") -> int:
+    """Validate *value* as a chronon and return it.
+
+    Raises:
+        TypeError: if *value* is not an ``int``.
+        ValueError: if *value* lies outside ``[BEGINNING, FOREVER]``.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{what} must be an int chronon, got {type(value).__name__}")
+    if not BEGINNING <= value <= FOREVER:
+        raise ValueError(f"{what} {value} outside representable time-line")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class Granularity:
+    """A mapping between chronons and an external time scale.
+
+    A granularity is defined by the duration of one chronon in some external
+    unit (e.g. seconds) and the external instant corresponding to chronon 0.
+    The paper never fixes a physical granularity -- its experiments only use
+    ratios of durations -- but a usable temporal-database library needs one
+    to present query results.
+
+    Attributes:
+        unit: human-readable name of the external unit (e.g. ``"second"``).
+        chronons_per_unit: how many chronons make up one external unit.
+        origin: external-unit value of chronon 0.
+    """
+
+    unit: str = "chronon"
+    chronons_per_unit: int = 1
+    origin: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chronons_per_unit <= 0:
+            raise ValueError("chronons_per_unit must be positive")
+
+    def to_chronon(self, instant: float) -> int:
+        """Convert an external-unit *instant* to the chronon containing it."""
+        return int((instant - self.origin) * self.chronons_per_unit)
+
+    def from_chronon(self, chronon: int) -> float:
+        """Convert *chronon* to the external-unit instant of its start."""
+        validate_chronon(chronon)
+        return self.origin + chronon / self.chronons_per_unit
+
+
+#: The default granularity: one chronon per unit, origin zero.  All the
+#: paper's experiments are expressed directly in chronons.
+DEFAULT_GRANULARITY = Granularity()

@@ -1,0 +1,94 @@
+"""Granularity conversion: timestamps across chronon scales [DS93].
+
+The paper anchors its timestamp model in Dyreson and Snodgrass's chronon
+semantics, where the same fact may be recorded at different granularities
+(days in one relation, hours in another).  Joining across granularities
+requires converting intervals between scales; the conversions here follow
+the [DS93] containment semantics:
+
+* **Refining** (to a finer scale, e.g. days -> hours) maps a chronon to the
+  full run of finer chronons it contains -- the fact was true throughout.
+* **Coarsening** (to a coarser scale) has two readings: ``"cover"`` keeps
+  every coarse chronon the interval touches (the interval *may* hold
+  there), ``"within"`` keeps only coarse chronons entirely contained in the
+  interval (the interval *must* hold there), which can be empty.
+
+Refining then coarsening with either policy is the identity; coarsening is
+lossy, as it must be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.relation import ValidTimeRelation
+from repro.time.interval import Interval
+
+
+@dataclass(frozen=True)
+class GranularityConversion:
+    """A conversion between two chronon scales.
+
+    Attributes:
+        factor: how many fine chronons make one coarse chronon.
+    """
+
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"conversion factor must be >= 1, got {self.factor}")
+
+    # -- single intervals -----------------------------------------------------
+
+    def refine(self, interval: Interval) -> Interval:
+        """Coarse -> fine: the full run of fine chronons the interval covers."""
+        return Interval(
+            interval.start * self.factor,
+            interval.end * self.factor + (self.factor - 1),
+        )
+
+    def coarsen(self, interval: Interval, *, policy: str = "cover") -> Interval | None:
+        """Fine -> coarse under the chosen [DS93] reading.
+
+        Args:
+            interval: the fine-granularity interval.
+            policy: ``"cover"`` (coarse chronons the interval touches) or
+                ``"within"`` (coarse chronons fully inside the interval).
+
+        Returns:
+            The coarse interval, or None when the ``"within"`` reading is
+            empty (the interval spans no complete coarse chronon).
+        """
+        if policy == "cover":
+            return Interval(
+                interval.start // self.factor, interval.end // self.factor
+            )
+        if policy == "within":
+            start = -(-interval.start // self.factor)  # ceil division
+            end = (interval.end + 1) // self.factor - 1
+            if end < start:
+                return None
+            return Interval(start, end)
+        raise ValueError(f"unknown coarsening policy {policy!r}")
+
+    # -- whole relations ----------------------------------------------------------
+
+    def refine_relation(self, relation: ValidTimeRelation) -> ValidTimeRelation:
+        """Restamp every tuple at the finer scale."""
+        result = ValidTimeRelation(relation.schema)
+        for tup in relation:
+            result.add(tup.with_valid(self.refine(tup.valid)))
+        return result
+
+    def coarsen_relation(
+        self, relation: ValidTimeRelation, *, policy: str = "cover"
+    ) -> ValidTimeRelation:
+        """Restamp every tuple at the coarser scale; ``"within"``-empty
+        tuples are dropped (they assert nothing at the coarse scale)."""
+        result = ValidTimeRelation(relation.schema)
+        for tup in relation:
+            coarse = self.coarsen(tup.valid, policy=policy)
+            if coarse is not None:
+                result.add(tup.with_valid(coarse))
+        return result

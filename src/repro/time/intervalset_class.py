@@ -1,0 +1,94 @@
+"""A first-class interval set with operator syntax.
+
+The functional core (:mod:`repro.time.intervalset`) keeps interval sets as
+plain lists; :class:`IntervalSet` wraps them in the container API users
+reach for -- ``|``, ``&``, ``-``, ``in``, iteration, equality on covered
+chronons -- while maintaining the canonical (sorted, disjoint,
+non-adjacent) representation as an invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from repro.time.interval import Interval
+from repro.time.intervalset import normalize, subtract, total_duration
+
+
+class IntervalSet:
+    """An immutable set of chronons, stored as maximal intervals.
+
+    Two interval sets are equal iff they cover the same chronons,
+    regardless of how they were built.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        object.__setattr__(self, "_intervals", tuple(normalize(intervals)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IntervalSet is immutable")
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        """Number of maximal intervals (not chronons)."""
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __contains__(self, item: Union[int, Interval]) -> bool:
+        if isinstance(item, Interval):
+            return not subtract(item, self._intervals)
+        return any(interval.contains_chronon(item) for interval in self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{i.start},{i.end}]" for i in self._intervals)
+        return f"IntervalSet({inner})"
+
+    # -- algebra ------------------------------------------------------------------
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._intervals + other._intervals)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        gaps: List[Interval] = []
+        for interval in self._intervals:
+            gaps.extend(subtract(interval, other._intervals))
+        return IntervalSet(gaps)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self - (self - other)
+
+    def __xor__(self, other: "IntervalSet") -> "IntervalSet":
+        return (self - other) | (other - self)
+
+    # -- measures -----------------------------------------------------------------
+
+    @property
+    def duration(self) -> int:
+        """Total chronons covered."""
+        return total_duration(self._intervals)
+
+    def hull(self) -> Interval | None:
+        """Smallest single interval covering the set (None when empty)."""
+        if not self._intervals:
+            return None
+        return Interval(self._intervals[0].start, self._intervals[-1].end)
+
+    def complement_within(self, bounds: Interval) -> "IntervalSet":
+        """The chronons of *bounds* not covered by this set."""
+        return IntervalSet([bounds]) - self

@@ -1,0 +1,77 @@
+"""Lifespans: the interval hull of a collection of timestamps.
+
+The paper's partitioning strategies (Section 3.4, Appendix A.3) operate on
+the *relation lifespan* -- the span of valid time covered by any tuple.  The
+experiments likewise describe databases via their lifespan ("long-lived
+tuples had their starting chronon randomly distributed over the first 1/2 of
+the relation lifespan ...").
+
+A :class:`Lifespan` is a thin, named wrapper over an :class:`Interval` with
+helpers for fractions of the span, which the workload generators use to
+express exactly the recipes of Sections 4.2-4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.time.interval import Interval
+
+
+class Lifespan(Interval):
+    """The span of valid time covered by a relation (inclusive hull)."""
+
+    __slots__ = ()
+
+    def fraction_point(self, fraction: float) -> int:
+        """Chronon located *fraction* of the way through the lifespan.
+
+        ``fraction_point(0.0)`` is the first chronon; ``fraction_point(1.0)``
+        the last.  Used by the generators, e.g. the Section 4.3 long-lived
+        recipe places start chronons uniformly in ``[0, 0.5)`` of the span.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction} outside [0, 1]")
+        return self.start + int(fraction * (self.duration - 1))
+
+    def prefix(self, fraction: float) -> Interval:
+        """The initial *fraction* of the lifespan as an interval."""
+        return Interval(self.start, self.fraction_point(fraction))
+
+    def scaled_duration(self, fraction: float) -> int:
+        """Duration, in chronons, of *fraction* of the lifespan (>= 1)."""
+        return max(1, int(fraction * self.duration))
+
+
+def lifespan_of(intervals: Iterable[Interval]) -> Optional[Lifespan]:
+    """Compute the lifespan of a collection of timestamps (None if empty)."""
+    start: Optional[int] = None
+    end: Optional[int] = None
+    for interval in intervals:
+        if start is None or interval.start < start:
+            start = interval.start
+        if end is None or interval.end > end:
+            end = interval.end
+    if start is None or end is None:
+        return None
+    return Lifespan(start, end)
+
+
+def covers_lifespan(partitioning: Sequence[Interval], lifespan: Interval) -> bool:
+    """Check that *partitioning* completely covers *lifespan* without gaps.
+
+    Section 3.3 requires the partitioning intervals to be non-overlapping and
+    to completely cover the valid-time line (in practice: the lifespan).
+    The intervals must be supplied in ascending order, as produced by
+    :func:`repro.core.intervals.choose_intervals`.
+    """
+    if not partitioning:
+        return False
+    if partitioning[0].start > lifespan.start:
+        return False
+    expected_next = partitioning[0].end + 1
+    for interval in partitioning[1:]:
+        if interval.start != expected_next:
+            return False
+        expected_next = interval.end + 1
+    return expected_next > lifespan.end

@@ -1,0 +1,53 @@
+"""Other valid-time joins (Section 4.1's survey, built on the same machinery).
+
+"A wide variety of valid-time joins have been defined, including the
+time-join, event-join, TE-outerjoin [SG89], contain-join, contain-semijoin,
+intersect-join, overlap-join [LM92a]."  The paper notes its techniques
+"are also applicable to other valid-time joins"; this package provides those
+operators:
+
+* :mod:`repro.variants.time_join` -- the pure temporal T-join (interval
+  overlap only, no attribute equality) and the TE-join alias of the
+  valid-time natural join.
+* :mod:`repro.variants.event_join` -- Segev & Gunadhi's event-join and
+  TE-outerjoin.
+* :mod:`repro.variants.allen_joins` -- joins qualified by Allen predicates
+  (overlap-join, contain-join, intersect-join) and the contain-semijoin.
+* :mod:`repro.variants.outerjoin` -- left/right/full valid-time natural
+  outerjoins with timestamp-preserving padding.
+* :mod:`repro.variants.partitioned` -- partition-based evaluation of the
+  predicate joins, demonstrating the paper's claim that the partitioning
+  framework extends beyond the natural join.
+"""
+
+from repro.variants.time_join import te_join, time_join
+from repro.variants.event_join import event_join, te_outerjoin
+from repro.variants.allen_joins import (
+    allen_join,
+    contain_join,
+    contain_semijoin,
+    intersect_join,
+    overlap_join,
+)
+from repro.variants.outerjoin import valid_time_outerjoin
+from repro.variants.partitioned import partitioned_predicate_join
+from repro.variants.partitioned_time_join import partitioned_time_join
+from repro.variants.sort_merge_predicate import sort_merge_predicate_join
+from repro.variants.streamed_outerjoin import streamed_te_outerjoin
+
+__all__ = [
+    "te_join",
+    "time_join",
+    "event_join",
+    "te_outerjoin",
+    "allen_join",
+    "contain_join",
+    "contain_semijoin",
+    "intersect_join",
+    "overlap_join",
+    "valid_time_outerjoin",
+    "partitioned_predicate_join",
+    "partitioned_time_join",
+    "sort_merge_predicate_join",
+    "streamed_te_outerjoin",
+]

@@ -1,0 +1,80 @@
+"""Event-join and TE-outerjoin [SG89].
+
+Segev and Gunadhi introduced these operators to merge the attribute
+histories of two relations describing the same entities:
+
+* **TE-outerjoin** -- the TE-join (valid-time natural join) extended with
+  the *unmatched* validity of the left operand: for each tuple ``x`` of
+  ``r``, the maximal sub-intervals of ``x[V]`` covered by no matching
+  ``s``-tuple appear in the result with the ``s`` payload null.
+* **Event-join** -- the symmetric closure: TE-join plus the unmatched
+  validity of both operands.  The result is the complete merged history of
+  each entity, with nulls where only one relation has information.
+
+Nulls are represented by ``None`` in the payload positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.time.intervalset import subtract
+
+
+def te_outerjoin(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """TE-join of ``r`` and ``s`` plus the unmatched validity of ``r``."""
+    result_schema = r.schema.join_result_schema(s.schema)
+    result = ValidTimeRelation(result_schema)
+    s_by_key = s.group_by_key()
+    n_s_payload = len(s.schema.payload_attributes)
+    _add_matches_and_left_pads(r, s_by_key, n_s_payload, result, pad_right=True)
+    return result
+
+
+def event_join(r: ValidTimeRelation, s: ValidTimeRelation) -> ValidTimeRelation:
+    """Symmetric merge of histories: TE-join plus both sides' unmatched validity."""
+    result_schema = r.schema.join_result_schema(s.schema)
+    result = ValidTimeRelation(result_schema)
+    s_by_key = s.group_by_key()
+    n_s_payload = len(s.schema.payload_attributes)
+    _add_matches_and_left_pads(r, s_by_key, n_s_payload, result, pad_right=True)
+
+    # Unmatched validity of s: pad the r payload positions with nulls.
+    r_by_key = r.group_by_key()
+    n_r_payload = len(r.schema.payload_attributes)
+    for key, s_tuples in s_by_key.items():
+        r_tuples = r_by_key.get(key, [])
+        for y in s_tuples:
+            covered = [
+                x.valid.intersect(y.valid)
+                for x in r_tuples
+                if x.valid.overlaps(y.valid)
+            ]
+            for gap in subtract(y.valid, [c for c in covered if c is not None]):
+                result.add(VTTuple(key, (None,) * n_r_payload + y.payload, gap))
+    return result
+
+
+def _add_matches_and_left_pads(
+    r: ValidTimeRelation,
+    s_by_key: Dict[Tuple, List[VTTuple]],
+    n_s_payload: int,
+    result: ValidTimeRelation,
+    *,
+    pad_right: bool,
+) -> None:
+    """Emit TE-join matches and, per r-tuple, null-padded unmatched gaps."""
+    for x in r:
+        matches = s_by_key.get(x.key, [])
+        covered = []
+        for y in matches:
+            common = x.valid.intersect(y.valid)
+            if common is None:
+                continue
+            covered.append(common)
+            result.add(VTTuple(x.key, x.payload + y.payload, common))
+        if pad_right:
+            for gap in subtract(x.valid, covered):
+                result.add(VTTuple(x.key, x.payload + (None,) * n_s_payload, gap))

@@ -1,0 +1,65 @@
+"""Valid-time natural outerjoins.
+
+The temporal generalization of the familiar left/right/full outerjoins:
+unmatched *validity* -- not just unmatched tuples -- is preserved.  A tuple
+matched during part of its interval still contributes null-padded result
+tuples for the remainder, so for every chronon ``t`` the timeslice of the
+outerjoin equals the snapshot outerjoin of the timeslices (the
+snapshot-reducibility property the tests check).
+"""
+
+from __future__ import annotations
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.time.intervalset import subtract
+
+
+def valid_time_outerjoin(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    *,
+    keep_left: bool = True,
+    keep_right: bool = False,
+) -> ValidTimeRelation:
+    """Valid-time natural outerjoin of *r* and *s*.
+
+    Args:
+        r: left operand.
+        s: right operand.
+        keep_left: preserve unmatched validity of ``r`` (left outerjoin).
+        keep_right: preserve unmatched validity of ``s`` (right outerjoin).
+            Setting both gives the full outerjoin; clearing both degenerates
+            to the inner valid-time natural join.
+    """
+    result_schema = r.schema.join_result_schema(s.schema)
+    result = ValidTimeRelation(result_schema)
+    s_by_key = s.group_by_key()
+    r_by_key = r.group_by_key()
+    n_r_payload = len(r.schema.payload_attributes)
+    n_s_payload = len(s.schema.payload_attributes)
+
+    for x in r:
+        covered = []
+        for y in s_by_key.get(x.key, ()):
+            common = x.valid.intersect(y.valid)
+            if common is None:
+                continue
+            covered.append(common)
+            result.add(VTTuple(x.key, x.payload + y.payload, common))
+        if keep_left:
+            for gap in subtract(x.valid, covered):
+                result.add(VTTuple(x.key, x.payload + (None,) * n_s_payload, gap))
+
+    if keep_right:
+        for key, s_tuples in s_by_key.items():
+            r_tuples = r_by_key.get(key, ())
+            for y in s_tuples:
+                covered = [
+                    x.valid.intersect(y.valid)
+                    for x in r_tuples
+                    if x.valid.overlaps(y.valid)
+                ]
+                for gap in subtract(y.valid, [c for c in covered if c is not None]):
+                    result.add(VTTuple(key, (None,) * n_r_payload + y.payload, gap))
+    return result

@@ -1,0 +1,77 @@
+"""Sort-merge evaluation of Allen-predicate joins [LM90].
+
+Leung and Muntz's line of work: sort-merge temporal joins generalized "to
+accommodate additional temporal join predicates, mainly those defined by
+Allen" (Section 4.1).  With the library's sort-merge machinery already
+parameterized by a pair function, the predicate family is a thin policy
+layer -- the same restriction as for partition-based evaluation applies
+(the predicate must imply interval intersection, or the merge's
+retirement logic would discard future matches).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.baselines.sort_merge import SortMergeResult, sort_merge_join
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.storage.page import PageSpec
+from repro.time.allen import AllenRelation, relate
+from repro.time.interval import Interval
+
+
+def sort_merge_predicate_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    memory_pages: int,
+    relations: Iterable[AllenRelation],
+    *,
+    timestamp: str = "intersection",
+    page_spec: Optional[PageSpec] = None,
+    collect_result: bool = True,
+) -> SortMergeResult:
+    """Evaluate an Allen-predicate join by sort-merge.
+
+    Args:
+        r: left operand.
+        s: right operand.
+        memory_pages: buffer budget.
+        relations: accepted Allen relations; all must imply intersection.
+        timestamp: ``"intersection"``, ``"left"``, or ``"right"`` result
+            timestamp policy.
+        page_spec: page geometry.
+        collect_result: materialize the result relation.
+
+    Raises:
+        ValueError: for non-intersecting predicates or an unknown policy.
+    """
+    wanted: FrozenSet[AllenRelation] = frozenset(relations)
+    rejected = [rel for rel in wanted if not rel.intersects]
+    if rejected:
+        raise ValueError(
+            "sort-merge predicate evaluation requires intersection-implying "
+            f"predicates; got {sorted(rel.value for rel in rejected)}"
+        )
+    if timestamp not in ("intersection", "left", "right"):
+        raise ValueError(f"unknown timestamp policy {timestamp!r}")
+
+    def pair_fn(x: VTTuple, y: VTTuple, common: Interval) -> Optional[VTTuple]:
+        if relate(x.valid, y.valid) not in wanted:
+            return None
+        if timestamp == "intersection":
+            stamp = common
+        elif timestamp == "left":
+            stamp = x.valid
+        else:
+            stamp = y.valid
+        return VTTuple(x.key, x.payload + y.payload, stamp)
+
+    return sort_merge_join(
+        r,
+        s,
+        memory_pages,
+        page_spec=page_spec,
+        collect_result=collect_result,
+        pair_fn=pair_fn,
+    )

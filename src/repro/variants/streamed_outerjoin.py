@@ -1,0 +1,201 @@
+"""Streamed (I/O-costed) evaluation of the TE-outerjoin [SG89].
+
+The in-memory TE-outerjoin (:mod:`repro.variants.event_join`) defines the
+semantics; this evaluator computes it over the simulated disk with the
+sort-merge machinery, so the operator family Segev and Gunadhi built their
+nested-loop refinements for has a measured evaluation here too.
+
+Algorithm: both inputs are externally sorted on valid-time start and
+merged.  Live tuples carry in memory as in the sort-merge natural join;
+additionally every left tuple accumulates the sub-intervals its matches
+covered.  When a left tuple *retires* -- the merge cursor has passed its
+end chronon, so no future right tuple can overlap it -- its uncovered
+validity is final and the null-padded gap tuples are emitted.  Costs:
+two external sorts plus the linear merge (the natural-join matching's
+backing-up model is not replicated here; outer-join gap bookkeeping is
+in-memory state, like the carry sets).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.external_sort import external_sort
+from repro.model.errors import PlanError
+from repro.model.relation import ValidTimeRelation
+from repro.model.vtuple import VTTuple
+from repro.storage.heapfile import HeapFile
+from repro.storage.layout import Device, DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.intervalset import subtract
+
+
+@dataclass
+class StreamedOuterjoinResult:
+    """Result and cost carrier of a streamed TE-outerjoin run."""
+
+    result: ValidTimeRelation
+    n_matched: int
+    n_padded: int
+    layout: DiskLayout
+
+
+class _LeftEntry:
+    __slots__ = ("tup", "covered", "retired")
+
+    def __init__(self, tup: VTTuple) -> None:
+        self.tup = tup
+        self.covered: List = []
+        self.retired = False
+
+
+class _RightEntry:
+    __slots__ = ("tup", "retired")
+
+    def __init__(self, tup: VTTuple) -> None:
+        self.tup = tup
+        self.retired = False
+
+
+def streamed_te_outerjoin(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    memory_pages: int,
+    *,
+    page_spec: Optional[PageSpec] = None,
+    layout: Optional[DiskLayout] = None,
+) -> StreamedOuterjoinResult:
+    """Evaluate the TE-outerjoin of *r* and *s* over the simulated disk."""
+    if memory_pages < 4:
+        raise PlanError(f"streamed outerjoin needs >= 4 buffer pages, got {memory_pages}")
+    result_schema = r.schema.join_result_schema(s.schema)
+    if layout is None:
+        layout = DiskLayout(spec=page_spec if page_spec is not None else PageSpec())
+    n_s_payload = len(s.schema.payload_attributes)
+
+    r_file = layout.place_relation(r)
+    s_file = layout.place_relation(s)
+    with layout.tracker.phase("sort"):
+        r_sorted = external_sort(
+            r_file, layout, memory_pages, name="oj_r",
+            devices=(Device.SCRATCH_A, Device.SCRATCH_B),
+        )
+        layout.disk.park_heads()
+        s_sorted = external_sort(
+            s_file, layout, memory_pages, name="oj_s",
+            devices=(Device.SCRATCH_C, Device.SCRATCH_D),
+        )
+    layout.disk.park_heads()
+
+    result = ValidTimeRelation(result_schema)
+    result_file = layout.result_file("oj_result")
+    n_matched = 0
+    n_padded = 0
+
+    def emit(tup: VTTuple) -> None:
+        layout.write_result(result_file, tup)
+        result.add(tup)
+
+    def finalize_left(entry: _LeftEntry) -> None:
+        nonlocal n_padded
+        for gap in subtract(entry.tup.valid, entry.covered):
+            n_padded += 1
+            emit(
+                VTTuple(
+                    entry.tup.key,
+                    entry.tup.payload + (None,) * n_s_payload,
+                    gap,
+                )
+            )
+
+    with layout.tracker.phase("match"):
+        left_by_key: Dict[Tuple, List[_LeftEntry]] = {}
+        right_by_key: Dict[Tuple, List[_RightEntry]] = {}
+        left_heap: List[Tuple[int, int, _LeftEntry]] = []
+        right_heap: List[Tuple[int, int, _RightEntry]] = []
+        counter = 0
+
+        def retire(min_vs: int) -> None:
+            while left_heap and left_heap[0][0] < min_vs:
+                _, _, entry = heapq.heappop(left_heap)
+                entry.retired = True
+                finalize_left(entry)
+            while right_heap and right_heap[0][0] < min_vs:
+                _, _, entry = heapq.heappop(right_heap)
+                entry.retired = True
+
+        def match(x_entry: _LeftEntry, y: VTTuple) -> None:
+            nonlocal n_matched
+            common = x_entry.tup.valid.intersect(y.valid)
+            if common is None:
+                return
+            x_entry.covered.append(common)
+            n_matched += 1
+            emit(VTTuple(x_entry.tup.key, x_entry.tup.payload + y.payload, common))
+
+        r_stream = _PageCursor(r_sorted)
+        s_stream = _PageCursor(s_sorted)
+        while True:
+            x = r_stream.peek()
+            y = s_stream.peek()
+            if x is None and y is None:
+                break
+            take_left = y is None or (x is not None and x.vs <= y.vs)
+            if take_left:
+                tup = r_stream.take()
+                retire(tup.vs)
+                entry = _LeftEntry(tup)
+                counter += 1
+                heapq.heappush(left_heap, (tup.ve, counter, entry))
+                left_by_key.setdefault(tup.key, []).append(entry)
+                for y_entry in right_by_key.get(tup.key, ()):  # y.vs <= x.vs
+                    if not y_entry.retired:
+                        match(entry, y_entry.tup)
+            else:
+                tup = s_stream.take()
+                retire(tup.vs)
+                entry = _RightEntry(tup)
+                counter += 1
+                heapq.heappush(right_heap, (tup.ve, counter, entry))
+                right_by_key.setdefault(tup.key, []).append(entry)
+                for x_entry in left_by_key.get(tup.key, ()):  # x.vs <= y.vs
+                    if not x_entry.retired and x_entry.tup.vs <= tup.vs:
+                        match(x_entry, tup)
+        # End of both streams: every still-live left tuple finalizes.
+        while left_heap:
+            _, _, entry = heapq.heappop(left_heap)
+            if not entry.retired:
+                entry.retired = True
+                finalize_left(entry)
+
+    result_file.flush()
+    return StreamedOuterjoinResult(
+        result=result, n_matched=n_matched, n_padded=n_padded, layout=layout
+    )
+
+
+class _PageCursor:
+    """Charged page-at-a-time cursor over a sorted heap file."""
+
+    def __init__(self, source: HeapFile) -> None:
+        self._source = source
+        self._page: List[VTTuple] = []
+        self._offset = 0
+        self._next_page = 0
+
+    def peek(self) -> Optional[VTTuple]:
+        while self._offset >= len(self._page):
+            if self._next_page >= self._source.n_pages:
+                return None
+            self._page = self._source.read_page(self._next_page)
+            self._next_page += 1
+            self._offset = 0
+        return self._page[self._offset]
+
+    def take(self) -> VTTuple:
+        tup = self.peek()
+        assert tup is not None
+        self._offset += 1
+        return tup

@@ -1,0 +1,37 @@
+"""Synthetic workloads matching the paper's experimental databases.
+
+* :mod:`repro.workloads.specs` -- declarative database specifications,
+  including the documented stand-ins for the unreadable Figure 5 parameter
+  table, and uniform scaling.
+* :mod:`repro.workloads.generator` -- seeded generators implementing the
+  Section 4.2-4.4 recipes (uniform instantaneous tuples; long-lived tuples
+  starting in the first half of the lifespan and lasting half of it) plus a
+  skewed generator for the partitioning ablation.
+"""
+
+from repro.workloads.specs import (
+    PAPER_PARAMETERS,
+    DatabaseSpec,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+)
+from repro.workloads.generator import (
+    generate_pair,
+    generate_relation,
+    skewed_relation,
+)
+from repro.workloads.builders import random_join_pair, random_valid_time_relation
+
+__all__ = [
+    "random_join_pair",
+    "random_valid_time_relation",
+    "PAPER_PARAMETERS",
+    "DatabaseSpec",
+    "fig6_spec",
+    "fig7_spec",
+    "fig8_spec",
+    "generate_pair",
+    "generate_relation",
+    "skewed_relation",
+]

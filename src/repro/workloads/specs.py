@@ -1,0 +1,139 @@
+"""Database specifications for the paper's experiments.
+
+The Figure 5 "Global Parameter Values" table is unreadable in the source
+scan, so the values here are documented reconstructions chosen to make the
+paper's quoted facts self-consistent (see DESIGN.md):
+
+* "Each database contained 32 megabytes (262144 tuples)" -- so a tuple is
+  128 bytes; the database (both input relations together) holds 262 144
+  tuples, 131 072 per relation.
+* "If ten tuples are present for each object ... the database contains
+  approximately 26,000 objects" -- so keys are drawn from ~26 214 objects.
+* Pages are 1 KiB (8 tuples per page); relations are 16 MiB / 16 384 pages
+  each; main memory sweeps 1-32 MiB.
+* The relation lifespan is 2^20 chronons.
+
+The paper itself notes "we are concerned more with ratios of certain
+parameters as opposed to their absolute values"; the :meth:`DatabaseSpec.scaled`
+method shrinks a specification uniformly (tuples, long-lived counts,
+objects, and memory all divide by the same factor) so experiments preserve
+every ratio the paper varies while running at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+#: Reconstructed Figure 5 global parameters (see module docstring).
+PAPER_PARAMETERS: Dict[str, object] = {
+    "page_bytes": 1024,
+    "tuple_bytes": 128,
+    "tuples_per_page": 8,
+    "database_tuples": 262_144,
+    "relation_tuples": 131_072,
+    "relation_pages": 16_384,
+    "n_objects": 26_214,
+    "lifespan_chronons": 2**20,
+    "memory_sweep_mb": (1, 2, 4, 8, 16, 32),
+    "cost_ratios": (2, 5, 10),
+}
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """A declarative description of one experimental database.
+
+    A database consists of two relations, ``r`` and ``s``, each with
+    ``relation_tuples`` tuples of which ``long_lived_per_relation`` follow
+    the Section 4.3 long-lived recipe (start uniform over the first half of
+    the lifespan, duration half the lifespan) and the rest are instantaneous
+    (one chronon) at a uniform position.
+
+    Attributes:
+        name: label used in extents and reports.
+        relation_tuples: tuples per input relation.
+        long_lived_per_relation: long-lived tuples per input relation.
+        n_objects: size of the join-key domain.
+        lifespan_chronons: length of the relation lifespan.
+        tuple_bytes: physical tuple size.
+        seed: base RNG seed; ``r`` and ``s`` derive distinct streams.
+    """
+
+    name: str
+    relation_tuples: int = 131_072
+    long_lived_per_relation: int = 0
+    n_objects: int = 26_214
+    lifespan_chronons: int = 2**20
+    tuple_bytes: int = 128
+    seed: int = 1994
+
+    def __post_init__(self) -> None:
+        if self.relation_tuples < 1:
+            raise ValueError("relation_tuples must be positive")
+        if not 0 <= self.long_lived_per_relation <= self.relation_tuples:
+            raise ValueError(
+                "long_lived_per_relation must lie in [0, relation_tuples]"
+            )
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be positive")
+        if self.lifespan_chronons < 2:
+            raise ValueError("lifespan must span at least two chronons")
+
+    def scaled(self, scale: int) -> "DatabaseSpec":
+        """Shrink the database by an integer factor, preserving ratios."""
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        return replace(
+            self,
+            name=f"{self.name}_s{scale}",
+            relation_tuples=max(1, self.relation_tuples // scale),
+            long_lived_per_relation=self.long_lived_per_relation // scale,
+            n_objects=max(1, self.n_objects // scale),
+        )
+
+    @property
+    def database_tuples(self) -> int:
+        """Tuples in the whole database (both relations)."""
+        return 2 * self.relation_tuples
+
+    @property
+    def long_lived_total(self) -> int:
+        """Long-lived tuples in the whole database (the Figure 7/8 x-axis)."""
+        return 2 * self.long_lived_per_relation
+
+
+def fig6_spec() -> DatabaseSpec:
+    """Section 4.2's database: all tuples instantaneous, uniform over the
+    lifespan ("we eliminated the possibility of long-lived tuples by having
+    each tuple's valid-time interval be exactly one chronon long")."""
+    return DatabaseSpec(name="fig6", long_lived_per_relation=0)
+
+
+def fig7_spec(long_lived_total: int) -> DatabaseSpec:
+    """A Section 4.3 database with *long_lived_total* long-lived tuples.
+
+    The paper varies the total from 8 000 to 128 000 in 8 000-tuple steps at
+    a fixed database size; the long-lived tuples are split evenly between
+    the two relations.
+    """
+    if long_lived_total % 2:
+        raise ValueError("long_lived_total must be even (split across r and s)")
+    return DatabaseSpec(
+        name=f"fig7_ll{long_lived_total}",
+        long_lived_per_relation=long_lived_total // 2,
+    )
+
+
+def fig8_spec(long_lived_total: int) -> DatabaseSpec:
+    """A Section 4.4 database (same generator as Figure 7, 16k-128k range)."""
+    spec = fig7_spec(long_lived_total)
+    return replace(spec, name=f"fig8_ll{long_lived_total}")
+
+
+def memory_pages(memory_mb: float, page_bytes: int = 1024) -> int:
+    """Buffer pages corresponding to *memory_mb* mebibytes."""
+    pages = int(memory_mb * 1024 * 1024) // page_bytes
+    if pages < 4:
+        raise ValueError(f"memory of {memory_mb} MiB is below the 4-page minimum")
+    return pages

@@ -1,0 +1,69 @@
+"""Shared fixtures and relation builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+@pytest.fixture
+def schema_r() -> RelationSchema:
+    return RelationSchema(
+        "works_on", join_attributes=("emp",), payload_attributes=("project",)
+    )
+
+
+@pytest.fixture
+def schema_s() -> RelationSchema:
+    return RelationSchema(
+        "earns", join_attributes=("emp",), payload_attributes=("salary",)
+    )
+
+
+def make_relation(
+    schema: RelationSchema,
+    rows: List[tuple],
+) -> ValidTimeRelation:
+    """Rows are (key..., payload..., vs, ve)."""
+    return ValidTimeRelation.from_rows(schema, rows)
+
+
+def random_relation(
+    schema: RelationSchema,
+    n_tuples: int,
+    seed: int,
+    *,
+    n_keys: int = 12,
+    lifespan: int = 512,
+    long_lived_fraction: float = 0.25,
+    payload_tag: str = "v",
+) -> ValidTimeRelation:
+    """A mixed instantaneous/long-lived relation for equivalence tests."""
+    rng = random.Random(seed)
+    relation = ValidTimeRelation(schema)
+    for number in range(n_tuples):
+        key = (f"k{rng.randrange(n_keys)}",)
+        start = rng.randrange(lifespan)
+        if rng.random() < long_lived_fraction:
+            end = min(lifespan - 1, start + rng.randrange(1, lifespan // 2))
+        else:
+            end = start
+        relation.add(VTTuple(key, (f"{payload_tag}{number}",), Interval(start, end)))
+    return relation
+
+
+@pytest.fixture
+def small_r(schema_r) -> ValidTimeRelation:
+    return random_relation(schema_r, 60, seed=11, payload_tag="p")
+
+
+@pytest.fixture
+def small_s(schema_s) -> ValidTimeRelation:
+    return random_relation(schema_s, 60, seed=23, payload_tag="q")

@@ -1,0 +1,134 @@
+"""Adversarial inputs: the algorithms under hostile data shapes.
+
+The property tests cover random smallness; these target the specific
+shapes that break partition-based evaluation in practice: everything on
+one key, everything at one chronon, a lifespan of one chronon, one tuple
+covering everything, extreme skew, and planner sample sizes forced to
+their minimum.  Every case must produce the exact reference result --
+degraded performance is acceptable (the paper promises only that),
+wrong answers are not.
+"""
+
+import pytest
+
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.reference import reference_join
+from repro.baselines.sort_merge import sort_merge_join
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+SPEC = PageSpec(page_bytes=512, tuple_bytes=128)
+CONFIG = PartitionJoinConfig(memory_pages=8, page_spec=SPEC)
+
+
+def run_all(r, s):
+    expected = reference_join(r, s)
+    partition = partition_join(r, s, CONFIG).result
+    sort_merge = sort_merge_join(r, s, 8, page_spec=SPEC).result
+    nested = nested_loop_join(r, s, 8, page_spec=SPEC).result
+    assert partition.multiset_equal(expected)
+    assert sort_merge.multiset_equal(expected)
+    assert nested.multiset_equal(expected)
+    return expected
+
+
+class TestAdversarialShapes:
+    def test_single_key_everything_joins(self):
+        r = ValidTimeRelation(
+            SCHEMA_R,
+            [VTTuple(("k",), (f"a{i}",), Interval(i, i + 5)) for i in range(120)],
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple(("k",), (f"b{i}",), Interval(i, i + 5)) for i in range(120)],
+        )
+        expected = run_all(r, s)
+        assert len(expected) > 500  # dense cross-matching really happened
+
+    def test_all_tuples_at_one_chronon(self):
+        r = ValidTimeRelation(
+            SCHEMA_R,
+            [VTTuple((i % 5,), (f"a{i}",), Interval(7, 7)) for i in range(100)],
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple((i % 5,), (f"b{i}",), Interval(7, 7)) for i in range(100)],
+        )
+        expected = run_all(r, s)
+        assert len(expected) == 20 * 100  # 100 pairs per key over 5 keys
+
+    def test_one_tuple_covers_everything(self):
+        r = ValidTimeRelation(
+            SCHEMA_R, [VTTuple((0,), ("blanket",), Interval(0, 10_000))]
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple((0,), (f"b{i}",), Interval(i * 97, i * 97)) for i in range(100)],
+        )
+        expected = run_all(r, s)
+        assert len(expected) == 100
+
+    def test_duplicate_tuples_multiset_semantics(self):
+        tup_r = VTTuple((0,), ("same",), Interval(0, 9))
+        tup_s = VTTuple((0,), ("other",), Interval(5, 14))
+        r = ValidTimeRelation(SCHEMA_R, [tup_r, tup_r, tup_r])
+        s = ValidTimeRelation(SCHEMA_S, [tup_s, tup_s])
+        expected = run_all(r, s)
+        assert len(expected) == 6
+
+    def test_interleaved_staircase(self):
+        """Every r tuple straddles a partition boundary candidate."""
+        r = ValidTimeRelation(
+            SCHEMA_R,
+            [VTTuple((0,), (f"a{i}",), Interval(i * 10, i * 10 + 15)) for i in range(60)],
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple((0,), (f"b{i}",), Interval(i * 10 + 5, i * 10 + 20)) for i in range(60)],
+        )
+        run_all(r, s)
+
+    def test_extreme_temporal_skew(self):
+        r_tuples = [VTTuple((i % 7,), (f"a{i}",), Interval(5, 5)) for i in range(200)]
+        r_tuples.append(VTTuple((0,), ("outlier",), Interval(1_000_000, 1_000_000)))
+        s_tuples = [VTTuple((i % 7,), (f"b{i}",), Interval(5, 5)) for i in range(200)]
+        r = ValidTimeRelation(SCHEMA_R, r_tuples)
+        s = ValidTimeRelation(SCHEMA_S, s_tuples)
+        run_all(r, s)
+
+    def test_disjoint_lifespans_produce_nothing(self):
+        r = ValidTimeRelation(
+            SCHEMA_R, [VTTuple((0,), (f"a{i}",), Interval(i, i)) for i in range(50)]
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple((0,), (f"b{i}",), Interval(1000 + i, 1000 + i)) for i in range(50)],
+        )
+        expected = run_all(r, s)
+        assert len(expected) == 0
+
+    def test_minimum_memory_every_algorithm(self):
+        r = ValidTimeRelation(
+            SCHEMA_R,
+            [VTTuple((i % 3,), (f"a{i}",), Interval(i, i + 2)) for i in range(90)],
+        )
+        s = ValidTimeRelation(
+            SCHEMA_S,
+            [VTTuple((i % 3,), (f"b{i}",), Interval(i + 1, i + 3)) for i in range(90)],
+        )
+        expected = reference_join(r, s)
+        # The partition join's floor is 5 pages: the Figure 3 fixed areas
+        # plus a buffSize of 2 (1 page of error space is the planner's
+        # minimum slack).
+        assert partition_join(
+            r, s, PartitionJoinConfig(memory_pages=5, page_spec=SPEC)
+        ).result.multiset_equal(expected)
+        assert sort_merge_join(r, s, 4, page_spec=SPEC).result.multiset_equal(expected)
+        assert nested_loop_join(r, s, 3, page_spec=SPEC).result.multiset_equal(expected)

@@ -1,0 +1,89 @@
+"""Integration: the engine facade end to end, including persistence."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.engine.database import TemporalDatabase
+from repro.model.schema import RelationSchema
+from repro.storage.page import PageSpec
+from repro.storage.serialize import load_jsonl, save_jsonl
+from repro.time.calendar import between, day_to_chronon
+from tests.conftest import random_relation
+
+
+class TestEnginePipeline:
+    def test_load_join_aggregate_save(self, tmp_path, schema_r, schema_s):
+        """A full user session: build, persist, reload, join, aggregate."""
+        source_r = random_relation(schema_r, 500, seed=401, payload_tag="p")
+        source_s = random_relation(schema_s, 500, seed=402, payload_tag="q")
+        r_path = tmp_path / "r.jsonl"
+        s_path = tmp_path / "s.jsonl"
+        save_jsonl(source_r, r_path)
+        save_jsonl(source_s, s_path)
+
+        db = TemporalDatabase(
+            memory_pages=24, page_spec=PageSpec(page_bytes=512, tuple_bytes=128)
+        )
+        loaded_r = load_jsonl(r_path)
+        loaded_s = load_jsonl(s_path)
+        db.create_relation(loaded_r.schema)
+        db.create_relation(loaded_s.schema)
+        db.relation("works_on").extend(loaded_r.tuples)
+        db.relation("earns").extend(loaded_s.tuples)
+
+        result = db.join("works_on", "earns")
+        expected = reference_join(source_r, source_s)
+        assert result.relation.multiset_equal(expected)
+
+        out_path = tmp_path / "joined.jsonl"
+        save_jsonl(result.relation, out_path)
+        assert load_jsonl(out_path).multiset_equal(result.relation)
+
+        staffing = db.aggregate("works_on", "count")
+        assert len(staffing) > 0
+
+    def test_calendar_driven_workload(self):
+        """Dates in, dates out -- the calendar mapping composes with joins."""
+        from datetime import date
+
+        db = TemporalDatabase(memory_pages=16)
+        db.create_relation(RelationSchema("leases", ("tenant",), ("unit",)))
+        db.create_relation(RelationSchema("rates", ("tenant",), ("rate",)))
+        lease = between(date(2020, 1, 1), date(2020, 12, 31))
+        rate_a = between(date(2019, 6, 1), date(2020, 6, 30))
+        rate_b = between(date(2020, 7, 1), date(2021, 6, 30))
+        db.insert("leases", [("t1", "4B", lease.start, lease.end)])
+        db.insert(
+            "rates",
+            [
+                ("t1", 1200, rate_a.start, rate_a.end),
+                ("t1", 1250, rate_b.start, rate_b.end),
+            ],
+        )
+        joined = db.join("leases", "rates").relation
+        assert len(joined) == 2
+        boundary = day_to_chronon(date(2020, 7, 1))
+        rows = joined.timeslice(boundary)
+        assert rows == [("t1", "4B", 1250)]
+
+    def test_optimizer_respects_memory_changes(self, schema_r, schema_s):
+        """The same database picks different plans as memory varies."""
+        r = random_relation(schema_r, 900, seed=403)
+        s = random_relation(schema_s, 900, seed=404)
+        chosen = {}
+        for memory in (8, 4096):
+            db = TemporalDatabase(
+                memory_pages=memory,
+                page_spec=PageSpec(page_bytes=512, tuple_bytes=128),
+            )
+            db.create_relation(schema_r)
+            db.create_relation(schema_s)
+            db.relation("works_on").extend(r.tuples)
+            db.relation("earns").extend(s.tuples)
+            chosen[memory] = db.join("works_on", "earns").algorithm
+        # At 4096 pages everything fits: any algorithm is two scans, the
+        # tie-break picks partition.  At 8 pages the estimates genuinely
+        # differ and some choice is made; both must execute correctly
+        # (asserted by multiset checks elsewhere) -- here we pin the
+        # structural fact that a choice happened per configuration.
+        assert set(chosen.values()) <= {"partition", "sort_merge", "nested_loop"}

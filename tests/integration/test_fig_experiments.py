@@ -1,0 +1,122 @@
+"""Integration: the figure reproductions hold their paper shapes at test scale.
+
+These run the same harness the benches run, at a smaller scale and with
+thinned sweeps so the whole module stays fast.  The assertions are the
+shape checks documented in DESIGN.md's per-experiment index.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import fig4, fig6, fig7, fig8
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale=32)
+
+
+class TestFig4:
+    def test_curve_shape(self, config):
+        result = fig4.run_fig4(config, memory_mb=4)
+        problems = fig4.shape_checks(result)
+        assert problems == []
+
+    def test_sampling_cost_rises_and_cache_cost_falls(self, config):
+        result = fig4.run_fig4(config, memory_mb=4)
+        curve = result.curve
+        assert curve[-1].c_sample > curve[0].c_sample
+        assert curve[-1].c_join_cache < curve[0].c_join_cache
+
+    def test_chosen_point_interior_or_minimum(self, config):
+        result = fig4.run_fig4(config, memory_mb=4)
+        best = min(point.total for point in result.curve)
+        chosen = next(
+            p for p in result.curve if p.part_size == result.chosen_part_size
+        )
+        assert chosen.total == best
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def points(self, config):
+        # The smallest paper memory (1 MiB) shrinks below useful bucket
+        # buffering at this test scale, so the sweep starts at 2 MiB; the
+        # benches run the full 1-32 MiB sweep at a larger scale.
+        return fig6.run_fig6(config, memory_mb=(2, 4, 16, 32), ratios=(2, 10))
+
+    def test_shape_checks(self, points):
+        assert fig6.shape_checks(points) == []
+
+    def test_partition_beats_sort_merge_when_memory_scarce(self, points):
+        scarce = [p for p in points if p.memory_pages < p.relation_pages]
+        partition = {
+            (p.memory_mb, p.ratio): p.cost
+            for p in scarce
+            if p.algorithm == "partition"
+        }
+        sort_merge = {
+            (p.memory_mb, p.ratio): p.cost
+            for p in scarce
+            if p.algorithm == "sort_merge"
+        }
+        assert partition  # the sweep includes scarce-memory points
+        for key in partition:
+            assert partition[key] < sort_merge[key]
+
+    def test_costs_fall_with_memory_for_every_algorithm(self, points):
+        for algorithm in ("partition", "sort_merge", "nested_loop"):
+            for ratio in (2, 10):
+                series = [
+                    p.cost
+                    for p in points
+                    if p.algorithm == algorithm and p.ratio == ratio
+                ]
+                assert series[0] >= series[-1]
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def points(self, config):
+        return fig7.run_fig7(
+            config, long_lived_totals=(16_000, 64_000, 128_000)
+        )
+
+    def test_shape_checks(self, points):
+        assert fig7.shape_checks(points) == []
+
+    def test_backup_reads_grow_with_density(self, points):
+        backups = [
+            p.detail["backup_page_reads"]
+            for p in points
+            if p.algorithm == "sort_merge"
+        ]
+        assert backups[-1] > backups[0]
+
+    def test_partition_cache_grows_with_density(self, points):
+        caches = [
+            p.detail["cache_tuples_peak"]
+            for p in points
+            if p.algorithm == "partition"
+        ]
+        assert caches[-1] > caches[0]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self, config):
+        return fig8.run_fig8(
+            config,
+            long_lived_totals=(16_000, 64_000, 128_000),
+            memory_mb=(1, 4, 32),
+        )
+
+    def test_shape_checks(self, points):
+        assert fig8.shape_checks(points) == []
+
+    def test_curves_converge_at_large_memory(self, points):
+        def spread(mb):
+            costs = [p.cost for p in points if p.memory_mb == mb]
+            return max(costs) - min(costs)
+
+        assert spread(1) > spread(32)

@@ -1,0 +1,24 @@
+"""Smoke test at the EXPERIMENTS.md reporting scale (1/8).
+
+The rest of the suite runs at 1/16-1/64 scale for speed; this single test
+confirms that the shape claims recorded in EXPERIMENTS.md hold at the
+larger scale those numbers were measured at.  Only the Figure 6 sweep is
+exercised (the slowest per-point figure is covered by the benches).
+"""
+
+from repro.experiments import ExperimentConfig, run_fig6
+from repro.experiments.fig6 import shape_checks
+
+
+def test_fig6_shape_holds_at_reporting_scale():
+    config = ExperimentConfig(scale=8)
+    points = run_fig6(config, ratios=(5,))
+    assert shape_checks(points) == []
+    # The headline fact behind EXPERIMENTS.md's Figure 6 table: wherever a
+    # relation exceeds memory, the partition join beats sort-merge.
+    scarce = [p for p in points if p.memory_pages < p.relation_pages]
+    partition = {p.memory_mb: p.cost for p in scarce if p.algorithm == "partition"}
+    sort_merge = {p.memory_mb: p.cost for p in scarce if p.algorithm == "sort_merge"}
+    assert partition and all(
+        partition[mb] < sort_merge[mb] for mb in partition
+    )

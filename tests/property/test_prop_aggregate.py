@@ -1,0 +1,100 @@
+"""Property tests: aggregation tree == sweep == naive per-chronon truth."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aggregate.sweep import sweep_aggregate
+from repro.aggregate.tree import AggregationTree
+from repro.time.interval import Interval
+
+prop_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+DOMAIN = Interval(0, 80)
+
+
+def weighted_intervals():
+    return st.lists(
+        st.builds(
+            lambda start, duration, weight: (
+                Interval(start, min(DOMAIN.end, start + duration)),
+                float(weight),
+            ),
+            start=st.integers(0, 80),
+            duration=st.integers(0, 40),
+            weight=st.integers(1, 9),
+        ),
+        max_size=25,
+    )
+
+
+def naive_sum(weighted, chronon):
+    return sum(
+        value for interval, value in weighted if interval.contains_chronon(chronon)
+    )
+
+
+class TestTreeAgainstTruth:
+    @given(weighted_intervals())
+    @prop_settings
+    def test_value_at_every_chronon(self, weighted):
+        tree = AggregationTree(DOMAIN)
+        for interval, value in weighted:
+            tree.insert(interval, value)
+        for chronon in range(DOMAIN.start, DOMAIN.end + 1):
+            assert tree.value_at(chronon) == naive_sum(weighted, chronon)
+
+    @given(weighted_intervals())
+    @prop_settings
+    def test_segments_partition_nonzero_support(self, weighted):
+        tree = AggregationTree(DOMAIN)
+        for interval, value in weighted:
+            tree.insert(interval, value)
+        segments = tree.segments()
+        # Segments are ordered, disjoint, and value-maximal.
+        for (a, va), (b, vb) in zip(segments, segments[1:]):
+            assert a.end < b.start
+            if a.end + 1 == b.start:
+                assert va != vb
+        covered = set()
+        for interval, value in segments:
+            assert value != 0.0
+            covered.update(interval.chronons())
+        expected = {
+            chronon
+            for chronon in range(DOMAIN.start, DOMAIN.end + 1)
+            if naive_sum(weighted, chronon) != 0.0
+        }
+        assert covered == expected
+
+    @given(weighted_intervals())
+    @prop_settings
+    def test_tree_equals_sweep(self, weighted):
+        tree = AggregationTree(DOMAIN)
+        for interval, value in weighted:
+            tree.insert(interval, value)
+        assert tree.segments() == sweep_aggregate(weighted, "sum")
+
+
+class TestSweepAgainstTruth:
+    @given(weighted_intervals(), st.sampled_from(["count", "sum", "min", "max", "avg"]))
+    @prop_settings
+    def test_segment_values_match_naive(self, weighted, op):
+        segments = sweep_aggregate(weighted, op)
+        for segment, value in segments:
+            for chronon in segment.chronons():
+                active = [
+                    v for interval, v in weighted if interval.contains_chronon(chronon)
+                ]
+                assert active, "segment emitted with no active tuples"
+                if op == "count":
+                    expected = float(len(active))
+                elif op == "sum":
+                    expected = sum(active)
+                elif op == "avg":
+                    expected = sum(active) / len(active)
+                elif op == "min":
+                    expected = min(active)
+                else:
+                    expected = max(active)
+                assert abs(value - expected) < 1e-9

@@ -1,0 +1,142 @@
+"""Property tests for coalescing, set operations, and normalization."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.coalesce import coalesce, is_coalesced
+from repro.algebra.normalize import decompose, reconstruct
+from repro.algebra.setops import (
+    temporal_difference,
+    temporal_intersection,
+    temporal_union,
+)
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+SCHEMA = RelationSchema("r", ("k",), ("a",))
+SCHEMA_B = RelationSchema("s", ("k",), ("a",))
+WIDE = RelationSchema("w", ("k",), ("a", "b"))
+
+prop_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def vt_tuples(values=3):
+    return st.builds(
+        lambda key, value, start, duration: VTTuple(
+            (key,), (f"v{value}",), Interval(start, start + duration)
+        ),
+        key=st.integers(0, 2),
+        value=st.integers(0, values - 1),
+        start=st.integers(0, 30),
+        duration=st.integers(0, 12),
+    )
+
+
+def relations(schema=SCHEMA):
+    return st.lists(vt_tuples(), max_size=15).map(
+        lambda tuples: ValidTimeRelation(schema, tuples)
+    )
+
+
+def snapshots_equal(a, b, lo=-1, hi=50):
+    return all(
+        set(map(tuple, a.timeslice(t))) == set(map(tuple, b.timeslice(t)))
+        for t in range(lo, hi)
+    )
+
+
+class TestCoalesceProperties:
+    @given(relations())
+    @prop_settings
+    def test_output_is_coalesced(self, relation):
+        assert is_coalesced(coalesce(relation))
+
+    @given(relations())
+    @prop_settings
+    def test_snapshot_equivalent(self, relation):
+        assert snapshots_equal(relation, coalesce(relation))
+
+    @given(relations())
+    @prop_settings
+    def test_idempotent(self, relation):
+        once = coalesce(relation)
+        assert coalesce(once).multiset_equal(once)
+
+
+class TestSetOpProperties:
+    @given(relations(), relations(SCHEMA_B))
+    @prop_settings
+    def test_union_snapshot(self, r, s):
+        union = temporal_union(r, s)
+        for t in range(-1, 50):
+            assert set(map(tuple, union.timeslice(t))) == set(
+                map(tuple, r.timeslice(t))
+            ) | set(map(tuple, s.timeslice(t)))
+
+    @given(relations(), relations(SCHEMA_B))
+    @prop_settings
+    def test_difference_snapshot(self, r, s):
+        diff = temporal_difference(r, s)
+        for t in range(-1, 50):
+            assert set(map(tuple, diff.timeslice(t))) == set(
+                map(tuple, r.timeslice(t))
+            ) - set(map(tuple, s.timeslice(t)))
+
+    @given(relations(), relations(SCHEMA_B))
+    @prop_settings
+    def test_intersection_is_difference_of_difference(self, r, s):
+        via_diff = temporal_difference(r, temporal_difference(r, s))
+        direct = temporal_intersection(r, s)
+        assert snapshots_equal(coalesce(via_diff), coalesce(direct))
+
+    @given(relations())
+    @prop_settings
+    def test_union_idempotent_on_self(self, r):
+        self_union = temporal_union(
+            r, ValidTimeRelation(SCHEMA_B, list(r.tuples))
+        )
+        assert snapshots_equal(self_union, r)
+
+
+class TestNormalizationRoundTrip:
+    @given(
+        st.lists(
+            st.builds(
+                lambda key, a, b, start, duration: VTTuple(
+                    (key,), (f"a{a}", f"b{b}"), Interval(start, start + duration)
+                ),
+                key=st.integers(0, 2),
+                a=st.integers(0, 2),
+                b=st.integers(0, 2),
+                start=st.integers(0, 25),
+                duration=st.integers(0, 10),
+            ),
+            max_size=10,
+        )
+    )
+    @prop_settings
+    def test_decompose_reconstruct_snapshots(self, tuples):
+        """For snapshot-FD-respecting inputs, the round trip preserves every
+        snapshot.  Inputs where a key maps to several payloads at one chronon
+        are filtered to keep the decomposition lossless."""
+        relation = ValidTimeRelation(WIDE)
+        occupied = {}
+        for tup in tuples:
+            conflict = False
+            for chronon in tup.valid.chronons():
+                existing = occupied.get((tup.key, chronon))
+                if existing is not None and existing != tup.payload:
+                    conflict = True
+                    break
+            if conflict:
+                continue
+            for chronon in tup.valid.chronons():
+                occupied[(tup.key, chronon)] = tup.payload
+            relation.add(tup)
+
+        fragments = decompose(relation, [("a",), ("b",)])
+        rebuilt = reconstruct(fragments)
+        assert snapshots_equal(rebuilt, relation)

@@ -1,0 +1,64 @@
+"""Property tests: the AP-tree agrees with a linear scan on any query."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.index.ap_tree import build_ap_tree
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+prop_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def append_only_sequences():
+    """(gaps, durations) pairs encode a valid append-only insertion order."""
+    return st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 30)), max_size=80
+    )
+
+
+def materialize(pairs):
+    tuples = []
+    vs = 0
+    for number, (gap, duration) in enumerate(pairs):
+        vs += gap
+        tuples.append(VTTuple(("k",), (number,), Interval(vs, vs + duration)))
+    return tuples
+
+
+class TestAPTreeProperties:
+    @given(append_only_sequences(), st.integers(2, 9),
+           st.integers(0, 500), st.integers(0, 60))
+    @prop_settings
+    def test_overlapping_matches_scan(self, pairs, fanout, lo, width):
+        tuples = materialize(pairs)
+        tree = build_ap_tree(tuples, fanout)
+        query = Interval(lo, lo + width)
+        expected = [tup for tup in tuples if tup.valid.overlaps(query)]
+        assert tree.overlapping(query) == expected
+
+    @given(append_only_sequences(), st.integers(2, 9))
+    @prop_settings
+    def test_full_range_returns_everything(self, pairs, fanout):
+        tuples = materialize(pairs)
+        tree = build_ap_tree(tuples, fanout)
+        assert len(tree) == len(tuples)
+        assert tree.overlapping(Interval(0, 10_000)) == tuples
+
+    @given(append_only_sequences(), st.integers(2, 9), st.integers(0, 500))
+    @prop_settings
+    def test_stab_matches_timeslice(self, pairs, fanout, chronon):
+        tuples = materialize(pairs)
+        tree = build_ap_tree(tuples, fanout)
+        expected = [t for t in tuples if t.valid.contains_chronon(chronon)]
+        assert tree.stab(chronon) == expected
+
+    @given(append_only_sequences(), st.integers(2, 9))
+    @prop_settings
+    def test_visited_pages_are_valid_and_unique(self, pairs, fanout):
+        tuples = materialize(pairs)
+        tree = build_ap_tree(tuples, fanout)
+        _, visited = tree.probe(Interval(0, 10_000))
+        assert len(set(visited)) == len(visited)
+        assert all(0 <= page < tree.n_nodes for page in visited)

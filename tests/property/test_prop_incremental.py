@@ -1,0 +1,100 @@
+"""Property tests: incremental view maintenance equals recomputation."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.intervals import PartitionMap
+from repro.incremental.maintenance import verify_against_recompute
+from repro.incremental.view import MaterializedVTJoin
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+prop_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def vt_tuples(tag):
+    return st.builds(
+        lambda key, start, duration, payload: VTTuple(
+            (key,), (f"{tag}{payload}",), Interval(start, start + duration)
+        ),
+        key=st.integers(0, 3),
+        start=st.integers(0, 28),
+        duration=st.integers(0, 20),
+        payload=st.integers(0, 6),
+    )
+
+
+def partition_maps():
+    return st.sampled_from(
+        [
+            PartitionMap([Interval(0, 48)]),
+            PartitionMap([Interval(0, 15), Interval(16, 48)]),
+            PartitionMap([Interval(0, 9), Interval(10, 19), Interval(20, 48)]),
+            PartitionMap(
+                [Interval(0, 4), Interval(5, 11), Interval(12, 30), Interval(31, 48)]
+            ),
+        ]
+    )
+
+
+class TestMaintenanceEqualsRecompute:
+    @given(
+        partition_maps(),
+        st.lists(vt_tuples("a"), max_size=15),
+        st.lists(vt_tuples("b"), max_size=15),
+        st.data(),
+    )
+    @prop_settings
+    def test_random_update_sequences(self, pmap, r_pool, s_pool, data):
+        view = MaterializedVTJoin(SCHEMA_R, SCHEMA_S, pmap)
+        r_rel = ValidTimeRelation(SCHEMA_R)
+        s_rel = ValidTimeRelation(SCHEMA_S)
+        live_r, live_s = [], []
+
+        n_ops = data.draw(st.integers(0, 25))
+        for _ in range(n_ops):
+            choices = ["insert_r", "insert_s"]
+            if live_r:
+                choices.append("delete_r")
+            if live_s:
+                choices.append("delete_s")
+            op = data.draw(st.sampled_from(choices))
+            if op == "insert_r" and r_pool:
+                tup = r_pool.pop()
+                view.insert_r(tup)
+                r_rel.add(tup)
+                live_r.append(tup)
+            elif op == "insert_s" and s_pool:
+                tup = s_pool.pop()
+                view.insert_s(tup)
+                s_rel.add(tup)
+                live_s.append(tup)
+            elif op == "delete_r" and live_r:
+                index = data.draw(st.integers(0, len(live_r) - 1))
+                tup = live_r.pop(index)
+                view.delete_r(tup)
+                r_rel = ValidTimeRelation(SCHEMA_R, live_r)
+            elif op == "delete_s" and live_s:
+                index = data.draw(st.integers(0, len(live_s) - 1))
+                tup = live_s.pop(index)
+                view.delete_s(tup)
+                s_rel = ValidTimeRelation(SCHEMA_S, live_s)
+
+        assert verify_against_recompute(view, r_rel, s_rel)
+
+    @given(partition_maps(), st.lists(vt_tuples("a"), max_size=12),
+           st.lists(vt_tuples("b"), max_size=12))
+    @prop_settings
+    def test_insert_all_then_delete_all(self, pmap, r_tuples, s_tuples):
+        view = MaterializedVTJoin(SCHEMA_R, SCHEMA_S, pmap, r_tuples, s_tuples)
+        for tup in r_tuples:
+            view.delete_r(tup)
+        for tup in s_tuples:
+            view.delete_s(tup)
+        assert len(view) == 0

@@ -1,0 +1,82 @@
+"""Property tests: intervals, overlap, and Allen's relations."""
+
+from hypothesis import given, strategies as st
+
+from repro.time.allen import AllenRelation, relate
+from repro.time.interval import Interval, overlap
+
+
+def intervals(max_chronon=200):
+    return st.tuples(
+        st.integers(0, max_chronon), st.integers(0, max_chronon)
+    ).map(lambda pair: Interval(min(pair), max(pair)))
+
+
+class TestOverlapAlgebra:
+    @given(intervals(), intervals())
+    def test_commutative(self, u, v):
+        assert overlap(u, v) == overlap(v, u)
+
+    @given(intervals())
+    def test_idempotent(self, u):
+        assert overlap(u, u) == u
+
+    @given(intervals(), intervals())
+    def test_bottom_iff_disjoint(self, u, v):
+        common = overlap(u, v)
+        assert (common is None) == (u.end < v.start or v.end < u.start)
+
+    @given(intervals(), intervals())
+    def test_result_contained_in_both(self, u, v):
+        common = overlap(u, v)
+        if common is not None:
+            assert u.contains(common)
+            assert v.contains(common)
+
+    @given(intervals(max_chronon=40), intervals(max_chronon=40))
+    def test_matches_chronon_set_specification(self, u, v):
+        """The paper's procedural definition, executed literally."""
+        common_chronons = set(u.chronons()) & set(v.chronons())
+        expected = (
+            Interval(min(common_chronons), max(common_chronons))
+            if common_chronons
+            else None
+        )
+        assert overlap(u, v) == expected
+
+    @given(intervals(), intervals(), intervals())
+    def test_associative(self, u, v, w):
+        left = overlap(overlap(u, v), w)
+        right = overlap(u, overlap(v, w))
+        assert left == right
+
+    @given(intervals(), intervals())
+    def test_maximality(self, u, v):
+        """No strictly larger interval fits in both (maximal overlap)."""
+        common = overlap(u, v)
+        if common is None:
+            return
+        if common.start > 0:
+            grown = Interval(common.start - 1, common.end)
+            assert not (u.contains(grown) and v.contains(grown))
+        grown = Interval(common.start, common.end + 1)
+        assert not (u.contains(grown) and v.contains(grown))
+
+
+class TestAllenProperties:
+    @given(intervals(max_chronon=60), intervals(max_chronon=60))
+    def test_exactly_one_relation(self, u, v):
+        relation = relate(u, v)
+        assert isinstance(relation, AllenRelation)
+
+    @given(intervals(max_chronon=60), intervals(max_chronon=60))
+    def test_inverse_symmetry(self, u, v):
+        assert relate(u, v).inverse is relate(v, u)
+
+    @given(intervals(max_chronon=60), intervals(max_chronon=60))
+    def test_intersects_consistent_with_overlap(self, u, v):
+        assert relate(u, v).intersects == (overlap(u, v) is not None)
+
+    @given(intervals(max_chronon=60))
+    def test_self_relation_is_equal(self, u):
+        assert relate(u, u) is AllenRelation.EQUAL

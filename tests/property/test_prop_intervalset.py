@@ -1,0 +1,61 @@
+"""Property tests for interval-set normalize/subtract against chronon sets."""
+
+from hypothesis import given, strategies as st
+
+from repro.time.interval import Interval
+from repro.time.intervalset import covers, normalize, subtract, total_duration
+
+
+def intervals(max_chronon=60):
+    return st.tuples(
+        st.integers(0, max_chronon), st.integers(0, max_chronon)
+    ).map(lambda pair: Interval(min(pair), max(pair)))
+
+
+def interval_lists(max_chronon=60, max_size=8):
+    return st.lists(intervals(max_chronon), max_size=max_size)
+
+
+def chronon_set(interval_list):
+    chronons = set()
+    for interval in interval_list:
+        chronons.update(interval.chronons())
+    return chronons
+
+
+class TestNormalize:
+    @given(interval_lists())
+    def test_preserves_chronon_set(self, interval_list):
+        assert chronon_set(normalize(interval_list)) == chronon_set(interval_list)
+
+    @given(interval_lists())
+    def test_canonical_form(self, interval_list):
+        result = normalize(interval_list)
+        for earlier, later in zip(result, result[1:]):
+            assert earlier.end + 1 < later.start  # disjoint AND non-adjacent
+
+    @given(interval_lists())
+    def test_idempotent(self, interval_list):
+        once = normalize(interval_list)
+        assert normalize(once) == once
+
+    @given(interval_lists())
+    def test_total_duration_is_set_size(self, interval_list):
+        assert total_duration(interval_list) == len(chronon_set(interval_list))
+
+
+class TestSubtract:
+    @given(intervals(), interval_lists())
+    def test_matches_set_difference(self, target, blocks):
+        expected = set(target.chronons()) - chronon_set(blocks)
+        got = chronon_set(subtract(target, blocks))
+        assert got == expected
+
+    @given(intervals(), interval_lists())
+    def test_gaps_within_target(self, target, blocks):
+        for gap in subtract(target, blocks):
+            assert target.contains(gap)
+
+    @given(intervals(), interval_lists())
+    def test_covers_iff_no_gaps(self, target, blocks):
+        assert covers(blocks, target) == (not subtract(target, blocks))

@@ -1,0 +1,70 @@
+"""Property tests: IntervalSet algebra against chronon-set semantics."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.time.interval import Interval
+from repro.time.intervalset_class import IntervalSet
+
+prop_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def interval_sets(max_chronon=40):
+    return st.lists(
+        st.tuples(st.integers(0, max_chronon), st.integers(0, 15)).map(
+            lambda pair: Interval(pair[0], pair[0] + pair[1])
+        ),
+        max_size=6,
+    ).map(IntervalSet)
+
+
+def chronons(interval_set):
+    covered = set()
+    for interval in interval_set:
+        covered.update(interval.chronons())
+    return covered
+
+
+class TestSetSemantics:
+    @given(interval_sets(), interval_sets())
+    @prop_settings
+    def test_union(self, a, b):
+        assert chronons(a | b) == chronons(a) | chronons(b)
+
+    @given(interval_sets(), interval_sets())
+    @prop_settings
+    def test_difference(self, a, b):
+        assert chronons(a - b) == chronons(a) - chronons(b)
+
+    @given(interval_sets(), interval_sets())
+    @prop_settings
+    def test_intersection(self, a, b):
+        assert chronons(a & b) == chronons(a) & chronons(b)
+
+    @given(interval_sets(), interval_sets())
+    @prop_settings
+    def test_symmetric_difference(self, a, b):
+        assert chronons(a ^ b) == chronons(a) ^ chronons(b)
+
+    @given(interval_sets(), interval_sets())
+    @prop_settings
+    def test_equality_is_extensional(self, a, b):
+        assert (a == b) == (chronons(a) == chronons(b))
+
+    @given(interval_sets())
+    @prop_settings
+    def test_duration_counts_chronons(self, a):
+        assert a.duration == len(chronons(a))
+
+    @given(interval_sets(), st.integers(0, 60))
+    @prop_settings
+    def test_membership(self, a, chronon):
+        assert (chronon in a) == (chronon in chronons(a))
+
+    @given(interval_sets())
+    @prop_settings
+    def test_complement_is_involution(self, a):
+        bounds = Interval(0, 60)
+        clipped = a & IntervalSet([bounds])
+        assert clipped.complement_within(bounds).complement_within(bounds) == clipped

@@ -1,0 +1,135 @@
+"""Property tests for partitioning invariants (Section 3.3)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.intervals import PartitionMap, choose_intervals
+from repro.core.partitioner import do_partitioning
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.layout import DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+from repro.time.lifespan import covers_lifespan, lifespan_of
+
+SCHEMA = RelationSchema("r", ("k",), (), tuple_bytes=128)
+SPEC = PageSpec(page_bytes=512, tuple_bytes=128)
+
+prop_settings = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def vt_tuples():
+    return st.builds(
+        lambda key, start, duration: VTTuple(
+            (key,), (), Interval(start, start + duration)
+        ),
+        key=st.integers(0, 3),
+        start=st.integers(0, 100),
+        duration=st.integers(0, 60),
+    )
+
+
+class TestChooseIntervalsProperties:
+    @given(st.lists(vt_tuples(), min_size=1, max_size=60), st.integers(1, 10))
+    @prop_settings
+    def test_tiles_sampled_lifespan(self, samples, n):
+        intervals = choose_intervals(samples, n)
+        span = lifespan_of(tup.valid for tup in samples)
+        assert covers_lifespan(intervals, span)
+        assert intervals[0].start == span.start
+        assert intervals[-1].end == span.end
+
+    @given(st.lists(vt_tuples(), min_size=1, max_size=60), st.integers(1, 10))
+    @prop_settings
+    def test_count_bounded_by_request(self, samples, n):
+        assert 1 <= len(choose_intervals(samples, n)) <= n
+
+    @given(st.lists(vt_tuples(), min_size=1, max_size=60), st.integers(1, 10))
+    @prop_settings
+    def test_intervals_form_valid_partition_map(self, samples, n):
+        PartitionMap(choose_intervals(samples, n))  # no PlanError
+
+
+class TestPlacementProperties:
+    @given(st.lists(vt_tuples(), min_size=1, max_size=60), st.integers(1, 6))
+    @prop_settings
+    def test_each_tuple_stored_exactly_once_in_last_overlap(self, tuples, n):
+        pmap = PartitionMap(choose_intervals(tuples, n))
+        layout = DiskLayout(spec=SPEC)
+        relation = ValidTimeRelation(SCHEMA, tuples)
+        source = layout.place_relation(relation)
+        parts = do_partitioning(source, pmap, layout, "r", memory_pages=8)
+
+        assert sum(part.n_tuples for part in parts) == len(tuples)
+        for index, part in enumerate(parts):
+            for tup in part.all_tuples():
+                assert pmap.last_overlapping(tup.valid) == index
+
+    @given(st.lists(vt_tuples(), min_size=1, max_size=60), st.integers(1, 6))
+    @prop_settings
+    def test_first_le_last_overlap(self, tuples, n):
+        pmap = PartitionMap(choose_intervals(tuples, n))
+        for tup in tuples:
+            first = pmap.first_overlapping(tup.valid)
+            last = pmap.last_overlapping(tup.valid)
+            assert 0 <= first <= last < len(pmap)
+            # The clamped overlap set is exactly the index range.
+            for index in range(len(pmap)):
+                assert pmap.overlaps_partition(tup.valid, index) == (
+                    first <= index <= last
+                )
+
+    @given(st.lists(vt_tuples(), min_size=2, max_size=60))
+    @prop_settings
+    def test_overlapping_tuples_share_a_partition(self, tuples):
+        """The partitioning correctness core: joinable pairs co-reside."""
+        pmap = PartitionMap(choose_intervals(tuples, 5))
+        for x in tuples:
+            for y in tuples:
+                if x.valid.overlaps(y.valid):
+                    shared = set(
+                        range(
+                            pmap.first_overlapping(x.valid),
+                            pmap.last_overlapping(x.valid) + 1,
+                        )
+                    ) & set(
+                        range(
+                            pmap.first_overlapping(y.valid),
+                            pmap.last_overlapping(y.valid) + 1,
+                        )
+                    )
+                    assert shared
+
+
+class TestKolmogorovAccuracy:
+    def test_sampled_partitions_respect_error_bound_empirically(self):
+        """With the Kolmogorov-sized sample, realized partition sizes stay
+        within errorSize of the target with high probability."""
+        from repro.sampling.kolmogorov import required_samples
+
+        rng = random.Random(99)
+        n_tuples = 4000
+        tuples = []
+        for _ in range(n_tuples):
+            start = rng.randrange(100_000)
+            tuples.append(VTTuple((0,), (), Interval(start, start + rng.randrange(100))))
+        pages = n_tuples // SPEC.capacity
+        part_size = pages // 8
+        error_pages = part_size  # generous slack for the bound
+        m = required_samples(pages, error_pages)
+        samples = rng.sample(tuples, min(m, n_tuples))
+        intervals = choose_intervals(samples, 8)
+        pmap = PartitionMap(intervals)
+        violations = 0
+        for index in range(len(pmap)):
+            stored = sum(
+                1 for t in tuples if pmap.last_overlapping(t.valid) == index
+            )
+            stored_pages = SPEC.pages_for_tuples(stored)
+            if stored_pages > part_size + error_pages:
+                violations += 1
+        assert violations == 0

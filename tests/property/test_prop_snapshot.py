@@ -1,0 +1,69 @@
+"""Property tests: snapshot reducibility of the valid-time natural join.
+
+For every chronon t:  timeslice(r JOIN_V s, t) == timeslice(r, t) JOIN timeslice(s, t).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.timeslice import snapshot_join, timeslice
+from repro.baselines.reference import reference_join
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+prop_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def vt_tuples(tag):
+    return st.builds(
+        lambda key, start, duration, payload: VTTuple(
+            (key,), (f"{tag}{payload}",), Interval(start, start + duration)
+        ),
+        key=st.integers(0, 3),
+        start=st.integers(0, 30),
+        duration=st.integers(0, 15),
+        payload=st.integers(0, 20),
+    )
+
+
+def relations(schema, tag):
+    return st.lists(vt_tuples(tag), max_size=15).map(
+        lambda tuples: ValidTimeRelation(schema, tuples)
+    )
+
+
+class TestSnapshotReducibility:
+    @given(relations(SCHEMA_R, "a"), relations(SCHEMA_S, "b"),
+           st.integers(-2, 50))
+    @prop_settings
+    def test_timeslice_commutes_with_join(self, r, s, chronon):
+        joined = reference_join(r, s)
+        left = sorted(map(repr, timeslice(joined, chronon)))
+        right = sorted(
+            map(
+                repr,
+                snapshot_join(
+                    timeslice(r, chronon), timeslice(s, chronon), SCHEMA_R, SCHEMA_S
+                ),
+            )
+        )
+        assert left == right
+
+    @given(relations(SCHEMA_R, "a"), relations(SCHEMA_S, "b"))
+    @prop_settings
+    def test_result_timestamps_within_both_inputs(self, r, s):
+        joined = reference_join(r, s)
+        for z in joined:
+            supported_r = any(
+                x.key == z.key and x.valid.contains(z.valid) for x in r
+            )
+            supported_s = any(
+                y.key == z.key and y.valid.contains(z.valid) for y in s
+            )
+            assert supported_r and supported_s

@@ -1,0 +1,76 @@
+"""Property tests for the storage substrate's accounting invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iostats import CostModel, IOStatistics
+
+prop_settings = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def operation_sequences():
+    """Random interleavings of appends and reads across two extents/devices."""
+    return st.lists(
+        st.tuples(
+            st.integers(0, 1),  # which extent
+            st.sampled_from(["append", "read"]),
+            st.integers(0, 30),  # read position hint
+        ),
+        max_size=60,
+    )
+
+
+class TestAccountingInvariants:
+    @given(operation_sequences(), st.booleans())
+    @prop_settings
+    def test_every_operation_counted_exactly_once(self, operations, same_device):
+        stats = IOStatistics()
+        disk = SimulatedDisk(stats)
+        extents = [
+            disk.allocate("a", device=0, capacity=64),
+            disk.allocate("b", device=0 if same_device else 1, capacity=64),
+        ]
+        performed = 0
+        for which, op, hint in operations:
+            extent = extents[which]
+            if op == "append":
+                disk.append(extent, f"p{performed}")
+                performed += 1
+            elif extent.n_pages > 0:
+                disk.read(extent, hint % extent.n_pages)
+                performed += 1
+        assert stats.total_ops == performed
+        per_device = sum(s.total_ops for s in disk.device_stats.values())
+        assert per_device == performed
+
+    @given(operation_sequences())
+    @prop_settings
+    def test_cost_bounds(self, operations):
+        """Weighted cost is bounded by all-random above, all-sequential below."""
+        stats = IOStatistics()
+        disk = SimulatedDisk(stats)
+        extent = disk.allocate("a", device=0, capacity=64)
+        for _, op, hint in operations:
+            if op == "append":
+                disk.append(extent, "x")
+            elif extent.n_pages > 0:
+                disk.read(extent, hint % extent.n_pages)
+        model = CostModel.with_ratio(5)
+        total = stats.total_ops
+        assert total * model.io_seq <= stats.cost(model) <= total * model.io_ran
+
+    @given(st.integers(1, 50), st.integers(2, 10))
+    @prop_settings
+    def test_separate_scans_each_cost_one_seek(self, pages, n_scans):
+        stats = IOStatistics()
+        disk = SimulatedDisk(stats)
+        extent = disk.allocate("a", capacity=pages)
+        disk.load(extent, list(range(pages)))
+        for _ in range(n_scans):
+            disk.park_heads()
+            for index in range(pages):
+                disk.read(extent, index)
+        assert stats.random_reads == n_scans
+        assert stats.sequential_reads == n_scans * (pages - 1)

@@ -1,0 +1,204 @@
+"""Unit tests for temporal aggregation (tree, sweep, operator)."""
+
+import pytest
+
+from repro.aggregate.operator import temporal_aggregate
+from repro.aggregate.sweep import constant_intervals, sweep_aggregate
+from repro.aggregate.tree import AggregationTree
+from repro.model.schema import RelationSchema
+from repro.time.interval import Interval
+from tests.conftest import make_relation
+
+
+class TestAggregationTree:
+    def test_single_interval(self):
+        tree = AggregationTree(Interval(0, 99))
+        tree.insert(Interval(10, 19))
+        assert tree.segments() == [(Interval(10, 19), 1.0)]
+
+    def test_overlapping_intervals(self):
+        tree = AggregationTree(Interval(0, 99))
+        tree.insert(Interval(0, 49))
+        tree.insert(Interval(25, 74), weight=2)
+        assert tree.segments() == [
+            (Interval(0, 24), 1.0),
+            (Interval(25, 49), 3.0),
+            (Interval(50, 74), 2.0),
+        ]
+
+    def test_value_at(self):
+        tree = AggregationTree(Interval(0, 99))
+        tree.insert(Interval(0, 49))
+        tree.insert(Interval(25, 74))
+        assert tree.value_at(0) == 1
+        assert tree.value_at(30) == 2
+        assert tree.value_at(60) == 1
+        assert tree.value_at(80) == 0
+        assert tree.value_at(-5) == 0
+
+    def test_equal_adjacent_segments_merge(self):
+        tree = AggregationTree(Interval(0, 99))
+        tree.insert(Interval(0, 49))
+        tree.insert(Interval(50, 99))
+        assert tree.segments() == [(Interval(0, 99), 1.0)]
+
+    def test_keep_zero(self):
+        tree = AggregationTree(Interval(0, 9))
+        tree.insert(Interval(3, 5))
+        with_zero = tree.segments(keep_zero=True)
+        assert (Interval(0, 2), 0.0) in with_zero
+        assert (Interval(6, 9), 0.0) in with_zero
+
+    def test_out_of_domain_rejected(self):
+        tree = AggregationTree(Interval(0, 9))
+        with pytest.raises(ValueError, match="outside"):
+            tree.insert(Interval(5, 15))
+
+    def test_matches_per_chronon_count(self):
+        import random
+
+        rng = random.Random(4)
+        tree = AggregationTree(Interval(0, 63))
+        intervals = []
+        for _ in range(40):
+            start = rng.randrange(64)
+            interval = Interval(start, min(63, start + rng.randrange(20)))
+            intervals.append(interval)
+            tree.insert(interval)
+        for chronon in range(64):
+            expected = sum(1 for iv in intervals if iv.contains_chronon(chronon))
+            assert tree.value_at(chronon) == expected
+        # And the segment decomposition covers every nonzero chronon once.
+        for segment, value in tree.segments():
+            for chronon in segment.chronons():
+                assert tree.value_at(chronon) == value
+
+
+class TestSweep:
+    def test_constant_intervals(self):
+        segments = constant_intervals([Interval(0, 5), Interval(3, 9)])
+        assert segments == [
+            (Interval(0, 2), 1),
+            (Interval(3, 5), 2),
+            (Interval(6, 9), 1),
+        ]
+
+    def test_gap_between_intervals(self):
+        segments = constant_intervals([Interval(0, 2), Interval(6, 8)])
+        assert segments == [(Interval(0, 2), 1), (Interval(6, 8), 1)]
+
+    def test_sum(self):
+        segments = sweep_aggregate(
+            [(Interval(0, 5), 10.0), (Interval(3, 9), 5.0)], "sum"
+        )
+        assert segments == [
+            (Interval(0, 2), 10.0),
+            (Interval(3, 5), 15.0),
+            (Interval(6, 9), 5.0),
+        ]
+
+    def test_min_and_max(self):
+        weighted = [(Interval(0, 5), 10.0), (Interval(3, 9), 5.0)]
+        # Equal-valued adjacent segments merge into maximal intervals.
+        assert sweep_aggregate(weighted, "min") == [
+            (Interval(0, 2), 10.0),
+            (Interval(3, 9), 5.0),
+        ]
+        assert sweep_aggregate(weighted, "max") == [
+            (Interval(0, 5), 10.0),
+            (Interval(6, 9), 5.0),
+        ]
+
+    def test_avg(self):
+        segments = sweep_aggregate(
+            [(Interval(0, 3), 10.0), (Interval(2, 3), 20.0)], "avg"
+        )
+        assert segments == [(Interval(0, 1), 10.0), (Interval(2, 3), 15.0)]
+
+    def test_empty(self):
+        assert sweep_aggregate([], "count") == []
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            sweep_aggregate([], "median")
+
+    def test_tree_and_sweep_agree_on_sum(self):
+        import random
+
+        rng = random.Random(11)
+        weighted = []
+        tree = AggregationTree(Interval(0, 200))
+        for _ in range(60):
+            start = rng.randrange(180)
+            interval = Interval(start, start + rng.randrange(30))
+            value = float(rng.randrange(1, 9))
+            weighted.append((interval, value))
+            tree.insert(interval, value)
+        assert tree.segments() == sweep_aggregate(weighted, "sum")
+
+
+SCHEMA = RelationSchema("staff", ("dept",), ("salary",))
+
+
+class TestTemporalAggregateOperator:
+    @pytest.fixture
+    def relation(self):
+        return make_relation(
+            SCHEMA,
+            [
+                ("db", 100, 0, 9),
+                ("db", 200, 5, 14),
+                ("os", 50, 0, 19),
+            ],
+        )
+
+    def test_global_count(self, relation):
+        out = temporal_aggregate(relation, "count")
+        values = {(t.vs, t.ve): t.payload[0] for t in out}
+        assert values == {
+            (0, 4): 2.0,
+            (5, 9): 3.0,
+            (10, 14): 2.0,
+            (15, 19): 1.0,
+        }
+
+    def test_per_key_sum(self, relation):
+        out = temporal_aggregate(
+            relation, "sum", value_of=lambda t: t.payload[0], per_key=True
+        )
+        db_rows = {(t.vs, t.ve): t.payload[0] for t in out if t.key == ("db",)}
+        assert db_rows == {(0, 4): 100.0, (5, 9): 300.0, (10, 14): 200.0}
+
+    def test_max_uses_sweep(self, relation):
+        out = temporal_aggregate(relation, "max", value_of=lambda t: t.payload[0])
+        values = {(t.vs, t.ve): t.payload[0] for t in out}
+        assert values[(0, 4)] == 100.0
+        assert values[(5, 14)] == 200.0
+        assert values[(15, 19)] == 50.0
+
+    def test_tree_rejected_for_min(self, relation):
+        with pytest.raises(ValueError, match="tree"):
+            temporal_aggregate(
+                relation, "min", value_of=lambda t: t.payload[0], use_tree=True
+            )
+
+    def test_count_needs_no_extractor_sum_does(self, relation):
+        temporal_aggregate(relation, "count")
+        with pytest.raises(ValueError, match="value_of"):
+            temporal_aggregate(relation, "sum")
+
+    def test_empty_relation(self):
+        from repro.model.relation import ValidTimeRelation
+
+        out = temporal_aggregate(ValidTimeRelation(SCHEMA), "count")
+        assert len(out) == 0
+
+    def test_result_is_snapshot_consistent(self, relation):
+        out = temporal_aggregate(relation, "count")
+        for chronon in range(-1, 22):
+            active = len(relation.timeslice(chronon))
+            reported = [row[1] for row in out.timeslice(chronon)]
+            if active:
+                assert reported == [float(active)]
+            else:
+                assert reported == []

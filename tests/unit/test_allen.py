@@ -1,0 +1,57 @@
+"""Unit tests for Allen's thirteen interval relations."""
+
+import pytest
+
+from repro.time.allen import AllenRelation, relate
+from repro.time.interval import Interval
+
+
+class TestRelate:
+    CASES = [
+        (Interval(0, 1), Interval(4, 5), AllenRelation.BEFORE),
+        (Interval(4, 5), Interval(0, 1), AllenRelation.AFTER),
+        (Interval(0, 3), Interval(4, 7), AllenRelation.MEETS),
+        (Interval(4, 7), Interval(0, 3), AllenRelation.MET_BY),
+        (Interval(0, 5), Interval(3, 8), AllenRelation.OVERLAPS),
+        (Interval(3, 8), Interval(0, 5), AllenRelation.OVERLAPPED_BY),
+        (Interval(0, 3), Interval(0, 8), AllenRelation.STARTS),
+        (Interval(0, 8), Interval(0, 3), AllenRelation.STARTED_BY),
+        (Interval(3, 5), Interval(0, 8), AllenRelation.DURING),
+        (Interval(0, 8), Interval(3, 5), AllenRelation.CONTAINS),
+        (Interval(5, 8), Interval(0, 8), AllenRelation.FINISHES),
+        (Interval(0, 8), Interval(5, 8), AllenRelation.FINISHED_BY),
+        (Interval(2, 6), Interval(2, 6), AllenRelation.EQUAL),
+    ]
+
+    @pytest.mark.parametrize("u, v, expected", CASES)
+    def test_all_thirteen(self, u, v, expected):
+        assert relate(u, v) is expected
+
+    def test_exhaustive_partition(self):
+        """Exactly one relation holds, and inverses are consistent."""
+        span = range(0, 5)
+        for us in span:
+            for ue in range(us, 5):
+                for vs in span:
+                    for ve in range(vs, 5):
+                        u, v = Interval(us, ue), Interval(vs, ve)
+                        forward = relate(u, v)
+                        backward = relate(v, u)
+                        assert forward.inverse is backward
+
+    def test_intersects_flag_agrees_with_overlap(self):
+        for us in range(0, 5):
+            for ue in range(us, 5):
+                for vs in range(0, 5):
+                    for ve in range(vs, 5):
+                        u, v = Interval(us, ue), Interval(vs, ve)
+                        assert relate(u, v).intersects == u.overlaps(v)
+
+
+class TestInverse:
+    def test_equal_is_self_inverse(self):
+        assert AllenRelation.EQUAL.inverse is AllenRelation.EQUAL
+
+    def test_inverse_is_involution(self):
+        for relation in AllenRelation:
+            assert relation.inverse.inverse is relation

@@ -1,0 +1,100 @@
+"""Unit tests for the Allen-predicate join variants [LM90]."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.model.schema import RelationSchema
+from repro.time.allen import AllenRelation
+from repro.variants.allen_joins import (
+    allen_join,
+    contain_join,
+    contain_semijoin,
+    intersect_join,
+    overlap_join,
+)
+from tests.conftest import make_relation, random_relation
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestIntersectJoin:
+    def test_equivalent_to_natural_join(self):
+        r = random_relation(SCHEMA_R, 50, seed=91, n_keys=5)
+        s = random_relation(SCHEMA_S, 50, seed=92, n_keys=5)
+        assert intersect_join(r, s).multiset_equal(reference_join(r, s))
+
+
+class TestOverlapJoin:
+    def test_only_strict_partial_overlaps(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 5)])
+        s = make_relation(
+            SCHEMA_S,
+            [
+                ("x", "partial", 3, 9),  # overlaps
+                ("x", "inside", 1, 4),  # during -> excluded
+                ("x", "equal", 0, 5),  # equal -> excluded
+                ("x", "apart", 7, 9),  # before -> excluded
+            ],
+        )
+        result = overlap_join(r, s)
+        assert [t.payload for t in result] == [("a", "partial")]
+        assert result.tuples[0].valid.start == 3
+        assert result.tuples[0].valid.end == 5
+
+
+class TestContainJoin:
+    def test_contained_interval_is_result_timestamp(self):
+        r = make_relation(SCHEMA_R, [("x", "outer", 0, 9)])
+        s = make_relation(SCHEMA_S, [("x", "inner", 3, 5), ("x", "not", 8, 12)])
+        result = contain_join(r, s)
+        assert len(result) == 1
+        assert result.tuples[0].valid.start == 3
+        assert result.tuples[0].valid.end == 5
+
+    def test_equal_counts_as_containment(self):
+        r = make_relation(SCHEMA_R, [("x", "outer", 2, 6)])
+        s = make_relation(SCHEMA_S, [("x", "same", 2, 6)])
+        assert len(contain_join(r, s)) == 1
+
+
+class TestContainSemijoin:
+    def test_keeps_left_tuples_unchanged(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 9), ("x", "b", 4, 5)])
+        s = make_relation(SCHEMA_S, [("x", "w", 3, 5)])
+        result = contain_semijoin(r, s)
+        assert result.schema is SCHEMA_R
+        assert [t.payload for t in result] == [("a",)]
+
+    def test_single_witness_no_duplicates(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 9)])
+        s = make_relation(SCHEMA_S, [("x", "w1", 1, 2), ("x", "w2", 4, 5)])
+        assert len(contain_semijoin(r, s)) == 1
+
+
+class TestAllenJoinGeneric:
+    def test_rejects_intersection_stamp_for_disjoint_predicates(self):
+        r = make_relation(SCHEMA_R, [])
+        s = make_relation(SCHEMA_S, [])
+        with pytest.raises(ValueError, match="intersection"):
+            allen_join(r, s, {AllenRelation.BEFORE}, timestamp="intersection")
+
+    def test_before_join_with_left_stamp(self):
+        r = make_relation(SCHEMA_R, [("x", "early", 0, 2)])
+        s = make_relation(SCHEMA_S, [("x", "late", 5, 9)])
+        result = allen_join(r, s, {AllenRelation.BEFORE}, timestamp="left")
+        assert len(result) == 1
+        assert result.tuples[0].valid.start == 0
+        assert result.tuples[0].valid.end == 2
+
+    def test_unknown_timestamp_policy(self):
+        r = make_relation(SCHEMA_R, [])
+        s = make_relation(SCHEMA_S, [])
+        with pytest.raises(ValueError, match="policy"):
+            allen_join(r, s, {AllenRelation.EQUAL}, timestamp="middle")
+
+    def test_key_equality_always_required(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 9)])
+        s = make_relation(SCHEMA_S, [("y", "b", 2, 3)])
+        assert len(contain_join(r, s)) == 0

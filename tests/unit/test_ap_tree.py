@@ -1,0 +1,123 @@
+"""Unit tests for the append-only tree and the index-nested-loop join."""
+
+import random
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.index.ap_tree import AppendOnlyTree, build_ap_tree
+from repro.index.index_join import index_nested_loop_join
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+from tests.conftest import random_relation
+
+
+def vt(vs, ve, tag="x"):
+    return VTTuple((tag,), (f"{vs}-{ve}",), Interval(vs, ve))
+
+
+def append_only_tuples(n, seed=1, max_duration=40):
+    rng = random.Random(seed)
+    vs = 0
+    tuples = []
+    for _ in range(n):
+        vs += rng.randrange(0, 4)
+        tuples.append(vt(vs, vs + rng.randrange(max_duration)))
+    return tuples
+
+
+class TestAppendOnlyTree:
+    def test_empty_tree(self):
+        tree = AppendOnlyTree()
+        assert len(tree) == 0
+        assert tree.overlapping(Interval(0, 100)) == []
+
+    def test_single_leaf(self):
+        tree = AppendOnlyTree(fanout=4)
+        for tup in (vt(0, 5), vt(2, 3), vt(4, 10)):
+            tree.insert(tup)
+        assert tree.height == 2  # leaf level + one (empty-root) summary level
+        assert len(tree.overlapping(Interval(4, 4))) == 2  # (0,5) and (4,10)
+        assert len(tree.overlapping(Interval(2, 3))) == 2  # (0,5) and (2,3)
+        assert len(tree.overlapping(Interval(6, 9))) == 1
+
+    def test_append_only_enforced(self):
+        tree = AppendOnlyTree()
+        tree.insert(vt(10, 12))
+        with pytest.raises(ValueError, match="append-only"):
+            tree.insert(vt(9, 20))
+
+    def test_equal_start_chronons_allowed(self):
+        tree = AppendOnlyTree()
+        tree.insert(vt(5, 6))
+        tree.insert(vt(5, 9))
+        assert len(tree.stab(5)) == 2
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            AppendOnlyTree(fanout=1)
+
+    def test_matches_linear_scan(self):
+        tuples = append_only_tuples(500, seed=7)
+        tree = build_ap_tree(tuples, fanout=4)
+        rng = random.Random(8)
+        for _ in range(40):
+            lo = rng.randrange(600)
+            query = Interval(lo, lo + rng.randrange(50))
+            expected = [tup for tup in tuples if tup.valid.overlaps(query)]
+            assert tree.overlapping(query) == expected
+
+    def test_stab_matches_scan(self):
+        tuples = append_only_tuples(300, seed=9)
+        tree = build_ap_tree(tuples, fanout=8)
+        for chronon in range(0, 400, 17):
+            expected = [t for t in tuples if t.valid.contains_chronon(chronon)]
+            assert tree.stab(chronon) == expected
+
+    def test_pruning_visits_few_pages_for_point_queries(self):
+        """Instantaneous data: a stab visits O(height) pages, not O(n)."""
+        tuples = [vt(i, i) for i in range(4096)]
+        tree = build_ap_tree(tuples, fanout=8)
+        _, visited = tree.probe(Interval(2000, 2000))
+        assert len(visited) <= 3 * tree.height
+
+    def test_long_lived_widen_visits(self):
+        instantaneous = build_ap_tree([vt(i, i) for i in range(1024)], fanout=8)
+        long_lived = build_ap_tree([vt(i, i + 512) for i in range(1024)], fanout=8)
+        _, narrow = instantaneous.probe(Interval(700, 700))
+        _, wide = long_lived.probe(Interval(700, 700))
+        assert len(wide) > len(narrow)
+
+    def test_page_numbers_unique(self):
+        tree = build_ap_tree(append_only_tuples(400, seed=10), fanout=4)
+        _, visited = tree.probe(Interval(0, 10_000))
+        assert len(tree.overlapping(Interval(0, 10_000))) == 400
+        assert len(set(visited)) == len(visited)
+        assert max(visited) < tree.n_nodes
+
+
+class TestIndexNestedLoopJoin:
+    def test_equals_reference(self, schema_r, schema_s):
+        r = random_relation(schema_r, 300, seed=341, payload_tag="p")
+        s = random_relation(schema_s, 300, seed=342, payload_tag="q")
+        run = index_nested_loop_join(r, s, page_spec=PageSpec(512, 128))
+        assert run.result.multiset_equal(reference_join(r, s))
+
+    def test_probe_accounting(self, schema_r, schema_s):
+        r = random_relation(schema_r, 200, seed=343)
+        s = random_relation(schema_s, 200, seed=344)
+        run = index_nested_loop_join(r, s, page_spec=PageSpec(512, 128))
+        assert run.n_probes == 200
+        assert run.index_pages_read > 0
+        from repro.index.index_join import INDEX_DEVICE
+
+        assert run.layout.disk.device_stats[INDEX_DEVICE].reads == run.index_pages_read
+
+    def test_empty_inner(self, schema_r, schema_s):
+        r = random_relation(schema_r, 50, seed=345)
+        s = ValidTimeRelation(schema_s)
+        run = index_nested_loop_join(r, s)
+        assert run.n_result_tuples == 0

@@ -1,0 +1,139 @@
+"""Unit tests for the bitemporal extension."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.bitemporal.model import UC, BitemporalRelation, BitemporalTuple
+from repro.bitemporal.operators import (
+    bitemporal_join,
+    bitemporal_join_as_of,
+    bitemporal_timeslice,
+)
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from repro.time.interval import Interval
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+@pytest.fixture
+def relation():
+    relation = BitemporalRelation(SCHEMA_R)
+    relation.insert(("x",), ("a1",), Interval(0, 9), tt=100)
+    relation.insert(("y",), ("a2",), Interval(5, 14), tt=110)
+    return relation
+
+
+class TestAppendOnlySemantics:
+    def test_insert_is_current(self, relation):
+        assert all(tup.is_current for tup in relation)
+        assert len(relation.current()) == 2
+
+    def test_logical_delete_preserves_history(self, relation):
+        victim = next(iter(relation))
+        relation.logical_delete(victim, tt=120)
+        assert len(relation) == 2  # nothing physically removed
+        assert len(relation.current()) == 1
+        assert len(relation.as_of(115)) == 2  # rollback sees it
+        assert len(relation.as_of(120)) == 1
+
+    def test_as_of_before_any_insert(self, relation):
+        assert len(relation.as_of(50)) == 0
+
+    def test_as_of_between_inserts(self, relation):
+        assert len(relation.as_of(105)) == 1
+
+    def test_transaction_time_cannot_regress(self, relation):
+        with pytest.raises(ValueError, match="backwards"):
+            relation.insert(("z",), ("a3",), Interval(0, 1), tt=90)
+
+    def test_delete_requires_current_tuple(self, relation):
+        ghost = BitemporalTuple(("x",), ("a1",), Interval(0, 9), Interval(0, 10))
+        with pytest.raises(KeyError):
+            relation.logical_delete(ghost, tt=200)
+
+    def test_delete_must_follow_insert(self):
+        relation = BitemporalRelation(SCHEMA_R)
+        tup = relation.insert(("x",), ("a",), Interval(0, 1), tt=100)
+        with pytest.raises(ValueError, match="after insertion"):
+            relation.logical_delete(tup, tt=100)
+
+    def test_update_is_delete_plus_insert(self, relation):
+        victim = next(iter(relation))
+        replacement = relation.update(victim, ("a1_v2",), Interval(0, 19), tt=130)
+        assert replacement.is_current
+        assert len(relation.as_of(125)) == 2  # old belief
+        current_payloads = {tup.payload for tup in relation.current()}
+        assert ("a1_v2",) in current_payloads
+        assert ("a1",) not in current_payloads
+
+    def test_schema_arity_checked(self, relation):
+        with pytest.raises(SchemaError):
+            relation.insert(("x", "extra"), ("a",), Interval(0, 1), tt=200)
+
+
+class TestBitemporalTimeslice:
+    def test_two_dimensional_slice(self, relation):
+        # At tt=105 only the first insert is believed; at vt=7 it is valid.
+        assert bitemporal_timeslice(relation, tt=105, vt=7) == [("x", "a1")]
+        # At tt=115 both are believed; vt=7 hits both.
+        assert len(bitemporal_timeslice(relation, tt=115, vt=7)) == 2
+        # vt outside any validity.
+        assert bitemporal_timeslice(relation, tt=115, vt=50) == []
+
+
+class TestBitemporalJoin:
+    @pytest.fixture
+    def pair(self):
+        r = BitemporalRelation(SCHEMA_R)
+        s = BitemporalRelation(SCHEMA_S)
+        r.insert(("x",), ("a1",), Interval(0, 9), tt=100)
+        s.insert(("x",), ("b2",), Interval(0, 4), tt=100)
+        s.insert(("x",), ("b1",), Interval(5, 14), tt=105)
+        return r, s
+
+    def test_rectangle_semantics(self, pair):
+        r, s = pair
+        results = bitemporal_join(r, s)
+        assert len(results) == 2
+        by_payload = {tup.payload: tup for tup in results}
+        a1b1 = by_payload[("a1", "b1")]
+        assert a1b1.valid == Interval(5, 9)
+        assert a1b1.transaction == Interval(105, UC)
+        a1b2 = by_payload[("a1", "b2")]
+        assert a1b2.valid == Interval(0, 4)
+        assert a1b2.transaction == Interval(100, UC)
+
+    def test_deleted_belief_limits_transaction_overlap(self, pair):
+        r, s = pair
+        victim = next(tup for tup in s if tup.payload == ("b1",))
+        s.logical_delete(victim, tt=150)
+        results = bitemporal_join(r, s)
+        a1b1 = next(tup for tup in results if tup.payload == ("a1", "b1"))
+        assert a1b1.transaction == Interval(105, 149)
+
+    def test_transaction_snapshot_reducibility(self, pair):
+        """as_of(r JOIN_B s, tt) == as_of(r, tt) JOIN_V as_of(s, tt)."""
+        r, s = pair
+        victim = next(tup for tup in s if tup.payload == ("b2",))
+        s.logical_delete(victim, tt=140)
+        joined = bitemporal_join(r, s)
+        for tt in (99, 100, 104, 105, 139, 140, 1000):
+            lhs = sorted(
+                repr((t.key, t.payload, t.valid))
+                for t in joined
+                if t.known_at(tt)
+            )
+            rhs = sorted(
+                repr((t.key, t.payload, t.valid))
+                for t in reference_join(r.as_of(tt), s.as_of(tt))
+            )
+            assert lhs == rhs, f"tt={tt}"
+
+    def test_join_as_of_uses_partition_join(self, pair):
+        r, s = pair
+        result = bitemporal_join_as_of(r, s, tt=200)
+        expected = reference_join(r.as_of(200), s.as_of(200))
+        assert result.multiset_equal(expected)

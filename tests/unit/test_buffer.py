@@ -1,0 +1,70 @@
+"""Unit tests for buffer-pool budget bookkeeping and Figure 3 allocation."""
+
+import pytest
+
+from repro.model.errors import BufferOverflowError
+from repro.storage.buffer import BufferPool, JoinBufferAllocation
+
+
+class TestBufferPool:
+    def test_reserve_and_release(self):
+        pool = BufferPool(10)
+        reservation = pool.reserve("area", 6)
+        assert pool.used_pages == 6
+        assert pool.free_pages == 4
+        reservation.release()
+        assert pool.free_pages == 10
+
+    def test_over_reservation_raises(self):
+        pool = BufferPool(4)
+        pool.reserve("a", 3)
+        with pytest.raises(BufferOverflowError, match="exceeds free space"):
+            pool.reserve("b", 2)
+
+    def test_double_release_raises(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("a", 2)
+        reservation.release()
+        with pytest.raises(BufferOverflowError, match="already released"):
+            reservation.release()
+
+    def test_resize_grow_and_shrink(self):
+        pool = BufferPool(10)
+        reservation = pool.reserve("a", 2)
+        reservation.resize(8)
+        assert pool.free_pages == 2
+        reservation.resize(1)
+        assert pool.free_pages == 9
+
+    def test_resize_beyond_budget(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("a", 2)
+        with pytest.raises(BufferOverflowError):
+            reservation.resize(5)
+
+    def test_negative_reserve(self):
+        with pytest.raises(BufferOverflowError):
+            BufferPool(4).reserve("a", -1)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(BufferOverflowError):
+            BufferPool(0)
+
+
+class TestJoinBufferAllocation:
+    def test_figure3_split(self):
+        allocation = JoinBufferAllocation(total_pages=16)
+        assert allocation.buff_size == 13
+
+    def test_minimum_size(self):
+        with pytest.raises(BufferOverflowError):
+            JoinBufferAllocation(total_pages=3)
+
+    def test_open_materializes_all_regions(self):
+        pool = BufferPool(16)
+        regions = JoinBufferAllocation(total_pages=16).open(pool)
+        assert regions["outer_partition"].pages == 13
+        assert regions["inner_page"].pages == 1
+        assert regions["tuple_cache_page"].pages == 1
+        assert regions["result_page"].pages == 1
+        assert pool.free_pages == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the public workload builders."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.model.schema import RelationSchema
+from repro.workloads.builders import random_join_pair, random_valid_time_relation
+
+
+class TestRandomRelation:
+    SCHEMA = RelationSchema("r", ("k",), ("a",))
+
+    def test_cardinality_and_schema(self):
+        relation = random_valid_time_relation(self.SCHEMA, 200, seed=1)
+        assert len(relation) == 200
+        assert relation.schema is self.SCHEMA
+
+    def test_deterministic(self):
+        a = random_valid_time_relation(self.SCHEMA, 100, seed=9)
+        b = random_valid_time_relation(self.SCHEMA, 100, seed=9)
+        assert a.multiset_equal(b)
+        c = random_valid_time_relation(self.SCHEMA, 100, seed=10)
+        assert not a.multiset_equal(c)
+
+    def test_long_lived_fraction_zero(self):
+        relation = random_valid_time_relation(
+            self.SCHEMA, 150, seed=2, long_lived_fraction=0.0
+        )
+        assert all(tup.valid.duration == 1 for tup in relation)
+
+    def test_long_lived_fraction_one(self):
+        relation = random_valid_time_relation(
+            self.SCHEMA, 150, seed=3, long_lived_fraction=1.0, lifespan=500
+        )
+        long = sum(1 for tup in relation if tup.valid.duration > 1)
+        assert long > 100  # edge tuples may clip to duration 1
+
+    def test_lifespan_respected(self):
+        relation = random_valid_time_relation(
+            self.SCHEMA, 200, seed=4, lifespan=64
+        )
+        assert all(0 <= tup.vs and tup.ve < 64 for tup in relation)
+
+    def test_composite_keys(self):
+        schema = RelationSchema("r", ("k1", "k2"), ())
+        relation = random_valid_time_relation(schema, 50, seed=5, n_keys=3)
+        assert all(len(tup.key) == 2 for tup in relation)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_valid_time_relation(self.SCHEMA, 10, long_lived_fraction=1.5)
+        with pytest.raises(ValueError):
+            random_valid_time_relation(self.SCHEMA, 10, n_keys=0)
+
+
+class TestRandomJoinPair:
+    def test_pair_is_joinable_and_joins(self):
+        r, s = random_join_pair(300, seed=6, n_keys=8)
+        result = reference_join(r, s)
+        assert len(result) > 0
+
+    def test_pair_relations_differ(self):
+        r, s = random_join_pair(100, seed=7)
+        assert [t.valid for t in r] != [t.valid for t in s]
+
+    def test_usable_with_partition_join(self):
+        from repro.core.partition_join import PartitionJoinConfig, partition_join
+        from repro.storage.page import PageSpec
+
+        r, s = random_join_pair(400, seed=8)
+        run = partition_join(
+            r, s, PartitionJoinConfig(memory_pages=10, page_spec=PageSpec(512, 128))
+        )
+        assert run.result.multiset_equal(reference_join(r, s))

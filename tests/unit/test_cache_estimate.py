@@ -1,0 +1,57 @@
+"""Unit tests for estimateCacheSizes (Appendix A.4)."""
+
+import pytest
+
+from repro.core.cache_estimate import estimate_cache_sizes
+from repro.core.intervals import PartitionMap
+from repro.model.vtuple import VTTuple
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+def sample(start, end):
+    return VTTuple(("k",), (), Interval(start, end))
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap([Interval(0, 9), Interval(10, 19), Interval(20, 29)])
+
+
+@pytest.fixture
+def spec():
+    return PageSpec(page_bytes=1024, tuple_bytes=128)  # 8 per page
+
+
+class TestEstimateCacheSizes:
+    def test_no_samples(self, pmap, spec):
+        assert estimate_cache_sizes([], 1000, pmap, spec) == [0, 0, 0]
+
+    def test_instantaneous_tuples_need_no_cache(self, pmap, spec):
+        samples = [sample(i, i) for i in range(0, 30, 3)]
+        assert estimate_cache_sizes(samples, 1000, pmap, spec) == [0, 0, 0]
+
+    def test_long_lived_counts_all_but_last_partition(self, pmap, spec):
+        # Spans all three partitions: cached for partitions 0 and 1.
+        samples = [sample(0, 29)]
+        pages = estimate_cache_sizes(samples, 8, pmap, spec)
+        assert pages == [1, 1, 0]
+
+    def test_population_scaling(self, pmap, spec):
+        # One of two samples is long-lived; population 160 -> ~80 cached
+        # tuples -> 10 pages in each non-final overlapped partition.
+        samples = [sample(0, 29), sample(5, 5)]
+        pages = estimate_cache_sizes(samples, 160, pmap, spec)
+        assert pages == [10, 10, 0]
+
+    def test_two_partition_spans(self, pmap, spec):
+        samples = [sample(12, 25)]
+        pages = estimate_cache_sizes(samples, 8, pmap, spec)
+        assert pages == [0, 1, 0]
+
+    def test_negative_population_rejected(self, pmap, spec):
+        with pytest.raises(ValueError):
+            estimate_cache_sizes([sample(0, 1)], -1, pmap, spec)
+
+    def test_zero_population(self, pmap, spec):
+        assert estimate_cache_sizes([sample(0, 29)], 0, pmap, spec) == [0, 0, 0]

@@ -1,0 +1,66 @@
+"""Unit tests for the Section 5 tuple-cache buffer reservation."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.model.errors import PlanError
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+SPEC = PageSpec(page_bytes=512, tuple_bytes=128)
+
+
+class TestCacheReservation:
+    def test_results_unchanged_by_reservation(self, schema_r, schema_s):
+        r = random_relation(schema_r, 500, seed=211, long_lived_fraction=0.5)
+        s = random_relation(schema_s, 500, seed=212, long_lived_fraction=0.5)
+        expected = reference_join(r, s)
+        for reserve in (0, 2, 8):
+            run = partition_join(
+                r,
+                s,
+                PartitionJoinConfig(
+                    memory_pages=20, page_spec=SPEC, cache_buffer_pages=reserve
+                ),
+            )
+            assert run.result.multiset_equal(expected), reserve
+
+    def test_resident_cache_eliminates_spill(self, schema_r, schema_s):
+        r = random_relation(schema_r, 600, seed=213, long_lived_fraction=0.6)
+        s = random_relation(schema_s, 600, seed=214, long_lived_fraction=0.6)
+
+        def run_with(reserve):
+            return partition_join(
+                r,
+                s,
+                PartitionJoinConfig(
+                    memory_pages=60, page_spec=SPEC, cache_buffer_pages=reserve
+                ),
+            )
+
+        paged = run_with(0)
+        assert paged.outcome.cache_tuples_spilled > 0
+        # Size the reservation from the observed peak so the whole cache of
+        # any one partition fits in the resident area with slack.
+        reserve = SPEC.pages_for_tuples(paged.outcome.cache_tuples_peak) + 4
+        resident = run_with(reserve)
+        assert resident.outcome.cache_tuples_spilled < paged.outcome.cache_tuples_spilled
+        assert resident.outcome.cache_tuples_peak > 0  # caching still happened
+
+    def test_reservation_cannot_consume_whole_buffer(self, schema_r, schema_s):
+        r = random_relation(schema_r, 300, seed=215)
+        s = random_relation(schema_s, 300, seed=216)
+        with pytest.raises(PlanError, match="leaves no"):
+            partition_join(
+                r,
+                s,
+                PartitionJoinConfig(
+                    memory_pages=8, page_spec=SPEC, cache_buffer_pages=5
+                ),
+            )
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionJoinConfig(memory_pages=8, cache_buffer_pages=-1)

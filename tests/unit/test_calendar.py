@@ -1,0 +1,57 @@
+"""Unit tests for the day-granularity calendar mapping."""
+
+from datetime import date
+
+import pytest
+
+from repro.time.calendar import (
+    EPOCH,
+    as_dates,
+    between,
+    chronon_to_day,
+    day_to_chronon,
+    on,
+)
+from repro.time.interval import Interval
+
+
+class TestMapping:
+    def test_epoch_is_zero(self):
+        assert day_to_chronon(EPOCH) == 0
+        assert chronon_to_day(0) == EPOCH
+
+    def test_round_trip(self):
+        for day in (date(1994, 4, 14), date(1969, 12, 31), date(2026, 7, 7)):
+            assert chronon_to_day(day_to_chronon(day)) == day
+
+    def test_pre_epoch_is_negative(self):
+        assert day_to_chronon(date(1969, 12, 31)) == -1
+
+    def test_ordering_preserved(self):
+        assert day_to_chronon(date(1994, 1, 1)) < day_to_chronon(date(1994, 6, 1))
+
+
+class TestIntervalBuilders:
+    def test_between(self):
+        interval = between(date(1994, 1, 1), date(1994, 12, 31))
+        assert interval.duration == 365
+
+    def test_between_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            between(date(1994, 12, 31), date(1994, 1, 1))
+
+    def test_on_is_instantaneous(self):
+        interval = on(date(1994, 4, 14))
+        assert interval.duration == 1
+
+    def test_as_dates(self):
+        interval = Interval(day_to_chronon(date(2000, 1, 1)), day_to_chronon(date(2000, 1, 31)))
+        start, end = as_dates(interval)
+        assert start == date(2000, 1, 1)
+        assert end == date(2000, 1, 31)
+
+    def test_overlap_in_date_terms(self):
+        q1 = between(date(2020, 1, 1), date(2020, 3, 31))
+        q1_q2 = between(date(2020, 2, 1), date(2020, 6, 30))
+        common = q1.intersect(q1_q2)
+        assert as_dates(common) == (date(2020, 2, 1), date(2020, 3, 31))

@@ -1,0 +1,104 @@
+"""Unit tests for catalog statistics and multi-way joins."""
+
+import pytest
+
+from functools import reduce
+
+from repro.algebra.coalesce import coalesce
+from repro.algebra.normalize import decompose
+from repro.baselines.reference import reference_join
+from repro.engine.catalog import analyze
+from repro.engine.database import TemporalDatabase
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.storage.page import PageSpec
+from tests.conftest import make_relation, random_relation
+
+
+SPEC = PageSpec(page_bytes=512, tuple_bytes=128)
+
+
+class TestAnalyze:
+    def test_empty_relation(self):
+        stats = analyze(ValidTimeRelation(RelationSchema("r", ("k",))), SPEC)
+        assert stats.n_tuples == 0
+        assert stats.lifespan is None
+        assert stats.tuples_per_key == 0.0
+
+    def test_basic_counts(self):
+        schema = RelationSchema("r", ("k",), ("a",))
+        relation = make_relation(
+            schema,
+            [("x", "a1", 0, 99), ("x", "a2", 10, 10), ("y", "a3", 20, 20)],
+        )
+        stats = analyze(relation, SPEC)
+        assert stats.n_tuples == 3
+        assert stats.n_pages == 1
+        assert stats.lifespan.start == 0 and stats.lifespan.end == 99
+        assert stats.n_keys == 2
+        assert stats.tuples_per_key == pytest.approx(1.5)
+
+    def test_long_lived_fraction(self):
+        schema = RelationSchema("r", ("k",), ("a",))
+        rows = [("x", f"a{i}", i, i) for i in range(90)]
+        rows += [("x", f"L{i}", 0, 89) for i in range(10)]
+        stats = analyze(make_relation(schema, rows), SPEC)
+        assert stats.long_lived_fraction == pytest.approx(0.1)
+
+    def test_mean_duration(self):
+        schema = RelationSchema("r", ("k",), ("a",))
+        relation = make_relation(schema, [("x", "a", 0, 9), ("x", "b", 0, 0)])
+        assert analyze(relation, SPEC).mean_duration == pytest.approx(5.5)
+
+    def test_database_caches_until_change(self, schema_r):
+        db = TemporalDatabase(page_spec=SPEC)
+        db.create_relation(schema_r)
+        db.relation("works_on").extend(
+            random_relation(schema_r, 40, seed=351).tuples
+        )
+        first = db.statistics("works_on")
+        assert db.statistics("works_on") is first  # cached
+        db.insert("works_on", [("zed", "p", 0, 1)])
+        assert db.statistics("works_on") is not first  # refreshed
+
+
+class TestJoinMany:
+    def test_three_way_reconstruction(self):
+        schema = RelationSchema("facts", ("k",), ("a", "b", "c"))
+        relation = make_relation(
+            schema,
+            [
+                ("x", "a1", "b1", "c1", 0, 9),
+                ("x", "a2", "b1", "c2", 10, 19),
+                ("y", "a3", "b2", "c3", 0, 19),
+            ],
+        )
+        fragments = decompose(relation, [("a",), ("b",), ("c",)])
+        db = TemporalDatabase(memory_pages=16, page_spec=SPEC)
+        for fragment in fragments:
+            db.create_relation(fragment.schema)
+            db.relation(fragment.schema.name).extend(fragment.tuples)
+
+        result = db.join_many([f.schema.name for f in fragments])
+        expected = reduce(reference_join, fragments)
+        assert result.relation.multiset_equal(expected)
+        assert coalesce(result.relation).multiset_equal(coalesce(relation))
+        assert result.cost > 0
+        assert result.algorithm.count("+") == 1  # two join steps
+
+    def test_intermediates_are_cleaned_up(self, schema_r, schema_s):
+        db = TemporalDatabase(memory_pages=16, page_spec=SPEC)
+        db.create_relation(schema_r)
+        db.create_relation(schema_s)
+        db.relation("works_on").extend(random_relation(schema_r, 40, seed=352).tuples)
+        db.relation("earns").extend(random_relation(schema_s, 40, seed=353).tuples)
+        before = db.names()
+        db.join_many(["works_on", "earns"])
+        assert db.names() == before
+
+    def test_needs_two_relations(self, schema_r):
+        db = TemporalDatabase(page_spec=SPEC)
+        db.create_relation(schema_r)
+        with pytest.raises(SchemaError, match="at least two"):
+            db.join_many(["works_on"])

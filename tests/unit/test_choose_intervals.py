@@ -1,0 +1,96 @@
+"""Unit tests for chooseIntervals (Appendix A.3) and its sweep quantiles."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import choose_intervals, _coverage_quantiles
+from repro.model.errors import PlanError
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+from repro.time.lifespan import covers_lifespan, lifespan_of
+
+
+def sample(start, end):
+    return VTTuple(("k",), (), Interval(start, end))
+
+
+class TestChooseIntervals:
+    def test_single_partition(self):
+        intervals = choose_intervals([sample(0, 9)], 1)
+        assert intervals == [Interval(0, 9)]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(PlanError):
+            choose_intervals([], 2)
+
+    def test_nonpositive_partitions_rejected(self):
+        with pytest.raises(PlanError):
+            choose_intervals([sample(0, 1)], 0)
+
+    def test_tiling_covers_sampled_lifespan(self):
+        samples = [sample(i * 3, i * 3 + 5) for i in range(20)]
+        intervals = choose_intervals(samples, 4)
+        span = lifespan_of(tup.valid for tup in samples)
+        assert covers_lifespan(intervals, span)
+
+    def test_equal_depth_on_uniform_instants(self):
+        samples = [sample(i, i) for i in range(100)]
+        intervals = choose_intervals(samples, 4)
+        assert len(intervals) == 4
+        sizes = [
+            sum(1 for tup in samples if tup.valid.overlaps(interval))
+            for interval in intervals
+        ]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_adapts_to_skew(self):
+        # 90 instants clustered at the start, 10 spread widely.
+        samples = [sample(i % 10, i % 10) for i in range(90)]
+        samples += [sample(1000 + i * 100, 1000 + i * 100) for i in range(10)]
+        intervals = choose_intervals(samples, 5)
+        counts = [
+            sum(1 for tup in samples if tup.valid.overlaps(interval))
+            for interval in intervals
+        ]
+        # No partition should hold the 90-tuple cluster alone.
+        assert max(counts) < 90
+
+    def test_degenerate_identical_chronons(self):
+        samples = [sample(5, 5)] * 30
+        intervals = choose_intervals(samples, 4)
+        assert intervals == [Interval(5, 5)]
+
+    def test_never_more_than_requested(self):
+        rng = random.Random(3)
+        samples = [sample(rng.randrange(100), rng.randrange(100, 200)) for _ in range(50)]
+        for n in (1, 2, 3, 7, 20):
+            assert len(choose_intervals(samples, n)) <= n
+
+
+class TestCoverageQuantiles:
+    def _naive(self, samples, positions):
+        multiset = []
+        for tup in samples:
+            multiset.extend(range(tup.vs, tup.ve + 1))
+        multiset.sort()
+        return [multiset[min(p, len(multiset)) - 1] for p in positions]
+
+    def test_matches_naive_enumeration(self):
+        rng = random.Random(9)
+        for trial in range(30):
+            samples = []
+            for _ in range(rng.randrange(1, 12)):
+                start = rng.randrange(0, 40)
+                samples.append(sample(start, start + rng.randrange(0, 15)))
+            total = sum(tup.valid.duration for tup in samples)
+            positions = sorted(rng.randrange(1, total + 1) for _ in range(4))
+            expected = self._naive(samples, positions)
+            got = _coverage_quantiles(samples, positions)
+            assert got == expected, f"trial {trial}: {samples} {positions}"
+
+    def test_empty_positions(self):
+        assert _coverage_quantiles([sample(0, 5)], []) == []
+
+    def test_position_past_end_clamped(self):
+        assert _coverage_quantiles([sample(0, 4)], [100]) == [4]

@@ -1,0 +1,77 @@
+"""Unit tests for the chronon scale (repro.time.chronon)."""
+
+import pytest
+
+from repro.time.chronon import (
+    BEGINNING,
+    FOREVER,
+    Granularity,
+    is_chronon,
+    validate_chronon,
+)
+
+
+class TestIsChronon:
+    def test_plain_ints_are_chronons(self):
+        assert is_chronon(0)
+        assert is_chronon(-5)
+        assert is_chronon(2**40)
+
+    def test_bools_are_rejected(self):
+        assert not is_chronon(True)
+        assert not is_chronon(False)
+
+    def test_non_ints_are_rejected(self):
+        assert not is_chronon(1.5)
+        assert not is_chronon("3")
+        assert not is_chronon(None)
+
+    def test_sentinels_are_chronons(self):
+        assert is_chronon(BEGINNING)
+        assert is_chronon(FOREVER)
+
+    def test_out_of_range_rejected(self):
+        assert not is_chronon(FOREVER + 1)
+        assert not is_chronon(BEGINNING - 1)
+
+
+class TestValidateChronon:
+    def test_returns_value(self):
+        assert validate_chronon(42) == 42
+
+    def test_type_error_for_float(self):
+        with pytest.raises(TypeError, match="chronon"):
+            validate_chronon(1.0)
+
+    def test_type_error_for_bool(self):
+        with pytest.raises(TypeError):
+            validate_chronon(True)
+
+    def test_value_error_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_chronon(FOREVER + 1)
+
+    def test_custom_label_in_message(self):
+        with pytest.raises(TypeError, match="my_field"):
+            validate_chronon("x", "my_field")
+
+
+class TestGranularity:
+    def test_default_is_identity(self):
+        gran = Granularity()
+        assert gran.to_chronon(7) == 7
+        assert gran.from_chronon(7) == 7
+
+    def test_round_trip_with_scale(self):
+        gran = Granularity(unit="second", chronons_per_unit=10, origin=100)
+        assert gran.to_chronon(101.5) == 15
+        assert gran.from_chronon(15) == 101.5
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            Granularity(chronons_per_unit=0)
+
+    def test_from_chronon_validates(self):
+        gran = Granularity()
+        with pytest.raises(TypeError):
+            gran.from_chronon("soon")

@@ -1,0 +1,72 @@
+"""Unit tests for coalescing value-equivalent tuples."""
+
+from repro.algebra.coalesce import coalesce, is_coalesced
+from repro.model.schema import RelationSchema
+from tests.conftest import make_relation
+
+
+SCHEMA = RelationSchema("r", ("k",), ("a",))
+
+
+class TestCoalesce:
+    def test_merges_adjacent(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4), ("x", "a", 5, 9)])
+        out = coalesce(r)
+        assert len(out) == 1
+        assert out.tuples[0].valid.start == 0
+        assert out.tuples[0].valid.end == 9
+
+    def test_merges_overlapping(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 6), ("x", "a", 4, 9)])
+        out = coalesce(r)
+        assert len(out) == 1
+
+    def test_keeps_gaps(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 2), ("x", "a", 5, 9)])
+        out = coalesce(r)
+        assert len(out) == 2
+
+    def test_different_values_never_merge(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4), ("x", "b", 5, 9)])
+        assert len(coalesce(r)) == 2
+
+    def test_different_keys_never_merge(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4), ("y", "a", 5, 9)])
+        assert len(coalesce(r)) == 2
+
+    def test_idempotent(self):
+        r = make_relation(
+            SCHEMA,
+            [("x", "a", 0, 4), ("x", "a", 3, 9), ("y", "b", 0, 0), ("y", "b", 1, 1)],
+        )
+        once = coalesce(r)
+        twice = coalesce(once)
+        assert once.multiset_equal(twice)
+
+    def test_snapshot_equivalent(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 6), ("x", "a", 4, 9)])
+        out = coalesce(r)
+        for chronon in range(-1, 11):
+            assert set(map(tuple, r.timeslice(chronon))) == set(
+                map(tuple, out.timeslice(chronon))
+            )
+
+
+class TestIsCoalesced:
+    def test_detects_adjacency(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4), ("x", "a", 5, 9)])
+        assert not is_coalesced(r)
+
+    def test_detects_overlap(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 6), ("x", "a", 3, 9)])
+        assert not is_coalesced(r)
+
+    def test_accepts_gapped(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 2), ("x", "a", 4, 9)])
+        assert is_coalesced(r)
+
+    def test_coalesce_establishes_invariant(self):
+        r = make_relation(
+            SCHEMA, [("x", "a", 0, 6), ("x", "a", 3, 9), ("x", "a", 10, 12)]
+        )
+        assert is_coalesced(coalesce(r))

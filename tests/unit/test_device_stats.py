@@ -1,0 +1,43 @@
+"""Unit tests for per-device I/O statistics."""
+
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iostats import IOStatistics
+from repro.storage.layout import Device
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+class TestDeviceStats:
+    def test_breakdown_sums_to_totals(self):
+        disk = SimulatedDisk(IOStatistics())
+        a = disk.allocate("a", device=0, capacity=4)
+        b = disk.allocate("b", device=1, capacity=4)
+        for i in range(4):
+            disk.append(a, i)
+            disk.append(b, i)
+        disk.read(a, 0)
+        per_device_total = sum(
+            stats.total_ops for stats in disk.device_stats.values()
+        )
+        assert per_device_total == disk.stats.total_ops == 9
+        assert disk.device_stats[0].writes == 4
+        assert disk.device_stats[0].reads == 1
+        assert disk.device_stats[1].writes == 4
+
+    def test_partition_join_uses_expected_devices(self, schema_r, schema_s):
+        r = random_relation(schema_r, 500, seed=331, long_lived_fraction=0.5)
+        s = random_relation(schema_s, 500, seed=332, long_lived_fraction=0.5)
+        run = partition_join(
+            r,
+            s,
+            PartitionJoinConfig(memory_pages=10, page_spec=PageSpec(512, 128)),
+        )
+        device_stats = run.layout.disk.device_stats
+        assert device_stats[Device.BASE].reads > 0  # inputs scanned
+        assert device_stats[Device.BASE].writes == 0  # inputs never written
+        assert device_stats[Device.TEMP].writes > 0  # partitions written
+        assert device_stats[Device.CACHE].writes > 0  # long-lived cached
+        # Result traffic lives on a different disk entirely.
+        assert Device.RESULT not in device_stats
+        assert run.layout.result_stats.writes > 0

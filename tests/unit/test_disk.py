@@ -1,0 +1,140 @@
+"""Unit tests for the simulated disk and head-position accounting."""
+
+import pytest
+
+from repro.model.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iostats import IOStatistics
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(IOStatistics())
+
+
+class TestAllocation:
+    def test_extents_are_contiguous_internally_with_guard_gap(self, disk):
+        a = disk.allocate("a", device=0, capacity=10)
+        b = disk.allocate("b", device=0, capacity=5)
+        assert a.physical_address(0) == 0
+        assert a.physical_address(9) == 9
+        # A guard page separates extents: files are never physically adjacent.
+        assert b.physical_address(0) == 11
+
+    def test_devices_have_independent_address_spaces(self, disk):
+        a = disk.allocate("a", device=0, capacity=10)
+        b = disk.allocate("b", device=1, capacity=10)
+        assert a.physical_address(0) == b.physical_address(0) == 0
+
+    def test_capacity_validation(self, disk):
+        with pytest.raises(StorageError):
+            disk.allocate("bad", capacity=0)
+
+    def test_growth_chains_segments(self, disk):
+        a = disk.allocate("a", capacity=2)
+        disk.allocate("other", capacity=3)  # occupies following addresses
+        for i in range(5):
+            disk.write(a, i, f"p{i}")
+        assert a.n_pages == 5
+        assert a.capacity >= 5
+        # Growth segment starts after the other extent.
+        assert a.physical_address(2) >= 5
+
+
+class TestSequentialAccounting:
+    def test_fresh_scan_is_one_random_then_sequential(self, disk):
+        extent = disk.allocate("r", capacity=10)
+        disk.load(extent, [f"p{i}" for i in range(10)])
+        for i in range(10):
+            disk.read(extent, i)
+        assert disk.stats.random_reads == 1
+        assert disk.stats.sequential_reads == 9
+
+    def test_rereading_same_page_is_sequential(self, disk):
+        extent = disk.allocate("r", capacity=2)
+        disk.load(extent, ["a", "b"])
+        disk.read(extent, 0)
+        disk.read(extent, 0)
+        assert disk.stats.random_reads == 1
+        assert disk.stats.sequential_reads == 1
+
+    def test_backward_jump_is_random(self, disk):
+        extent = disk.allocate("r", capacity=5)
+        disk.load(extent, list("abcde"))
+        disk.read(extent, 3)
+        disk.read(extent, 1)
+        assert disk.stats.random_reads == 2
+
+    def test_interleaved_extents_same_device_cost_randoms(self, disk):
+        a = disk.allocate("a", device=0, capacity=4)
+        b = disk.allocate("b", device=0, capacity=4)
+        disk.load(a, list("aaaa"))
+        disk.load(b, list("bbbb"))
+        for i in range(4):
+            disk.read(a, i)
+            disk.read(b, i)
+        assert disk.stats.random_reads == 8
+
+    def test_interleaved_extents_different_devices_stay_sequential(self, disk):
+        a = disk.allocate("a", device=0, capacity=4)
+        b = disk.allocate("b", device=1, capacity=4)
+        disk.load(a, list("aaaa"))
+        disk.load(b, list("bbbb"))
+        for i in range(4):
+            disk.read(a, i)
+            disk.read(b, i)
+        assert disk.stats.random_reads == 2
+        assert disk.stats.sequential_reads == 6
+
+    def test_append_run_is_one_random_then_sequential(self, disk):
+        extent = disk.allocate("w", capacity=8)
+        for i in range(8):
+            disk.append(extent, f"p{i}")
+        assert disk.stats.random_writes == 1
+        assert disk.stats.sequential_writes == 7
+
+    def test_park_heads_forces_random(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        disk.load(extent, list("abcd"))
+        disk.read(extent, 0)
+        disk.read(extent, 1)
+        disk.park_heads()
+        disk.read(extent, 2)
+        assert disk.stats.random_reads == 2
+
+
+class TestReadWriteSemantics:
+    def test_read_past_end(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        with pytest.raises(StorageError, match="past end"):
+            disk.read(extent, 0)
+
+    def test_write_creates_hole_rejected(self, disk):
+        extent = disk.allocate("w", capacity=4)
+        with pytest.raises(StorageError, match="hole"):
+            disk.write(extent, 2, "x")
+
+    def test_overwrite_in_place(self, disk):
+        extent = disk.allocate("w", capacity=4)
+        disk.append(extent, "old")
+        disk.write(extent, 0, "new")
+        assert disk.peek(extent, 0) == "new"
+
+    def test_load_and_peek_do_not_charge(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        disk.load(extent, list("abcd"))
+        disk.peek(extent, 2)
+        assert disk.stats.total_ops == 0
+
+    def test_truncate_clears_contents(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        disk.load(extent, list("ab"))
+        disk.truncate(extent)
+        assert extent.n_pages == 0
+
+    def test_head_position_tracking(self, disk):
+        extent = disk.allocate("r", device=3, capacity=4)
+        disk.load(extent, list("abcd"))
+        assert disk.head_position(3) is None
+        disk.read(extent, 2)
+        assert disk.head_position(3) == extent.physical_address(2)

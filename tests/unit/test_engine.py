@@ -1,0 +1,133 @@
+"""Unit tests for the query engine: optimizer estimates and the facade."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.engine.database import TemporalDatabase
+from repro.engine.optimizer import choose_algorithm, estimate_costs
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from repro.storage.iostats import CostModel
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+class TestOptimizerEstimates:
+    MODEL = CostModel.with_ratio(5)
+
+    def test_all_three_estimated(self):
+        estimates = estimate_costs(1000, 1000, 64, self.MODEL)
+        assert set(estimates) == {"partition", "sort_merge", "nested_loop"}
+        assert all(e.cost > 0 for e in estimates.values())
+
+    def test_partition_wins_at_scarce_memory(self):
+        choice = choose_algorithm(2000, 2000, 40, self.MODEL)
+        assert choice == "partition"
+
+    def test_everything_fits_ties_break_to_partition(self):
+        # Both relations fit in memory: all algorithms ~ two scans.
+        choice = choose_algorithm(10, 10, 64, self.MODEL)
+        assert choice == "partition"
+
+    def test_long_lived_fraction_penalizes_sort_merge(self):
+        plain = estimate_costs(2000, 2000, 40, self.MODEL)["sort_merge"].cost
+        heavy = estimate_costs(
+            2000, 2000, 40, self.MODEL, long_lived_fraction=0.5
+        )["sort_merge"].cost
+        assert heavy > plain
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            estimate_costs(10, 10, 8, self.MODEL, long_lived_fraction=2.0)
+
+    def test_nested_loop_estimate_matches_paper_formula(self):
+        from repro.baselines.nested_loop_cost import nested_loop_cost
+
+        estimate = estimate_costs(500, 700, 32, self.MODEL)["nested_loop"]
+        assert estimate.cost == nested_loop_cost(500, 700, 32, self.MODEL)
+
+
+class TestTemporalDatabase:
+    @pytest.fixture
+    def db(self, schema_r, schema_s):
+        db = TemporalDatabase(
+            memory_pages=16, page_spec=PageSpec(page_bytes=512, tuple_bytes=128)
+        )
+        db.create_relation(schema_r)
+        db.create_relation(schema_s)
+        r = random_relation(schema_r, 400, seed=301, payload_tag="p")
+        s = random_relation(schema_s, 400, seed=302, payload_tag="q")
+        db.relation("works_on").extend(r.tuples)
+        db.relation("earns").extend(s.tuples)
+        return db
+
+    def test_duplicate_relation_rejected(self, db, schema_r):
+        with pytest.raises(SchemaError, match="already exists"):
+            db.create_relation(schema_r)
+
+    def test_missing_relation(self, db):
+        with pytest.raises(SchemaError, match="no relation"):
+            db.relation("ghost")
+
+    def test_insert_rows(self, db):
+        before = len(db.relation("works_on"))
+        added = db.insert("works_on", [("zed", "proj", 0, 5)])
+        assert added == 1
+        assert len(db.relation("works_on")) == before + 1
+
+    def test_every_method_gives_same_result(self, db):
+        expected = reference_join(db.relation("works_on"), db.relation("earns"))
+        results = {}
+        for method in ("auto", "partition", "sort_merge", "nested_loop"):
+            result = db.join("works_on", "earns", method=method)
+            assert result.relation.multiset_equal(expected), method
+            results[method] = result
+        assert results["auto"].algorithm in ("partition", "sort_merge", "nested_loop")
+
+    def test_join_reports_cost_and_estimates(self, db):
+        result = db.join("works_on", "earns")
+        assert result.cost > 0
+        assert set(result.estimates) == {"partition", "sort_merge", "nested_loop"}
+
+    def test_unknown_method(self, db):
+        with pytest.raises(ValueError, match="unknown join method"):
+            db.join("works_on", "earns", method="hash")
+
+    def test_timeslice(self, db):
+        rows = db.timeslice("works_on", 100)
+        assert all(len(row) == 2 for row in rows)
+
+    def test_aggregate(self, db):
+        counts = db.aggregate("works_on", "count")
+        assert len(counts) > 0
+        assert all(tup.payload[0] >= 1 for tup in counts)
+
+    def test_explain(self, db):
+        estimates = db.explain("works_on", "earns")
+        assert all(e.cost > 0 for e in estimates.values())
+
+    def test_names(self, db):
+        assert db.names() == ["earns", "works_on"]
+
+
+class TestOptimizerChoiceQuality:
+    def test_auto_choice_close_to_best_actual(self, schema_r, schema_s):
+        """The optimizer's pick should cost within 2x of the best measured
+        algorithm on a realistic workload (coarse estimates, honest test)."""
+        db = TemporalDatabase(
+            memory_pages=12, page_spec=PageSpec(page_bytes=512, tuple_bytes=128)
+        )
+        db.create_relation(schema_r)
+        db.create_relation(schema_s)
+        db.relation("works_on").extend(
+            random_relation(schema_r, 700, seed=303, long_lived_fraction=0.3).tuples
+        )
+        db.relation("earns").extend(
+            random_relation(schema_s, 700, seed=304, long_lived_fraction=0.3).tuples
+        )
+        actual = {
+            method: db.join("works_on", "earns", method=method).cost
+            for method in ("partition", "sort_merge", "nested_loop")
+        }
+        chosen = db.join("works_on", "earns", method="auto")
+        assert chosen.cost <= 2 * min(actual.values())

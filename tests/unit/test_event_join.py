@@ -1,0 +1,77 @@
+"""Unit tests for the event-join and TE-outerjoin [SG89]."""
+
+from repro.model.schema import RelationSchema
+from repro.variants.event_join import event_join, te_outerjoin
+from repro.time.interval import Interval
+from tests.conftest import make_relation
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestTEOuterjoin:
+    def test_fully_matched_tuple_has_no_padding(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 2, 5)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 0, 9)])
+        result = te_outerjoin(r, s)
+        assert len(result) == 1
+        assert result.tuples[0].payload == ("a1", "b1")
+
+    def test_unmatched_validity_is_null_padded(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 9)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 3, 5)])
+        result = te_outerjoin(r, s)
+        stamps = {(t.valid.start, t.valid.end): t.payload for t in result}
+        assert stamps[(3, 5)] == ("a1", "b1")
+        assert stamps[(0, 2)] == ("a1", None)
+        assert stamps[(6, 9)] == ("a1", None)
+
+    def test_no_match_at_all(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 4)])
+        s = make_relation(SCHEMA_S, [("y", "b1", 0, 4)])
+        result = te_outerjoin(r, s)
+        assert len(result) == 1
+        assert result.tuples[0].payload == ("a1", None)
+        assert result.tuples[0].valid == Interval(0, 4)
+
+    def test_right_side_not_preserved(self):
+        r = make_relation(SCHEMA_R, [])
+        s = make_relation(SCHEMA_S, [("x", "b1", 0, 4)])
+        assert len(te_outerjoin(r, s)) == 0
+
+
+class TestEventJoin:
+    def test_merges_both_histories(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 5)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 3, 9)])
+        result = event_join(r, s)
+        stamps = {(t.valid.start, t.valid.end): t.payload for t in result}
+        assert stamps[(3, 5)] == ("a1", "b1")
+        assert stamps[(0, 2)] == ("a1", None)
+        assert stamps[(6, 9)] == (None, "b1")
+
+    def test_snapshot_coverage(self):
+        """Every chronon either side asserts is covered exactly once per fact."""
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 9), ("x", "a2", 15, 20)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 5, 17)])
+        result = event_join(r, s)
+        for chronon in range(0, 21):
+            r_rows = r.timeslice(chronon)
+            s_rows = s.timeslice(chronon)
+            out_rows = result.timeslice(chronon)
+            if r_rows and s_rows:
+                assert len(out_rows) == len(r_rows) * len(s_rows)
+            elif r_rows or s_rows:
+                assert len(out_rows) == len(r_rows) + len(s_rows)
+            else:
+                assert out_rows == []
+
+    def test_disjoint_keys_fully_padded(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 4)])
+        s = make_relation(SCHEMA_S, [("y", "b1", 2, 6)])
+        result = event_join(r, s)
+        payloads = sorted(str(t.payload) for t in result)
+        assert payloads == sorted(
+            [str(("a1", None)), str((None, "b1"))]
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for the experiment config, runner, and report helpers."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import crossover, format_table, parameter_table, verdict_lines
+from repro.experiments.runner import run_algorithm
+from repro.storage.iostats import CostModel
+from repro.workloads.specs import DatabaseSpec
+
+
+class TestExperimentConfig:
+    def test_memory_scaling(self):
+        config = ExperimentConfig(scale=16)
+        assert config.memory_pages(1) == 64
+        assert config.memory_pages(32) == 2048
+
+    def test_memory_too_small_after_scaling(self):
+        config = ExperimentConfig(scale=1024)
+        with pytest.raises(ValueError, match="smaller scale"):
+            config.memory_pages(0.001)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0)
+
+    def test_database_caching(self):
+        config = ExperimentConfig(scale=256)
+        spec = DatabaseSpec("cache_test", relation_tuples=5120)
+        first = config.database(spec)
+        second = config.database(spec)
+        assert first[0] is second[0]
+
+
+class TestRunner:
+    @pytest.fixture
+    def tiny(self):
+        config = ExperimentConfig(scale=512)
+        spec = DatabaseSpec("runner_test", long_lived_per_relation=8192)
+        r, s = config.database(spec)
+        return config, r, s
+
+    def test_all_algorithms_run(self, tiny):
+        config, r, s = tiny
+        model = CostModel.with_ratio(5)
+        for name in ("partition", "sort_merge", "nested_loop", "nested_loop_sim"):
+            run = run_algorithm(name, r, s, 32, model, config)
+            assert run.cost > 0
+
+    def test_unknown_algorithm(self, tiny):
+        config, r, s = tiny
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithm("magic", r, s, 32, CostModel(), config)
+
+    def test_nested_loop_sim_matches_analytic(self, tiny):
+        config, r, s = tiny
+        model = CostModel.with_ratio(5)
+        analytic = run_algorithm("nested_loop", r, s, 16, model, config)
+        simulated = run_algorithm("nested_loop_sim", r, s, 16, model, config)
+        assert simulated.cost == pytest.approx(analytic.cost)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(("name", "cost"), [("a", 1234.0), ("bbbb", 5.0)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "1,234" in table
+
+    def test_parameter_table_contains_page_size(self):
+        assert "page_bytes" in parameter_table()
+
+    def test_verdict_lines(self):
+        assert "all paper claims hold" in verdict_lines("fig6", [])
+        text = verdict_lines("fig6", ["problem one"])
+        assert "1 deviation" in text
+        assert "problem one" in text
+
+    def test_crossover_interpolation(self):
+        xs = [1, 2, 4]
+        a = [10, 6, 2]  # falls below b between x=2 and x=4
+        b = [5, 5, 5]
+        point = crossover(xs, a, b)
+        assert point == pytest.approx(2.5)
+
+    def test_crossover_none(self):
+        assert crossover([1, 2], [10, 9], [1, 1]) is None
+
+    def test_crossover_validates_lengths(self):
+        with pytest.raises(ValueError):
+            crossover([1], [1, 2], [1, 2])

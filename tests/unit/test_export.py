@@ -1,0 +1,64 @@
+"""Unit tests for CSV export of experiment results."""
+
+import csv
+
+from repro.experiments import ExperimentConfig, run_fig4, run_fig6
+from repro.experiments.export import export_fig4, export_fig6, export_fig7, export_fig8
+from repro.experiments.fig7 import Fig7Point
+from repro.experiments.fig8 import Fig8Point
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_fig4_round_trip(self, tmp_path):
+        result = run_fig4(ExperimentConfig(scale=64))
+        path = tmp_path / "fig4.csv"
+        rows = export_fig4(result, path)
+        data = read_csv(path)
+        assert data[0][0] == "part_size"
+        assert len(data) == rows + 1
+        assert rows == len(result.curve)
+
+    def test_fig6_round_trip(self, tmp_path):
+        points = run_fig6(
+            ExperimentConfig(scale=64), memory_mb=(4, 32), ratios=(5,)
+        )
+        path = tmp_path / "fig6.csv"
+        rows = export_fig6(points, path)
+        data = read_csv(path)
+        assert rows == len(points)
+        costs = {float(row[3]) for row in data[1:]}
+        assert costs == {p.cost for p in points}
+
+    def test_fig7_headers_and_details(self, tmp_path):
+        points = [
+            Fig7Point(8000, "sort_merge", 123.0, {"backup_page_reads": 7}),
+            Fig7Point(8000, "partition", 99.0, {"cache_tuples_peak": 3}),
+        ]
+        path = tmp_path / "fig7.csv"
+        export_fig7(points, path)
+        data = read_csv(path)
+        assert data[1][3] == "7"  # backup reads for sort-merge
+        assert data[2][4] == "3"  # cache peak for partition
+
+    def test_fig8_grid(self, tmp_path):
+        points = [
+            Fig8Point(1, 16000, 10.0, {}),
+            Fig8Point(2, 16000, 5.0, {}),
+        ]
+        path = tmp_path / "fig8.csv"
+        assert export_fig8(points, path) == 2
+        data = read_csv(path)
+        assert data[0] == ["memory_mb", "long_lived_total", "cost"]
+
+    def test_overwrite_is_deterministic(self, tmp_path):
+        result = run_fig4(ExperimentConfig(scale=64))
+        path = tmp_path / "fig4.csv"
+        export_fig4(result, path)
+        first = path.read_text()
+        export_fig4(result, path)
+        assert path.read_text() == first

@@ -1,0 +1,88 @@
+"""Unit tests for external merge sort over the simulated disk."""
+
+import random
+
+import pytest
+
+from repro.baselines.external_sort import by_valid_start, external_sort
+from repro.model.errors import PlanError
+from repro.model.vtuple import VTTuple
+from repro.storage.layout import DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+def make_source(layout, n, seed=1):
+    rng = random.Random(seed)
+    tuples = [
+        VTTuple((i % 9,), (i,), Interval(rng.randrange(1000), 1000 + rng.randrange(100)))
+        for i in range(n)
+    ]
+    from repro.storage.heapfile import HeapFile
+
+    return (
+        HeapFile.bulk_load(layout.disk, "src", layout.spec, tuples),
+        tuples,
+    )
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout(spec=PageSpec(page_bytes=1024, tuple_bytes=256))
+
+
+class TestExternalSort:
+    def test_output_sorted_and_complete(self, layout):
+        source, tuples = make_source(layout, 100)
+        result = external_sort(source, layout, memory_pages=4)
+        out = result.all_tuples()
+        assert sorted(out, key=by_valid_start) == out
+        assert sorted(map(repr, out)) == sorted(map(repr, tuples))
+
+    def test_single_run_when_input_fits(self, layout):
+        source, _ = make_source(layout, 12)  # 3 pages
+        before = layout.tracker.stats.copy()
+        external_sort(source, layout, memory_pages=8)
+        delta = layout.tracker.stats.diff(before)
+        # One read pass + one write pass, no merge.
+        assert delta.reads == source.n_pages
+        assert delta.writes == source.n_pages
+
+    def test_merge_pass_when_input_exceeds_memory(self, layout):
+        source, _ = make_source(layout, 100)  # 25 pages
+        before = layout.tracker.stats.copy()
+        external_sort(source, layout, memory_pages=4)
+        delta = layout.tracker.stats.diff(before)
+        # Run formation (read+write) plus at least one merge (read+write).
+        assert delta.reads >= 2 * source.n_pages
+        assert delta.writes >= 2 * source.n_pages
+
+    def test_custom_key(self, layout):
+        source, _ = make_source(layout, 40)
+        result = external_sort(
+            source, layout, memory_pages=4, key=lambda t: (t.ve, t.vs)
+        )
+        out = result.all_tuples()
+        assert [t.ve for t in out] == sorted(t.ve for t in out)
+
+    def test_empty_input(self, layout):
+        source, _ = make_source(layout, 0)
+        result = external_sort(source, layout, memory_pages=4)
+        assert result.all_tuples() == []
+
+    def test_memory_minimum(self, layout):
+        source, _ = make_source(layout, 10)
+        with pytest.raises(PlanError):
+            external_sort(source, layout, memory_pages=2)
+
+    def test_smaller_memory_costs_more(self, layout):
+        source, tuples = make_source(layout, 200)
+        before = layout.tracker.stats.copy()
+        external_sort(source, layout, memory_pages=3, name="tight")
+        tight = layout.tracker.stats.diff(before).total_ops
+
+        layout2 = DiskLayout(spec=layout.spec)
+        source2, _ = make_source(layout2, 200)
+        external_sort(source2, layout2, memory_pages=32, name="roomy")
+        roomy = layout2.tracker.stats.total_ops
+        assert tight > roomy

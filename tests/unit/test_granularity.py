@@ -1,0 +1,94 @@
+"""Unit tests for granularity conversion [DS93]."""
+
+import pytest
+
+from repro.model.schema import RelationSchema
+from repro.time.granularity import GranularityConversion
+from repro.time.interval import Interval
+from tests.conftest import make_relation
+
+
+DAYS_TO_HOURS = GranularityConversion(24)
+
+
+class TestRefine:
+    def test_single_chronon(self):
+        assert DAYS_TO_HOURS.refine(Interval(0, 0)) == Interval(0, 23)
+
+    def test_multi_chronon(self):
+        assert DAYS_TO_HOURS.refine(Interval(1, 2)) == Interval(24, 71)
+
+    def test_factor_one_is_identity(self):
+        identity = GranularityConversion(1)
+        assert identity.refine(Interval(3, 9)) == Interval(3, 9)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            GranularityConversion(0)
+
+
+class TestCoarsen:
+    def test_cover_policy(self):
+        # Hours 10..30 touch days 0 and 1.
+        assert DAYS_TO_HOURS.coarsen(Interval(10, 30)) == Interval(0, 1)
+
+    def test_within_policy(self):
+        # Hours 0..47 contain exactly days 0 and 1.
+        assert DAYS_TO_HOURS.coarsen(Interval(0, 47), policy="within") == Interval(0, 1)
+        # Hours 1..47 contain only day 1 entirely.
+        assert DAYS_TO_HOURS.coarsen(Interval(1, 47), policy="within") == Interval(1, 1)
+
+    def test_within_can_be_empty(self):
+        assert DAYS_TO_HOURS.coarsen(Interval(5, 20), policy="within") is None
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            DAYS_TO_HOURS.coarsen(Interval(0, 1), policy="fuzzy")
+
+    def test_cover_contains_within(self):
+        for start in range(0, 50, 7):
+            for width in (0, 5, 24, 50):
+                interval = Interval(start, start + width)
+                cover = DAYS_TO_HOURS.coarsen(interval, policy="cover")
+                within = DAYS_TO_HOURS.coarsen(interval, policy="within")
+                if within is not None:
+                    assert cover.contains(within)
+
+
+class TestRoundTrips:
+    def test_refine_then_coarsen_is_identity(self):
+        for start in range(0, 10):
+            for end in range(start, 10):
+                coarse = Interval(start, end)
+                fine = DAYS_TO_HOURS.refine(coarse)
+                assert DAYS_TO_HOURS.coarsen(fine, policy="cover") == coarse
+                assert DAYS_TO_HOURS.coarsen(fine, policy="within") == coarse
+
+
+class TestRelationConversion:
+    SCHEMA = RelationSchema("r", ("k",), ("a",))
+
+    def test_refine_relation(self):
+        relation = make_relation(self.SCHEMA, [("x", "a", 0, 1)])
+        fine = DAYS_TO_HOURS.refine_relation(relation)
+        assert fine.tuples[0].valid == Interval(0, 47)
+
+    def test_coarsen_relation_drops_empty_within(self):
+        relation = make_relation(
+            self.SCHEMA, [("x", "a", 5, 20), ("x", "b", 0, 47)]
+        )
+        coarse = DAYS_TO_HOURS.coarsen_relation(relation, policy="within")
+        assert len(coarse) == 1
+        assert coarse.tuples[0].payload == ("b",)
+
+    def test_cross_granularity_join_via_refinement(self):
+        """Joining a day-granularity and an hour-granularity relation."""
+        from repro.baselines.reference import reference_join
+
+        days = make_relation(self.SCHEMA, [("x", "day_fact", 1, 1)])
+        hours = make_relation(
+            RelationSchema("s", ("k",), ("b",)), [("x", "hour_fact", 30, 40)]
+        )
+        joined = reference_join(DAYS_TO_HOURS.refine_relation(days), hours)
+        assert len(joined) == 1
+        assert joined.tuples[0].valid == Interval(30, 40)

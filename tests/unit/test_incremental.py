@@ -1,0 +1,124 @@
+"""Unit tests for the incrementally maintained materialized join."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.core.intervals import PartitionMap
+from repro.incremental.maintenance import (
+    apply_batch,
+    verify_against_recompute,
+)
+from repro.incremental.view import MaterializedVTJoin
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+def vt(key, payload, start, end):
+    return VTTuple((key,), (payload,), Interval(start, end))
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap([Interval(0, 9), Interval(10, 19), Interval(20, 29)])
+
+
+@pytest.fixture
+def view(pmap):
+    return MaterializedVTJoin(SCHEMA_R, SCHEMA_S, pmap)
+
+
+class TestInserts:
+    def test_insert_produces_join_tuples(self, view):
+        view.insert_r(vt("x", "a", 0, 9))
+        stats = view.insert_s(vt("x", "b", 5, 14))
+        assert stats.delta_tuples == 1
+        assert len(view) == 1
+        snapshot = view.snapshot()
+        assert snapshot.tuples[0].valid == Interval(5, 9)
+
+    def test_cross_partition_pair_counted_once(self, view):
+        view.insert_r(vt("x", "a", 0, 29))
+        stats = view.insert_s(vt("x", "b", 0, 29))
+        assert stats.delta_tuples == 1
+        assert len(view) == 1
+
+    def test_locality_of_instantaneous_update(self, view):
+        view.insert_r(vt("x", "a", 0, 29))
+        stats = view.insert_s(vt("x", "b", 5, 5))
+        assert stats.partitions_touched == 1
+
+    def test_key_mismatch_no_delta(self, view):
+        view.insert_r(vt("x", "a", 0, 9))
+        stats = view.insert_s(vt("y", "b", 0, 9))
+        assert stats.delta_tuples == 0
+        assert len(view) == 0
+
+
+class TestDeletes:
+    def test_delete_retracts_contribution(self, view):
+        x = vt("x", "a", 0, 9)
+        y = vt("x", "b", 5, 14)
+        view.insert_r(x)
+        view.insert_s(y)
+        view.delete_r(x)
+        assert len(view) == 0
+
+    def test_delete_unknown_tuple_raises(self, view):
+        with pytest.raises(KeyError):
+            view.delete_r(vt("x", "a", 0, 9))
+
+    def test_duplicate_insert_counts_multiplicity(self, view):
+        x = vt("x", "a", 0, 9)
+        view.insert_r(x)
+        view.insert_r(x)
+        view.insert_s(vt("x", "b", 0, 9))
+        assert len(view) == 2
+        view.delete_r(x)
+        assert len(view) == 1
+
+
+class TestBatchAndVerify:
+    def test_apply_batch_and_recompute_agree(self, pmap):
+        view = MaterializedVTJoin(SCHEMA_R, SCHEMA_S, pmap)
+        r_rel = ValidTimeRelation(SCHEMA_R)
+        s_rel = ValidTimeRelation(SCHEMA_S)
+        updates = []
+        for i in range(25):
+            tup = vt(f"k{i % 4}", f"a{i}", (i * 3) % 28, min(29, (i * 3) % 28 + i % 9))
+            updates.append(("insert", "r", tup))
+            r_rel.add(tup)
+        for i in range(25):
+            tup = vt(f"k{i % 4}", f"b{i}", (i * 5) % 28, min(29, (i * 5) % 28 + i % 7))
+            updates.append(("insert", "s", tup))
+            s_rel.add(tup)
+        stats = apply_batch(view, updates)
+        assert stats.updates == 50
+        assert verify_against_recompute(view, r_rel, s_rel)
+
+    def test_unknown_operation_rejected(self, view):
+        with pytest.raises(ValueError):
+            apply_batch(view, [("upsert", "r", vt("x", "a", 0, 1))])
+
+    def test_initial_contents_constructor(self, pmap):
+        r_tuples = [vt("x", "a", 0, 9), vt("y", "c", 10, 19)]
+        s_tuples = [vt("x", "b", 5, 14)]
+        view = MaterializedVTJoin(
+            SCHEMA_R, SCHEMA_S, pmap, r_tuples, s_tuples
+        )
+        expected = reference_join(
+            ValidTimeRelation(SCHEMA_R, r_tuples),
+            ValidTimeRelation(SCHEMA_S, s_tuples),
+        )
+        assert view.snapshot().multiset_equal(expected)
+
+    def test_incompatible_schemas_rejected(self, pmap):
+        with pytest.raises(Exception):
+            MaterializedVTJoin(
+                SCHEMA_R, RelationSchema("bad", ("other",)), pmap
+            )

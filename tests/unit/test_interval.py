@@ -1,0 +1,149 @@
+"""Unit tests for intervals and the paper's overlap function."""
+
+import pytest
+
+from repro.time.interval import Interval, hull, overlap, overlaps
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(3, 9)
+        assert interval.start == 3
+        assert interval.end == 9
+
+    def test_instantaneous(self):
+        interval = Interval(5, 5)
+        assert interval.duration == 1
+
+    def test_reversed_raises(self):
+        with pytest.raises(ValueError, match="precedes"):
+            Interval(9, 3)
+
+    def test_non_int_raises(self):
+        with pytest.raises(TypeError):
+            Interval("a", 3)
+
+    def test_immutable(self):
+        interval = Interval(1, 2)
+        with pytest.raises(AttributeError):
+            interval.start = 7
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert Interval(1, 4) == Interval(1, 4)
+        assert Interval(1, 4) != Interval(1, 5)
+        assert hash(Interval(1, 4)) == hash(Interval(1, 4))
+        assert len({Interval(1, 4), Interval(1, 4), Interval(2, 4)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Interval(1, 4) != (1, 4)
+
+    def test_ordering_by_start_then_end(self):
+        assert Interval(1, 9) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 9)
+        assert sorted([Interval(4, 5), Interval(1, 2)])[0] == Interval(1, 2)
+
+
+class TestQueries:
+    def test_duration(self):
+        assert Interval(3, 7).duration == 5
+
+    def test_contains_chronon(self):
+        interval = Interval(2, 6)
+        assert interval.contains_chronon(2)
+        assert interval.contains_chronon(6)
+        assert not interval.contains_chronon(1)
+        assert not interval.contains_chronon(7)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(3, 4))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_overlaps_shared_endpoint(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_overlaps_disjoint(self):
+        assert not Interval(0, 4).overlaps(Interval(5, 9))
+
+    def test_precedes_and_meets(self):
+        assert Interval(0, 4).precedes(Interval(5, 9))
+        assert Interval(0, 4).meets(Interval(5, 9))
+        assert not Interval(0, 4).meets(Interval(6, 9))
+
+    def test_chronons_iteration(self):
+        assert list(Interval(3, 6).chronons()) == [3, 4, 5, 6]
+
+
+class TestIntersect:
+    def test_partial_overlap(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_containment(self):
+        assert Interval(0, 10).intersect(Interval(4, 6)) == Interval(4, 6)
+
+    def test_disjoint_returns_none(self):
+        assert Interval(0, 2).intersect(Interval(3, 5)) is None
+
+    def test_single_shared_chronon(self):
+        assert Interval(0, 5).intersect(Interval(5, 9)) == Interval(5, 5)
+
+    def test_matches_chronon_set_definition(self):
+        # The paper's procedural overlap: common chronons, min/max.
+        for a_start in range(0, 6):
+            for a_end in range(a_start, 6):
+                for b_start in range(0, 6):
+                    for b_end in range(b_start, 6):
+                        a, b = Interval(a_start, a_end), Interval(b_start, b_end)
+                        common = set(a.chronons()) & set(b.chronons())
+                        expected = (
+                            Interval(min(common), max(common)) if common else None
+                        )
+                        assert a.intersect(b) == expected
+
+
+class TestModuleLevelOverlap:
+    def test_propagates_bottom(self):
+        assert overlap(None, Interval(0, 1)) is None
+        assert overlap(Interval(0, 1), None) is None
+        assert overlap(None, None) is None
+
+    def test_delegates(self):
+        assert overlap(Interval(0, 5), Interval(4, 9)) == Interval(4, 5)
+
+    def test_predicate(self):
+        assert overlaps(Interval(0, 5), Interval(5, 6))
+        assert not overlaps(Interval(0, 5), Interval(6, 7))
+
+
+class TestCombination:
+    def test_union_overlapping(self):
+        assert Interval(0, 5).union(Interval(3, 9)) == Interval(0, 9)
+
+    def test_union_meeting(self):
+        assert Interval(0, 4).union(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(5, 9).union(Interval(0, 4)) == Interval(0, 9)
+
+    def test_union_disjoint_raises(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            Interval(0, 3).union(Interval(5, 9))
+
+    def test_shifted(self):
+        assert Interval(2, 4).shifted(10) == Interval(12, 14)
+        assert Interval(2, 4).shifted(-2) == Interval(0, 2)
+
+    def test_clamp(self):
+        assert Interval(0, 100).clamp(Interval(10, 20)) == Interval(10, 20)
+        assert Interval(0, 5).clamp(Interval(10, 20)) is None
+
+
+class TestHull:
+    def test_empty(self):
+        assert hull([]) is None
+
+    def test_single(self):
+        assert hull([Interval(3, 4)]) == Interval(3, 4)
+
+    def test_multiple_disjoint(self):
+        assert hull([Interval(5, 6), Interval(0, 1), Interval(9, 9)]) == Interval(0, 9)

@@ -1,0 +1,64 @@
+"""Unit tests for interval-set operations (normalize / subtract / covers)."""
+
+from repro.time.interval import Interval
+from repro.time.intervalset import covers, normalize, subtract, total_duration
+
+
+class TestNormalize:
+    def test_empty(self):
+        assert normalize([]) == []
+
+    def test_merges_overlapping(self):
+        assert normalize([Interval(0, 5), Interval(3, 9)]) == [Interval(0, 9)]
+
+    def test_merges_adjacent(self):
+        assert normalize([Interval(0, 4), Interval(5, 9)]) == [Interval(0, 9)]
+
+    def test_keeps_disjoint(self):
+        result = normalize([Interval(6, 9), Interval(0, 2)])
+        assert result == [Interval(0, 2), Interval(6, 9)]
+
+    def test_duplicates_collapse(self):
+        assert normalize([Interval(1, 2), Interval(1, 2)]) == [Interval(1, 2)]
+
+    def test_nested_intervals(self):
+        assert normalize([Interval(0, 9), Interval(2, 3)]) == [Interval(0, 9)]
+
+
+class TestSubtract:
+    def test_nothing_covered(self):
+        assert subtract(Interval(0, 9), []) == [Interval(0, 9)]
+
+    def test_fully_covered(self):
+        assert subtract(Interval(2, 5), [Interval(0, 9)]) == []
+
+    def test_hole_in_middle(self):
+        gaps = subtract(Interval(0, 9), [Interval(3, 5)])
+        assert gaps == [Interval(0, 2), Interval(6, 9)]
+
+    def test_covered_prefix(self):
+        assert subtract(Interval(0, 9), [Interval(0, 4)]) == [Interval(5, 9)]
+
+    def test_covered_suffix(self):
+        assert subtract(Interval(0, 9), [Interval(7, 9)]) == [Interval(0, 6)]
+
+    def test_multiple_blocks(self):
+        gaps = subtract(Interval(0, 10), [Interval(1, 2), Interval(5, 6), Interval(9, 9)])
+        assert gaps == [Interval(0, 0), Interval(3, 4), Interval(7, 8), Interval(10, 10)]
+
+    def test_blocks_outside_are_ignored(self):
+        assert subtract(Interval(5, 6), [Interval(0, 1), Interval(8, 9)]) == [Interval(5, 6)]
+
+    def test_overlapping_blocks_handled(self):
+        assert subtract(Interval(0, 9), [Interval(0, 5), Interval(4, 7)]) == [Interval(8, 9)]
+
+
+class TestTotalDurationAndCovers:
+    def test_total_duration_deduplicates(self):
+        assert total_duration([Interval(0, 4), Interval(3, 6)]) == 7
+
+    def test_covers_true(self):
+        assert covers([Interval(0, 4), Interval(5, 9)], Interval(2, 8))
+
+    def test_covers_false_with_gap(self):
+        assert not covers([Interval(0, 3), Interval(6, 9)], Interval(2, 8))

@@ -1,0 +1,82 @@
+"""Unit tests for the IntervalSet container."""
+
+import pytest
+
+from repro.time.interval import Interval
+from repro.time.intervalset_class import IntervalSet
+
+
+class TestConstruction:
+    def test_canonicalizes(self):
+        a = IntervalSet([Interval(0, 4), Interval(5, 9), Interval(2, 3)])
+        assert list(a) == [Interval(0, 9)]
+
+    def test_equality_by_coverage(self):
+        a = IntervalSet([Interval(0, 4), Interval(5, 9)])
+        b = IntervalSet([Interval(0, 9)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_is_falsy(self):
+        assert not IntervalSet()
+        assert IntervalSet([Interval(0, 0)])
+
+    def test_immutable(self):
+        a = IntervalSet()
+        with pytest.raises(AttributeError):
+            a._intervals = ()
+
+
+class TestMembership:
+    def test_chronon_membership(self):
+        a = IntervalSet([Interval(0, 4), Interval(10, 12)])
+        assert 3 in a
+        assert 10 in a
+        assert 7 not in a
+
+    def test_interval_containment(self):
+        a = IntervalSet([Interval(0, 9)])
+        assert Interval(2, 5) in a
+        assert Interval(8, 11) not in a
+
+
+class TestAlgebra:
+    A = IntervalSet([Interval(0, 9)])
+    B = IntervalSet([Interval(5, 14)])
+
+    def test_union(self):
+        assert self.A | self.B == IntervalSet([Interval(0, 14)])
+
+    def test_difference(self):
+        assert self.A - self.B == IntervalSet([Interval(0, 4)])
+
+    def test_intersection(self):
+        assert self.A & self.B == IntervalSet([Interval(5, 9)])
+
+    def test_symmetric_difference(self):
+        assert self.A ^ self.B == IntervalSet(
+            [Interval(0, 4), Interval(10, 14)]
+        )
+
+    def test_de_morgan_within_bounds(self):
+        bounds = Interval(0, 20)
+        lhs = (self.A | self.B).complement_within(bounds)
+        rhs = self.A.complement_within(bounds) & self.B.complement_within(bounds)
+        assert lhs == rhs
+
+
+class TestMeasures:
+    def test_duration(self):
+        a = IntervalSet([Interval(0, 4), Interval(10, 12)])
+        assert a.duration == 8
+
+    def test_hull(self):
+        a = IntervalSet([Interval(0, 4), Interval(10, 12)])
+        assert a.hull() == Interval(0, 12)
+        assert IntervalSet().hull() is None
+
+    def test_complement_within(self):
+        a = IntervalSet([Interval(3, 5)])
+        assert a.complement_within(Interval(0, 9)) == IntervalSet(
+            [Interval(0, 2), Interval(6, 9)]
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for the Kolmogorov sample-size machinery."""
+
+import math
+
+import pytest
+
+from repro.sampling.kolmogorov import (
+    kolmogorov_d,
+    max_percentile_error,
+    required_samples,
+)
+
+
+class TestKolmogorovD:
+    def test_paper_value(self):
+        assert kolmogorov_d(0.99) == 1.63
+
+    def test_other_tabulated_levels(self):
+        assert kolmogorov_d(0.95) == 1.36
+        assert kolmogorov_d(0.90) == 1.22
+
+    def test_unsupported_level(self):
+        with pytest.raises(ValueError, match="tabulated"):
+            kolmogorov_d(0.97)
+
+
+class TestMaxPercentileError:
+    def test_paper_formula(self):
+        assert max_percentile_error(100) == pytest.approx(1.63 / 10)
+
+    def test_decreases_with_samples(self):
+        assert max_percentile_error(400) < max_percentile_error(100)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            max_percentile_error(0)
+
+
+class TestRequiredSamples:
+    def test_paper_formula(self):
+        # m >= ((1.63 * |r|) / errorSize)^2
+        assert required_samples(1000, 100) == math.ceil((1.63 * 10) ** 2)
+
+    def test_more_error_space_fewer_samples(self):
+        assert required_samples(1000, 200) < required_samples(1000, 100)
+
+    def test_empty_relation(self):
+        assert required_samples(0, 10) == 0
+
+    def test_zero_error_space_rejected(self):
+        with pytest.raises(ValueError, match="errorSize"):
+            required_samples(1000, 0)
+
+    def test_negative_relation_rejected(self):
+        with pytest.raises(ValueError):
+            required_samples(-1, 10)
+
+    def test_scale_invariance(self):
+        """The paper's footnote: m depends only on |r| / errorSize."""
+        assert required_samples(1000, 100) == required_samples(10_000, 1000)

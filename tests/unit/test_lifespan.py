@@ -1,0 +1,66 @@
+"""Unit tests for lifespans and partitioning coverage."""
+
+import pytest
+
+from repro.time.interval import Interval
+from repro.time.lifespan import Lifespan, covers_lifespan, lifespan_of
+
+
+class TestLifespanOf:
+    def test_empty(self):
+        assert lifespan_of([]) is None
+
+    def test_hull_of_intervals(self):
+        span = lifespan_of([Interval(5, 9), Interval(0, 2), Interval(7, 8)])
+        assert span == Lifespan(0, 9)
+        assert isinstance(span, Lifespan)
+
+    def test_generator_input(self):
+        span = lifespan_of(Interval(i, i + 1) for i in range(3))
+        assert span == Lifespan(0, 3)
+
+
+class TestFractionPoint:
+    def test_endpoints(self):
+        span = Lifespan(100, 199)
+        assert span.fraction_point(0.0) == 100
+        assert span.fraction_point(1.0) == 199
+
+    def test_midpoint(self):
+        assert Lifespan(0, 100).fraction_point(0.5) == 50
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Lifespan(0, 10).fraction_point(1.5)
+
+    def test_prefix(self):
+        assert Lifespan(0, 99).prefix(0.5) == Interval(0, 49)
+
+    def test_scaled_duration_minimum_one(self):
+        assert Lifespan(0, 3).scaled_duration(0.0) == 1
+        assert Lifespan(0, 99).scaled_duration(0.5) == 50
+
+
+class TestCoversLifespan:
+    def test_exact_tiling(self):
+        tiling = [Interval(0, 4), Interval(5, 9)]
+        assert covers_lifespan(tiling, Interval(0, 9))
+
+    def test_tiling_wider_than_lifespan(self):
+        tiling = [Interval(0, 20)]
+        assert covers_lifespan(tiling, Interval(3, 9))
+
+    def test_gap_fails(self):
+        assert not covers_lifespan([Interval(0, 3), Interval(5, 9)], Interval(0, 9))
+
+    def test_overlap_fails(self):
+        assert not covers_lifespan([Interval(0, 5), Interval(5, 9)], Interval(0, 9))
+
+    def test_late_start_fails(self):
+        assert not covers_lifespan([Interval(2, 9)], Interval(0, 9))
+
+    def test_early_end_fails(self):
+        assert not covers_lifespan([Interval(0, 7)], Interval(0, 9))
+
+    def test_empty_fails(self):
+        assert not covers_lifespan([], Interval(0, 9))

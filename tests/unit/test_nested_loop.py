@@ -1,0 +1,86 @@
+"""Unit tests for the nested-loop baseline, simulated and analytical."""
+
+import pytest
+
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.nested_loop_cost import nested_loop_cost
+from repro.baselines.reference import reference_join
+from repro.model.errors import PlanError
+from repro.storage.iostats import CostModel
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+SPEC = PageSpec(page_bytes=1024, tuple_bytes=128)
+
+
+class TestSimulated:
+    def test_equals_reference(self, schema_r, schema_s):
+        r = random_relation(schema_r, 300, seed=41, payload_tag="p")
+        s = random_relation(schema_s, 300, seed=42, payload_tag="q")
+        run = nested_loop_join(r, s, 10, page_spec=SPEC)
+        assert run.result.multiset_equal(reference_join(r, s))
+
+    def test_block_count(self, schema_r, schema_s):
+        r = random_relation(schema_r, 320, seed=43)  # 40 pages
+        s = random_relation(schema_s, 80, seed=44)
+        run = nested_loop_join(r, s, 12, page_spec=SPEC)  # blocks of 10
+        assert run.n_outer_blocks == 4
+
+    def test_memory_minimum(self, schema_r, schema_s):
+        r = random_relation(schema_r, 10, seed=45)
+        s = random_relation(schema_s, 10, seed=46)
+        with pytest.raises(PlanError):
+            nested_loop_join(r, s, 2)
+
+    def test_simulated_matches_analytic_formula(self, schema_r, schema_s):
+        """The key identity: the simulation reproduces the closed form."""
+        r = random_relation(schema_r, 333, seed=47)
+        s = random_relation(schema_s, 555, seed=48)
+        model = CostModel.with_ratio(5)
+        for memory in (4, 8, 17, 64):
+            run = nested_loop_join(r, s, memory, page_spec=SPEC)
+            simulated = run.layout.tracker.stats.cost(model)
+            analytic = nested_loop_cost(
+                SPEC.pages_for_tuples(len(r)),
+                SPEC.pages_for_tuples(len(s)),
+                memory,
+                model,
+            )
+            assert simulated == pytest.approx(analytic), f"memory={memory}"
+
+
+class TestAnalytic:
+    def test_single_block_case(self):
+        model = CostModel.with_ratio(5)
+        # Outer fits in one block: one outer run + one inner run.
+        cost = nested_loop_cost(10, 20, 12, model)
+        assert cost == model.cost_of_run(10) + model.cost_of_run(20)
+
+    def test_multi_block_case(self):
+        model = CostModel.with_ratio(5)
+        cost = nested_loop_cost(20, 30, 12, model)  # blocks of 10 -> 2 scans
+        expected = 2 * model.cost_of_run(10) + 2 * model.cost_of_run(30)
+        assert cost == expected
+
+    def test_uneven_final_block(self):
+        model = CostModel.with_ratio(2)
+        cost = nested_loop_cost(15, 10, 12, model)  # blocks of 10 and 5
+        expected = (
+            model.cost_of_run(10)
+            + model.cost_of_run(5)
+            + 2 * model.cost_of_run(10)
+        )
+        assert cost == expected
+
+    def test_empty_outer(self):
+        assert nested_loop_cost(0, 10, 8, CostModel()) == 0.0
+
+    def test_memory_minimum(self):
+        with pytest.raises(PlanError):
+            nested_loop_cost(10, 10, 2, CostModel())
+
+    def test_cost_falls_with_memory(self):
+        model = CostModel.with_ratio(5)
+        costs = [nested_loop_cost(100, 100, m, model) for m in (4, 12, 52, 102)]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,72 @@
+"""Unit tests for valid-time natural outerjoins."""
+
+from repro.model.schema import RelationSchema
+from repro.variants.outerjoin import valid_time_outerjoin
+from repro.baselines.reference import reference_join
+from tests.conftest import make_relation, random_relation
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestLeftOuterjoin:
+    def test_unmatched_left_validity_preserved(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 9)])
+        s = make_relation(SCHEMA_S, [("x", "b", 4, 6)])
+        result = valid_time_outerjoin(r, s)
+        stamps = {(t.valid.start, t.valid.end): t.payload for t in result}
+        assert stamps[(4, 6)] == ("a", "b")
+        assert stamps[(0, 3)] == ("a", None)
+        assert stamps[(7, 9)] == ("a", None)
+
+    def test_right_not_preserved_by_default(self):
+        r = make_relation(SCHEMA_R, [])
+        s = make_relation(SCHEMA_S, [("x", "b", 0, 9)])
+        assert len(valid_time_outerjoin(r, s)) == 0
+
+
+class TestFullOuterjoin:
+    def test_both_sides_preserved(self):
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 5)])
+        s = make_relation(SCHEMA_S, [("x", "b", 3, 9)])
+        result = valid_time_outerjoin(r, s, keep_left=True, keep_right=True)
+        stamps = {(t.valid.start, t.valid.end): t.payload for t in result}
+        assert stamps == {
+            (3, 5): ("a", "b"),
+            (0, 2): ("a", None),
+            (6, 9): (None, "b"),
+        }
+
+
+class TestInnerDegeneration:
+    def test_no_keeps_equals_inner_join(self):
+        r = random_relation(SCHEMA_R, 40, seed=95, n_keys=5)
+        s = random_relation(SCHEMA_S, 40, seed=96, n_keys=5)
+        result = valid_time_outerjoin(r, s, keep_left=False, keep_right=False)
+        assert result.multiset_equal(reference_join(r, s))
+
+
+class TestSnapshotReducibility:
+    def test_timeslice_commutes_with_outerjoin(self):
+        """Snapshot reducibility of the full outerjoin at each chronon."""
+        r = make_relation(SCHEMA_R, [("x", "a", 0, 9), ("y", "c", 2, 4)])
+        s = make_relation(SCHEMA_S, [("x", "b", 5, 12)])
+        result = valid_time_outerjoin(r, s, keep_left=True, keep_right=True)
+        for chronon in range(0, 13):
+            out_rows = sorted(map(str, result.timeslice(chronon)))
+            expected = []
+            r_rows = r.timeslice(chronon)
+            s_rows = s.timeslice(chronon)
+            s_keys = {row[0] for row in s_rows}
+            r_keys = {row[0] for row in r_rows}
+            for row in r_rows:
+                matched = [s_row for s_row in s_rows if s_row[0] == row[0]]
+                if matched:
+                    expected.extend(row + s_row[1:] for s_row in matched)
+                else:
+                    expected.append(row + (None,))
+            for s_row in s_rows:
+                if s_row[0] not in r_keys:
+                    expected.append((s_row[0], None) + s_row[1:])
+            assert out_rows == sorted(map(str, expected)), f"chronon {chronon}"

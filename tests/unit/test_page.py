@@ -1,0 +1,51 @@
+"""Unit tests for page geometry."""
+
+import pytest
+
+from repro.model.errors import StorageError
+from repro.storage.page import PageSpec
+
+
+class TestPageSpec:
+    def test_default_capacity(self):
+        assert PageSpec().capacity == 8  # 1024 / 128
+
+    def test_custom_capacity(self):
+        assert PageSpec(page_bytes=4096, tuple_bytes=100).capacity == 40
+
+    def test_tuple_larger_than_page(self):
+        with pytest.raises(StorageError):
+            PageSpec(page_bytes=100, tuple_bytes=200)
+
+    def test_nonpositive_sizes(self):
+        with pytest.raises(StorageError):
+            PageSpec(page_bytes=0)
+        with pytest.raises(StorageError):
+            PageSpec(tuple_bytes=-1)
+
+
+class TestArithmetic:
+    def test_pages_for_tuples(self):
+        spec = PageSpec()
+        assert spec.pages_for_tuples(0) == 0
+        assert spec.pages_for_tuples(1) == 1
+        assert spec.pages_for_tuples(8) == 1
+        assert spec.pages_for_tuples(9) == 2
+
+    def test_pages_for_tuples_negative(self):
+        with pytest.raises(StorageError):
+            PageSpec().pages_for_tuples(-1)
+
+    def test_pages_for_bytes(self):
+        spec = PageSpec()
+        assert spec.pages_for_bytes(1024 * 1024) == 1024
+        assert spec.pages_for_bytes(1023) == 0
+
+    def test_tuples_for_pages(self):
+        assert PageSpec().tuples_for_pages(3) == 24
+
+    def test_round_trip(self):
+        spec = PageSpec()
+        for n in (1, 7, 8, 9, 100):
+            pages = spec.pages_for_tuples(n)
+            assert spec.tuples_for_pages(pages) >= n

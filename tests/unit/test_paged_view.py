@@ -1,0 +1,125 @@
+"""Unit tests for disk-resident incremental view maintenance."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.core.intervals import PartitionMap
+from repro.incremental.paged_view import PagedMaterializedJoin
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.layout import DiskLayout
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+def vt(key, payload, start, end):
+    return VTTuple((key,), (payload,), Interval(start, end))
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap(
+        [Interval(0, 24), Interval(25, 49), Interval(50, 74), Interval(75, 99)]
+    )
+
+
+@pytest.fixture
+def base():
+    r = ValidTimeRelation(
+        SCHEMA_R,
+        [vt("x", f"a{i}", (i * 7) % 95, min(99, (i * 7) % 95 + i % 12)) for i in range(40)],
+    )
+    s = ValidTimeRelation(
+        SCHEMA_S,
+        [vt("x", f"b{i}", (i * 11) % 95, min(99, (i * 11) % 95 + i % 9)) for i in range(40)],
+    )
+    return r, s
+
+
+@pytest.fixture
+def view(base, pmap):
+    r, s = base
+    return PagedMaterializedJoin(
+        r, s, pmap, DiskLayout(spec=PageSpec(page_bytes=512, tuple_bytes=128))
+    )
+
+
+class TestBuild:
+    def test_initial_view_matches_reference(self, view, base):
+        r, s = base
+        assert view.snapshot().multiset_equal(reference_join(r, s))
+
+    def test_build_io_is_charged(self, view):
+        assert view.layout.tracker.phases["build"].total_ops > 0
+
+
+class TestUpdates:
+    def test_insert_r_updates_view(self, view, base):
+        r, s = base
+        new = vt("x", "fresh", 30, 44)
+        cost = view.insert_r(new)
+        r.add(new)
+        assert view.snapshot().multiset_equal(reference_join(r, s))
+        assert cost.partitions_recomputed == 1  # interval within one partition
+        assert cost.io_ops > 0
+
+    def test_long_lived_insert_touches_more_partitions(self, view, base):
+        r, s = base
+        narrow = view.insert_s(vt("x", "narrow", 10, 12))
+        wide = view.insert_s(vt("x", "wide", 5, 90))
+        assert narrow.partitions_recomputed == 1
+        assert wide.partitions_recomputed == 4
+
+    def test_delete_updates_view(self, view, base):
+        r, s = base
+        victim = r.tuples[7]
+        view.delete_r(victim)
+        remaining = ValidTimeRelation(
+            SCHEMA_R, [t for i, t in enumerate(r.tuples) if i != 7]
+        )
+        assert view.snapshot().multiset_equal(reference_join(remaining, s))
+
+    def test_delete_missing_raises(self, view):
+        with pytest.raises(KeyError):
+            view.delete_r(vt("x", "ghost", 0, 1))
+
+    def test_insert_and_delete_s_side(self, view, base):
+        r, s = base
+        fresh = vt("x", "s_new", 40, 80)
+        view.insert_s(fresh)
+        extended = ValidTimeRelation(SCHEMA_S, list(s.tuples) + [fresh])
+        assert view.snapshot().multiset_equal(reference_join(r, extended))
+        view.delete_s(fresh)
+        assert view.snapshot().multiset_equal(reference_join(r, s))
+
+    def test_mixed_sequence_stays_consistent(self, view, base):
+        r, s = base
+        live_r = list(r.tuples)
+        for i in range(12):
+            if i % 3 == 2 and live_r:
+                victim = live_r.pop(i % len(live_r))
+                view.delete_r(victim)
+            else:
+                fresh = vt("x", f"n{i}", (i * 13) % 90, min(99, (i * 13) % 90 + 8))
+                view.insert_r(fresh)
+                live_r.append(fresh)
+        expected = reference_join(ValidTimeRelation(SCHEMA_R, live_r), s)
+        assert view.snapshot().multiset_equal(expected)
+
+
+class TestCostLocality:
+    def test_incremental_cheaper_than_full_recompute(self, view):
+        yardstick = view.full_recompute_cost()
+        cost = view.insert_r(vt("x", "probe", 60, 63))
+        assert cost.io_ops < yardstick
+
+    def test_full_recompute_probe_does_not_pollute_costs(self, view):
+        before = view.layout.tracker.stats.copy()
+        view.full_recompute_cost()
+        after = view.layout.tracker.stats
+        assert after.total_ops == before.total_ops

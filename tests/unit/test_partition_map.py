@@ -1,0 +1,68 @@
+"""Unit tests for PartitionMap placement lookups (Section 3.3 rules)."""
+
+import pytest
+
+from repro.core.intervals import PartitionMap
+from repro.model.errors import PlanError
+from repro.time.interval import Interval
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap([Interval(0, 9), Interval(10, 19), Interval(20, 29)])
+
+
+class TestConstruction:
+    def test_requires_intervals(self):
+        with pytest.raises(PlanError):
+            PartitionMap([])
+
+    def test_rejects_gap(self):
+        with pytest.raises(PlanError, match="tile"):
+            PartitionMap([Interval(0, 9), Interval(11, 19)])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(PlanError, match="tile"):
+            PartitionMap([Interval(0, 10), Interval(10, 19)])
+
+    def test_len_and_indexing(self, pmap):
+        assert len(pmap) == 3
+        assert pmap[1] == Interval(10, 19)
+
+
+class TestChrononLookup:
+    def test_interior(self, pmap):
+        assert pmap.index_of_chronon(5) == 0
+        assert pmap.index_of_chronon(10) == 1
+        assert pmap.index_of_chronon(19) == 1
+        assert pmap.index_of_chronon(20) == 2
+
+    def test_clamping(self, pmap):
+        assert pmap.index_of_chronon(-100) == 0
+        assert pmap.index_of_chronon(1000) == 2
+
+
+class TestOverlapLookups:
+    def test_storage_partition_is_last_overlap(self, pmap):
+        assert pmap.last_overlapping(Interval(5, 25)) == 2
+        assert pmap.last_overlapping(Interval(5, 15)) == 1
+        assert pmap.last_overlapping(Interval(3, 4)) == 0
+
+    def test_migration_floor_is_first_overlap(self, pmap):
+        assert pmap.first_overlapping(Interval(5, 25)) == 0
+        assert pmap.first_overlapping(Interval(12, 25)) == 1
+
+    def test_clamped_tuples_live_at_edges(self, pmap):
+        assert pmap.last_overlapping(Interval(40, 50)) == 2
+        assert pmap.first_overlapping(Interval(-10, -5)) == 0
+
+    def test_overlaps_partition(self, pmap):
+        valid = Interval(5, 15)
+        assert pmap.overlaps_partition(valid, 0)
+        assert pmap.overlaps_partition(valid, 1)
+        assert not pmap.overlaps_partition(valid, 2)
+
+    def test_overlaps_partition_with_clamping(self, pmap):
+        # A tuple past the covered lifespan belongs to the last partition.
+        assert pmap.overlaps_partition(Interval(100, 200), 2)
+        assert not pmap.overlaps_partition(Interval(100, 200), 1)

@@ -1,0 +1,113 @@
+"""Unit tests for in-memory valid-time relations."""
+
+import pytest
+
+from repro.model.errors import SchemaError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+from repro.time.lifespan import Lifespan
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("emp", ("name",), ("dept",))
+
+
+@pytest.fixture
+def relation(schema):
+    return ValidTimeRelation.from_rows(
+        schema,
+        [
+            ("alice", "db", 0, 9),
+            ("bob", "os", 5, 14),
+            ("alice", "ai", 10, 19),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, relation):
+        assert len(relation) == 3
+
+    def test_from_rows_arity_check(self, schema):
+        with pytest.raises(SchemaError, match="arity"):
+            ValidTimeRelation.from_rows(schema, [("alice", 0, 9)])
+
+    def test_add_validates_key_arity(self, schema):
+        relation = ValidTimeRelation(schema)
+        with pytest.raises(SchemaError):
+            relation.add(VTTuple(("a", "b"), ("x",), Interval(0, 1)))
+
+    def test_add_validates_payload_arity(self, schema):
+        relation = ValidTimeRelation(schema)
+        with pytest.raises(SchemaError):
+            relation.add(VTTuple(("a",), (), Interval(0, 1)))
+
+    def test_extend(self, schema):
+        relation = ValidTimeRelation(schema)
+        relation.extend(
+            [VTTuple(("a",), ("x",), Interval(0, 1)) for _ in range(3)]
+        )
+        assert len(relation) == 3
+
+
+class TestQueries:
+    def test_lifespan(self, relation):
+        assert relation.lifespan() == Lifespan(0, 19)
+
+    def test_lifespan_empty(self, schema):
+        assert ValidTimeRelation(schema).lifespan() is None
+
+    def test_overlapping(self, relation):
+        hits = list(relation.overlapping(Interval(12, 13)))
+        assert len(hits) == 2  # bob(5-14) and alice(10-19)
+
+    def test_timeslice(self, relation):
+        rows = relation.timeslice(7)
+        assert sorted(rows) == [("alice", "db"), ("bob", "os")]
+
+    def test_timeslice_empty_chronon(self, relation):
+        assert relation.timeslice(100) == []
+
+    def test_contains(self, relation):
+        assert VTTuple(("bob",), ("os",), Interval(5, 14)) in relation
+
+
+class TestGroupingAndSorting:
+    def test_group_by_key(self, relation):
+        groups = relation.group_by_key()
+        assert len(groups[("alice",)]) == 2
+        assert len(groups[("bob",)]) == 1
+
+    def test_sorted_by_vs(self, relation):
+        ordered = relation.sorted_by_vs()
+        starts = [tup.vs for tup in ordered]
+        assert starts == sorted(starts)
+        assert len(ordered) == len(relation)
+
+    def test_sorted_does_not_mutate_original(self, relation):
+        original = list(relation)
+        relation.sorted_by_vs()
+        assert list(relation) == original
+
+
+class TestMultiset:
+    def test_multiset_counts_duplicates(self, schema):
+        t = VTTuple(("a",), ("x",), Interval(0, 1))
+        relation = ValidTimeRelation(schema, [t, t])
+        assert relation.as_multiset()[t] == 2
+
+    def test_multiset_equality_order_insensitive(self, schema):
+        t1 = VTTuple(("a",), ("x",), Interval(0, 1))
+        t2 = VTTuple(("b",), ("y",), Interval(2, 3))
+        assert ValidTimeRelation(schema, [t1, t2]).multiset_equal(
+            ValidTimeRelation(schema, [t2, t1])
+        )
+
+    def test_multiset_inequality_on_counts(self, schema):
+        t = VTTuple(("a",), ("x",), Interval(0, 1))
+        assert not ValidTimeRelation(schema, [t]).multiset_equal(
+            ValidTimeRelation(schema, [t, t])
+        )

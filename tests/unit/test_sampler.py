@@ -1,0 +1,86 @@
+"""Unit tests for sample drawing and the scan-sampling optimization."""
+
+import random
+
+import pytest
+
+from repro.model.vtuple import VTTuple
+from repro.sampling.sampler import SampleStrategy, draw_samples, plan_sampling
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import CostModel, IOStatistics
+from repro.storage.page import PageSpec
+from repro.time.interval import Interval
+
+
+def make_heap(n_tuples):
+    disk = SimulatedDisk(IOStatistics())
+    spec = PageSpec(page_bytes=1024, tuple_bytes=256)
+    tuples = [VTTuple((i,), (i,), Interval(i, i)) for i in range(n_tuples)]
+    return HeapFile.bulk_load(disk, "r", spec, tuples), disk
+
+
+class TestPlanSampling:
+    def test_small_draw_goes_random(self):
+        plan = plan_sampling(10, 1000, CostModel.with_ratio(5))
+        assert plan.strategy is SampleStrategy.RANDOM
+        assert plan.estimated_cost == 50
+
+    def test_large_draw_switches_to_scan(self):
+        model = CostModel.with_ratio(5)
+        plan = plan_sampling(5000, 1000, model)
+        assert plan.strategy is SampleStrategy.SCAN
+        assert plan.estimated_cost == model.cost_of_run(1000)
+
+    def test_scan_disabled(self):
+        plan = plan_sampling(5000, 1000, CostModel.with_ratio(5), allow_scan=False)
+        assert plan.strategy is SampleStrategy.RANDOM
+        assert plan.estimated_cost == 25_000
+
+    def test_paper_threshold_example(self):
+        """Section 4.2: at ratio 10:1, ~ relation_pages/10 samples reach the
+        scan cost."""
+        model = CostModel.with_ratio(10)
+        pages = 8192
+        # Scan cost = 10 + 8191; the crossover sits just above 820 samples.
+        threshold_plan = plan_sampling(821, pages, model)
+        assert threshold_plan.strategy is SampleStrategy.SCAN
+        below = plan_sampling(819, pages, model)
+        assert below.strategy is SampleStrategy.RANDOM
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plan_sampling(-1, 10, CostModel())
+
+
+class TestDrawSamples:
+    def test_random_draw_without_replacement(self):
+        heap, disk = make_heap(400)  # 100 pages: random is cheaper for 10 draws
+        plan = plan_sampling(10, heap.n_pages, CostModel.with_ratio(5))
+        assert plan.strategy is SampleStrategy.RANDOM
+        samples = draw_samples(heap, plan, random.Random(1))
+        assert len(samples) == 10
+        assert len(set(samples)) == 10  # all distinct tuples
+        assert disk.stats.total_ops == 10
+
+    def test_scan_draw_charges_one_pass(self):
+        heap, disk = make_heap(100)
+        plan = plan_sampling(90, heap.n_pages, CostModel.with_ratio(2))
+        assert plan.strategy is SampleStrategy.SCAN
+        samples = draw_samples(heap, plan, random.Random(1))
+        assert len(samples) == 90
+        assert disk.stats.total_ops == heap.n_pages
+
+    def test_oversized_request_returns_everything(self):
+        heap, _ = make_heap(10)
+        plan = plan_sampling(50, heap.n_pages, CostModel())
+        samples = draw_samples(heap, plan, random.Random(1))
+        assert len(samples) == 10
+
+    def test_deterministic_under_seed(self):
+        heap, _ = make_heap(50)
+        plan = plan_sampling(10, heap.n_pages, CostModel())
+        a = draw_samples(heap, plan, random.Random(42))
+        heap2, _ = make_heap(50)
+        b = draw_samples(heap2, plan, random.Random(42))
+        assert a == b

@@ -1,0 +1,82 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+
+
+class TestConstruction:
+    def test_minimal(self):
+        schema = RelationSchema("r", join_attributes=("a",))
+        assert schema.attributes == ("a",)
+        assert schema.payload_attributes == ()
+
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", join_attributes=("a",))
+
+    def test_requires_join_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", join_attributes=())
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("r", join_attributes=("a",), payload_attributes=("a",))
+
+    def test_rejects_reserved_names(self):
+        with pytest.raises(SchemaError, match="valid-time"):
+            RelationSchema("r", join_attributes=("Vs",))
+
+    def test_rejects_empty_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", join_attributes=("",))
+
+    def test_rejects_nonpositive_tuple_size(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", join_attributes=("a",), tuple_bytes=0)
+
+
+class TestJoinCompatibility:
+    def test_compatible(self):
+        r = RelationSchema("r", ("a",), ("b",))
+        s = RelationSchema("s", ("a",), ("c",))
+        r.joins_with(s)  # no exception
+
+    def test_mismatched_join_attributes(self):
+        r = RelationSchema("r", ("a",))
+        s = RelationSchema("s", ("x",))
+        with pytest.raises(SchemaError, match="join attributes differ"):
+            r.joins_with(s)
+
+    def test_overlapping_payload(self):
+        r = RelationSchema("r", ("a",), ("b",))
+        s = RelationSchema("s", ("a",), ("b",))
+        with pytest.raises(SchemaError, match="appear in both"):
+            r.joins_with(s)
+
+    def test_result_schema(self):
+        r = RelationSchema("r", ("a",), ("b",), tuple_bytes=100)
+        s = RelationSchema("s", ("a",), ("c",), tuple_bytes=50)
+        result = r.join_result_schema(s)
+        assert result.join_attributes == ("a",)
+        assert result.payload_attributes == ("b", "c")
+        assert result.tuple_bytes == 150
+
+
+class TestProject:
+    def test_keeps_join_attributes(self):
+        schema = RelationSchema("r", ("a",), ("b", "c"))
+        projected = schema.project("p", ("b",))
+        assert projected.join_attributes == ("a",)
+        assert projected.payload_attributes == ("b",)
+
+    def test_unknown_attribute(self):
+        schema = RelationSchema("r", ("a",), ("b",))
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.project("p", ("zzz",))
+
+    def test_projecting_join_attribute_is_noop_payload(self):
+        schema = RelationSchema("r", ("a",), ("b",))
+        projected = schema.project("p", ("a",))
+        assert projected.payload_attributes == ()

@@ -1,0 +1,74 @@
+"""Unit tests for temporal selection and projection."""
+
+import pytest
+
+from repro.algebra.select_project import project, select, select_temporal
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from repro.time.interval import Interval
+from tests.conftest import make_relation
+
+
+SCHEMA = RelationSchema("r", ("k",), ("a", "b"))
+
+
+@pytest.fixture
+def relation():
+    return make_relation(
+        SCHEMA,
+        [
+            ("x", "a1", "b1", 0, 9),
+            ("y", "a2", "b2", 5, 14),
+            ("z", "a3", "b3", 20, 29),
+        ],
+    )
+
+
+class TestSelect:
+    def test_predicate_filtering(self, relation):
+        out = select(relation, lambda t: t.key == ("y",))
+        assert len(out) == 1
+        assert out.tuples[0].payload == ("a2", "b2")
+
+    def test_timestamps_unchanged(self, relation):
+        out = select(relation, lambda t: True)
+        assert out.multiset_equal(relation)
+
+
+class TestSelectTemporal:
+    def test_clips_to_window(self, relation):
+        out = select_temporal(relation, Interval(7, 22))
+        stamps = {t.key[0]: (t.valid.start, t.valid.end) for t in out}
+        assert stamps == {"x": (7, 9), "y": (7, 14), "z": (20, 22)}
+
+    def test_drops_outside_window(self, relation):
+        out = select_temporal(relation, Interval(15, 19))
+        assert len(out) == 0
+
+    def test_whole_window_is_identity(self, relation):
+        out = select_temporal(relation, Interval(0, 29))
+        assert out.multiset_equal(relation)
+
+
+class TestProject:
+    def test_keeps_selected_payload(self, relation):
+        out = project(relation, ("b",))
+        assert out.schema.payload_attributes == ("b",)
+        assert out.tuples[0].payload == ("b1",)
+
+    def test_join_attributes_always_kept(self, relation):
+        out = project(relation, ())
+        assert out.schema.join_attributes == ("k",)
+        assert out.schema.payload_attributes == ()
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            project(relation, ("missing",))
+
+    def test_timestamps_preserved(self, relation):
+        out = project(relation, ("a",))
+        assert [t.valid for t in out] == [t.valid for t in relation]
+
+    def test_custom_name(self, relation):
+        out = project(relation, ("a",), name="narrow")
+        assert out.schema.name == "narrow"

@@ -1,0 +1,79 @@
+"""Unit tests for relation serialization (CSV and JSON lines)."""
+
+import pytest
+
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from repro.storage.serialize import load_csv, load_jsonl, save_csv, save_jsonl
+from tests.conftest import make_relation, random_relation
+
+
+SCHEMA = RelationSchema("emp", ("name",), ("dept", "salary"))
+
+
+@pytest.fixture
+def relation():
+    return make_relation(
+        SCHEMA,
+        [
+            ("alice", "db", 100, 0, 9),
+            ("bob", "os", 90, 5, 14),
+        ],
+    )
+
+
+class TestCsv:
+    def test_round_trip_with_converters(self, relation, tmp_path):
+        path = tmp_path / "emp.csv"
+        assert save_csv(relation, path) == 2
+        loaded = load_csv(SCHEMA, path, converters=(str, str, int))
+        assert loaded.multiset_equal(relation)
+
+    def test_without_converters_values_are_strings(self, relation, tmp_path):
+        path = tmp_path / "emp.csv"
+        save_csv(relation, path)
+        loaded = load_csv(SCHEMA, path)
+        salaries = {tup.payload[1] for tup in loaded}
+        assert salaries == {"100", "90"}
+
+    def test_header_mismatch_rejected(self, relation, tmp_path):
+        path = tmp_path / "emp.csv"
+        save_csv(relation, path)
+        other = RelationSchema("x", ("different",))
+        with pytest.raises(SchemaError, match="header"):
+            load_csv(other, path)
+
+    def test_wrong_converter_count(self, relation, tmp_path):
+        path = tmp_path / "emp.csv"
+        save_csv(relation, path)
+        with pytest.raises(SchemaError, match="converters"):
+            load_csv(SCHEMA, path, converters=(str,))
+
+    def test_empty_relation(self, tmp_path):
+        from repro.model.relation import ValidTimeRelation
+
+        path = tmp_path / "empty.csv"
+        save_csv(ValidTimeRelation(SCHEMA), path)
+        assert len(load_csv(SCHEMA, path)) == 0
+
+
+class TestJsonl:
+    def test_round_trip_preserves_types(self, relation, tmp_path):
+        path = tmp_path / "emp.jsonl"
+        assert save_jsonl(relation, path) == 2
+        loaded = load_jsonl(path)
+        assert loaded.multiset_equal(relation)
+        assert loaded.schema.name == SCHEMA.name
+        assert loaded.schema.attributes == SCHEMA.attributes
+
+    def test_large_random_relation(self, schema_r, tmp_path):
+        relation = random_relation(schema_r, 300, seed=311)
+        path = tmp_path / "big.jsonl"
+        save_jsonl(relation, path)
+        assert load_jsonl(path).multiset_equal(relation)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="header"):
+            load_jsonl(path)

@@ -1,0 +1,86 @@
+"""Unit tests for temporal set operations."""
+
+import pytest
+
+from repro.algebra.setops import (
+    temporal_difference,
+    temporal_intersection,
+    temporal_union,
+)
+from repro.model.errors import SchemaError
+from repro.model.schema import RelationSchema
+from tests.conftest import make_relation
+
+
+SCHEMA = RelationSchema("r", ("k",), ("a",))
+OTHER = RelationSchema("s", ("k",), ("a",))
+
+
+class TestUnion:
+    def test_merges_timestamps(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4)])
+        s = make_relation(OTHER, [("x", "a", 5, 9)])
+        out = temporal_union(r, s)
+        assert len(out) == 1
+        assert out.tuples[0].valid.start == 0
+        assert out.tuples[0].valid.end == 9
+
+    def test_distinct_values_kept_separate(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 4)])
+        s = make_relation(OTHER, [("x", "b", 0, 4)])
+        assert len(temporal_union(r, s)) == 2
+
+    def test_incompatible_schemas(self):
+        r = make_relation(SCHEMA, [])
+        bad = make_relation(RelationSchema("x", ("k",), ("zzz",)), [])
+        with pytest.raises(SchemaError):
+            temporal_union(r, bad)
+
+
+class TestDifference:
+    def test_removes_common_chronons(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 9)])
+        s = make_relation(OTHER, [("x", "a", 3, 5)])
+        out = temporal_difference(r, s)
+        stamps = sorted((t.valid.start, t.valid.end) for t in out)
+        assert stamps == [(0, 2), (6, 9)]
+
+    def test_value_must_match_exactly(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 9)])
+        s = make_relation(OTHER, [("x", "b", 0, 9)])
+        out = temporal_difference(r, s)
+        assert len(out) == 1
+        assert out.tuples[0].valid.duration == 10
+
+    def test_complete_removal(self):
+        r = make_relation(SCHEMA, [("x", "a", 3, 5)])
+        s = make_relation(OTHER, [("x", "a", 0, 9)])
+        assert len(temporal_difference(r, s)) == 0
+
+
+class TestIntersection:
+    def test_common_chronons_only(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 6)])
+        s = make_relation(OTHER, [("x", "a", 4, 9)])
+        out = temporal_intersection(r, s)
+        assert [(t.valid.start, t.valid.end) for t in out] == [(4, 6)]
+
+    def test_empty_when_disjoint_in_time(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 2)])
+        s = make_relation(OTHER, [("x", "a", 5, 9)])
+        assert len(temporal_intersection(r, s)) == 0
+
+
+class TestSnapshotReducibility:
+    def test_all_three_operators(self):
+        r = make_relation(SCHEMA, [("x", "a", 0, 9), ("y", "b", 2, 12)])
+        s = make_relation(OTHER, [("x", "a", 5, 15), ("z", "c", 0, 3)])
+        union = temporal_union(r, s)
+        difference = temporal_difference(r, s)
+        intersection = temporal_intersection(r, s)
+        for chronon in range(-1, 17):
+            r_rows = set(map(tuple, r.timeslice(chronon)))
+            s_rows = set(map(tuple, s.timeslice(chronon)))
+            assert set(map(tuple, union.timeslice(chronon))) == r_rows | s_rows
+            assert set(map(tuple, difference.timeslice(chronon))) == r_rows - s_rows
+            assert set(map(tuple, intersection.timeslice(chronon))) == r_rows & s_rows

@@ -1,0 +1,92 @@
+"""Unit tests for the sort-merge valid-time join with backing-up."""
+
+import pytest
+
+from repro.baselines.reference import reference_join
+from repro.baselines.sort_merge import sort_merge_join
+from repro.model.errors import PlanError
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+SPEC = PageSpec(page_bytes=1024, tuple_bytes=128)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("memory", [4, 8, 32, 256])
+    def test_equals_reference_across_memory_sizes(
+        self, schema_r, schema_s, memory
+    ):
+        r = random_relation(schema_r, 300, seed=51, payload_tag="p")
+        s = random_relation(schema_s, 300, seed=52, payload_tag="q")
+        run = sort_merge_join(r, s, memory, page_spec=SPEC)
+        assert run.result.multiset_equal(reference_join(r, s))
+
+    def test_long_lived_heavy_workload(self, schema_r, schema_s):
+        r = random_relation(schema_r, 240, seed=53, long_lived_fraction=0.7)
+        s = random_relation(schema_s, 240, seed=54, long_lived_fraction=0.7)
+        run = sort_merge_join(r, s, 6, page_spec=SPEC)
+        assert run.result.multiset_equal(reference_join(r, s))
+
+    def test_instantaneous_only(self, schema_r, schema_s):
+        r = random_relation(schema_r, 200, seed=55, long_lived_fraction=0.0)
+        s = random_relation(schema_s, 200, seed=56, long_lived_fraction=0.0)
+        run = sort_merge_join(r, s, 8, page_spec=SPEC)
+        assert run.result.multiset_equal(reference_join(r, s))
+
+    def test_memory_minimum(self, schema_r, schema_s):
+        r = random_relation(schema_r, 10, seed=57)
+        s = random_relation(schema_s, 10, seed=58)
+        with pytest.raises(PlanError):
+            sort_merge_join(r, s, 3)
+
+
+class TestMemoryCases:
+    def test_in_memory_case(self, schema_r, schema_s):
+        r = random_relation(schema_r, 40, seed=61)
+        s = random_relation(schema_s, 40, seed=62)
+        run = sort_merge_join(r, s, 64, page_spec=SPEC)
+        assert run.memory_case == "in_memory"
+        assert run.backup_page_reads == 0
+
+    def test_one_resident_case(self, schema_r, schema_s):
+        r = random_relation(schema_r, 40, seed=63)  # 5 pages
+        s = random_relation(schema_s, 800, seed=64)  # 100 pages
+        run = sort_merge_join(r, s, 16, page_spec=SPEC)
+        assert run.memory_case == "one_resident"
+        assert run.backup_page_reads == 0
+
+    def test_streamed_case(self, schema_r, schema_s):
+        r = random_relation(schema_r, 800, seed=65)
+        s = random_relation(schema_s, 800, seed=66)
+        run = sort_merge_join(r, s, 8, page_spec=SPEC)
+        assert run.memory_case == "streamed"
+
+
+class TestBackingUp:
+    def test_no_backup_without_long_lived(self, schema_r, schema_s):
+        r = random_relation(schema_r, 600, seed=67, long_lived_fraction=0.0)
+        s = random_relation(schema_s, 600, seed=68, long_lived_fraction=0.0)
+        run = sort_merge_join(r, s, 8, page_spec=SPEC)
+        assert run.memory_case == "streamed"
+        assert run.backup_page_reads == 0
+
+    def test_backup_grows_with_density(self, schema_r, schema_s):
+        reads = []
+        for fraction in (0.0, 0.4, 0.8):
+            r = random_relation(
+                schema_r, 600, seed=69, long_lived_fraction=fraction
+            )
+            s = random_relation(
+                schema_s, 600, seed=70, long_lived_fraction=fraction
+            )
+            run = sort_merge_join(r, s, 6, page_spec=SPEC)
+            reads.append(run.backup_page_reads)
+        assert reads[0] <= reads[1] <= reads[2]
+        assert reads[2] > reads[0]
+
+    def test_phases_recorded(self, schema_r, schema_s):
+        r = random_relation(schema_r, 600, seed=71)
+        s = random_relation(schema_s, 600, seed=72)
+        run = sort_merge_join(r, s, 8, page_spec=SPEC)
+        assert set(run.layout.tracker.phases) == {"sort", "match"}

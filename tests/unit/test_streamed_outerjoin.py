@@ -1,0 +1,70 @@
+"""Unit tests for the streamed (I/O-costed) TE-outerjoin."""
+
+import pytest
+
+from repro.model.schema import RelationSchema
+from repro.storage.page import PageSpec
+from repro.variants.event_join import te_outerjoin
+from repro.variants.streamed_outerjoin import streamed_te_outerjoin
+from tests.conftest import make_relation, random_relation
+
+
+SPEC = PageSpec(page_bytes=512, tuple_bytes=128)
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestStreamedTEOuterjoin:
+    def test_basic_padding(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 9)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 3, 5)])
+        run = streamed_te_outerjoin(r, s, 8, page_spec=SPEC)
+        assert run.result.multiset_equal(te_outerjoin(r, s))
+        assert run.n_matched == 1
+        assert run.n_padded == 2  # [0,2] and [6,9]
+
+    @pytest.mark.parametrize("memory", [4, 8, 64])
+    def test_matches_in_memory_operator(self, schema_r, schema_s, memory):
+        r = random_relation(schema_r, 250, seed=391, long_lived_fraction=0.4)
+        s = random_relation(schema_s, 250, seed=392, long_lived_fraction=0.4)
+        run = streamed_te_outerjoin(r, s, memory, page_spec=SPEC)
+        assert run.result.multiset_equal(te_outerjoin(r, s))
+
+    def test_no_matches_everything_padded(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 4), ("y", "a2", 2, 6)])
+        s = make_relation(SCHEMA_S, [("z", "b1", 0, 9)])
+        run = streamed_te_outerjoin(r, s, 8, page_spec=SPEC)
+        assert run.n_matched == 0
+        assert run.n_padded == 2
+        assert run.result.multiset_equal(te_outerjoin(r, s))
+
+    def test_empty_left(self):
+        r = make_relation(SCHEMA_R, [])
+        s = random_relation(SCHEMA_S, 40, seed=393)
+        run = streamed_te_outerjoin(r, s, 8, page_spec=SPEC)
+        assert len(run.result) == 0
+
+    def test_right_side_never_padded(self, schema_r):
+        r = make_relation(SCHEMA_R, [])
+        s = make_relation(SCHEMA_S, [("x", "b1", 0, 9)])
+        run = streamed_te_outerjoin(r, s, 8, page_spec=SPEC)
+        assert len(run.result) == 0  # TE-outerjoin preserves the left only
+
+    def test_equal_start_chronons(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 5, 9), ("x", "a2", 5, 7)])
+        s = make_relation(SCHEMA_S, [("x", "b1", 5, 6)])
+        run = streamed_te_outerjoin(r, s, 8, page_spec=SPEC)
+        assert run.result.multiset_equal(te_outerjoin(r, s))
+
+    def test_costs_tracked(self, schema_r, schema_s):
+        r = random_relation(schema_r, 200, seed=394)
+        s = random_relation(schema_s, 200, seed=395)
+        run = streamed_te_outerjoin(r, s, 6, page_spec=SPEC)
+        assert set(run.layout.tracker.phases) == {"sort", "match"}
+        assert run.layout.tracker.stats.total_ops > 0
+
+    def test_memory_minimum(self, schema_r, schema_s):
+        r = random_relation(schema_r, 10, seed=396)
+        s = random_relation(schema_s, 10, seed=397)
+        with pytest.raises(Exception):
+            streamed_te_outerjoin(r, s, 3, page_spec=SPEC)

@@ -1,0 +1,48 @@
+"""Unit tests for the T-join and TE-join variants."""
+
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.variants.time_join import te_join, time_join
+from tests.conftest import make_relation, random_relation
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestTimeJoin:
+    def test_pairs_on_overlap_regardless_of_key(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 5)])
+        s = make_relation(SCHEMA_S, [("y", "b1", 3, 9)])
+        result = time_join(r, s)
+        assert len(result) == 1
+        tup = result.tuples[0]
+        assert tup.valid.start == 3 and tup.valid.end == 5
+        assert tup.payload == ("x", "a1", "y", "b1")
+
+    def test_disjoint_intervals_do_not_pair(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 2)])
+        s = make_relation(SCHEMA_S, [("y", "b1", 3, 9)])
+        assert len(time_join(r, s)) == 0
+
+    def test_matches_quadratic_specification(self):
+        r = random_relation(SCHEMA_R, 40, seed=81, n_keys=4, lifespan=60)
+        s = random_relation(SCHEMA_S, 40, seed=82, n_keys=4, lifespan=60)
+        expected = sum(
+            1 for x in r for y in s if x.valid.overlaps(y.valid)
+        )
+        assert len(time_join(r, s)) == expected
+
+    def test_empty_operand(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 2)])
+        s = ValidTimeRelation(SCHEMA_S)
+        assert len(time_join(r, s)) == 0
+
+
+class TestTEJoin:
+    def test_alias_of_valid_time_natural_join(self):
+        from repro.baselines.reference import reference_join
+
+        r = random_relation(SCHEMA_R, 30, seed=83, n_keys=4)
+        s = random_relation(SCHEMA_S, 30, seed=84, n_keys=4)
+        assert te_join(r, s).multiset_equal(reference_join(r, s))

@@ -1,0 +1,47 @@
+"""Unit tests for the timeslice operator and snapshot join."""
+
+from repro.algebra.timeslice import snapshot_join, timeslice
+from repro.model.schema import RelationSchema
+from tests.conftest import make_relation
+
+
+SCHEMA_R = RelationSchema("r", ("k",), ("a",))
+SCHEMA_S = RelationSchema("s", ("k",), ("b",))
+
+
+class TestTimeslice:
+    def test_returns_valid_rows(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 5), ("y", "a2", 3, 9)])
+        assert timeslice(r, 4) == sorted([("x", "a1"), ("y", "a2")], key=repr)
+        assert timeslice(r, 7) == [("y", "a2")]
+        assert timeslice(r, 100) == []
+
+    def test_inclusive_endpoints(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 3, 5)])
+        assert timeslice(r, 3) == [("x", "a1")]
+        assert timeslice(r, 5) == [("x", "a1")]
+        assert timeslice(r, 2) == []
+
+    def test_duplicates_preserved(self):
+        r = make_relation(SCHEMA_R, [("x", "a1", 0, 5), ("x", "a1", 2, 7)])
+        assert timeslice(r, 3) == [("x", "a1"), ("x", "a1")]
+
+
+class TestSnapshotJoin:
+    def test_simple_match(self):
+        rows = snapshot_join(
+            [("x", "a1")], [("x", "b1")], SCHEMA_R, SCHEMA_S
+        )
+        assert rows == [("x", "a1", "b1")]
+
+    def test_no_match(self):
+        assert snapshot_join([("x", "a1")], [("y", "b1")], SCHEMA_R, SCHEMA_S) == []
+
+    def test_multiplicity(self):
+        rows = snapshot_join(
+            [("x", "a1"), ("x", "a2")],
+            [("x", "b1"), ("x", "b2")],
+            SCHEMA_R,
+            SCHEMA_S,
+        )
+        assert len(rows) == 4

@@ -1,0 +1,74 @@
+"""Unit tests for valid-time tuples and pairwise joining."""
+
+import pytest
+
+from repro.model.vtuple import VTTuple, join_tuples
+from repro.time.interval import Interval
+
+
+def tup(key, payload, start, end):
+    return VTTuple((key,), (payload,), Interval(start, end))
+
+
+class TestVTTuple:
+    def test_accessors(self):
+        t = tup("a", 1, 3, 9)
+        assert t.vs == 3
+        assert t.ve == 9
+        assert t.key == ("a",)
+        assert t.payload == (1,)
+
+    def test_immutability(self):
+        t = tup("a", 1, 0, 1)
+        with pytest.raises(AttributeError):
+            t.key = ("b",)
+
+    def test_equality_and_hash(self):
+        assert tup("a", 1, 0, 5) == tup("a", 1, 0, 5)
+        assert tup("a", 1, 0, 5) != tup("a", 1, 0, 6)
+        assert len({tup("a", 1, 0, 5), tup("a", 1, 0, 5)}) == 1
+
+    def test_key_and_payload_coerced_to_tuples(self):
+        t = VTTuple(["a"], ["x"], Interval(0, 1))
+        assert t.key == ("a",)
+        assert t.payload == ("x",)
+
+    def test_overlaps(self):
+        t = tup("a", 1, 5, 9)
+        assert t.overlaps(Interval(9, 12))
+        assert not t.overlaps(Interval(10, 12))
+
+    def test_value_equivalence(self):
+        assert tup("a", 1, 0, 5).value_equivalent(tup("a", 1, 7, 9))
+        assert not tup("a", 1, 0, 5).value_equivalent(tup("a", 2, 0, 5))
+
+    def test_with_valid(self):
+        t = tup("a", 1, 0, 5).with_valid(Interval(2, 3))
+        assert t.valid == Interval(2, 3)
+        assert t.key == ("a",)
+
+
+class TestJoinTuples:
+    def test_matching_keys_overlapping_intervals(self):
+        x = tup("a", "left", 0, 10)
+        y = tup("a", "right", 5, 20)
+        z = join_tuples(x, y)
+        assert z is not None
+        assert z.key == ("a",)
+        assert z.payload == ("left", "right")
+        assert z.valid == Interval(5, 10)
+
+    def test_different_keys(self):
+        assert join_tuples(tup("a", 1, 0, 10), tup("b", 2, 0, 10)) is None
+
+    def test_disjoint_intervals(self):
+        assert join_tuples(tup("a", 1, 0, 4), tup("a", 2, 5, 9)) is None
+
+    def test_single_chronon_overlap(self):
+        z = join_tuples(tup("a", 1, 0, 5), tup("a", 2, 5, 9))
+        assert z is not None
+        assert z.valid == Interval(5, 5)
+
+    def test_commutes_on_interval(self):
+        x, y = tup("a", 1, 0, 7), tup("a", 2, 3, 9)
+        assert join_tuples(x, y).valid == join_tuples(y, x).valid

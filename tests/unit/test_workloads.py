@@ -1,0 +1,109 @@
+"""Unit tests for database specs and tuple generators."""
+
+import pytest
+
+from repro.workloads.generator import generate_pair, generate_relation, skewed_relation
+from repro.workloads.specs import (
+    DatabaseSpec,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+    memory_pages,
+)
+
+
+class TestDatabaseSpec:
+    def test_defaults_match_paper_reconstruction(self):
+        spec = DatabaseSpec("d")
+        assert spec.relation_tuples == 131_072
+        assert spec.database_tuples == 262_144
+
+    def test_scaling_preserves_ratios(self):
+        spec = DatabaseSpec("d", long_lived_per_relation=32_000)
+        scaled = spec.scaled(16)
+        assert scaled.relation_tuples == 131_072 // 16
+        assert scaled.long_lived_per_relation == 2_000
+        ratio = spec.long_lived_per_relation / spec.relation_tuples
+        scaled_ratio = scaled.long_lived_per_relation / scaled.relation_tuples
+        assert scaled_ratio == pytest.approx(ratio, rel=0.01)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec("d").scaled(0)
+
+    def test_long_lived_bounds(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec("d", relation_tuples=10, long_lived_per_relation=11)
+
+    def test_fig_specs(self):
+        assert fig6_spec().long_lived_per_relation == 0
+        assert fig7_spec(64_000).long_lived_per_relation == 32_000
+        assert fig8_spec(32_000).long_lived_total == 32_000
+        with pytest.raises(ValueError):
+            fig7_spec(8_001)
+
+    def test_memory_pages(self):
+        assert memory_pages(1) == 1024
+        assert memory_pages(8) == 8192
+        with pytest.raises(ValueError):
+            memory_pages(0.001)
+
+
+class TestGenerator:
+    SPEC = DatabaseSpec(
+        "t", relation_tuples=500, long_lived_per_relation=100, n_objects=40,
+        lifespan_chronons=10_000,
+    )
+
+    def test_counts(self):
+        relation = generate_relation(self.SPEC, "r")
+        assert len(relation) == 500
+
+    def test_long_lived_recipe(self):
+        relation = generate_relation(self.SPEC, "r")
+        half = self.SPEC.lifespan_chronons // 2
+        long_lived = [t for t in relation if t.valid.duration > 1]
+        assert len(long_lived) == 100
+        for tup in long_lived:
+            assert tup.vs < half
+            assert tup.ve - tup.vs in (half, half - 1) or tup.ve == self.SPEC.lifespan_chronons - 1
+
+    def test_instantaneous_rest(self):
+        relation = generate_relation(self.SPEC, "r")
+        instants = [t for t in relation if t.valid.duration == 1]
+        assert len(instants) == 400
+        assert all(0 <= t.vs < self.SPEC.lifespan_chronons for t in instants)
+
+    def test_deterministic(self):
+        a = generate_relation(self.SPEC, "r")
+        b = generate_relation(self.SPEC, "r")
+        assert a.multiset_equal(b)
+
+    def test_r_and_s_are_different_streams(self):
+        r, s = generate_pair(self.SPEC)
+        assert [t.valid for t in r] != [t.valid for t in s]
+
+    def test_invalid_role(self):
+        with pytest.raises(ValueError):
+            generate_relation(self.SPEC, "x")
+
+    def test_keys_within_domain(self):
+        relation = generate_relation(self.SPEC, "r")
+        assert all(0 <= t.key[0] < self.SPEC.n_objects for t in relation)
+
+
+class TestSkewedGenerator:
+    SPEC = DatabaseSpec("skew", relation_tuples=1000, n_objects=40, lifespan_chronons=10_000)
+
+    def test_hot_window_concentration(self):
+        relation = skewed_relation(self.SPEC, "r", hot_fraction=0.8, hot_window=0.1)
+        window_start = self.SPEC.lifespan_chronons // 4
+        window_end = window_start + self.SPEC.lifespan_chronons // 10
+        hot = sum(1 for t in relation if window_start <= t.vs <= window_end)
+        assert hot >= 700  # ~80% plus uniform spillover
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            skewed_relation(self.SPEC, "r", hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            skewed_relation(self.SPEC, "r", hot_window=0.0)
