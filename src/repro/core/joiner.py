@@ -37,6 +37,16 @@ Two concerns the paper leaves implicit are made explicit here:
   degraded, exactly as Section 3.4 promises: the overflow is spilled to a
   temp file and joined in additional blocks, each block re-reading the
   inner partition and tuple cache.
+
+**Execution modes.**  The per-page compute -- key-equality probe, interval
+intersection, the exactly-once owner filter, and the migration test -- runs
+either tuple-at-a-time (``execution="tuple"``, the oracle) or through the
+batch kernels of :mod:`repro.exec.kernels` (``execution="batch"``), which
+decompose each page into a columnar :class:`~repro.exec.batch.PageBatch`
+once and evaluate whole columns per operation (numpy-vectorized when numpy
+is installed, pure-Python fallback otherwise).  Both paths emit identical
+matches in identical order and charge identical I/O; the integration tests
+assert bit-equality of outcomes and per-phase statistics.
 """
 
 from __future__ import annotations
@@ -56,6 +66,12 @@ from repro.time.interval import Interval
 #: None to reject the pair.  The default is the natural-join combination;
 #: predicate variants (overlap-join, contain-join, ...) substitute their own.
 PairFn = Callable[[VTTuple, VTTuple, Interval], Optional[VTTuple]]
+
+#: Valid values of the ``execution`` knob.  ``"batch-parallel"`` only
+#: differs from ``"batch"`` in the *partitioning* phase; the sweep itself is
+#: inherently sequential (iteration i+1 consumes the cache iteration i
+#: wrote), so both run the batch kernels here.
+EXECUTION_MODES = ("tuple", "batch", "batch-parallel")
 
 
 def natural_pair(x: VTTuple, y: VTTuple, common: Interval) -> VTTuple:
@@ -97,6 +113,7 @@ def join_partitions(
     pair_fn: PairFn = natural_pair,
     direction: str = "backward",
     cache_memory_tuples: int = 0,
+    execution: str = "tuple",
 ) -> JoinOutcome:
     """Join pre-partitioned relations ``r`` and ``s`` (Appendix A.1).
 
@@ -110,6 +127,10 @@ def join_partitions(
         result_schema: schema of the result, required when *collect* is True.
         collect: materialize the result relation in memory as well as
             writing it through the result stream.
+        execution: ``"tuple"`` for the tuple-at-a-time oracle loop,
+            ``"batch"``/``"batch-parallel"`` for the batch kernels (both run
+            the same kernels here; they differ only in the partitioning
+            phase, which is outside this function).
     """
     if len(r_parts) != len(partition_map) or len(s_parts) != len(partition_map):
         raise ValueError("partition lists must align with the partition map")
@@ -117,6 +138,10 @@ def join_partitions(
         raise ValueError("collect=True requires a result_schema")
     if direction not in ("backward", "forward"):
         raise ValueError(f"direction must be 'backward' or 'forward', got {direction!r}")
+    if execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+        )
 
     n = len(partition_map)
     if direction == "backward":
@@ -130,6 +155,11 @@ def join_partitions(
         # 1..n, forward migration, ownership by the overlap's START chronon.
         order = range(n)
         step = 1
+
+    if execution == "tuple":
+        engine: _ProbeEngine = _TupleEngine(partition_map, direction)
+    else:
+        engine = _BatchEngine(partition_map, direction)
 
     spec = layout.spec
     block_tuples = max(1, buff_size * spec.capacity)
@@ -167,13 +197,13 @@ def join_partitions(
             _charge_spill(blocks[1:], layout, spec, index)
 
         for block_number, block in enumerate(blocks):
-            probe_index = _build_index(block)
+            probe_index = engine.build_index(block)
             migrate = block_number == 0  # migration happens exactly once
             if cache is not None:
                 _probe_pages(
                     cache.pages(),
+                    engine,
                     probe_index,
-                    partition_map,
                     index,
                     next_index if has_next else None,
                     new_cache if migrate else None,
@@ -182,12 +212,11 @@ def join_partitions(
                     outcome,
                     layout,
                     pair_fn,
-                    direction,
                 )
             _probe_pages(
                 s_parts[index].scan_pages(),
+                engine,
                 probe_index,
-                partition_map,
                 index,
                 next_index if has_next else None,
                 new_cache if migrate else None,
@@ -196,7 +225,6 @@ def join_partitions(
                 outcome,
                 layout,
                 pair_fn,
-                direction,
             )
 
         if new_cache is not None:
@@ -293,10 +321,97 @@ def _build_index(block: Sequence[VTTuple]) -> Dict[Tuple, List[VTTuple]]:
     return probe_index
 
 
+class _ProbeEngine:
+    """Strategy for the per-page compute of the sweep.
+
+    An engine builds an index over the outer block and, per inner page,
+    produces the emitted matches (in (inner row, outer insertion order)
+    order) and the rows to migrate into the next cache (in page order).
+    Both engines are pure in-memory compute: all I/O stays in the caller,
+    so the charged statistics cannot depend on the engine.
+    """
+
+    def build_index(self, block: Sequence[VTTuple]):
+        raise NotImplementedError
+
+    def process_page(
+        self,
+        index_obj,
+        page: Sequence[VTTuple],
+        part_index: int,
+        next_index: Optional[int],
+        want_migration: bool,
+    ) -> Tuple[List[Tuple[VTTuple, VTTuple, Interval]], List[int]]:
+        raise NotImplementedError
+
+
+class _TupleEngine(_ProbeEngine):
+    """The paper-faithful tuple-at-a-time loops (the correctness oracle)."""
+
+    def __init__(self, partition_map: PartitionMap, direction: str) -> None:
+        self._map = partition_map
+        self._backward = direction == "backward"
+
+    def build_index(self, block: Sequence[VTTuple]) -> Dict[Tuple, List[VTTuple]]:
+        return _build_index(block)
+
+    def process_page(self, index_obj, page, part_index, next_index, want_migration):
+        partition_map = self._map
+        matches: List[Tuple[VTTuple, VTTuple, Interval]] = []
+        for inner_tup in page:
+            for outer_tup in index_obj.get(inner_tup.key, ()):
+                common = outer_tup.valid.intersect(inner_tup.valid)
+                if common is None:
+                    continue
+                # Exactly-once rule: the pair belongs to the first partition
+                # of the sweep where both tuples co-reside -- the partition
+                # holding the overlap's end chronon (backward sweep) or its
+                # start chronon (forward sweep).
+                owner_chronon = common.end if self._backward else common.start
+                if partition_map.index_of_chronon(owner_chronon) != part_index:
+                    continue
+                matches.append((outer_tup, inner_tup, common))
+        migrate_rows: List[int] = []
+        if want_migration and next_index is not None:
+            migrate_rows = [
+                row
+                for row, inner_tup in enumerate(page)
+                if partition_map.overlaps_partition(inner_tup.valid, next_index)
+            ]
+        return matches, migrate_rows
+
+
+class _BatchEngine(_ProbeEngine):
+    """The batch kernels: one columnar decomposition per page, whole-column
+    probe / intersection / owner-filter / migration operations."""
+
+    def __init__(self, partition_map: PartitionMap, direction: str, kernels=None) -> None:
+        from repro.exec.kernels import get_kernels
+
+        self._kernels = kernels if kernels is not None else get_kernels()
+        self._boundaries = self._kernels.prepare_boundaries(partition_map)
+        self._interner = self._kernels.make_interner()
+        self._direction = direction
+
+    def build_index(self, block: Sequence[VTTuple]):
+        return self._kernels.build_probe_index(block, self._interner)
+
+    def process_page(self, index_obj, page, part_index, next_index, want_migration):
+        kernels = self._kernels
+        batch = kernels.page_batch(page, self._interner)
+        matches = kernels.probe(
+            index_obj, batch, self._boundaries, part_index, self._direction
+        )
+        migrate_rows: List[int] = []
+        if want_migration and next_index is not None:
+            migrate_rows = kernels.migration_rows(batch, self._boundaries, next_index)
+        return matches, migrate_rows
+
+
 def _probe_pages(
     pages,
-    probe_index: Dict[Tuple, List[VTTuple]],
-    partition_map: PartitionMap,
+    engine: _ProbeEngine,
+    probe_index,
     index: int,
     next_index: Optional[int],
     new_cache: Optional["_TupleCache"],
@@ -305,37 +420,27 @@ def _probe_pages(
     outcome: JoinOutcome,
     layout: DiskLayout,
     pair_fn: PairFn,
-    direction: str,
 ) -> None:
     """Join every page of the *pages* stream against the outer block.
 
     When *new_cache* is given, tuples overlapping the sweep's next
     partition are migrated into it as their page passes through memory
-    (Figure 9's ``newCachePage`` handling).
+    (Figure 9's ``newCachePage`` handling).  The engine decides *how* the
+    page is matched and filtered; emission and migration I/O happen here,
+    identically for every engine.
     """
     for page in pages:
-        for inner_tup in page:
-            for outer_tup in probe_index.get(inner_tup.key, ()):
-                common = outer_tup.valid.intersect(inner_tup.valid)
-                if common is None:
-                    continue
-                # Exactly-once rule: the pair belongs to the first partition
-                # of the sweep where both tuples co-reside -- the partition
-                # holding the overlap's end chronon (backward sweep) or its
-                # start chronon (forward sweep).
-                owner_chronon = common.end if direction == "backward" else common.start
-                if partition_map.index_of_chronon(owner_chronon) != index:
-                    continue
-                joined = pair_fn(outer_tup, inner_tup, common)
-                if joined is None:
-                    continue
-                outcome.n_result_tuples += 1
-                layout.write_result(result_file, joined)
-                if collected is not None:
-                    collected.add(joined)
-            if (
-                new_cache is not None
-                and next_index is not None
-                and partition_map.overlaps_partition(inner_tup.valid, next_index)
-            ):
-                new_cache.append(inner_tup)
+        matches, migrate_rows = engine.process_page(
+            probe_index, page, index, next_index, new_cache is not None
+        )
+        for outer_tup, inner_tup, common in matches:
+            joined = pair_fn(outer_tup, inner_tup, common)
+            if joined is None:
+                continue
+            outcome.n_result_tuples += 1
+            layout.write_result(result_file, joined)
+            if collected is not None:
+                collected.add(joined)
+        if new_cache is not None:
+            for row in migrate_rows:
+                new_cache.append(page[row])

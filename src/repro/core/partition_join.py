@@ -55,6 +55,16 @@ class PartitionJoinConfig:
             small charged sample of the inner relation instead of assuming
             the outer's temporal distribution transfers (the Section 5
             mis-estimation caveat).
+        execution: how the per-tuple compute runs.  ``"tuple"`` is the
+            tuple-at-a-time oracle; ``"batch"`` routes partitioning and the
+            sweep through the batch kernels of :mod:`repro.exec`;
+            ``"batch-parallel"`` additionally fans the Grace-partitioning
+            placement out to a process pool.  All three produce identical
+            results and identical per-phase I/O statistics; see
+            ``docs/EXECUTION.md``.
+        parallel_workers: process-pool size for ``"batch-parallel"``
+            (None picks a machine-dependent default; the result never
+            depends on the pool size).
     """
 
     memory_pages: int
@@ -67,10 +77,22 @@ class PartitionJoinConfig:
     sweep_direction: str = "backward"
     cache_buffer_pages: int = 0
     sample_inner_relation: bool = False
+    execution: str = "tuple"
+    parallel_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cache_buffer_pages < 0:
             raise ValueError("cache_buffer_pages must be non-negative")
+        if self.execution not in ("tuple", "batch", "batch-parallel"):
+            raise ValueError(
+                f"execution must be 'tuple', 'batch', or 'batch-parallel', "
+                f"got {self.execution!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1 (or None for the default), "
+                f"got {self.parallel_workers}"
+            )
 
 
 @dataclass
@@ -161,11 +183,25 @@ def partition_join(
     placement = "last" if config.sweep_direction == "backward" else "first"
     with tracker.phase("partition"):
         r_parts = do_partitioning(
-            r_file, partition_map, layout, "r", config.memory_pages, placement=placement
+            r_file,
+            partition_map,
+            layout,
+            "r",
+            config.memory_pages,
+            placement=placement,
+            execution=config.execution,
+            parallel_workers=config.parallel_workers,
         )
         layout.disk.park_heads()
         s_parts = do_partitioning(
-            s_file, partition_map, layout, "s", config.memory_pages, placement=placement
+            s_file,
+            partition_map,
+            layout,
+            "s",
+            config.memory_pages,
+            placement=placement,
+            execution=config.execution,
+            parallel_workers=config.parallel_workers,
         )
     layout.disk.park_heads()
 
@@ -181,6 +217,7 @@ def partition_join(
             pair_fn=pair_fn,
             direction=config.sweep_direction,
             cache_memory_tuples=config.cache_buffer_pages * layout.spec.capacity,
+            execution=config.execution,
         )
 
     return PartitionJoinResult(outcome=outcome, plan=plan, layout=layout)
@@ -231,6 +268,7 @@ def _single_partition_join(
             result_schema,
             collect=config.collect_result,
             pair_fn=oriented_pair,
+            execution=config.execution,
         )
     plan = PartitionPlan(
         intervals=list(partition_map.intervals),
@@ -242,9 +280,12 @@ def _single_partition_join(
             n_samples=0,
             num_partitions=1,
             c_sample=0.0,
+            # The sequential term counts pages beyond each relation's first;
+            # clamp it so an empty input cannot drive the estimate negative.
             c_join_scan=float(
                 2 * config.cost_model.io_ran
-                + (outer_file.n_pages + inner_file.n_pages - 2) * config.cost_model.io_seq
+                + max(0, outer_file.n_pages + inner_file.n_pages - 2)
+                * config.cost_model.io_seq
             ),
             c_join_cache=0.0,
         ),

@@ -10,11 +10,22 @@ among the partitions."  A per-bucket buffer of ``b`` pages flushes as one
 run of ``b`` pages -- one random access plus ``b - 1`` sequential -- so
 small memories flush small runs often and pay more random I/O, which is
 exactly the partitioning-phase effect Section 4.2 reports.
+
+**Execution modes.**  Tuple placement -- ``index_of_chronon`` of the
+storage chronon -- is the CPU-bound part of this phase and runs in three
+ways: per tuple (``"tuple"``, the oracle), per page through the batch
+``locate`` kernel (``"batch"``), or fanned out to a process pool
+(``"batch-parallel"``, :mod:`repro.exec.parallel`).  In every mode the
+charged I/O -- the input scan and the bucket flush sequence -- is issued by
+this function in the identical serial order, so partition contents and
+:class:`~repro.storage.iostats.PhaseTracker` counters are bit-identical
+across modes (the parallel path ships only ``(start, end)`` pairs to
+workers and replays placement results in input order).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.intervals import PartitionMap
 from repro.model.errors import PlanError
@@ -30,6 +41,8 @@ def do_partitioning(
     memory_pages: int,
     *,
     placement: str = "last",
+    execution: str = "tuple",
+    parallel_workers: Optional[int] = None,
 ) -> List[HeapFile]:
     """Partition *source* into one heap file per partitioning interval.
 
@@ -48,12 +61,21 @@ def do_partitioning(
             overlaps (the paper's choice, paired with the backward sweep);
             ``"first"`` in the first (footnote 1's equivalent strategy,
             paired with the forward sweep).
+        execution: ``"tuple"`` locates per tuple, ``"batch"`` per page via
+            the locate kernel, ``"batch-parallel"`` via a process pool.
+        parallel_workers: pool size for ``"batch-parallel"`` (None = the
+            :func:`repro.exec.parallel.default_workers` heuristic).
 
     Returns:
         One heap file per partition, index-aligned with *partition_map*.
     """
     if placement not in ("last", "first"):
         raise PlanError(f"placement must be 'last' or 'first', got {placement!r}")
+    if execution not in ("tuple", "batch", "batch-parallel"):
+        raise PlanError(
+            f"execution must be 'tuple', 'batch', or 'batch-parallel', "
+            f"got {execution!r}"
+        )
     n_partitions = len(partition_map)
     if memory_pages < 2:
         raise PlanError(f"partitioning needs >= 2 buffer pages, got {memory_pages}")
@@ -69,19 +91,55 @@ def do_partitioning(
     buffers: List[List] = [[] for _ in range(n_partitions)]
     flush_threshold = bucket_buffer_pages * spec.capacity
 
-    locate = (
-        partition_map.last_overlapping
-        if placement == "last"
-        else partition_map.first_overlapping
-    )
-    for page in source.scan_pages():
-        for tup in page:
-            index = locate(tup.valid)
-            bucket = buffers[index]
-            bucket.append(tup)
-            if len(bucket) >= flush_threshold:
-                _flush(partitions[index], bucket)
-                buffers[index] = []
+    def route(tup, index: int) -> None:
+        bucket = buffers[index]
+        bucket.append(tup)
+        if len(bucket) >= flush_threshold:
+            _flush(partitions[index], bucket)
+            buffers[index] = []
+
+    if execution == "tuple":
+        locate = (
+            partition_map.last_overlapping
+            if placement == "last"
+            else partition_map.first_overlapping
+        )
+        for page in source.scan_pages():
+            for tup in page:
+                route(tup, locate(tup.valid))
+    elif execution == "batch":
+        from repro.exec.kernels import get_kernels
+
+        kernels = get_kernels()
+        boundaries = kernels.prepare_boundaries(partition_map)
+        for page in source.scan_pages():
+            batch = kernels.page_batch(page)
+            chronons = batch.ends if placement == "last" else batch.starts
+            for tup, index in zip(page, kernels.locate(chronons, boundaries)):
+                route(tup, index)
+    else:  # batch-parallel
+        from repro.exec.parallel import locate_partitions_parallel
+
+        # The charged scan happens up front in the parent; workers receive
+        # only the (start, end) chronon pairs.  Replaying the routed flush
+        # loop afterwards issues the same TEMP-device access sequence as the
+        # serial path (BASE and TEMP have independent heads, so splitting
+        # the scan from the flushing changes no access's sequentiality).
+        tuples = []
+        spans = []
+        for page in source.scan_pages():
+            for tup in page:
+                tuples.append(tup)
+                spans.append((tup.valid.start, tup.valid.end))
+        located = locate_partitions_parallel(
+            spans,
+            [interval.end for interval in partition_map.intervals],
+            placement,
+            workers=parallel_workers,
+        )
+        for tup, index in zip(tuples, located):
+            route(tup, index)
+
     for index, bucket in enumerate(buffers):
         if bucket:
             _flush(partitions[index], bucket)

@@ -1,0 +1,53 @@
+"""Batch execution layer: columnar batches, vectorized kernels, parallelism.
+
+The tuple-at-a-time algorithms in :mod:`repro.core` are the *oracle*; this
+package is how the same algorithms run fast.  Three pieces:
+
+* :mod:`repro.exec.batch` -- :class:`PageBatch`, the columnar page
+  representation built once per page;
+* :mod:`repro.exec.kernels` -- the probe / intersection / owner-filter /
+  migration / locate kernels, numpy-vectorized with pure-Python fallbacks
+  selected at import (numpy is the optional ``repro[fast]`` extra);
+* :mod:`repro.exec.parallel` -- multiprocessing placement for Grace
+  partitioning, with all charged I/O replayed deterministically by the
+  parent process.
+
+Algorithms select a path via ``PartitionJoinConfig.execution``
+(``"tuple"`` | ``"batch"`` | ``"batch-parallel"``); see
+``docs/EXECUTION.md`` for the layout and determinism rules.
+"""
+
+from repro.exec.backend import BACKEND_ENV_VAR, HAVE_NUMPY, backend_name
+from repro.exec.batch import (
+    KeyInterner,
+    PageBatch,
+    iter_page_batches,
+    tuples_from_columns,
+    tuples_to_columns,
+)
+from repro.exec.kernels import (
+    Kernels,
+    NumpyKernels,
+    PartitionBoundaries,
+    PythonKernels,
+    get_kernels,
+)
+from repro.exec.parallel import default_workers, locate_partitions_parallel
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "HAVE_NUMPY",
+    "KeyInterner",
+    "Kernels",
+    "NumpyKernels",
+    "PageBatch",
+    "PartitionBoundaries",
+    "PythonKernels",
+    "backend_name",
+    "default_workers",
+    "get_kernels",
+    "iter_page_batches",
+    "locate_partitions_parallel",
+    "tuples_from_columns",
+    "tuples_to_columns",
+]

@@ -1,0 +1,49 @@
+"""Backend selection for the batch execution layer.
+
+``numpy`` is an *optional* dependency (the ``repro[fast]`` extra): the
+library must work -- and produce byte-identical results -- without it.  This
+module decides once, at import time, whether the vectorized numpy kernels or
+the pure-Python fallbacks are used, so the rest of the execution layer can
+branch on a single flag instead of sprinkling ``try: import numpy``.
+
+Selection rules:
+
+* ``REPRO_EXEC_BACKEND=python`` in the environment forces the pure-Python
+  kernels even when numpy is installed (used by the CI fallback job and by
+  A/B benchmarks).
+* Otherwise numpy is used when importable, the fallback when not.
+
+Tests that need a specific backend regardless of the environment construct
+:class:`~repro.exec.kernels.PythonKernels` /
+:class:`~repro.exec.kernels.NumpyKernels` explicitly rather than relying on
+the import-time default.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable forcing the pure-Python kernels ("python") or
+#: requiring numpy ("numpy" -- import error surfaces instead of a silent
+#: fallback, for benchmark rigs that must not quietly degrade).
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+
+_requested = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+
+if _requested == "python":
+    np = None
+elif _requested == "numpy":
+    import numpy as np  # noqa: F401  (re-exported)
+else:
+    try:
+        import numpy as np  # noqa: F401
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+        np = None
+
+#: True when the numpy kernels are active in this process.
+HAVE_NUMPY: bool = np is not None
+
+
+def backend_name() -> str:
+    """The active backend: ``"numpy"`` or ``"python"``."""
+    return "numpy" if HAVE_NUMPY else "python"

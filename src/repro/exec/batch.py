@@ -1,0 +1,174 @@
+"""Columnar batches: the unit of work of the vectorized kernels.
+
+A :class:`PageBatch` is a page of tuples decomposed into parallel columns --
+interned key ids, start chronons, end chronons, and row indices back into
+the original tuple list.  It is built **once per page** as the page passes
+through memory; every kernel then operates on whole columns instead of
+revisiting each tuple.
+
+Keys are arbitrary Python tuples (the explicit join attributes), so they
+cannot live in a numeric column directly.  A :class:`KeyInterner` maps each
+distinct key to a small integer id; the build side of a join *interns*
+(assigns fresh ids), the probe side *looks up* (unknown keys map to ``-1``
+and can never match, which is exactly the hash-join semantics of
+``probe_index.get(key, ())``).
+
+The module also provides the batch (de)composition helpers shared by the
+model layer and the columnar serialization format
+(:func:`tuples_to_columns` / :func:`tuples_from_columns`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exec.backend import HAVE_NUMPY, np
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+
+class KeyInterner:
+    """Bidirectional key <-> dense-integer-id map shared across batches."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def intern(self, key: Tuple) -> int:
+        """Id of *key*, assigning the next dense id on first sight."""
+        ids = self._ids
+        found = ids.get(key)
+        if found is None:
+            found = len(ids)
+            ids[key] = found
+        return found
+
+    def lookup(self, key: Tuple) -> int:
+        """Id of *key*, or ``-1`` when the key was never interned."""
+        return self._ids.get(key, -1)
+
+
+class PageBatch:
+    """One page of tuples in columnar form.
+
+    Attributes:
+        tuples: the page's tuples, in page order (kernels return row indices
+            into this list; emission still hands whole :class:`VTTuple`
+            objects to the pair function).
+        key_ids: per-row interned key id (``-1`` = key unknown to the build
+            side), or None when built without an interner (the partitioner
+            only needs the time columns).
+        starts: per-row valid-time start chronon.
+        ends: per-row valid-time end chronon.
+
+    Columns are numpy ``int64`` arrays under the numpy backend and plain
+    lists under the fallback; the matching kernels consume them natively.
+    """
+
+    __slots__ = ("tuples", "key_ids", "starts", "ends")
+
+    def __init__(self, tuples, key_ids, starts, ends) -> None:
+        self.tuples = tuples
+        self.key_ids = key_ids
+        self.starts = starts
+        self.ends = ends
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Sequence[VTTuple],
+        interner: Optional[KeyInterner] = None,
+        *,
+        intern: bool = False,
+        use_numpy: bool = HAVE_NUMPY,
+    ) -> "PageBatch":
+        """Decompose *tuples* into columns.
+
+        Args:
+            tuples: the page (any tuple sequence works; pages are typical).
+            interner: key dictionary shared with the other batches of the
+                join; omit when key columns are not needed.
+            intern: assign fresh ids for unseen keys (build side) instead of
+                mapping them to ``-1`` (probe side).
+            use_numpy: emit numpy columns; callers pass their kernels'
+                backend so explicitly-chosen fallback kernels get lists even
+                when numpy is importable.
+        """
+        n = len(tuples)
+        key_ids: Optional[Sequence[int]]
+        if interner is None:
+            key_ids = None
+        elif intern:
+            key_ids = [interner.intern(tup.key) for tup in tuples]
+        else:
+            key_ids = [interner.lookup(tup.key) for tup in tuples]
+        starts: Sequence[int] = [tup.valid.start for tup in tuples]
+        ends: Sequence[int] = [tup.valid.end for tup in tuples]
+        if use_numpy:
+            if not HAVE_NUMPY:
+                raise RuntimeError("numpy batches requested but numpy is unavailable")
+            starts = np.array(starts, dtype=np.int64)
+            ends = np.array(ends, dtype=np.int64)
+            if key_ids is not None:
+                key_ids = np.array(key_ids, dtype=np.int64) if n else np.empty(0, np.int64)
+        return cls(list(tuples), key_ids, starts, ends)
+
+
+def iter_page_batches(
+    pages: Iterable[Sequence[VTTuple]],
+    interner: Optional[KeyInterner] = None,
+    *,
+    intern: bool = False,
+    use_numpy: bool = HAVE_NUMPY,
+) -> Iterator[PageBatch]:
+    """Wrap a page stream (e.g. ``HeapFile.scan_pages()``) into batches.
+
+    I/O accounting is untouched: the underlying stream charges page reads
+    exactly as it would tuple-at-a-time; only the in-memory representation
+    changes.
+    """
+    for page in pages:
+        yield PageBatch.from_tuples(
+            page, interner, intern=intern, use_numpy=use_numpy
+        )
+
+
+# -- batch (de)composition of tuple sequences --------------------------------------
+
+
+def tuples_to_columns(
+    tuples: Iterable[VTTuple],
+) -> Tuple[List[Tuple], List[Tuple], List[int], List[int]]:
+    """Decompose *tuples* into ``(keys, payloads, starts, ends)`` columns."""
+    keys: List[Tuple] = []
+    payloads: List[Tuple] = []
+    starts: List[int] = []
+    ends: List[int] = []
+    for tup in tuples:
+        keys.append(tup.key)
+        payloads.append(tup.payload)
+        starts.append(tup.valid.start)
+        ends.append(tup.valid.end)
+    return keys, payloads, starts, ends
+
+
+def tuples_from_columns(
+    keys: Sequence[Tuple],
+    payloads: Sequence[Tuple],
+    starts: Sequence[int],
+    ends: Sequence[int],
+) -> List[VTTuple]:
+    """Recompose columns produced by :func:`tuples_to_columns`."""
+    if not (len(keys) == len(payloads) == len(starts) == len(ends)):
+        raise ValueError("column lengths differ")
+    return [
+        VTTuple(tuple(key), tuple(payload), Interval(int(vs), int(ve)))
+        for key, payload, vs, ve in zip(keys, payloads, starts, ends)
+    ]

@@ -1,0 +1,351 @@
+"""Batch join kernels: the compute core of the ``"batch"`` execution modes.
+
+Four operations dominate the partition sweep's in-memory work, and each has
+a vectorized numpy implementation and a pure-Python fallback here:
+
+* **key-equality probe** -- expand an inner page against the hash index of
+  the outer block into candidate pairs (CSR gather over interned key ids);
+* **interval intersection** -- ``[max(starts), min(ends)]`` with the
+  emptiness mask, over whole pair columns;
+* **owner-chronon filter** -- the exactly-once emission rule, as one
+  ``searchsorted`` of the owner chronons against the partition boundaries
+  instead of a per-pair binary search;
+* **migration mask** -- ``overlaps_partition`` over a whole page, deciding
+  which tuples continue into the next sweep iteration's cache.
+
+The partitioner's per-tuple placement (``index_of_chronon`` of the storage
+chronon) is the fifth kernel, :meth:`Kernels.locate`.
+
+Both implementations emit **identical values in identical order** -- pairs
+ordered by (inner row, outer insertion order), migrations in page order --
+so the surrounding sweep produces bit-identical results, cache contents,
+and I/O charges whichever backend is active.  The tuple-at-a-time path in
+:mod:`repro.core.joiner` remains the oracle both are tested against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.backend import HAVE_NUMPY, backend_name, np
+from repro.exec.batch import KeyInterner, PageBatch
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+#: A matched pair ready for the pair function: (outer tuple, inner tuple,
+#: overlap interval).  Emission order is (inner row, outer insertion order),
+#: matching the tuple-at-a-time probe loop exactly.
+Match = Tuple[VTTuple, VTTuple, Interval]
+
+
+class PartitionBoundaries:
+    """Partition end chronons in both backend representations.
+
+    Prepared once per join from the :class:`~repro.core.intervals.PartitionMap`
+    and shared by every kernel call; ``index_of_chronon`` is
+    ``min(bisect_left(ends, c), n - 1)`` -- the same clamped lookup the map
+    performs, lifted to whole columns.
+    """
+
+    __slots__ = ("ends", "ends_np", "n")
+
+    def __init__(self, ends: Sequence[int], use_numpy: bool) -> None:
+        self.ends: List[int] = list(ends)
+        self.n = len(self.ends)
+        if self.n == 0:
+            raise ValueError("a partitioning needs at least one boundary")
+        self.ends_np = np.array(self.ends, dtype=np.int64) if use_numpy else None
+
+
+class Kernels:
+    """Common interface of both kernel implementations."""
+
+    use_numpy: bool = False
+
+    @property
+    def name(self) -> str:
+        return "numpy" if self.use_numpy else "python"
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def make_interner(self) -> KeyInterner:
+        return KeyInterner()
+
+    def prepare_boundaries(self, partition_map) -> PartitionBoundaries:
+        """Lift *partition_map* (or a plain end-chronon list) for batch use."""
+        ends = getattr(partition_map, "_ends", partition_map)
+        return PartitionBoundaries(ends, self.use_numpy)
+
+    def page_batch(
+        self,
+        page: Sequence[VTTuple],
+        interner: Optional[KeyInterner] = None,
+        *,
+        intern: bool = False,
+    ) -> PageBatch:
+        """Build the backend-native :class:`PageBatch` for *page*."""
+        raise NotImplementedError
+
+    # -- the kernels -------------------------------------------------------
+
+    def build_probe_index(self, block: Sequence[VTTuple], interner: KeyInterner):
+        """Hash the outer *block* on the explicit join attributes."""
+        raise NotImplementedError
+
+    def probe(
+        self,
+        index,
+        batch: PageBatch,
+        boundaries: Optional[PartitionBoundaries] = None,
+        part_index: Optional[int] = None,
+        direction: str = "backward",
+    ) -> List[Match]:
+        """Probe *batch* against *index*: key equality + interval
+        intersection, then (when *boundaries* is given) the exactly-once
+        owner-chronon filter for partition *part_index*."""
+        raise NotImplementedError
+
+    def migration_rows(
+        self, batch: PageBatch, boundaries: PartitionBoundaries, next_index: int
+    ) -> List[int]:
+        """Rows of *batch* whose interval overlaps partition *next_index*
+        (clamped semantics), in page order."""
+        raise NotImplementedError
+
+    def locate(
+        self, chronons: Sequence[int], boundaries: PartitionBoundaries
+    ) -> List[int]:
+        """Partition index of each chronon (clamped ``index_of_chronon``)."""
+        raise NotImplementedError
+
+
+class PythonKernels(Kernels):
+    """Pure-Python fallback: identical semantics, loop-at-a-time compute.
+
+    Keys stay raw tuples (no interning -- a dict on the key is cheaper than
+    an id indirection without vector gathers to feed).
+    """
+
+    use_numpy = False
+
+    def page_batch(self, page, interner=None, *, intern=False):
+        # Key-id columns buy nothing without vector ops; skip them.
+        return PageBatch.from_tuples(page, None, use_numpy=False)
+
+    def build_probe_index(self, block, interner):
+        index: Dict[Tuple, List[VTTuple]] = {}
+        for tup in block:
+            index.setdefault(tup.key, []).append(tup)
+        return index
+
+    def probe(self, index, batch, boundaries=None, part_index=None, direction="backward"):
+        matches: List[Match] = []
+        ends = boundaries.ends if boundaries is not None else None
+        last = boundaries.n - 1 if boundaries is not None else 0
+        backward = direction == "backward"
+        for inner_tup in batch.tuples:
+            for outer_tup in index.get(inner_tup.key, ()):
+                cs = max(outer_tup.valid.start, inner_tup.valid.start)
+                ce = min(outer_tup.valid.end, inner_tup.valid.end)
+                if cs > ce:
+                    continue
+                if ends is not None:
+                    owner = ce if backward else cs
+                    if min(bisect_left(ends, owner), last) != part_index:
+                        continue
+                matches.append((outer_tup, inner_tup, Interval(cs, ce)))
+        return matches
+
+    def migration_rows(self, batch, boundaries, next_index):
+        ends = boundaries.ends
+        last = boundaries.n - 1
+        rows: List[int] = []
+        for row, (vs, ve) in enumerate(zip(batch.starts, batch.ends)):
+            if (
+                min(bisect_left(ends, vs), last)
+                <= next_index
+                <= min(bisect_left(ends, ve), last)
+            ):
+                rows.append(row)
+        return rows
+
+    def locate(self, chronons, boundaries):
+        ends = boundaries.ends
+        last = boundaries.n - 1
+        return [min(bisect_left(ends, c), last) for c in chronons]
+
+
+class _NumpyProbeIndex:
+    """CSR grouping of an outer block by interned key id."""
+
+    __slots__ = (
+        "block",
+        "order",
+        "offsets",
+        "counts",
+        "starts_ordered",
+        "ends_ordered",
+        "n_groups",
+    )
+
+    def __init__(self, block: Sequence[VTTuple], interner: KeyInterner) -> None:
+        self.block = list(block)
+        n = len(self.block)
+        key_ids = np.fromiter(
+            (interner.intern(tup.key) for tup in self.block), np.int64, count=n
+        )
+        starts = np.fromiter(
+            (tup.valid.start for tup in self.block), np.int64, count=n
+        )
+        ends = np.fromiter((tup.valid.end for tup in self.block), np.int64, count=n)
+        self.n_groups = len(interner)
+        # Stable sort keeps each key group in block (insertion) order, so
+        # CSR gathers reproduce the probe_index list order exactly.
+        self.order = np.argsort(key_ids, kind="stable")
+        self.counts = np.bincount(key_ids, minlength=self.n_groups).astype(np.int64)
+        self.offsets = np.cumsum(self.counts) - self.counts
+        # Interval columns pre-permuted into CSR position order, so the
+        # probe's hot path gathers by contiguous-ish CSR positions and only
+        # dereferences ``order`` for pairs that survive the filters.
+        self.starts_ordered = starts[self.order]
+        self.ends_ordered = ends[self.order]
+
+
+class NumpyKernels(Kernels):
+    """Vectorized kernels over ``int64`` columns."""
+
+    use_numpy = True
+
+    def __init__(self) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "NumpyKernels requires numpy; install the repro[fast] extra"
+            )
+
+    def page_batch(self, page, interner=None, *, intern=False):
+        return PageBatch.from_tuples(page, interner, intern=intern, use_numpy=True)
+
+    def build_probe_index(self, block, interner):
+        return _NumpyProbeIndex(block, interner)
+
+    def probe(self, index, batch, boundaries=None, part_index=None, direction="backward"):
+        n = len(batch)
+        if n == 0 or index.n_groups == 0 or not index.block:
+            return []
+        key_ids = batch.key_ids
+        known = (key_ids >= 0) & (key_ids < index.n_groups)
+        safe_ids = np.where(known, key_ids, 0)
+        counts = np.where(known, index.counts[safe_ids], 0)
+        total = int(counts.sum())
+        if total == 0:
+            return []
+
+        # CSR gather: expand every inner row into its key group's CSR
+        # positions.  ``pos`` enumerates each group's positions ascending,
+        # which (via the stable sort) is block insertion order -- the hot
+        # path works purely in position space and defers both the
+        # ``order`` dereference and the inner-row expansion until after
+        # the filters, when only a handful of pairs remain.
+        cum = np.cumsum(counts)
+        group_start = cum - counts
+        pos = np.repeat(index.offsets[safe_ids] - group_start, counts) + np.arange(
+            total, dtype=np.int64
+        )
+
+        inner_starts = np.repeat(batch.starts, counts)
+        inner_ends = np.repeat(batch.ends, counts)
+        common_start = np.maximum(index.starts_ordered[pos], inner_starts)
+        common_end = np.minimum(index.ends_ordered[pos], inner_ends)
+        kept = np.nonzero(common_start <= common_end)[0]
+        if kept.size == 0:
+            return []
+
+        common_start = common_start[kept]
+        common_end = common_end[kept]
+        if boundaries is not None:
+            owner = common_end if direction == "backward" else common_start
+            owner_part = np.minimum(
+                np.searchsorted(boundaries.ends_np, owner, side="left"),
+                boundaries.n - 1,
+            )
+            owned = np.nonzero(owner_part == part_index)[0]
+            if owned.size == 0:
+                return []
+            kept = kept[owned]
+            common_start = common_start[owned]
+            common_end = common_end[owned]
+
+        pair_outer = index.order[pos[kept]]
+        # Pair slots are laid out by inner row (CSR), so the inner row of
+        # surviving pair ``t`` is the group whose cumulative count first
+        # exceeds ``t``.
+        pair_inner = np.searchsorted(cum, kept, side="right")
+
+        block = index.block
+        inner_tuples = batch.tuples
+        return [
+            (block[o], inner_tuples[i], Interval(cs, ce))
+            for o, i, cs, ce in zip(
+                pair_outer.tolist(),
+                pair_inner.tolist(),
+                common_start.tolist(),
+                common_end.tolist(),
+            )
+        ]
+
+    def migration_rows(self, batch, boundaries, next_index):
+        if len(batch) == 0:
+            return []
+        last = boundaries.n - 1
+        first_part = np.minimum(
+            np.searchsorted(boundaries.ends_np, batch.starts, side="left"), last
+        )
+        last_part = np.minimum(
+            np.searchsorted(boundaries.ends_np, batch.ends, side="left"), last
+        )
+        mask = (first_part <= next_index) & (next_index <= last_part)
+        return np.nonzero(mask)[0].tolist()
+
+    def locate(self, chronons, boundaries):
+        values = np.asarray(chronons, dtype=np.int64)
+        if values.size == 0:
+            return []
+        return np.minimum(
+            np.searchsorted(boundaries.ends_np, values, side="left"),
+            boundaries.n - 1,
+        ).tolist()
+
+
+_DEFAULT: Optional[Kernels] = None
+
+
+def get_kernels(backend: Optional[str] = None) -> Kernels:
+    """The kernels for *backend* (default: the import-time selection).
+
+    Args:
+        backend: ``"numpy"``, ``"python"``, or None for the process default
+            (numpy when importable and not overridden via
+            ``REPRO_EXEC_BACKEND``).
+    """
+    global _DEFAULT
+    if backend is None:
+        if _DEFAULT is None:
+            _DEFAULT = NumpyKernels() if HAVE_NUMPY else PythonKernels()
+        return _DEFAULT
+    if backend == "numpy":
+        return NumpyKernels()
+    if backend == "python":
+        return PythonKernels()
+    raise ValueError(f"unknown kernel backend {backend!r}")
+
+
+__all__ = [
+    "Kernels",
+    "Match",
+    "NumpyKernels",
+    "PartitionBoundaries",
+    "PythonKernels",
+    "backend_name",
+    "get_kernels",
+]

@@ -1,0 +1,131 @@
+"""Parallel Grace partitioning: fan the placement computation out to workers.
+
+Grace partitioning has one CPU-bound component -- locating the storage
+partition of every input tuple (``index_of_chronon`` of its start or end
+chronon) -- and one I/O-bound component, the bucket buffering and flushing
+whose *order* determines the charged random/sequential mix.  Parallelizing
+the I/O across processes would change that order (and the simulated disk
+lives in the parent process anyway), so the split here is strict:
+
+* **Workers** receive chunks of ``(start, end)`` chronon pairs -- never
+  whole tuples, keeping pickling traffic minimal -- and return the located
+  partition index of each, computed with the batch ``locate`` kernel
+  (vectorized when the worker process can import numpy).
+* **The parent** stitches the per-worker results back together in input
+  order and replays the *exact* serial bucket/flush loop with the
+  precomputed indices.
+
+Because every charged page access is still issued by the parent in the
+serial order, the resulting :class:`~repro.storage.iostats.PhaseTracker`
+counters, heap-file contents, and extent layouts are bit-identical to the
+serial path -- the determinism rule documented in ``docs/EXECUTION.md``
+and enforced by the execution-mode integration tests.
+
+Environments that forbid spawning processes (sandboxes, some CI runners)
+degrade gracefully: the placement is computed in-process with the same
+kernel, so results never depend on whether the pool could start.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exec.kernels import Kernels, get_kernels
+
+#: Chunk of work shipped to one worker: (start, end) chronon pairs.
+SpanChunk = Tuple[Tuple[int, int], ...]
+
+#: Tuples below this count are located in-process: pool start-up costs more
+#: than the placement itself.
+MIN_PARALLEL_TUPLES = 4096
+
+#: Spans per worker chunk.  Fixed (not derived from worker count) so the
+#: chunk boundaries -- and therefore the merged output -- are a pure
+#: function of the input, whatever the pool geometry.
+CHUNK_SPANS = 16384
+
+_worker_boundaries = None  # set in each worker by _init_worker
+
+
+def default_workers() -> int:
+    """Worker-count default: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _init_worker(ends: List[int]) -> None:
+    """Pool initializer: build the boundary array once per worker."""
+    global _worker_boundaries
+    _worker_boundaries = get_kernels().prepare_boundaries(ends)
+
+
+def _locate_chunk(chunk: SpanChunk) -> List[int]:
+    """Locate one chunk of spans against the worker's boundaries.
+
+    The span's *end* chronon is shipped first because ``placement="last"``
+    (the paper's storage rule) locates on it; the parent pre-orients the
+    pairs so workers need no placement flag.
+    """
+    return get_kernels().locate([span[0] for span in chunk], _worker_boundaries)
+
+
+def locate_partitions_parallel(
+    spans: Sequence[Tuple[int, int]],
+    boundary_ends: Sequence[int],
+    placement: str,
+    *,
+    workers: Optional[int] = None,
+    kernels: Optional[Kernels] = None,
+) -> List[int]:
+    """Storage-partition index of every span, computed with a process pool.
+
+    Args:
+        spans: per-tuple ``(start, end)`` chronon pairs, in relation order.
+        boundary_ends: end chronon of each partitioning interval, ascending.
+        placement: ``"last"`` locates on the end chronon (the paper's rule),
+            ``"first"`` on the start chronon (footnote 1).
+        workers: pool size; None picks :func:`default_workers`.  ``<= 1``
+            computes in-process.
+        kernels: kernels for the in-process fallback path (defaults to the
+            process-wide selection).
+
+    Returns:
+        Partition indices in input order -- identical whatever the worker
+        count, including the in-process fallback.
+    """
+    if placement not in ("last", "first"):
+        raise ValueError(f"placement must be 'last' or 'first', got {placement!r}")
+    active = kernels if kernels is not None else get_kernels()
+    n = len(spans)
+    n_workers = default_workers() if workers is None else workers
+
+    # Orient each span so the chronon to locate on comes first; chunks are
+    # then placement-agnostic.
+    if placement == "last":
+        oriented = [(end, start) for start, end in spans]
+    else:
+        oriented = [(start, end) for start, end in spans]
+
+    if n_workers <= 1 or n < MIN_PARALLEL_TUPLES:
+        return active.locate([span[0] for span in oriented],
+                             active.prepare_boundaries(list(boundary_ends)))
+
+    chunks: List[SpanChunk] = [
+        tuple(oriented[i : i + CHUNK_SPANS]) for i in range(0, n, CHUNK_SPANS)
+    ]
+    try:
+        with multiprocessing.get_context().Pool(
+            processes=min(n_workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(list(boundary_ends),),
+        ) as pool:
+            located = pool.map(_locate_chunk, chunks)
+    except (OSError, ValueError, ImportError):
+        # Restricted environment: same computation, same result, one process.
+        return active.locate([span[0] for span in oriented],
+                             active.prepare_boundaries(list(boundary_ends)))
+    merged: List[int] = []
+    for part in located:  # pool.map preserves chunk order
+        merged.extend(part)
+    return merged

@@ -63,6 +63,39 @@ class ValidTimeRelation:
             relation.add(VTTuple(key, payload, Interval(row[-2], row[-1])))
         return relation
 
+    @classmethod
+    def from_columns(
+        cls,
+        schema: RelationSchema,
+        keys: Iterable[Tuple],
+        payloads: Iterable[Tuple],
+        starts: Iterable[int],
+        ends: Iterable[int],
+    ) -> "ValidTimeRelation":
+        """Build a relation from parallel columns (the batch decomposition).
+
+        Inverse of :meth:`to_columns`; the columnar serialization format and
+        the execution layer's :class:`~repro.exec.batch.PageBatch` share
+        this representation.
+        """
+        relation = cls(schema)
+        for key, payload, vs, ve in zip(keys, payloads, starts, ends):
+            relation.add(VTTuple(tuple(key), tuple(payload), Interval(int(vs), int(ve))))
+        return relation
+
+    def to_columns(self) -> Tuple[List[Tuple], List[Tuple], List[int], List[int]]:
+        """Decompose into ``(keys, payloads, starts, ends)`` parallel columns."""
+        keys: List[Tuple] = []
+        payloads: List[Tuple] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        for tup in self._tuples:
+            keys.append(tup.key)
+            payloads.append(tup.payload)
+            starts.append(tup.valid.start)
+            ends.append(tup.valid.end)
+        return keys, payloads, starts, ends
+
     def add(self, tup: VTTuple) -> None:
         """Append *tup* after validating its arity against the schema."""
         if len(tup.key) != len(self.schema.join_attributes):

@@ -8,6 +8,11 @@ to survive a process.  Two formats:
   unless column converters are supplied.
 * **JSON lines** -- schema header record followed by one record per tuple;
   round-trips every JSON-representable payload exactly.
+* **Columnar JSON** -- schema header plus four parallel columns (keys,
+  payloads, starts, ends): the batch decomposition the execution layer
+  works in, written and parsed in whole-column operations instead of one
+  record per tuple.  Same round-trip guarantees as JSON lines, markedly
+  faster to load for large relations.
 """
 
 from __future__ import annotations
@@ -110,6 +115,53 @@ def save_jsonl(relation: ValidTimeRelation, path: PathLike) -> int:
             handle.write(json.dumps(record) + "\n")
             count += 1
     return count
+
+
+def save_columnar(relation: ValidTimeRelation, path: PathLike) -> int:
+    """Write *relation* in columnar form; returns the number of tuples.
+
+    The file is one JSON document: the schema header plus the
+    ``(keys, payloads, starts, ends)`` columns of
+    :meth:`~repro.model.relation.ValidTimeRelation.to_columns`.  Batch
+    (de)serialization: the whole relation is decomposed and emitted in four
+    column passes, with no per-tuple record framing.
+    """
+    schema = relation.schema
+    keys, payloads, starts, ends = relation.to_columns()
+    document = {
+        "schema": {
+            "name": schema.name,
+            "join_attributes": list(schema.join_attributes),
+            "payload_attributes": list(schema.payload_attributes),
+            "tuple_bytes": schema.tuple_bytes,
+        },
+        "keys": [list(key) for key in keys],
+        "payloads": [list(payload) for payload in payloads],
+        "starts": starts,
+        "ends": ends,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(starts)
+
+
+def load_columnar(path: PathLike) -> ValidTimeRelation:
+    """Read a columnar file written by :func:`save_columnar`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    header = document.get("schema")
+    if header is None:
+        raise SchemaError(f"{path} has no schema header; not a columnar file")
+    schema = RelationSchema(
+        name=header["name"],
+        join_attributes=tuple(header["join_attributes"]),
+        payload_attributes=tuple(header["payload_attributes"]),
+        tuple_bytes=header["tuple_bytes"],
+    )
+    columns = (document["keys"], document["payloads"], document["starts"], document["ends"])
+    if len({len(column) for column in columns}) > 1:
+        raise SchemaError(f"{path} has ragged columns")
+    return ValidTimeRelation.from_columns(schema, *columns)
 
 
 def load_jsonl(path: PathLike) -> ValidTimeRelation:

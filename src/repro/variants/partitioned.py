@@ -10,6 +10,14 @@ share a partition and the end-chronon emission rule stays exactly-once.
 
 Joins whose predicate does not imply intersection (e.g. a *before*-join)
 cannot use temporal partitioning this way and are rejected.
+
+Because evaluation rides the partition-join pipeline, the
+``PartitionJoinConfig.execution`` knob applies unchanged: with
+``"batch"``/``"batch-parallel"`` the candidate generation (key probe,
+interval intersection, owner filter) runs through the vectorized kernels
+of :mod:`repro.exec`, and only surviving pairs reach the per-variant
+predicate function -- the variant pays Python-level cost proportional to
+its *result*, not to the candidate space.
 """
 
 from __future__ import annotations

@@ -1,0 +1,186 @@
+"""Execution-mode equivalence: batch kernels vs the tuple-at-a-time oracle.
+
+The contract of the batch execution layer is *bit-identical observability*:
+for every scenario, ``execution="batch"`` and ``"batch-parallel"`` must
+reproduce the tuple-mode oracle's result relation (same tuples, same
+order), JoinOutcome counters, and per-phase I/O statistics exactly -- not
+approximately, not merely as multisets.  These tests drive the equivalence
+through the paths the unit tests cannot reach: the overflow/"thrashing"
+path (``overflow_blocks > 0``), both sweep directions, the tuple-cache
+spill and residency trade-off, the single-partition shortcut, and the
+predicate-join variants, under both kernel backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.exec.kernels as kernels_module
+from repro.baselines.nested_loop import nested_loop_join
+from repro.baselines.reference import reference_join
+from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.exec.backend import HAVE_NUMPY
+from repro.storage.page import PageSpec
+from repro.time.allen import AllenRelation
+from repro.variants.partitioned import partitioned_predicate_join
+from tests.conftest import random_relation
+
+BATCH_MODES = ("batch", "batch-parallel")
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    """Pin the process-default kernels to one backend for the test."""
+    monkeypatch.setattr(
+        kernels_module, "_DEFAULT", kernels_module.get_kernels(request.param)
+    )
+    return request.param
+
+
+def stats_tuple(stats):
+    return (
+        stats.random_reads,
+        stats.sequential_reads,
+        stats.random_writes,
+        stats.sequential_writes,
+    )
+
+
+def observe(run):
+    """Everything observable about a partition-join run, exactly."""
+    outcome = run.outcome
+    return {
+        "result": tuple(outcome.result.tuples) if outcome.result is not None else None,
+        "n_result_tuples": outcome.n_result_tuples,
+        "overflow_blocks": outcome.overflow_blocks,
+        "cache_tuples_peak": outcome.cache_tuples_peak,
+        "cache_tuples_spilled": outcome.cache_tuples_spilled,
+        "stats": stats_tuple(run.layout.tracker.stats),
+        "phases": {
+            name: stats_tuple(stats)
+            for name, stats in run.layout.tracker.phases.items()
+        },
+        "result_stats": stats_tuple(run.layout.result_stats),
+        "plan_intervals": tuple(run.plan.intervals),
+    }
+
+
+def run_modes(r, s, make_config, **join_kwargs):
+    """Run all three modes and assert batch modes equal the tuple oracle."""
+    oracle = partition_join(r, s, make_config("tuple"), **join_kwargs)
+    expected = observe(oracle)
+    for mode in BATCH_MODES:
+        run = partition_join(r, s, make_config(mode), **join_kwargs)
+        assert observe(run) == expected, f"mode {mode} diverged from tuple oracle"
+    return oracle
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("direction", ["backward", "forward"])
+    def test_partitioned_sweep_with_overflow(
+        self, schema_r, schema_s, backend, direction, monkeypatch
+    ):
+        """The thrashing path: a buffer too small for the partitions."""
+        import repro.exec.parallel as parallel_module
+
+        # Force batch-parallel through the real process pool even at test sizes.
+        monkeypatch.setattr(parallel_module, "MIN_PARALLEL_TUPLES", 0)
+        r = random_relation(schema_r, 700, seed=11, n_keys=18)
+        s = random_relation(schema_s, 800, seed=12, n_keys=18)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=12,
+                sweep_direction=direction,
+                execution=mode,
+                parallel_workers=2,
+            )
+
+        oracle = run_modes(r, s, make_config)
+        assert oracle.outcome.overflow_blocks > 0
+        assert oracle.result.multiset_equal(reference_join(r, s))
+
+    @pytest.mark.parametrize("direction", ["backward", "forward"])
+    def test_cache_residency_reservation(self, schema_r, schema_s, backend, direction):
+        r = random_relation(schema_r, 500, seed=21, long_lived_fraction=0.6)
+        s = random_relation(schema_s, 500, seed=22, long_lived_fraction=0.6)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=16,
+                sweep_direction=direction,
+                cache_buffer_pages=2,
+                execution=mode,
+                parallel_workers=2,
+            )
+
+        oracle = run_modes(r, s, make_config)
+        assert oracle.outcome.cache_tuples_peak > 0
+        assert oracle.result.multiset_equal(reference_join(r, s))
+
+    def test_single_partition_shortcut(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 60, seed=31)
+        s = random_relation(schema_s, 500, seed=32)
+
+        def make_config(mode):
+            return PartitionJoinConfig(memory_pages=64, execution=mode)
+
+        oracle = run_modes(r, s, make_config)
+        assert oracle.plan.num_partitions == 1
+
+    def test_small_pages_exercise_many_batches(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 300, seed=41)
+        s = random_relation(schema_s, 300, seed=42)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=10,
+                page_spec=PageSpec(page_bytes=512, tuple_bytes=128),
+                execution=mode,
+            )
+
+        run_modes(r, s, make_config)
+
+
+class TestVariantsAndBaselines:
+    def test_predicate_variant_equivalence(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 400, seed=51, long_lived_fraction=0.5)
+        s = random_relation(schema_s, 400, seed=52, long_lived_fraction=0.5)
+        accepted = [
+            rel for rel in AllenRelation if getattr(rel, "intersects", False)
+        ]
+        runs = {}
+        for mode in ("tuple",) + BATCH_MODES:
+            config = PartitionJoinConfig(memory_pages=12, execution=mode)
+            runs[mode] = observe(
+                partitioned_predicate_join(r, s, config, accepted)
+            )
+        assert runs["batch"] == runs["tuple"]
+        assert runs["batch-parallel"] == runs["tuple"]
+
+    def test_nested_loop_batch_equivalence(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 300, seed=61)
+        s = random_relation(schema_s, 300, seed=62)
+        runs = {}
+        for mode in ("tuple", "batch"):
+            result = nested_loop_join(r, s, memory_pages=8, execution=mode)
+            runs[mode] = (
+                tuple(result.result.tuples),
+                result.n_result_tuples,
+                result.n_outer_blocks,
+                stats_tuple(result.layout.tracker.stats),
+            )
+        assert runs["batch"] == runs["tuple"]
+        assert runs["tuple"][1] == len(reference_join(r, s))
+
+
+class TestConfigValidation:
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionJoinConfig(memory_pages=8, execution="gpu")
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(ValueError):
+            PartitionJoinConfig(memory_pages=8, parallel_workers=workers)

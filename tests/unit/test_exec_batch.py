@@ -1,0 +1,112 @@
+"""Unit tests for columnar batches, column helpers, and columnar serialization."""
+
+import pytest
+
+from repro.exec.backend import HAVE_NUMPY
+from repro.exec.batch import (
+    KeyInterner,
+    PageBatch,
+    iter_page_batches,
+    tuples_from_columns,
+    tuples_to_columns,
+)
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.storage.serialize import load_columnar, save_columnar
+from repro.time.interval import Interval
+
+SCHEMA = RelationSchema("r", ("k",), ("val",))
+
+
+def vt(key, start, end, tag="x"):
+    return VTTuple((key,), (tag,), Interval(start, end))
+
+
+class TestKeyInterner:
+    def test_intern_assigns_dense_ids(self):
+        interner = KeyInterner()
+        assert interner.intern(("a",)) == 0
+        assert interner.intern(("b",)) == 1
+        assert interner.intern(("a",)) == 0
+        assert len(interner) == 2
+
+    def test_lookup_does_not_assign(self):
+        interner = KeyInterner()
+        assert interner.lookup(("missing",)) == -1
+        assert len(interner) == 0
+
+
+class TestPageBatch:
+    def test_columns_match_tuples(self):
+        page = [vt("a", 1, 5), vt("b", 2, 9), vt("a", 7, 7)]
+        interner = KeyInterner()
+        batch = PageBatch.from_tuples(page, interner, intern=True, use_numpy=False)
+        assert len(batch) == 3
+        assert list(batch.starts) == [1, 2, 7]
+        assert list(batch.ends) == [5, 9, 7]
+        assert list(batch.key_ids) == [0, 1, 0]
+        assert batch.tuples == page
+
+    def test_lookup_mode_maps_unknown_to_minus_one(self):
+        interner = KeyInterner()
+        interner.intern(("a",))
+        batch = PageBatch.from_tuples(
+            [vt("a", 0, 1), vt("z", 0, 1)], interner, use_numpy=False
+        )
+        assert list(batch.key_ids) == [0, -1]
+
+    def test_without_interner_key_column_absent(self):
+        batch = PageBatch.from_tuples([vt("a", 0, 1)], use_numpy=False)
+        assert batch.key_ids is None
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_numpy_columns(self):
+        import numpy as np
+
+        interner = KeyInterner()
+        batch = PageBatch.from_tuples(
+            [vt("a", 3, 4)], interner, intern=True, use_numpy=True
+        )
+        assert isinstance(batch.starts, np.ndarray)
+        assert batch.starts.dtype == np.int64
+        assert batch.key_ids.tolist() == [0]
+
+    def test_iter_page_batches_preserves_pages(self):
+        pages = [[vt("a", 0, 1)], [vt("b", 2, 3), vt("c", 4, 5)]]
+        batches = list(iter_page_batches(pages, use_numpy=False))
+        assert [len(b) for b in batches] == [1, 2]
+        assert batches[1].tuples == pages[1]
+
+
+class TestColumns:
+    def test_tuple_columns_round_trip(self):
+        tuples = [vt("a", 1, 2, "p"), vt("b", 3, 9, "q")]
+        assert tuples_from_columns(*tuples_to_columns(tuples)) == tuples
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            tuples_from_columns([("a",)], [], [1], [2])
+
+    def test_relation_columns_round_trip(self):
+        relation = ValidTimeRelation(SCHEMA, [vt("a", 0, 4), vt("a", 2, 2)])
+        rebuilt = ValidTimeRelation.from_columns(SCHEMA, *relation.to_columns())
+        assert rebuilt.multiset_equal(relation)
+        assert rebuilt.tuples == relation.tuples
+
+
+class TestColumnarSerialization:
+    def test_round_trip(self, tmp_path):
+        relation = ValidTimeRelation(
+            SCHEMA, [vt("a", 0, 4, "p0"), vt("b", 2, 2, "p1"), vt("a", 9, 12, "p2")]
+        )
+        path = tmp_path / "rel.columnar.json"
+        assert save_columnar(relation, path) == 3
+        loaded = load_columnar(path)
+        assert loaded.schema == relation.schema
+        assert loaded.tuples == relation.tuples
+
+    def test_empty_relation(self, tmp_path):
+        path = tmp_path / "empty.columnar.json"
+        save_columnar(ValidTimeRelation(SCHEMA), path)
+        assert len(load_columnar(path)) == 0

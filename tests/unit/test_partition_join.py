@@ -102,6 +102,31 @@ class TestSinglePartitionShortcut:
         assert run.result.multiset_equal(reference_join(r, s))
 
 
+class TestEmptyInputs:
+    """Joining an empty relation must not drive the scan estimate negative."""
+
+    def test_both_relations_empty(self, schema_r, schema_s, config):
+        run = partition_join(
+            ValidTimeRelation(schema_r), ValidTimeRelation(schema_s), config
+        )
+        assert len(run.result) == 0
+        # Zero pages on each side: the clamp leaves exactly the two seeks.
+        assert run.plan.chosen.c_join_scan == 2 * config.cost_model.io_ran
+        assert run.plan.chosen.c_join_scan >= 0
+
+    def test_empty_outer_against_tiny_inner(self, schema_r, schema_s, config):
+        tiny = ValidTimeRelation.from_rows(schema_s, [("k", 1, 0, 5)])
+        run = partition_join(ValidTimeRelation(schema_r), tiny, config)
+        assert len(run.result) == 0
+        # One page total would make n_pages - 2 negative without the clamp.
+        assert run.plan.chosen.c_join_scan == 2 * config.cost_model.io_ran
+
+    def test_empty_inner_full_outer(self, config, big_r, schema_s):
+        run = partition_join(big_r, ValidTimeRelation(schema_s), config)
+        assert len(run.result) == 0
+        assert run.plan.chosen.c_join_scan >= 0
+
+
 class TestDeterminism:
     def test_same_seed_same_plan(self, big_r, big_s, config):
         a = partition_join(big_r, big_s, config)
