@@ -15,6 +15,10 @@ Modules map one-to-one onto the paper's algorithms:
   driver (Figure 2) and its configuration.
 * :mod:`repro.core.replicating` -- the replication-based alternative the
   paper argues against (Leung-Muntz style), kept for the ablation bench.
+
+The sweep is crash-resumable: run with ``checkpoint_interval >= 1`` and a
+:class:`~repro.resilience.checkpoint.RecoveryLog`, restart with
+:func:`resume_join` (see ``docs/RESILIENCE.md``).
 """
 
 from repro.core.intervals import PartitionMap, choose_intervals
@@ -22,7 +26,12 @@ from repro.core.cache_estimate import estimate_cache_sizes
 from repro.core.planner import CandidateCost, PartitionPlan, determine_part_intervals
 from repro.core.partitioner import do_partitioning
 from repro.core.joiner import join_partitions
-from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.core.partition_join import (
+    PartitionJoinConfig,
+    PartitionJoinResult,
+    partition_join,
+    resume_join,
+)
 from repro.core.replicating import replicating_partition_join
 
 __all__ = [
@@ -35,6 +44,8 @@ __all__ = [
     "do_partitioning",
     "join_partitions",
     "PartitionJoinConfig",
+    "PartitionJoinResult",
     "partition_join",
+    "resume_join",
     "replicating_partition_join",
 ]

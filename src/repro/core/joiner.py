@@ -52,15 +52,21 @@ assert bit-equality of outcomes and per-phase statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intervals import PartitionMap
+from repro.model.errors import CheckpointError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
 from repro.model.vtuple import VTTuple
+from repro.resilience.checkpoint import SweepCheckpoint, SweepCheckpointer, SweepContext
+from repro.storage.buffer import BufferPool, Reservation
 from repro.storage.heapfile import HeapFile
 from repro.storage.layout import DiskLayout
 from repro.time.interval import Interval
+
+if TYPE_CHECKING:  # degrade imports this module; annotation-only the other way
+    from repro.resilience.degrade import BufferReduction
 
 #: Builds a result tuple from a matched pair and their interval overlap, or
 #: None to reject the pair.  The default is the natural-join combination;
@@ -114,6 +120,10 @@ def join_partitions(
     direction: str = "backward",
     cache_memory_tuples: int = 0,
     execution: str = "tuple",
+    pool: Optional[BufferPool] = None,
+    checkpointer: Optional[SweepCheckpointer] = None,
+    resume_from: Optional[SweepCheckpoint] = None,
+    buffer_reductions: Sequence["BufferReduction"] = (),
 ) -> JoinOutcome:
     """Join pre-partitioned relations ``r`` and ``s`` (Appendix A.1).
 
@@ -131,6 +141,19 @@ def join_partitions(
             ``"batch"``/``"batch-parallel"`` for the batch kernels (both run
             the same kernels here; they differ only in the partitioning
             phase, which is outside this function).
+        pool: when given, the sweep reserves its Figure 3 regions in this
+            :class:`BufferPool` and guarantees -- on success, failure, or
+            simulated crash -- that every reservation is released.
+        checkpointer: when given, boundary checkpoints are written every
+            ``checkpointer.interval`` completed partitions (plus one at
+            position 0), making the sweep resumable.
+        resume_from: a committed checkpoint to restart from (requires
+            *checkpointer*; the call's other arguments must describe the
+            same sweep, normally via the recovery log's context).
+        buffer_reductions: scheduled mid-sweep shrinks of the outer area;
+            from each reduction's position on, the sweep runs with the
+            smaller buffer, routing the excess through the Section 3.4
+            overflow machinery and recording a degradation event.
     """
     if len(r_parts) != len(partition_map) or len(s_parts) != len(partition_map):
         raise ValueError("partition lists must align with the partition map")
@@ -142,18 +165,20 @@ def join_partitions(
         raise ValueError(
             f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
         )
+    if resume_from is not None and checkpointer is None:
+        raise CheckpointError("resume_from requires the run's checkpointer")
 
     n = len(partition_map)
     if direction == "backward":
         # The paper's order: tuples stored in their last partition, the
         # sweep runs n..1, migration moves backward, and a pair is owned by
         # the partition holding its overlap's END chronon.
-        order = range(n - 1, -1, -1)
+        order_list = list(range(n - 1, -1, -1))
         step = -1
     else:
         # Footnote 1's equivalent strategy: first-partition storage, sweep
         # 1..n, forward migration, ownership by the overlap's START chronon.
-        order = range(n)
+        order_list = list(range(n))
         step = 1
 
     if execution == "tuple":
@@ -162,46 +187,130 @@ def join_partitions(
         engine = _BatchEngine(partition_map, direction)
 
     spec = layout.spec
-    block_tuples = max(1, buff_size * spec.capacity)
     inner_total = sum(part.n_tuples for part in s_parts)
-    result_file = layout.result_file("join_result")
-    collected = ValidTimeRelation(result_schema) if collect else None
-    outcome = JoinOutcome(result=collected)
+    report = layout.disk.report
 
-    outer_retained: List[VTTuple] = []
-    cache: Optional[_TupleCache] = None
-
-    for index in order:
-        next_index = index + step  # the partition the sweep visits next
-        has_next = 0 <= next_index < n
-
-        # Purge retained outer tuples that do not reach this partition, then
-        # read the partition itself from disk.
-        outer: List[VTTuple] = [
-            tup
-            for tup in outer_retained
-            if partition_map.overlaps_partition(tup.valid, index)
-        ]
-        for page in r_parts[index].scan_pages():
-            outer.extend(page)
-
-        new_cache: Optional[_TupleCache] = None
-        if has_next:
-            new_cache = _TupleCache(
-                layout, f"tuple_cache_{next_index}", cache_memory_tuples, inner_total
+    if resume_from is None:
+        result_file = layout.result_file("join_result")
+        collected = ValidTimeRelation(result_schema) if collect else None
+        outcome = JoinOutcome(result=collected)
+        outer_retained: List[VTTuple] = []
+        cache: Optional[_TupleCache] = None
+        start_pos = 0
+        if checkpointer is not None:
+            checkpointer.begin(
+                SweepContext(
+                    r_parts=tuple(r_parts),
+                    s_parts=tuple(s_parts),
+                    partition_map=partition_map,
+                    buff_size=buff_size,
+                    result_schema=result_schema,
+                    collect=collect,
+                    direction=direction,
+                    cache_memory_tuples=cache_memory_tuples,
+                    execution=execution,
+                    result_file=result_file,
+                )
             )
+    else:
+        context = checkpointer.recovery.context
+        if context is None:
+            raise CheckpointError("recovery log has no sweep context to resume")
+        # Discard everything the interrupted run did past the checkpoint.
+        result_file = context.result_file
+        result_file.rewind_to(resume_from.result_pages, resume_from.result_tuples)
+        collected = None
+        if collect:
+            collected = ValidTimeRelation(result_schema)
+            for tup in result_file.all_tuples():
+                collected.add(tup)
+        outcome = JoinOutcome(
+            result=collected,
+            n_result_tuples=resume_from.n_result_tuples,
+            overflow_blocks=resume_from.overflow_blocks,
+            cache_tuples_peak=resume_from.cache_tuples_peak,
+            cache_tuples_spilled=resume_from.cache_tuples_spilled,
+        )
+        outer_retained = list(resume_from.outer_retained)
+        cache = _TupleCache.restore(layout, cache_memory_tuples, inner_total, resume_from)
+        start_pos = resume_from.position
 
-        blocks = _split_blocks(outer, block_tuples)
-        if len(blocks) > 1:
-            outcome.overflow_blocks += len(blocks) - 1
-            _charge_spill(blocks[1:], layout, spec, index)
+    # The pool reservations of Figure 3: the outer area, the three fixed
+    # in-transit pages, and any resident tuple-cache area.  try/finally below
+    # guarantees they return to the pool however the sweep ends.
+    reservations: List[Reservation] = []
+    outer_reservation: Optional[Reservation] = None
+    if pool is not None:
+        outer_reservation = pool.reserve("outer_partition", buff_size)
+        reservations.append(outer_reservation)
+        for label in ("inner_page", "tuple_cache_page", "result_page"):
+            reservations.append(pool.reserve(label, 1))
+        resident_pages = spec.pages_for_tuples(cache_memory_tuples)
+        if resident_pages:
+            reservations.append(pool.reserve("cache_resident", resident_pages))
 
-        for block_number, block in enumerate(blocks):
-            probe_index = engine.build_index(block)
-            migrate = block_number == 0  # migration happens exactly once
-            if cache is not None:
+    current_buff = buff_size
+    new_cache: Optional[_TupleCache] = None
+    try:
+        for pos in range(start_pos, n):
+            index = order_list[pos]
+            next_index = index + step  # the partition the sweep visits next
+            has_next = 0 <= next_index < n
+
+            # Apply any scheduled buffer reductions that start here (or that
+            # started before the resume point -- those shrink silently, the
+            # pre-crash run already recorded them).
+            effective = min(
+                [buff_size]
+                + [red.buff_size for red in buffer_reductions if red.at_position <= pos]
+            )
+            if effective < current_buff:
+                current_buff = effective
+                if outer_reservation is not None:
+                    outer_reservation.resize(current_buff)
+                _note_buffer_reduction(report, pos, current_buff)
+            block_tuples = max(1, current_buff * spec.capacity)
+
+            # Purge retained outer tuples that do not reach this partition,
+            # then read the partition itself from disk.
+            outer: List[VTTuple] = [
+                tup
+                for tup in outer_retained
+                if partition_map.overlaps_partition(tup.valid, index)
+            ]
+            for page in r_parts[index].scan_pages():
+                outer.extend(page)
+
+            new_cache = None
+            if has_next:
+                new_cache = _TupleCache(
+                    layout, f"tuple_cache_{next_index}", cache_memory_tuples, inner_total
+                )
+
+            blocks = _split_blocks(outer, block_tuples)
+            if len(blocks) > 1:
+                outcome.overflow_blocks += len(blocks) - 1
+                _charge_spill(blocks[1:], layout, spec, index)
+
+            for block_number, block in enumerate(blocks):
+                probe_index = engine.build_index(block)
+                migrate = block_number == 0  # migration happens exactly once
+                if cache is not None:
+                    _probe_pages(
+                        cache.pages(),
+                        engine,
+                        probe_index,
+                        index,
+                        next_index if has_next else None,
+                        new_cache if migrate else None,
+                        result_file,
+                        collected,
+                        outcome,
+                        layout,
+                        pair_fn,
+                    )
                 _probe_pages(
-                    cache.pages(),
+                    s_parts[index].scan_pages(),
                     engine,
                     probe_index,
                     index,
@@ -213,30 +322,66 @@ def join_partitions(
                     layout,
                     pair_fn,
                 )
-            _probe_pages(
-                s_parts[index].scan_pages(),
-                engine,
-                probe_index,
-                index,
-                next_index if has_next else None,
-                new_cache if migrate else None,
-                result_file,
-                collected,
-                outcome,
-                layout,
-                pair_fn,
-            )
 
-        if new_cache is not None:
-            new_cache.flush()
-            outcome.cache_tuples_peak = max(outcome.cache_tuples_peak, new_cache.n_tuples)
-            if new_cache.spill is not None:
-                outcome.cache_tuples_spilled += new_cache.spill.n_tuples
-        cache = new_cache
-        outer_retained = outer
+            if new_cache is not None:
+                new_cache.flush()
+                outcome.cache_tuples_peak = max(
+                    outcome.cache_tuples_peak, new_cache.n_tuples
+                )
+                if new_cache.spill is not None:
+                    outcome.cache_tuples_spilled += new_cache.spill.n_tuples
+            cache = new_cache
+            outer_retained = outer
 
-    result_file.flush()
-    return outcome
+            completed = pos + 1
+            if (
+                checkpointer is not None
+                and completed < n
+                and checkpointer.due(completed, start_pos)
+            ):
+                # Durability point: stored watermarks must cover every
+                # emitted tuple, so the result buffer goes out first.
+                result_file.flush()
+                checkpointer.write(
+                    position=completed,
+                    outer_retained=outer_retained,
+                    cache_resident=cache.resident if cache is not None else (),
+                    cache_spill=cache.spill if cache is not None else None,
+                    cache_name=cache.name if cache is not None else None,
+                    result_file=result_file,
+                    n_result_tuples=outcome.n_result_tuples,
+                    overflow_blocks=outcome.overflow_blocks,
+                    cache_tuples_peak=outcome.cache_tuples_peak,
+                    cache_tuples_spilled=outcome.cache_tuples_spilled,
+                )
+
+        result_file.flush()
+        return outcome
+    except BaseException:
+        # The sweep died (simulated crash, fault, overflow...).  Volatile
+        # buffers vanish with the process: drop them WITHOUT charged I/O --
+        # a dead evaluator issues no writes.  Disk state stays as the crash
+        # left it; resume rewinds it to the last checkpoint's watermarks.
+        result_file.abandon()
+        for c in (cache, new_cache):
+            if c is not None and c.spill is not None:
+                c.spill.abandon()
+        raise
+    finally:
+        for reservation in reservations:
+            reservation.release()
+
+
+def _note_buffer_reduction(report, pos: int, buff_size: int) -> None:
+    """Record a buffer-reduction degradation once per sweep position."""
+    for event in report.degradations:
+        if event.kind == "buffer-reduction" and event.position == pos:
+            return
+    report.record_degradation(
+        "buffer-reduction",
+        f"outer buffer shrunk to {buff_size} pages at sweep position {pos}",
+        position=pos,
+    )
 
 
 class _TupleCache:
@@ -252,11 +397,36 @@ class _TupleCache:
         self, layout: DiskLayout, name: str, memory_tuples: int, capacity_hint: int
     ) -> None:
         self._layout = layout
-        self._name = name
+        self.name = name
         self._memory_tuples = memory_tuples
         self._capacity_hint = max(1, capacity_hint)
         self.resident: List[VTTuple] = []
         self.spill: Optional[HeapFile] = None
+
+    @classmethod
+    def restore(
+        cls,
+        layout: DiskLayout,
+        memory_tuples: int,
+        capacity_hint: int,
+        checkpoint: SweepCheckpoint,
+    ) -> Optional["_TupleCache"]:
+        """Rebuild the cache a checkpoint captured (None when it had none).
+
+        The resident area comes back from the checkpoint record (it was
+        persisted with the checkpoint's charged writes); the spill file is
+        the on-disk survivor, rolled back to its checkpointed watermarks.
+        """
+        if checkpoint.cache_name is None:
+            return None
+        cache = cls(layout, checkpoint.cache_name, memory_tuples, capacity_hint)
+        cache.resident = list(checkpoint.cache_resident)
+        if checkpoint.cache_spill is not None:
+            checkpoint.cache_spill.rewind_to(
+                checkpoint.cache_spill_pages, checkpoint.cache_spill_tuples
+            )
+            cache.spill = checkpoint.cache_spill
+        return cache
 
     def append(self, tup: VTTuple) -> None:
         if len(self.resident) < self._memory_tuples:
@@ -264,7 +434,7 @@ class _TupleCache:
             return
         if self.spill is None:
             self.spill = self._layout.cache_file(
-                self._name, capacity_tuples=self._capacity_hint
+                self.name, capacity_tuples=self._capacity_hint
             )
         self.spill.append(tup)
 

@@ -15,16 +15,26 @@ phase boundaries, and per-phase I/O is recorded on the layout's
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.joiner import JoinOutcome, PairFn, join_partitions, natural_pair
 from repro.core.partitioner import do_partitioning
 from repro.core.planner import PartitionPlan, determine_part_intervals
-from repro.model.errors import PlanError
+from repro.model.errors import (
+    BufferOverflowError,
+    CheckpointError,
+    PermanentIOFaultError,
+    PlanError,
+)
 from repro.model.relation import ValidTimeRelation
-from repro.storage.buffer import JoinBufferAllocation
+from repro.resilience.checkpoint import RecoveryLog, SweepCheckpointer
+from repro.resilience.degrade import BufferReduction, fallback_nested_loop_join
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import RetryPolicy
+from repro.storage.buffer import BufferPool, JoinBufferAllocation
 from repro.storage.iostats import CostModel
 from repro.storage.layout import DiskLayout
 from repro.storage.page import PageSpec
@@ -65,6 +75,19 @@ class PartitionJoinConfig:
         parallel_workers: process-pool size for ``"batch-parallel"``
             (None picks a machine-dependent default; the result never
             depends on the pool size).
+        checkpoint_interval: completed partitions between sweep checkpoints;
+            0 (the default) disables checkpointing, >= 1 makes the sweep
+            resumable via :func:`resume_join`.
+        retry_limit: override of the disk's retry bound for transient
+            faults (None keeps the layout's policy).
+        degraded_fallback: when a page fails permanently, re-evaluate the
+            join as a block nested loop over the base relations instead of
+            raising; the degradation is recorded on the resilience report.
+        buffer_reductions: scheduled mid-sweep shrinks of the outer buffer
+            area (:class:`~repro.resilience.degrade.BufferReduction`).
+
+    Every knob is validated centrally here, so a bad configuration fails at
+    construction with a clear message instead of deep inside a phase.
     """
 
     memory_pages: int
@@ -79,10 +102,26 @@ class PartitionJoinConfig:
     sample_inner_relation: bool = False
     execution: str = "tuple"
     parallel_workers: Optional[int] = None
+    checkpoint_interval: int = 0
+    retry_limit: Optional[int] = None
+    degraded_fallback: bool = True
+    buffer_reductions: Tuple[BufferReduction, ...] = ()
 
     def __post_init__(self) -> None:
+        min_pages = JoinBufferAllocation.FIXED_PAGES + 1
+        if self.memory_pages < min_pages:
+            raise BufferOverflowError(
+                f"partition join needs >= {min_pages} buffer pages (buffSize "
+                f"plus the {JoinBufferAllocation.FIXED_PAGES} fixed single-page "
+                f"areas of Figure 3), got {self.memory_pages}"
+            )
         if self.cache_buffer_pages < 0:
             raise ValueError("cache_buffer_pages must be non-negative")
+        if self.memory_pages - JoinBufferAllocation.FIXED_PAGES - self.cache_buffer_pages < 1:
+            raise PlanError(
+                f"cache reservation of {self.cache_buffer_pages} pages leaves no "
+                f"outer-partition space in a {self.memory_pages}-page buffer"
+            )
         if self.execution not in ("tuple", "batch", "batch-parallel"):
             raise ValueError(
                 f"execution must be 'tuple', 'batch', or 'batch-parallel', "
@@ -93,6 +132,31 @@ class PartitionJoinConfig:
                 f"parallel_workers must be >= 1 (or None for the default), "
                 f"got {self.parallel_workers}"
             )
+        if not isinstance(self.checkpoint_interval, int) or self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be an integer >= 1, or 0 to disable "
+                f"checkpointing, got {self.checkpoint_interval!r}"
+            )
+        if self.retry_limit is not None and self.retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be >= 0 (or None for the layout's policy), "
+                f"got {self.retry_limit}"
+            )
+        for reduction in self.buffer_reductions:
+            if not isinstance(reduction, BufferReduction):
+                raise ValueError(
+                    f"buffer_reductions must hold BufferReduction objects, "
+                    f"got {reduction!r}"
+                )
+
+    @property
+    def buff_size(self) -> int:
+        """Outer-partition pages after the fixed areas and cache reservation."""
+        return (
+            self.memory_pages
+            - JoinBufferAllocation.FIXED_PAGES
+            - self.cache_buffer_pages
+        )
 
 
 @dataclass
@@ -103,15 +167,22 @@ class PartitionJoinResult:
         outcome: result relation and sweep observations.
         plan: the partitioning plan that was executed.
         layout: the disk layout, carrying the phase-tracked I/O statistics.
+        recovery: the run's recovery log (None when checkpointing was off).
     """
 
     outcome: JoinOutcome
     plan: PartitionPlan
     layout: DiskLayout
+    recovery: Optional[RecoveryLog] = None
 
     @property
     def result(self) -> Optional[ValidTimeRelation]:
         return self.outcome.result
+
+    @property
+    def resilience(self) -> ResilienceReport:
+        """What the resilience machinery observed and did during the run."""
+        return self.layout.resilience_report
 
     def total_cost(self, cost_model: CostModel) -> float:
         """Weighted evaluation cost (result writes excluded, as in the paper)."""
@@ -125,6 +196,8 @@ def partition_join(
     *,
     layout: Optional[DiskLayout] = None,
     pair_fn: PairFn = natural_pair,
+    recovery: Optional[RecoveryLog] = None,
+    pool: Optional[BufferPool] = None,
 ) -> PartitionJoinResult:
     """Evaluate the valid-time natural join ``r JOIN_V s`` by partitioning.
 
@@ -134,93 +207,304 @@ def partition_join(
         config: evaluation knobs.
         layout: pass a pre-built layout to accumulate statistics across
             operations; a fresh one is created otherwise.
+        recovery: recovery log for crash/resume; required to
+            :func:`resume_join` later (a private one is used when omitted
+            and ``config.checkpoint_interval > 0``).
+        pool: buffer pool the sweep reserves its regions in.  A pool smaller
+            than ``config.memory_pages`` triggers the *replan* degradation:
+            the evaluation re-plans for the pool's actual size instead of
+            failing.
 
     Raises:
         SchemaError: if the schemas are not join-compatible.
         PlanError: if memory is too small for the Figure 3 allocation.
+        PermanentIOFaultError: a page failed permanently and
+            ``config.degraded_fallback`` is off.
     """
     result_schema = r.schema.join_result_schema(s.schema)
     if layout is None:
         layout = DiskLayout(spec=config.page_spec)
+    if config.retry_limit is not None:
+        layout.disk.retry_policy = RetryPolicy(
+            max_retries=config.retry_limit,
+            backoff_ops=layout.disk.retry_policy.backoff_ops,
+        )
+    if pool is not None and pool.total_pages < config.memory_pages:
+        # Graceful degradation: the memory the plan assumed is not there.
+        # Re-plan for what the pool can actually grant rather than failing
+        # (a too-small pool still raises, from the config validation).
+        layout.resilience_report.record_degradation(
+            "replan",
+            f"buffer pool grants {pool.total_pages} of {config.memory_pages} "
+            f"requested pages; re-planning for the smaller budget",
+        )
+        config = dataclasses.replace(config, memory_pages=pool.total_pages)
+    if config.checkpoint_interval > 0 and recovery is None:
+        recovery = RecoveryLog()
+
     allocation = JoinBufferAllocation(config.memory_pages)
     # The Section 5 trade-off: pages reserved for a resident tuple cache
-    # come out of the outer-partition area.
-    buff_size = allocation.buff_size - config.cache_buffer_pages
-    if buff_size < 1:
-        raise PlanError(
-            f"cache reservation of {config.cache_buffer_pages} pages leaves no "
-            f"outer-partition space in a {config.memory_pages}-page buffer"
-        )
+    # come out of the outer-partition area (validated by the config).
+    buff_size = config.buff_size
     rng = random.Random(config.seed)
 
     r_file = layout.place_relation(r)
     s_file = layout.place_relation(s)
     tracker = layout.tracker
 
-    # Degenerate case: a whole relation fits in the outer-partition area, so
-    # a single partition suffices -- no sampling, no Grace partitioning, one
-    # linear scan of each input.  (The trivial "plan" is one interval
-    # covering the inputs' joint lifespan, known from catalog metadata.)
-    if min(r_file.n_pages, s_file.n_pages) <= buff_size:
-        return _single_partition_join(
-            r, s, r_file, s_file, result_schema, allocation, config, layout, pair_fn
-        )
+    try:
+        # Degenerate case: a whole relation fits in the outer-partition
+        # area, so a single partition suffices -- no sampling, no Grace
+        # partitioning, one linear scan of each input.  (The trivial "plan"
+        # is one interval covering the inputs' joint lifespan, known from
+        # catalog metadata.)
+        if min(r_file.n_pages, s_file.n_pages) <= buff_size:
+            return _single_partition_join(
+                r,
+                s,
+                r_file,
+                s_file,
+                result_schema,
+                allocation,
+                config,
+                layout,
+                pair_fn,
+                recovery=recovery,
+                pool=pool,
+            )
 
-    with tracker.phase("sample"):
-        plan = determine_part_intervals(
-            buff_size,
-            r_file,
-            inner_tuples=len(s),
-            cost_model=config.cost_model,
-            rng=rng,
-            allow_scan_sampling=config.allow_scan_sampling,
-            max_candidates=config.max_plan_candidates,
-            inner=s_file if config.sample_inner_relation else None,
-        )
-    layout.disk.park_heads()
-
-    partition_map = plan.partition_map()
-    placement = "last" if config.sweep_direction == "backward" else "first"
-    with tracker.phase("partition"):
-        r_parts = do_partitioning(
-            r_file,
-            partition_map,
-            layout,
-            "r",
-            config.memory_pages,
-            placement=placement,
-            execution=config.execution,
-            parallel_workers=config.parallel_workers,
-        )
+        with tracker.phase("sample"):
+            plan = determine_part_intervals(
+                buff_size,
+                r_file,
+                inner_tuples=len(s),
+                cost_model=config.cost_model,
+                rng=rng,
+                allow_scan_sampling=config.allow_scan_sampling,
+                max_candidates=config.max_plan_candidates,
+                inner=s_file if config.sample_inner_relation else None,
+            )
         layout.disk.park_heads()
-        s_parts = do_partitioning(
-            s_file,
-            partition_map,
-            layout,
-            "s",
-            config.memory_pages,
-            placement=placement,
-            execution=config.execution,
-            parallel_workers=config.parallel_workers,
-        )
-    layout.disk.park_heads()
+        if recovery is not None:
+            recovery.plan = plan
 
-    with tracker.phase("join"):
-        outcome = join_partitions(
-            r_parts,
-            s_parts,
-            partition_map,
-            buff_size,
-            layout,
-            result_schema,
-            collect=config.collect_result,
-            pair_fn=pair_fn,
-            direction=config.sweep_direction,
-            cache_memory_tuples=config.cache_buffer_pages * layout.spec.capacity,
-            execution=config.execution,
+        partition_map = plan.partition_map()
+        placement = "last" if config.sweep_direction == "backward" else "first"
+        with tracker.phase("partition"):
+            r_parts = do_partitioning(
+                r_file,
+                partition_map,
+                layout,
+                "r",
+                config.memory_pages,
+                placement=placement,
+                execution=config.execution,
+                parallel_workers=config.parallel_workers,
+            )
+            layout.disk.park_heads()
+            s_parts = do_partitioning(
+                s_file,
+                partition_map,
+                layout,
+                "s",
+                config.memory_pages,
+                placement=placement,
+                execution=config.execution,
+                parallel_workers=config.parallel_workers,
+            )
+        layout.disk.park_heads()
+
+        checkpointer = None
+        if config.checkpoint_interval > 0:
+            checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
+
+        with tracker.phase("join"):
+            outcome = join_partitions(
+                r_parts,
+                s_parts,
+                partition_map,
+                buff_size,
+                layout,
+                result_schema,
+                collect=config.collect_result,
+                pair_fn=pair_fn,
+                direction=config.sweep_direction,
+                cache_memory_tuples=config.cache_buffer_pages * layout.spec.capacity,
+                execution=config.execution,
+                pool=pool,
+                checkpointer=checkpointer,
+                buffer_reductions=config.buffer_reductions,
+            )
+
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+        )
+    except PermanentIOFaultError as failure:
+        if not config.degraded_fallback:
+            raise
+        outcome = _degrade_to_nested_loop(
+            r, s, buff_size, layout, result_schema, config, pair_fn, failure
+        )
+        plan = _trivial_plan(r, s, buff_size, config)
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery
         )
 
-    return PartitionJoinResult(outcome=outcome, plan=plan, layout=layout)
+
+def resume_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    config: PartitionJoinConfig,
+    *,
+    layout: DiskLayout,
+    recovery: RecoveryLog,
+    pair_fn: PairFn = natural_pair,
+    pool: Optional[BufferPool] = None,
+) -> PartitionJoinResult:
+    """Restart an interrupted partition join from its last checkpoint.
+
+    The caller supplies the *same* relations, configuration, layout, and
+    recovery log of the interrupted :func:`partition_join` call.  The sweep
+    replays from the last committed checkpoint: the result and cache-spill
+    files are rewound to the checkpoint's watermarks and the remaining
+    partitions are joined, producing results and a
+    :class:`~repro.core.joiner.JoinOutcome` bit-identical to an
+    uninterrupted run.  I/O performed before the crash stays on the
+    layout's statistics; resumed work accumulates on top, within the same
+    ``"join"`` phase.
+
+    A crash *before* the first committed checkpoint (during sampling,
+    partitioning, or the first sweep steps) leaves nothing to replay; the
+    evaluation then simply restarts from the beginning on the same layout
+    and recovery log -- still producing the bit-identical result.
+
+    Raises:
+        CheckpointError: checkpointing is disabled in *config* (there can
+            never be anything to resume).
+    """
+    if config.checkpoint_interval < 1:
+        raise CheckpointError(
+            f"resume requires checkpoint_interval >= 1, got {config.checkpoint_interval}"
+        )
+    if not recovery.resumable:
+        # The run died before its sweep committed a checkpoint: recover the
+        # tracker and restart the whole evaluation.
+        layout.tracker.recover()
+        recovery.resumes += 1
+        layout.resilience_report.resumes += 1
+        return partition_join(
+            r, s, config, layout=layout, pair_fn=pair_fn, recovery=recovery, pool=pool
+        )
+    if config.retry_limit is not None:
+        layout.disk.retry_policy = RetryPolicy(
+            max_retries=config.retry_limit,
+            backoff_ops=layout.disk.retry_policy.backoff_ops,
+        )
+    # A crash can leave a phase open on the tracker (the context manager
+    # closes it when the exception unwinds normally, but a recovery catalog
+    # cannot assume a tidy unwind).
+    layout.tracker.recover()
+    recovery.resumes += 1
+    layout.resilience_report.resumes += 1
+
+    context = recovery.context
+    checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
+    try:
+        with layout.tracker.phase("join"):
+            outcome = join_partitions(
+                context.r_parts,
+                context.s_parts,
+                context.partition_map,
+                context.buff_size,
+                layout,
+                context.result_schema,
+                collect=context.collect,
+                pair_fn=pair_fn,
+                direction=context.direction,
+                cache_memory_tuples=context.cache_memory_tuples,
+                execution=context.execution,
+                pool=pool,
+                checkpointer=checkpointer,
+                resume_from=recovery.checkpoint,
+                buffer_reductions=config.buffer_reductions,
+            )
+        plan = recovery.plan
+        if plan is None:  # a single-partition run interrupted before plan commit
+            plan = _trivial_plan(r, s, context.buff_size, config)
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+        )
+    except PermanentIOFaultError as failure:
+        if not config.degraded_fallback:
+            raise
+        outcome = _degrade_to_nested_loop(
+            r, s, context.buff_size, layout, context.result_schema, config, pair_fn, failure
+        )
+        plan = recovery.plan
+        if plan is None:
+            plan = _trivial_plan(r, s, context.buff_size, config)
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+        )
+
+
+def _degrade_to_nested_loop(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    buff_size: int,
+    layout: DiskLayout,
+    result_schema,
+    config: PartitionJoinConfig,
+    pair_fn: PairFn,
+    failure: PermanentIOFaultError,
+) -> JoinOutcome:
+    """The permanent-failure fallback: block nested loop over fresh bases.
+
+    A permanently unreadable page means some file of the planned evaluation
+    cannot be trusted; re-placing the base relations and nested-looping over
+    them sidesteps every temporary file.  The fallback emits the same result
+    *set* as the sweep in a different order -- callers comparing materialized
+    results sort first (the sweep's emission order is a partition-ownership
+    artifact, not part of the join's contract).
+    """
+    layout.tracker.recover()
+    layout.resilience_report.record_degradation(
+        "nested-loop-fallback",
+        f"permanent page failure ({failure}); re-evaluating as a block "
+        f"nested-loop join",
+    )
+    return fallback_nested_loop_join(
+        r,
+        s,
+        buff_size,
+        layout,
+        result_schema,
+        collect=config.collect_result,
+        pair_fn=pair_fn,
+    )
+
+
+def _trivial_plan(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    buff_size: int,
+    config: PartitionJoinConfig,
+) -> PartitionPlan:
+    """A one-interval plan standing in when no real plan was executed."""
+    from repro.core.intervals import PartitionMap
+    from repro.time.interval import Interval
+    from repro.time.lifespan import lifespan_of
+
+    lifespan = lifespan_of(
+        [tup.valid for tup in r.tuples] + [tup.valid for tup in s.tuples]
+    )
+    interval = lifespan if lifespan is not None else Interval(0, 0)
+    return PartitionPlan(
+        intervals=[Interval(interval.start, interval.end)],
+        part_size=max(1, buff_size),
+        buff_size=max(1, buff_size),
+        chosen=None,
+    )
 
 
 def _single_partition_join(
@@ -233,6 +517,9 @@ def _single_partition_join(
     config: PartitionJoinConfig,
     layout: DiskLayout,
     pair_fn: PairFn,
+    *,
+    recovery: Optional[RecoveryLog] = None,
+    pool: Optional[BufferPool] = None,
 ) -> PartitionJoinResult:
     """One-partition evaluation when a relation fits in the buffer.
 
@@ -258,6 +545,10 @@ def _single_partition_join(
     interval = lifespan if lifespan is not None else Interval(0, 0)
     partition_map = PartitionMap([Interval(interval.start, interval.end)])
 
+    checkpointer = None
+    if config.checkpoint_interval > 0 and recovery is not None:
+        checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
+
     with layout.tracker.phase("join"):
         outcome = join_partitions(
             [outer_file],
@@ -269,10 +560,15 @@ def _single_partition_join(
             collect=config.collect_result,
             pair_fn=oriented_pair,
             execution=config.execution,
+            pool=pool,
+            checkpointer=checkpointer,
+            buffer_reductions=config.buffer_reductions,
         )
     plan = PartitionPlan(
         intervals=list(partition_map.intervals),
-        part_size=outer_file.n_pages,
+        # An empty input yields a zero-page "partition"; the plan still
+        # describes a one-page outer area so its invariants hold.
+        part_size=max(1, outer_file.n_pages),
         buff_size=allocation.buff_size,
         chosen=CandidateCost(
             part_size=outer_file.n_pages,
@@ -290,4 +586,8 @@ def _single_partition_join(
             c_join_cache=0.0,
         ),
     )
-    return PartitionJoinResult(outcome=outcome, plan=plan, layout=layout)
+    if recovery is not None:
+        recovery.plan = plan
+    return PartitionJoinResult(
+        outcome=outcome, plan=plan, layout=layout, recovery=recovery
+    )

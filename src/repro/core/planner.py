@@ -109,6 +109,27 @@ class PartitionPlan:
     sample_plan: Optional[SamplePlan] = None
     cache_pages: List[int] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Plan invariants every consumer leans on: a partition occupies at
+        # least one page and must fit the outer buffer area it was sized
+        # for.  (Equality is legal: the degenerate single-partition plan
+        # fills the buffer exactly.)
+        if self.part_size < 1:
+            raise PlanError(
+                f"plan part_size must be >= 1 page, got {self.part_size}",
+                part_size=self.part_size,
+                buff_size=self.buff_size,
+            )
+        if self.buff_size < self.part_size:
+            raise PlanError(
+                f"plan part_size {self.part_size} exceeds the buffer area "
+                f"of {self.buff_size} pages",
+                part_size=self.part_size,
+                buff_size=self.buff_size,
+            )
+        if not self.intervals:
+            raise PlanError("a plan needs at least one partitioning interval")
+
     @property
     def num_partitions(self) -> int:
         return len(self.intervals)

@@ -60,8 +60,13 @@ def replicating_partition_join(
         outcome = JoinOutcome(
             result=ValidTimeRelation(result_schema) if config.collect_result else None
         )
+        from repro.time.interval import Interval
+
         trivial = PartitionPlan(
-            intervals=[], part_size=0, buff_size=allocation.buff_size, chosen=None
+            intervals=[Interval(0, 0)],
+            part_size=1,
+            buff_size=allocation.buff_size,
+            chosen=None,
         )
         return ReplicatingJoinResult(outcome=outcome, plan=trivial, layout=layout)
 

@@ -22,18 +22,27 @@ from repro.engine.optimizer import JoinEstimate, choose_algorithm, estimate_cost
 from repro.model.errors import SchemaError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import ResiliencePolicy
 from repro.storage.iostats import CostModel
+from repro.storage.layout import DiskLayout
 from repro.storage.page import PageSpec
 
 
 @dataclass
 class QueryResult:
-    """A join's result plus its execution pedigree."""
+    """A join's result plus its execution pedigree.
+
+    ``resilience`` is populated for partition joins run under a
+    :class:`~repro.resilience.retry.ResiliencePolicy`; for other algorithms
+    (and with resilience off) it is None.
+    """
 
     relation: ValidTimeRelation
     algorithm: str
     cost: float
     estimates: Dict[str, JoinEstimate] = field(default_factory=dict)
+    resilience: Optional[ResilienceReport] = None
 
 
 class TemporalDatabase:
@@ -43,6 +52,10 @@ class TemporalDatabase:
         memory_pages: buffer budget every operator runs under.
         cost_model: random/sequential weights for reported costs.
         page_spec: page geometry of the simulated storage.
+        resilience: when given, partition joins run on checksummed storage
+            with the policy's retry bounds, checkpoint interval, and
+            degraded-fallback setting, and their :class:`QueryResult`
+            carries the resilience report.
     """
 
     def __init__(
@@ -50,10 +63,12 @@ class TemporalDatabase:
         memory_pages: int = 64,
         cost_model: Optional[CostModel] = None,
         page_spec: Optional[PageSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.memory_pages = memory_pages
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.page_spec = page_spec if page_spec is not None else PageSpec()
+        self.resilience = resilience
         self._relations: Dict[str, ValidTimeRelation] = {}
         self._statistics: Dict[str, Tuple[int, RelationStatistics]] = {}
 
@@ -129,17 +144,32 @@ class TemporalDatabase:
                 long_lived_fraction=self.statistics(inner).long_lived_fraction,
             )
 
+        report: Optional[ResilienceReport] = None
         if method == "partition":
-            run = partition_join(
-                r,
-                s,
-                PartitionJoinConfig(
+            config = PartitionJoinConfig(
+                memory_pages=self.memory_pages,
+                cost_model=self.cost_model,
+                page_spec=self.page_spec,
+            )
+            layout = None
+            if self.resilience is not None:
+                config = PartitionJoinConfig(
                     memory_pages=self.memory_pages,
                     cost_model=self.cost_model,
                     page_spec=self.page_spec,
-                ),
-            )
+                    checkpoint_interval=self.resilience.checkpoint_interval,
+                    retry_limit=self.resilience.retry_limit,
+                    degraded_fallback=self.resilience.degraded_fallback,
+                )
+                layout = DiskLayout(
+                    spec=self.page_spec,
+                    retry_policy=self.resilience.retry_policy(),
+                    checksums=self.resilience.checksums,
+                )
+            run = partition_join(r, s, config, layout=layout)
             relation, cost = run.result, run.total_cost(self.cost_model)
+            if self.resilience is not None:
+                report = run.resilience
         elif method == "sort_merge":
             run = sort_merge_join(
                 r, s, self.memory_pages, page_spec=self.page_spec
@@ -156,7 +186,11 @@ class TemporalDatabase:
             raise ValueError(f"unknown join method {method!r}")
         assert relation is not None
         return QueryResult(
-            relation=relation, algorithm=method, cost=cost, estimates=estimates
+            relation=relation,
+            algorithm=method,
+            cost=cost,
+            estimates=estimates,
+            resilience=report,
         )
 
     def join_many(self, names: List[str], *, method: str = "auto") -> QueryResult:

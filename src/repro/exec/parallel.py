@@ -121,8 +121,11 @@ def locate_partitions_parallel(
             initargs=(list(boundary_ends),),
         ) as pool:
             located = pool.map(_locate_chunk, chunks)
-    except (OSError, ValueError, ImportError):
-        # Restricted environment: same computation, same result, one process.
+    except Exception:
+        # Pool start-up or a worker failed -- restricted environments raise
+        # OSError/ValueError/ImportError, dying workers surface pool-specific
+        # errors.  Whatever the cause: same computation, same result, one
+        # process.  (Only genuine interrupts propagate.)
         return active.locate([span[0] for span in oriented],
                              active.prepare_boundaries(list(boundary_ends)))
     merged: List[int] = []

@@ -1,0 +1,88 @@
+"""Bounded retries with deterministic simulated backoff.
+
+When an access attempt fails (injected transient fault, or a checksum
+mismatch on a delivered page), the disk re-issues it under a
+:class:`RetryPolicy`: up to ``max_retries`` further attempts, each preceded
+by a *backoff penalty* of charged I/O operations.  The penalty is linear and
+deterministic -- retry attempt ``i`` costs ``backoff_ops * i`` extra
+operations -- modeling the settle/re-seek a controller pays before retrying,
+without introducing wall-clock time into the simulation.
+
+Every re-attempt and every penalty operation is charged to the normal
+:class:`~repro.storage.iostats.IOStatistics` buckets (so retries raise the
+reported evaluation cost exactly like real extra I/O) and additionally
+tagged in the ``retry_reads``/``retry_writes`` counters so fault overhead
+stays separately visible.  See ``docs/RESILIENCE.md`` for the full cost
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds and backoff shape of the disk's fault-retry loop.
+
+    Attributes:
+        max_retries: re-attempts after the first failure before the access
+            is declared permanently failed (0 = fail immediately).
+        backoff_ops: charged penalty operations before retry attempt ``i``
+            is ``backoff_ops * i`` (0 = retry for free).
+    """
+
+    max_retries: int = 2
+    backoff_ops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_ops < 0:
+            raise ValueError(f"backoff_ops must be >= 0, got {self.backoff_ops}")
+
+    def penalty(self, attempt: int) -> int:
+        """Charged backoff operations before retry *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"retry attempts are 1-based, got {attempt}")
+        return self.backoff_ops * attempt
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """One-stop resilience configuration for high-level entry points.
+
+    Bundles the knobs a caller of :class:`~repro.engine.database.
+    TemporalDatabase` (or other facades) cares about, mapped onto the
+    storage- and join-layer mechanisms underneath.
+
+    Attributes:
+        retry_limit: ``max_retries`` of the disk's :class:`RetryPolicy`.
+        backoff_ops: its backoff shape.
+        checksums: store checksummed page frames and verify on read.
+        checkpoint_interval: partitions between sweep checkpoints
+            (0 disables checkpointing).
+        degraded_fallback: fall back to a nested-loop evaluation when a
+            page fails permanently, instead of aborting the join.
+    """
+
+    retry_limit: int = 2
+    backoff_ops: int = 1
+    checksums: bool = True
+    checkpoint_interval: int = 4
+    degraded_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 0:
+            raise ValueError(f"retry_limit must be >= 0, got {self.retry_limit}")
+        if self.backoff_ops < 0:
+            raise ValueError(f"backoff_ops must be >= 0, got {self.backoff_ops}")
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0 (0 disables checkpointing), "
+                f"got {self.checkpoint_interval}"
+            )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The disk-layer policy this configuration maps to."""
+        return RetryPolicy(max_retries=self.retry_limit, backoff_ops=self.backoff_ops)

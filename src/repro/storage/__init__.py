@@ -16,10 +16,13 @@ is the substrate that makes those measurements possible:
   buffer allocation).
 * :mod:`repro.storage.layout` -- the canonical device layout used by every
   experiment (base relations, temp, tuple cache, result).
+
+The disk optionally runs with checksummed page frames, a fault injector,
+and a retry policy (see :mod:`repro.resilience` and ``docs/RESILIENCE.md``).
 """
 
 from repro.storage.iostats import CostModel, IOStatistics, PhaseTracker
-from repro.storage.page import PageSpec
+from repro.storage.page import PageFrame, PageSpec, frame_page, page_checksum
 from repro.storage.disk import Extent, SimulatedDisk
 from repro.storage.heapfile import HeapFile
 from repro.storage.buffer import BufferPool, Reservation
@@ -29,7 +32,10 @@ __all__ = [
     "CostModel",
     "IOStatistics",
     "PhaseTracker",
+    "PageFrame",
     "PageSpec",
+    "frame_page",
+    "page_checksum",
     "Extent",
     "SimulatedDisk",
     "HeapFile",

@@ -89,6 +89,10 @@ class BufferPool:
     def _resize(self, reservation: Reservation, pages: int) -> None:
         if id(reservation) not in self._reservations:
             raise BufferOverflowError(f"reservation {reservation.label!r} already released")
+        if pages < 0:
+            raise BufferOverflowError(
+                f"cannot resize {reservation.label!r} to {pages} pages"
+            )
         delta = pages - reservation.pages
         if delta > self.free_pages:
             raise BufferOverflowError(

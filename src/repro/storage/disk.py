@@ -23,14 +23,28 @@ of moving them:
 Loading pre-existing base relations uses :meth:`SimulatedDisk.load`, which
 bypasses accounting -- the paper's measurements start with the inputs
 already on disk.
+
+**Resilience.**  A disk can carry a
+:class:`~repro.resilience.faults.FaultInjector` (consulted on every charged
+access), a :class:`~repro.resilience.retry.RetryPolicy` (bounded retries
+with deterministic backoff, every attempt and penalty charged as real I/O),
+and checksummed page frames (``checksums=True``: pages are stored wrapped
+in :class:`~repro.storage.page.PageFrame` and verified on every read, so
+torn or corrupted deliveries are detected and retried).  What happened is
+recorded on :attr:`SimulatedDisk.report`.  A fault-free disk behaves and
+charges exactly as before.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.model.errors import StorageError
+from repro.model.errors import PermanentIOFaultError, StorageError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import RetryPolicy
 from repro.storage.iostats import IOStatistics
+from repro.storage.page import PageFrame, frame_page, torn_copy
 
 
 class Extent:
@@ -67,14 +81,22 @@ class Extent:
     def physical_address(self, index: int) -> int:
         """Physical device address of page *index*."""
         if index < 0:
-            raise StorageError(f"negative page index {index} in extent {self.name!r}")
+            raise StorageError(
+                f"negative page index {index} in extent {self.name!r}",
+                extent=self.name,
+                device=self.device,
+                page_index=index,
+            )
         remaining = index
         for base, cap in self._segments:
             if remaining < cap:
                 return base + remaining
             remaining -= cap
         raise StorageError(
-            f"page index {index} beyond capacity {self.capacity} of extent {self.name!r}"
+            f"page index {index} beyond capacity {self.capacity} of extent {self.name!r}",
+            extent=self.name,
+            device=self.device,
+            page_index=index,
         )
 
     def __repr__(self) -> str:
@@ -91,12 +113,28 @@ class SimulatedDisk:
         stats: the I/O counter stream every charged access is recorded to.
             Callers typically pass ``PhaseTracker().stats`` so phase-level
             accounting composes on top.
+        fault_injector: consulted on every charged access when set.
+        retry_policy: bounds of the fault-retry loop (defaults to
+            ``RetryPolicy()``; irrelevant while no faults occur).
+        checksums: store checksummed page frames and verify them on read.
     """
 
-    def __init__(self, stats: Optional[IOStatistics] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional[IOStatistics] = None,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checksums: bool = False,
+    ) -> None:
         self.stats = stats if stats is not None else IOStatistics()
         #: Per-device breakdown of the same operations counted in ``stats``.
         self.device_stats: Dict[int, IOStatistics] = {}
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.checksums = checksums
+        #: What the resilience machinery observed and did on this disk.
+        self.report = ResilienceReport()
         self._heads: Dict[int, Optional[int]] = {}
         self._alloc_pointer: Dict[int, int] = {}
         self._extents: List[Extent] = []
@@ -106,7 +144,11 @@ class SimulatedDisk:
     def allocate(self, name: str, device: int = 0, capacity: int = 1) -> Extent:
         """Reserve a contiguous extent of *capacity* pages on *device*."""
         if capacity < 1:
-            raise StorageError(f"extent capacity must be >= 1, got {capacity}")
+            raise StorageError(
+                f"extent capacity must be >= 1, got {capacity}",
+                extent=name,
+                device=device,
+            )
         extent = Extent(name, device, self)
         self._reserve_segment(extent, capacity)
         self._extents.append(extent)
@@ -130,28 +172,119 @@ class SimulatedDisk:
     # -- charged page access ---------------------------------------------------
 
     def read(self, extent: Extent, index: int) -> object:
-        """Read page *index* of *extent*, charging one I/O operation."""
+        """Read page *index* of *extent*, charging one I/O operation.
+
+        With a fault injector attached the access may be retried under the
+        retry policy; every attempt and backoff penalty is charged.  Raises
+        :class:`PermanentIOFaultError` when the policy is exhausted.
+        """
         if index >= extent.n_pages:
             raise StorageError(
                 f"read past end of extent {extent.name!r}: "
-                f"page {index} of {extent.n_pages}"
+                f"page {index} of {extent.n_pages}",
+                extent=extent.name,
+                device=extent.device,
+                page_index=index,
             )
-        self._charge(extent, index, write=False)
-        return extent._pages[index]
+        injector = self.fault_injector
+        if injector is not None:
+            injector.tick()
+        attempts = 0
+        while True:
+            self._charge(extent, index, write=False, retry=attempts > 0)
+            fault = (
+                injector.on_access(extent.name, extent.device, index, write=False)
+                if injector is not None
+                else None
+            )
+            failed_attempt = False
+            if fault is not None and fault.kind == "io":
+                self.report.transient_read_faults += 1
+                failed_attempt = True
+            else:
+                stored = extent._pages[index]
+                if self.checksums:
+                    frame = stored
+                    if fault is not None and fault.kind == "corrupt":
+                        # Delivery-time damage: the stored page is intact,
+                        # the copy handed over is torn.
+                        frame = PageFrame(torn_copy(frame.payload), frame.checksum)
+                    if isinstance(frame, PageFrame) and frame.verify():
+                        return frame.payload
+                    self.report.corruptions_detected += 1
+                    failed_attempt = True
+                else:
+                    if fault is not None and fault.kind == "corrupt":
+                        # No checksums: the torn page is returned as if good.
+                        self.report.corruptions_undetected += 1
+                        return torn_copy(stored)
+                    return stored
+            if failed_attempt:
+                attempts += 1
+                if attempts > self.retry_policy.max_retries:
+                    self.report.permanent_failures.append(
+                        f"read {extent.name!r} page {index} "
+                        f"(device {extent.device}, {attempts} attempts)"
+                    )
+                    raise PermanentIOFaultError(
+                        f"page read failed permanently after {attempts} attempts",
+                        extent=extent.name,
+                        device=extent.device,
+                        page_index=index,
+                        attempts=attempts,
+                    )
+                self.report.retries += 1
+                self._charge_backoff(extent, attempts, write=False)
 
     def write(self, extent: Extent, index: int, page: object) -> None:
-        """Write *page* at *index* (appending when ``index == n_pages``)."""
+        """Write *page* at *index* (appending when ``index == n_pages``).
+
+        Transient write faults are retried like reads; a permanently failing
+        write raises :class:`PermanentIOFaultError`.
+        """
         if index > extent.n_pages:
             raise StorageError(
                 f"write would leave a hole in extent {extent.name!r}: "
-                f"page {index}, current length {extent.n_pages}"
+                f"page {index}, current length {extent.n_pages}",
+                extent=extent.name,
+                device=extent.device,
+                page_index=index,
             )
         self._ensure_capacity(extent, index)
-        self._charge(extent, index, write=True)
-        if index == extent.n_pages:
-            extent._pages.append(page)
-        else:
-            extent._pages[index] = page
+        injector = self.fault_injector
+        if injector is not None:
+            injector.tick()
+        attempts = 0
+        while True:
+            self._charge(extent, index, write=True, retry=attempts > 0)
+            fault = (
+                injector.on_access(extent.name, extent.device, index, write=True)
+                if injector is not None
+                else None
+            )
+            if fault is None:
+                stored = frame_page(page) if self.checksums else page
+                if index == extent.n_pages:
+                    extent._pages.append(stored)
+                else:
+                    extent._pages[index] = stored
+                return
+            self.report.transient_write_faults += 1
+            attempts += 1
+            if attempts > self.retry_policy.max_retries:
+                self.report.permanent_failures.append(
+                    f"write {extent.name!r} page {index} "
+                    f"(device {extent.device}, {attempts} attempts)"
+                )
+                raise PermanentIOFaultError(
+                    f"page write failed permanently after {attempts} attempts",
+                    extent=extent.name,
+                    device=extent.device,
+                    page_index=index,
+                    attempts=attempts,
+                )
+            self.report.retries += 1
+            self._charge_backoff(extent, attempts, write=True)
 
     def append(self, extent: Extent, page: object) -> int:
         """Append *page* to *extent*; returns its page index."""
@@ -159,7 +292,9 @@ class SimulatedDisk:
         self.write(extent, index, page)
         return index
 
-    def _charge(self, extent: Extent, index: int, *, write: bool) -> None:
+    def _charge(
+        self, extent: Extent, index: int, *, write: bool, retry: bool = False
+    ) -> None:
         physical = extent.physical_address(index)
         head = self._heads.get(extent.device)
         sequential = head is not None and (physical == head + 1 or physical == head)
@@ -167,6 +302,26 @@ class SimulatedDisk:
         self.stats.record(write=write, sequential=sequential, count=1)
         per_device = self.device_stats.setdefault(extent.device, IOStatistics())
         per_device.record(write=write, sequential=sequential, count=1)
+        if retry:
+            self.stats.record_retry(write=write, count=1)
+            per_device.record_retry(write=write, count=1)
+
+    def _charge_backoff(self, extent: Extent, attempt: int, *, write: bool) -> None:
+        """Charge the deterministic backoff penalty before a retry attempt.
+
+        Penalty operations are random accesses (the head settles, nothing
+        transfers usefully), charged to the same streams as the access they
+        precede and tagged as retries.
+        """
+        penalty = self.retry_policy.penalty(attempt)
+        if penalty <= 0:
+            return
+        self.stats.record(write=write, sequential=False, count=penalty)
+        self.stats.record_retry(write=write, count=penalty)
+        per_device = self.device_stats.setdefault(extent.device, IOStatistics())
+        per_device.record(write=write, sequential=False, count=penalty)
+        per_device.record_retry(write=write, count=penalty)
+        self.report.backoff_ops += penalty
 
     # -- uncharged access ---------------------------------------------------------
 
@@ -177,20 +332,79 @@ class SimulatedDisk:
         experiment starts measuring.
         """
         self._ensure_capacity(extent, max(len(pages) - 1, 0))
-        extent._pages = list(pages)
+        if self.checksums:
+            extent._pages = [frame_page(page) for page in pages]
+        else:
+            extent._pages = list(pages)
+
+    def find_extent(self, name: str) -> Optional[Extent]:
+        """The extent allocated under *name*, if any.
+
+        Chaos tests use this to target a specific file -- e.g. damaging a
+        stored partition page between a crash and the resume.
+        """
+        for extent in self._extents:
+            if extent.name == name:
+                return extent
+        return None
 
     def peek(self, extent: Extent, index: int) -> object:
         """Read a page without charging (test and verification use only)."""
         if index >= extent.n_pages:
             raise StorageError(
                 f"peek past end of extent {extent.name!r}: "
-                f"page {index} of {extent.n_pages}"
+                f"page {index} of {extent.n_pages}",
+                extent=extent.name,
+                device=extent.device,
+                page_index=index,
             )
-        return extent._pages[index]
+        stored = extent._pages[index]
+        if isinstance(stored, PageFrame):
+            return stored.payload
+        return stored
 
-    def truncate(self, extent: Extent) -> None:
-        """Drop the contents of *extent* (reservation is kept)."""
-        extent._pages = []
+    def truncate(self, extent: Extent, keep: int = 0) -> None:
+        """Drop the contents of *extent* beyond the first *keep* pages.
+
+        The reservation is kept.  ``keep=0`` (the default) empties the
+        extent; a positive *keep* rolls a file back to a watermark, which is
+        how resume discards the partial work of an interrupted sweep.
+        """
+        if keep < 0:
+            raise StorageError(
+                f"cannot keep {keep} pages of extent {extent.name!r}",
+                extent=extent.name,
+                device=extent.device,
+            )
+        if keep > extent.n_pages:
+            raise StorageError(
+                f"cannot keep {keep} pages of extent {extent.name!r}: "
+                f"only {extent.n_pages} stored",
+                extent=extent.name,
+                device=extent.device,
+            )
+        del extent._pages[keep:]
+
+    def corrupt_stored(self, extent: Extent, index: int) -> None:
+        """Damage the *stored* copy of a page (chaos-test hook, uncharged).
+
+        Unlike delivery-time corruption from the fault injector, this damage
+        is persistent: retries re-read the same bad page, so with checksums
+        enabled the access exhausts its retry policy and fails permanently
+        -- the trigger for the joiner's graceful-degradation path.
+        """
+        if index >= extent.n_pages:
+            raise StorageError(
+                f"corrupt past end of extent {extent.name!r}",
+                extent=extent.name,
+                device=extent.device,
+                page_index=index,
+            )
+        stored = extent._pages[index]
+        if isinstance(stored, PageFrame):
+            extent._pages[index] = PageFrame(torn_copy(stored.payload), stored.checksum)
+        else:
+            extent._pages[index] = torn_copy(stored)
 
     # -- head control ----------------------------------------------------------------
 

@@ -107,6 +107,28 @@ class HeapFile:
             self.disk.append(self.extent, self._write_page)
             self._write_page = []
 
+    def abandon(self) -> None:
+        """Drop the unflushed write buffer without charging any I/O.
+
+        Models losing volatile state in a crash: tuples that never reached a
+        disk page simply disappear.  Used by the exception path of the sweep,
+        where a charged flush would be I/O issued by a dead process.
+        """
+        self._n_tuples -= len(self._write_page)
+        self._write_page = []
+
+    def rewind_to(self, n_pages: int, n_tuples: int) -> None:
+        """Roll the file back to a recorded watermark (uncharged).
+
+        Discards every page beyond *n_pages*, any buffered partial page, and
+        resets the tuple count to *n_tuples* -- how resume truncates the
+        partial output of an interrupted sweep before replaying from the
+        last checkpoint.
+        """
+        self.disk.truncate(self.extent, keep=n_pages)
+        self._write_page = []
+        self._n_tuples = n_tuples
+
     # -- reading --------------------------------------------------------------------
 
     def read_page(self, index: int) -> List[VTTuple]:

@@ -58,12 +58,21 @@ class CostModel:
 
 @dataclass
 class IOStatistics:
-    """Mutable counters of I/O operations, split by kind and direction."""
+    """Mutable counters of I/O operations, split by kind and direction.
+
+    ``retry_reads``/``retry_writes`` count access *re-attempts* forced by
+    injected faults or checksum failures.  Every retried attempt is charged
+    into the four main buckets exactly like a first attempt (so retries
+    appear in ``total_ops`` and :meth:`cost`); the retry counters exist so
+    fault overhead stays separately visible.
+    """
 
     random_reads: int = 0
     sequential_reads: int = 0
     random_writes: int = 0
     sequential_writes: int = 0
+    retry_reads: int = 0
+    retry_writes: int = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -82,12 +91,23 @@ class IOStatistics:
             else:
                 self.random_reads += count
 
+    def record_retry(self, *, write: bool, count: int = 1) -> None:
+        """Tag *count* already-recorded operations as fault retries."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if write:
+            self.retry_writes += count
+        else:
+            self.retry_reads += count
+
     def add(self, other: "IOStatistics") -> None:
         """Accumulate *other* into this object."""
         self.random_reads += other.random_reads
         self.sequential_reads += other.sequential_reads
         self.random_writes += other.random_writes
         self.sequential_writes += other.sequential_writes
+        self.retry_reads += other.retry_reads
+        self.retry_writes += other.retry_writes
 
     # -- derived quantities ---------------------------------------------------
 
@@ -112,6 +132,11 @@ class IOStatistics:
     def writes(self) -> int:
         return self.random_writes + self.sequential_writes
 
+    @property
+    def retry_ops(self) -> int:
+        """Access attempts that were fault-forced retries."""
+        return self.retry_reads + self.retry_writes
+
     def cost(self, model: CostModel) -> float:
         """Weighted evaluation cost under *model* (the paper's y-axis)."""
         return self.random_ops * model.io_ran + self.sequential_ops * model.io_seq
@@ -122,6 +147,8 @@ class IOStatistics:
             self.sequential_reads,
             self.random_writes,
             self.sequential_writes,
+            self.retry_reads,
+            self.retry_writes,
         )
 
     def diff(self, earlier: "IOStatistics") -> "IOStatistics":
@@ -131,13 +158,18 @@ class IOStatistics:
             self.sequential_reads - earlier.sequential_reads,
             self.random_writes - earlier.random_writes,
             self.sequential_writes - earlier.sequential_writes,
+            self.retry_reads - earlier.retry_reads,
+            self.retry_writes - earlier.retry_writes,
         )
 
     def __repr__(self) -> str:
-        return (
+        base = (
             f"IOStatistics(ran_r={self.random_reads}, seq_r={self.sequential_reads}, "
-            f"ran_w={self.random_writes}, seq_w={self.sequential_writes})"
+            f"ran_w={self.random_writes}, seq_w={self.sequential_writes}"
         )
+        if self.retry_ops:
+            base += f", retry_r={self.retry_reads}, retry_w={self.retry_writes}"
+        return base + ")"
 
 
 @dataclass
@@ -171,6 +203,22 @@ class PhaseTracker:
         bucket = self.phases.setdefault(self._current, IOStatistics())
         bucket.add(delta)
         self._current = None
+
+    def recover(self) -> Optional[str]:
+        """Close a phase left open by an exception (e.g. a simulated crash).
+
+        I/O recorded between the phase entry and the interruption is
+        attributed to that phase, exactly as a normal exit would have; a
+        subsequent :meth:`phase` with the same name then accumulates the
+        resumed work on top -- "correctly merged" statistics across a
+        crash/resume boundary.  Returns the name of the recovered phase, or
+        None when no phase was open.
+        """
+        if self._current is None:
+            return None
+        name = self._current
+        self._exit()
+        return name
 
     def phase_cost(self, name: str, model: CostModel) -> float:
         """Weighted cost of phase *name* (0 when the phase never ran)."""

@@ -26,6 +26,9 @@ from typing import Optional
 
 from repro.model.relation import ValidTimeRelation
 from repro.model.vtuple import VTTuple
+from repro.resilience.faults import FaultInjector
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import RetryPolicy
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heapfile import HeapFile
 from repro.storage.iostats import IOStatistics, PhaseTracker
@@ -48,6 +51,7 @@ class Device(enum.IntEnum):
     SCRATCH_B = 5
     SCRATCH_C = 6
     SCRATCH_D = 7
+    CHECKPOINT = 8  # sweep checkpoints (resilience metadata)
 
 
 @dataclass
@@ -59,15 +63,34 @@ class DiskLayout:
         tracker: phase-aware counters for the *reported* cost.
         result_stats: counters for result writes (kept separate, see module
             docstring).
+        fault_injector: optional fault source attached to the main disk.
+            The result disk never carries faults -- its cost stream is
+            excluded from every algorithm's report, so failing it would
+            perturb nothing the paper measures.
+        retry_policy: retry bounds of the main disk (None = defaults).
+        checksums: store checksummed page frames on the main disk.
     """
 
     spec: PageSpec = field(default_factory=PageSpec)
     tracker: PhaseTracker = field(default_factory=PhaseTracker)
     result_stats: IOStatistics = field(default_factory=IOStatistics)
+    fault_injector: Optional[FaultInjector] = None
+    retry_policy: Optional[RetryPolicy] = None
+    checksums: bool = False
 
     def __post_init__(self) -> None:
-        self.disk = SimulatedDisk(self.tracker.stats)
+        self.disk = SimulatedDisk(
+            self.tracker.stats,
+            fault_injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+            checksums=self.checksums,
+        )
         self._result_disk = SimulatedDisk(self.result_stats)
+
+    @property
+    def resilience_report(self) -> ResilienceReport:
+        """What the resilience machinery observed and did on the main disk."""
+        return self.disk.report
 
     # -- relation placement -----------------------------------------------------
 

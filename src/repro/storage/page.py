@@ -1,14 +1,22 @@
-"""Page geometry: how many tuples fit on a disk page.
+"""Page geometry and checksummed page frames.
 
 Every cost in the paper is expressed in pages, so the only physical fact the
 simulator needs about a page is its tuple capacity.  A :class:`PageSpec`
 derives that capacity from the page and tuple sizes and provides the
 page-count arithmetic used by planners and cost formulas.
+
+For the resilience layer a page can additionally be wrapped in a
+:class:`PageFrame`: the payload plus a CRC-32 over its canonical
+representation.  A disk running with checksums enabled stores frames and
+verifies them on every read, so torn or corrupted pages are *detected at
+read time* (and retried) instead of silently joining garbage.  Framing is a
+storage-internal concern -- callers of the disk API never see frames.
 """
 
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 
 from repro.model.errors import StorageError
@@ -63,3 +71,45 @@ class PageSpec:
         if n_pages < 0:
             raise StorageError(f"negative page count {n_pages}")
         return n_pages * self.capacity
+
+
+# -- checksummed page frames ---------------------------------------------------
+
+
+def page_checksum(payload: object) -> int:
+    """CRC-32 of a page payload's canonical representation.
+
+    Payloads are arbitrary Python objects (normally lists of ``VTTuple``);
+    ``repr`` is deterministic for them within a process, which is the only
+    scope a simulated disk needs.
+    """
+    return zlib.crc32(repr(payload).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class PageFrame:
+    """A stored page: payload plus the checksum computed when it was written."""
+
+    payload: object
+    checksum: int
+
+    def verify(self) -> bool:
+        """True when the payload still matches its stored checksum."""
+        return page_checksum(self.payload) == self.checksum
+
+
+def frame_page(payload: object) -> PageFrame:
+    """Wrap *payload* in a frame carrying its current checksum."""
+    return PageFrame(payload, page_checksum(payload))
+
+
+def torn_copy(payload: object) -> object:
+    """A torn-write image of *payload*: the trailing part is lost.
+
+    Used by the fault injector to model partially transferred pages.  For
+    sequence payloads the last element is dropped; anything else is replaced
+    by a recognizable marker.
+    """
+    if isinstance(payload, (list, tuple)) and len(payload) > 0:
+        return payload[:-1]
+    return ["<torn page>"]

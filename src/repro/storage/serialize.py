@@ -13,16 +13,23 @@ to survive a process.  Two formats:
   works in, written and parsed in whole-column operations instead of one
   record per tuple.  Same round-trip guarantees as JSON lines, markedly
   faster to load for large relations.
+
+The JSON formats carry end-to-end **checksums**: JSON lines appends a
+trailer record with the CRC-32 of every tuple record's bytes, and columnar
+files embed the CRC-32 of their column data.  Loading verifies the checksum
+when present (:class:`~repro.model.errors.ChecksumError` on mismatch) and
+accepts files without one, so pre-existing files keep loading.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import zlib
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
-from repro.model.errors import SchemaError
+from repro.model.errors import ChecksumError, SchemaError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
 from repro.model.vtuple import VTTuple
@@ -94,7 +101,12 @@ def load_csv(
 
 
 def save_jsonl(relation: ValidTimeRelation, path: PathLike) -> int:
-    """Write *relation* as JSON lines (schema header + one record per tuple)."""
+    """Write *relation* as JSON lines (schema header + one record per tuple).
+
+    A trailer record ``{"checksum": <crc32>}`` over the tuple records' bytes
+    closes the file, so a truncated or bit-flipped file is detected at load
+    time.
+    """
     schema = relation.schema
     with open(path, "w") as handle:
         header = {
@@ -105,6 +117,7 @@ def save_jsonl(relation: ValidTimeRelation, path: PathLike) -> int:
         }
         handle.write(json.dumps(header) + "\n")
         count = 0
+        crc = 0
         for tup in relation:
             record = {
                 "key": list(tup.key),
@@ -112,8 +125,11 @@ def save_jsonl(relation: ValidTimeRelation, path: PathLike) -> int:
                 "vs": tup.vs,
                 "ve": tup.ve,
             }
-            handle.write(json.dumps(record) + "\n")
+            line = json.dumps(record) + "\n"
+            crc = zlib.crc32(line.encode("utf-8"), crc)
+            handle.write(line)
             count += 1
+        handle.write(json.dumps({"checksum": crc}) + "\n")
     return count
 
 
@@ -140,18 +156,33 @@ def save_columnar(relation: ValidTimeRelation, path: PathLike) -> int:
         "starts": starts,
         "ends": ends,
     }
+    document["checksum"] = _columnar_checksum(document)
     with open(path, "w") as handle:
         json.dump(document, handle)
     return len(starts)
 
 
+def _columnar_checksum(document: dict) -> int:
+    """CRC-32 over the canonical JSON encoding of the four columns."""
+    columns = [document["keys"], document["payloads"], document["starts"], document["ends"]]
+    encoded = json.dumps(columns, separators=(",", ":"), sort_keys=True)
+    return zlib.crc32(encoded.encode("utf-8"))
+
+
 def load_columnar(path: PathLike) -> ValidTimeRelation:
-    """Read a columnar file written by :func:`save_columnar`."""
+    """Read a columnar file written by :func:`save_columnar`.
+
+    Verifies the embedded column checksum when present; files written before
+    checksums existed load unchanged.
+    """
     with open(path) as handle:
         document = json.load(handle)
     header = document.get("schema")
     if header is None:
         raise SchemaError(f"{path} has no schema header; not a columnar file")
+    stored_crc = document.get("checksum")
+    if stored_crc is not None and stored_crc != _columnar_checksum(document):
+        raise ChecksumError(f"columnar file {path} failed its checksum")
     schema = RelationSchema(
         name=header["name"],
         join_attributes=tuple(header["join_attributes"]),
@@ -182,8 +213,16 @@ def load_jsonl(path: PathLike) -> ValidTimeRelation:
             tuple_bytes=header["tuple_bytes"],
         )
         relation = ValidTimeRelation(schema)
+        crc = 0
+        trailer_crc = None
         for line in handle:
             record = json.loads(line)
+            if set(record) == {"checksum"}:
+                trailer_crc = record["checksum"]
+                continue
+            if trailer_crc is not None:
+                raise SchemaError(f"{path} has records after its checksum trailer")
+            crc = zlib.crc32(line.encode("utf-8"), crc)
             relation.add(
                 VTTuple(
                     tuple(record["key"]),
@@ -191,4 +230,6 @@ def load_jsonl(path: PathLike) -> ValidTimeRelation:
                     Interval(record["vs"], record["ve"]),
                 )
             )
+        if trailer_crc is not None and trailer_crc != crc:
+            raise ChecksumError(f"JSON-lines file {path} failed its checksum")
     return relation

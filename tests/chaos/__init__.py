@@ -1,0 +1,1 @@
+"""Chaos suite: crash/resume, fault storms, and graceful degradation."""

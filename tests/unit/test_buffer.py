@@ -50,6 +50,46 @@ class TestBufferPool:
         with pytest.raises(BufferOverflowError):
             BufferPool(0)
 
+    def test_resize_negative_rejected(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("a", 2)
+        with pytest.raises(BufferOverflowError, match="resize"):
+            reservation.resize(-1)
+        assert pool.used_pages == 2
+
+    def test_resize_to_zero_frees_everything_but_keeps_the_region(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("a", 3)
+        reservation.resize(0)
+        assert pool.free_pages == 4
+        reservation.resize(2)
+        assert pool.used_pages == 2
+
+    def test_resize_after_release_rejected(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("a", 2)
+        reservation.release()
+        with pytest.raises(BufferOverflowError, match="already released"):
+            reservation.resize(1)
+
+    def test_zero_page_reservation_is_legal(self):
+        pool = BufferPool(4)
+        reservation = pool.reserve("empty", 0)
+        assert pool.used_pages == 0
+        reservation.release()
+        assert pool.free_pages == 4
+
+    def test_release_restores_exact_capacity_after_growth(self):
+        pool = BufferPool(8)
+        a = pool.reserve("a", 3)
+        b = pool.reserve("b", 2)
+        a.resize(5)
+        assert pool.free_pages == 1
+        a.release()
+        b.release()
+        assert pool.used_pages == 0
+        assert pool.free_pages == 8
+
 
 class TestJoinBufferAllocation:
     def test_figure3_split(self):

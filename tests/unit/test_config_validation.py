@@ -1,0 +1,104 @@
+"""Central validation of :class:`PartitionJoinConfig` and the plan invariants.
+
+Every knob fails at construction with a clear message, so a bad
+configuration never surfaces as a confusing error deep inside a phase.
+"""
+
+import pytest
+
+from repro.core.partition_join import PartitionJoinConfig
+from repro.core.planner import PartitionPlan
+from repro.model.errors import BufferOverflowError, PlanError
+from repro.resilience.degrade import BufferReduction
+from repro.time.interval import Interval
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = PartitionJoinConfig(memory_pages=16)
+        assert config.buff_size == 13
+        assert config.checkpoint_interval == 0
+        assert config.retry_limit is None
+        assert config.degraded_fallback
+
+    def test_memory_floor(self):
+        with pytest.raises(BufferOverflowError, match=">= 4 buffer pages"):
+            PartitionJoinConfig(memory_pages=3)
+
+    def test_cache_reservation_must_leave_outer_space(self):
+        with pytest.raises(PlanError, match="leaves no"):
+            PartitionJoinConfig(memory_pages=8, cache_buffer_pages=5)
+        with pytest.raises(ValueError, match="non-negative"):
+            PartitionJoinConfig(memory_pages=8, cache_buffer_pages=-1)
+
+    def test_buff_size_accounts_for_cache_reservation(self):
+        config = PartitionJoinConfig(memory_pages=10, cache_buffer_pages=2)
+        assert config.buff_size == 5
+
+    def test_execution_mode_validated(self):
+        with pytest.raises(ValueError, match="execution must be"):
+            PartitionJoinConfig(memory_pages=8, execution="vectorized")
+
+    def test_parallel_workers_validated(self):
+        with pytest.raises(ValueError, match="parallel_workers"):
+            PartitionJoinConfig(memory_pages=8, parallel_workers=0)
+
+    def test_checkpoint_interval_validated(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            PartitionJoinConfig(memory_pages=8, checkpoint_interval=-1)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            PartitionJoinConfig(memory_pages=8, checkpoint_interval=1.5)
+        PartitionJoinConfig(memory_pages=8, checkpoint_interval=0)
+        PartitionJoinConfig(memory_pages=8, checkpoint_interval=1)
+
+    def test_retry_limit_validated(self):
+        with pytest.raises(ValueError, match="retry_limit"):
+            PartitionJoinConfig(memory_pages=8, retry_limit=-2)
+        PartitionJoinConfig(memory_pages=8, retry_limit=0)
+        PartitionJoinConfig(memory_pages=8, retry_limit=None)
+
+    def test_buffer_reductions_validated(self):
+        with pytest.raises(ValueError, match="BufferReduction"):
+            PartitionJoinConfig(memory_pages=8, buffer_reductions=((2, 1),))
+        PartitionJoinConfig(
+            memory_pages=8,
+            buffer_reductions=(BufferReduction(at_position=2, buff_size=1),),
+        )
+
+
+class TestBufferReductionValidation:
+    def test_fields_validated(self):
+        with pytest.raises(ValueError):
+            BufferReduction(at_position=-1, buff_size=1)
+        with pytest.raises(ValueError):
+            BufferReduction(at_position=0, buff_size=0)
+
+
+class TestPlanValidation:
+    def make_plan(self, **overrides):
+        settings = dict(
+            intervals=[Interval(0, 10), Interval(10, 20)],
+            part_size=2,
+            buff_size=4,
+            chosen=None,
+        )
+        settings.update(overrides)
+        return PartitionPlan(**settings)
+
+    def test_valid_plan(self):
+        plan = self.make_plan()
+        assert plan.num_partitions == 2
+
+    def test_part_size_floor(self):
+        with pytest.raises(PlanError, match="part_size"):
+            self.make_plan(part_size=0)
+
+    def test_buffer_must_hold_a_partition(self):
+        with pytest.raises(PlanError, match="buff_size"):
+            self.make_plan(part_size=5, buff_size=4)
+        # Equality is legal: a partition exactly filling the buffer.
+        self.make_plan(part_size=4, buff_size=4)
+
+    def test_intervals_required(self):
+        with pytest.raises(PlanError, match="interval"):
+            self.make_plan(intervals=[])

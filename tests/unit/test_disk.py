@@ -138,3 +138,77 @@ class TestReadWriteSemantics:
         assert disk.head_position(3) is None
         disk.read(extent, 2)
         assert disk.head_position(3) == extent.physical_address(2)
+
+
+class TestSegmentBoundaries:
+    def test_crossing_a_segment_boundary_costs_a_seek(self, disk):
+        extent = disk.allocate("grow", capacity=3)
+        disk.allocate("neighbor", capacity=4)  # forces the growth segment away
+        for i in range(6):
+            disk.write(extent, i, f"p{i}")
+        # Pages 0-2 live in the first segment, 3-5 in the chained one; the
+        # jump between them is physically discontiguous.
+        assert extent.physical_address(3) != extent.physical_address(2) + 1
+        disk.park_heads()
+        disk.stats = type(disk.stats)()
+        for i in range(6):
+            disk.read(extent, i)
+        assert disk.stats.random_reads == 2  # initial seek + boundary seek
+        assert disk.stats.sequential_reads == 4
+
+    def test_append_across_boundary_is_random(self, disk):
+        extent = disk.allocate("grow", capacity=2)
+        disk.allocate("neighbor", capacity=2)
+        for i in range(4):
+            disk.append(extent, f"p{i}")
+        # One seek to start, one to enter the growth segment at page 2.
+        assert disk.stats.random_writes == 2
+        assert disk.stats.sequential_writes == 2
+
+    def test_negative_index_rejected_with_context(self, disk):
+        extent = disk.allocate("r", capacity=2)
+        with pytest.raises(StorageError) as excinfo:
+            extent.physical_address(-1)
+        assert excinfo.value.extent == "r"
+        assert excinfo.value.page_index == -1
+
+
+class TestTruncate:
+    def test_truncate_to_watermark(self, disk):
+        extent = disk.allocate("r", capacity=8)
+        disk.load(extent, list("abcdef"))
+        disk.truncate(extent, keep=4)
+        assert extent.n_pages == 4
+        assert disk.peek(extent, 3) == "d"
+
+    def test_truncate_validates_keep(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        disk.load(extent, list("ab"))
+        with pytest.raises(StorageError, match="cannot keep"):
+            disk.truncate(extent, keep=-1)
+        with pytest.raises(StorageError, match="only 2 stored"):
+            disk.truncate(extent, keep=3)
+
+    def test_truncate_keeps_the_reservation(self, disk):
+        extent = disk.allocate("r", capacity=4)
+        disk.load(extent, list("abcd"))
+        disk.truncate(extent)
+        assert extent.capacity == 4
+        disk.append(extent, "fresh")
+        assert disk.peek(extent, 0) == "fresh"
+
+
+class TestChecksummedDisk:
+    def test_checksummed_pages_roundtrip_unwrapped(self):
+        disk = SimulatedDisk(IOStatistics(), checksums=True)
+        extent = disk.allocate("c", capacity=2)
+        disk.append(extent, ["x", "y"])
+        assert disk.read(extent, 0) == ["x", "y"]
+        assert disk.peek(extent, 0) == ["x", "y"]
+
+    def test_load_frames_pages(self):
+        disk = SimulatedDisk(IOStatistics(), checksums=True)
+        extent = disk.allocate("c", capacity=2)
+        disk.load(extent, [["a"], ["b"]])
+        assert disk.read(extent, 1) == ["b"]
+        assert disk.stats.total_ops == 1

@@ -1,0 +1,332 @@
+"""Unit tests for the resilience primitives.
+
+Covers the fault injector, retry policy, page frames, the disk's retry
+loop and its cost accounting, serialization checksums, and the structured
+error context.
+"""
+
+import pytest
+
+from repro.model.errors import (
+    ChecksumError,
+    PermanentIOFaultError,
+    ReproError,
+    SchemaError,
+    SimulatedCrashError,
+)
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.resilience.faults import FaultDecision, FaultInjector
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import ResiliencePolicy, RetryPolicy
+from repro.storage.disk import SimulatedDisk
+from repro.storage.iostats import IOStatistics
+from repro.storage.page import PageFrame, frame_page, page_checksum, torn_copy
+from repro.storage.serialize import (
+    load_columnar,
+    load_jsonl,
+    save_columnar,
+    save_jsonl,
+)
+
+
+class TestFaultInjector:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="read_fault_rate"):
+            FaultInjector(read_fault_rate=1.0)
+        with pytest.raises(ValueError, match="write_fault_rate"):
+            FaultInjector(write_fault_rate=-0.1)
+        with pytest.raises(ValueError, match="corruption_rate"):
+            FaultInjector(corruption_rate=2.0)
+
+    def test_scripted_faults_burn_down(self):
+        injector = FaultInjector()
+        injector.fail_read("x", 3, times=2)
+        decisions = [
+            injector.on_access("x", 0, 3, write=False) for _ in range(3)
+        ]
+        assert decisions[0] == FaultDecision("io")
+        assert decisions[1] == FaultDecision("io")
+        assert decisions[2] is None
+
+    def test_scripted_faults_distinguish_direction(self):
+        injector = FaultInjector()
+        injector.fail_write("x", 0)
+        assert injector.on_access("x", 0, 0, write=False) is None
+        assert injector.on_access("x", 0, 0, write=True) == FaultDecision("io")
+
+    def test_scripted_times_validated(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match=">= 1"):
+            injector.fail_read("x", 0, times=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            injector.corrupt_read("x", 0, times=-1)
+
+    def test_random_stream_is_a_function_of_the_seed(self):
+        def decisions(seed):
+            injector = FaultInjector(seed=seed, read_fault_rate=0.3, corruption_rate=0.2)
+            return [injector.on_access("x", 0, i, write=False) for i in range(50)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_device_filter_spares_other_devices_but_not_scripts(self):
+        injector = FaultInjector(seed=1, read_fault_rate=0.99, devices=[2])
+        assert all(
+            injector.on_access("x", 0, i, write=False) is None for i in range(20)
+        )
+        assert injector.on_access("x", 2, 0, write=False) == FaultDecision("io")
+        injector.fail_read("y", 0)
+        assert injector.on_access("y", 0, 0, write=False) == FaultDecision("io")
+
+    def test_crash_schedule_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FaultInjector().schedule_crash(at_op=0)
+
+    def test_crash_is_one_shot(self):
+        injector = FaultInjector()
+        injector.schedule_crash(at_op=2)
+        injector.tick()
+        with pytest.raises(SimulatedCrashError) as excinfo:
+            injector.tick()
+        assert excinfo.value.context["operation"] == 2
+        injector.tick()  # disarmed: the resumed run proceeds
+        assert injector.ops_seen == 3
+
+    def test_crash_can_be_disarmed(self):
+        injector = FaultInjector()
+        injector.schedule_crash(at_op=1)
+        injector.disarm_crash()
+        injector.tick()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_ops"):
+            RetryPolicy(backoff_ops=-1)
+
+    def test_penalty_is_linear_and_one_based(self):
+        policy = RetryPolicy(max_retries=3, backoff_ops=2)
+        assert [policy.penalty(i) for i in (1, 2, 3)] == [2, 4, 6]
+        with pytest.raises(ValueError, match="1-based"):
+            policy.penalty(0)
+
+    def test_resilience_policy_maps_to_retry_policy(self):
+        policy = ResiliencePolicy(retry_limit=5, backoff_ops=3)
+        assert policy.retry_policy() == RetryPolicy(max_retries=5, backoff_ops=3)
+        with pytest.raises(ValueError, match="retry_limit"):
+            ResiliencePolicy(retry_limit=-1)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            ResiliencePolicy(checkpoint_interval=-1)
+
+
+class TestResilienceReport:
+    def test_fresh_report_is_clean(self):
+        report = ResilienceReport()
+        assert report.clean
+        assert not report.degraded
+        assert report.summary() == "clean"
+
+    def test_events_dirty_the_report(self):
+        report = ResilienceReport()
+        report.retries = 2
+        report.backoff_ops = 3
+        event = report.record_degradation("replan", "pool shrank", position=None)
+        assert not report.clean
+        assert report.degraded
+        assert report.degradations == [event]
+        summary = report.summary()
+        assert "2 retries" in summary
+        assert "degraded[replan]" in summary
+
+
+class TestPageFrames:
+    def test_frame_roundtrip_verifies(self):
+        frame = frame_page(["a", "b"])
+        assert frame.verify()
+        assert frame.payload == ["a", "b"]
+
+    def test_tampered_frame_fails_verification(self):
+        frame = frame_page(["a", "b"])
+        assert not PageFrame(["a"], frame.checksum).verify()
+
+    def test_checksum_is_deterministic(self):
+        assert page_checksum(["a", 1]) == page_checksum(["a", 1])
+        assert page_checksum(["a", 1]) != page_checksum(["a", 2])
+
+    def test_torn_copy_drops_the_tail(self):
+        assert torn_copy(["a", "b", "c"]) == ["a", "b"]
+        assert torn_copy((1,)) == ()
+        assert torn_copy(17) == ["<torn page>"]
+
+
+class TestDiskRetries:
+    def make_disk(self, **kwargs):
+        disk = SimulatedDisk(IOStatistics(), **kwargs)
+        extent = disk.allocate("data", device=0, capacity=4)
+        disk.load(extent, [["p0"], ["p1"], ["p2"], ["p3"]])
+        return disk, extent
+
+    def test_transient_read_fault_is_retried_and_charged(self):
+        injector = FaultInjector()
+        disk, extent = self.make_disk(
+            fault_injector=injector, retry_policy=RetryPolicy(max_retries=2, backoff_ops=1)
+        )
+        injector.fail_read("data", 1, times=1)
+        assert disk.read(extent, 1) == ["p1"]
+        # Two attempts plus one backoff penalty op, all charged as reads;
+        # the penalty and the re-attempt are additionally tagged as retries.
+        assert disk.stats.reads == 3
+        assert disk.stats.retry_reads == 2
+        assert disk.report.transient_read_faults == 1
+        assert disk.report.retries == 1
+        assert disk.report.backoff_ops == 1
+
+    def test_transient_write_fault_is_retried_and_charged(self):
+        injector = FaultInjector()
+        disk, extent = self.make_disk(
+            fault_injector=injector, retry_policy=RetryPolicy(max_retries=2, backoff_ops=0)
+        )
+        injector.fail_write("data", 0, times=1)
+        disk.write(extent, 0, ["new"])
+        assert disk.peek(extent, 0) == ["new"]
+        assert disk.stats.writes == 2
+        assert disk.stats.retry_writes == 1
+        assert disk.report.transient_write_faults == 1
+        assert disk.report.backoff_ops == 0
+
+    def test_exhausted_retries_fail_permanently_with_context(self):
+        injector = FaultInjector()
+        disk, extent = self.make_disk(
+            fault_injector=injector, retry_policy=RetryPolicy(max_retries=2)
+        )
+        injector.fail_read("data", 2, times=10)
+        with pytest.raises(PermanentIOFaultError) as excinfo:
+            disk.read(extent, 2)
+        error = excinfo.value
+        assert error.extent == "data"
+        assert error.device == 0
+        assert error.page_index == 2
+        assert error.context["attempts"] == 3
+        assert disk.report.permanent_failures
+
+    def test_no_injector_means_no_retry_accounting(self):
+        disk, extent = self.make_disk()
+        disk.read(extent, 0)
+        assert disk.stats.retry_ops == 0
+        assert disk.report.clean
+
+    def test_corrupt_delivery_detected_with_checksums(self):
+        injector = FaultInjector()
+        disk, extent = self.make_disk(fault_injector=injector, checksums=True)
+        injector.corrupt_read("data", 0, times=1)
+        assert disk.read(extent, 0) == ["p0"]
+        assert disk.report.corruptions_detected == 1
+        assert disk.report.retries == 1
+
+    def test_corrupt_delivery_silent_without_checksums(self):
+        injector = FaultInjector()
+        disk, extent = self.make_disk(fault_injector=injector)
+        injector.corrupt_read("data", 0, times=1)
+        assert disk.read(extent, 0) == []  # torn: the tail is gone
+        assert disk.report.corruptions_undetected == 1
+        assert disk.report.retries == 0
+
+    def test_stored_corruption_exhausts_retries_with_checksums(self):
+        disk, extent = self.make_disk(
+            fault_injector=FaultInjector(),
+            retry_policy=RetryPolicy(max_retries=2),
+            checksums=True,
+        )
+        disk.corrupt_stored(extent, 1)
+        with pytest.raises(PermanentIOFaultError):
+            disk.read(extent, 1)
+        assert disk.report.corruptions_detected == 3
+
+    def test_stored_corruption_is_invisible_without_checksums(self):
+        disk, extent = self.make_disk()
+        disk.corrupt_stored(extent, 1)
+        assert disk.read(extent, 1) == []
+        assert disk.report.clean
+
+    def test_find_extent(self):
+        disk, extent = self.make_disk()
+        assert disk.find_extent("data") is extent
+        assert disk.find_extent("missing") is None
+
+
+def relation_fixture():
+    schema = RelationSchema("works", join_attributes=("emp",), payload_attributes=("proj",))
+    return ValidTimeRelation.from_rows(
+        schema, [(1, "a", 0, 5), (2, "b", 3, 9), (1, "c", 4, 8)]
+    )
+
+
+class TestSerializeChecksums:
+    def test_jsonl_roundtrip_with_trailer(self, tmp_path):
+        relation = relation_fixture()
+        path = tmp_path / "rel.jsonl"
+        save_jsonl(relation, path)
+        assert '"checksum"' in path.read_text().splitlines()[-1]
+        loaded = load_jsonl(path)
+        assert list(loaded.tuples) == list(relation.tuples)
+
+    def test_jsonl_tamper_detected(self, tmp_path):
+        path = tmp_path / "rel.jsonl"
+        save_jsonl(relation_fixture(), path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"a"', '"z"')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ChecksumError):
+            load_jsonl(path)
+
+    def test_jsonl_truncation_detected(self, tmp_path):
+        path = tmp_path / "rel.jsonl"
+        save_jsonl(relation_fixture(), path)
+        lines = path.read_text().splitlines()
+        del lines[2]  # drop a tuple record, keep the trailer
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ChecksumError):
+            load_jsonl(path)
+
+    def test_jsonl_without_trailer_still_loads(self, tmp_path):
+        path = tmp_path / "rel.jsonl"
+        save_jsonl(relation_fixture(), path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        assert len(load_jsonl(path)) == 3
+
+    def test_jsonl_records_after_trailer_rejected(self, tmp_path):
+        path = tmp_path / "rel.jsonl"
+        save_jsonl(relation_fixture(), path)
+        lines = path.read_text().splitlines()
+        lines.append(lines[1])
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError):
+            load_jsonl(path)
+
+    def test_columnar_roundtrip_and_tamper(self, tmp_path):
+        relation = relation_fixture()
+        path = tmp_path / "rel.json"
+        save_columnar(relation, path)
+        assert list(load_columnar(path).tuples) == list(relation.tuples)
+        path.write_text(path.read_text().replace('"a"', '"z"'))
+        with pytest.raises(ChecksumError):
+            load_columnar(path)
+
+
+class TestErrorContext:
+    def test_context_renders_after_message(self):
+        error = ReproError("it broke", extent="r_part3", device=1, page_index=7)
+        assert str(error) == "it broke [extent='r_part3', device=1, page_index=7]"
+        assert error.extent == "r_part3"
+
+    def test_no_context_is_just_the_message(self):
+        assert str(ReproError("plain")) == "plain"
+
+    def test_extra_keys_are_preserved(self):
+        error = ReproError("x", attempts=3)
+        assert error.context == {"attempts": 3}
+        assert error.extent is None
