@@ -21,63 +21,35 @@ benches)::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import random
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence
 
+from harness import (
+    REPO_ROOT,
+    environment,
+    phase_stats_fingerprint,
+    probe_heavy_relation,
+    result_fingerprint,
+    write_report,
+)
 from repro.core.partition_join import PartitionJoinConfig, partition_join
-from repro.exec import HAVE_NUMPY, backend_name
-from repro.model.relation import ValidTimeRelation
-from repro.model.schema import RelationSchema
-from repro.model.vtuple import VTTuple
+from repro.exec import HAVE_NUMPY
 from repro.storage.page import PageSpec
-from repro.time.interval import Interval
 
 MODES = ("tuple", "batch", "batch-parallel")
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
-
-
-def probe_heavy_relation(
-    name: str, n_tuples: int, *, seed: int, n_keys: int = 32, lifespan: int = 50_000
-) -> ValidTimeRelation:
-    """A relation whose join candidates vastly outnumber its matches.
-
-    32 keys over 50k tuples gives ~1.5k tuples per key per side, i.e. a
-    candidate space of tens of millions of key-matching pairs, while the
-    short intervals scattered over a long lifespan keep actual
-    intersections rare.  That ratio is exactly where per-candidate Python
-    overhead dominates and the vectorized kernels pay off.
-    """
-    schema = RelationSchema(
-        name, join_attributes=("k",), payload_attributes=(f"{name}_payload",)
-    )
-    rng = random.Random(seed)
-    relation = ValidTimeRelation(schema)
-    for number in range(n_tuples):
-        key = (f"k{rng.randrange(n_keys)}",)
-        start = rng.randrange(lifespan)
-        end = min(lifespan - 1, start + rng.randrange(4))
-        relation.add(VTTuple(key, (f"{name}{number}",), Interval(start, end)))
-    return relation
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
 
 def observe(run) -> tuple:
-    """The equivalence fingerprint: counts plus per-phase I/O statistics."""
-    outcome = run.outcome
-    return (
-        outcome.n_result_tuples,
-        outcome.overflow_blocks,
-        outcome.cache_tuples_peak,
-        outcome.cache_tuples_spilled,
-        {
-            name: (s.random_reads, s.sequential_reads, s.random_writes, s.sequential_writes)
-            for name, s in run.layout.tracker.phases.items()
-        },
-    )
+    """The equivalence fingerprint: counts plus per-phase I/O statistics.
+
+    These modes replay the oracle's access sequence byte for byte, so the
+    fingerprint includes the full random/sequential breakdown (unlike the
+    pipelined sweep of ``bench_sweep_parallel.py``, which may reorder).
+    """
+    return result_fingerprint(run) + (phase_stats_fingerprint(run),)
 
 
 def run_benchmark(
@@ -85,7 +57,7 @@ def run_benchmark(
     *,
     memory_pages: int = 48,
     parallel_workers: Optional[int] = None,
-    modes: Tuple[str, ...] = MODES,
+    modes: Sequence[str] = MODES,
 ) -> Dict:
     r = probe_heavy_relation("works_on", n_tuples, seed=1994)
     s = probe_heavy_relation("earns", n_tuples, seed=1995)
@@ -133,11 +105,7 @@ def run_benchmark(
             "tuple_bytes": page_spec.tuple_bytes,
             "num_partitions": results[modes[0]]["num_partitions"],
         },
-        "environment": {
-            "backend": backend_name(),
-            "have_numpy": HAVE_NUMPY,
-            "python": platform.python_version(),
-        },
+        "environment": environment(),
         "modes": results,
     }
 
@@ -157,10 +125,6 @@ def format_report(report: Dict) -> List[str]:
             f"{speedup if speedup is not None else 1.0:>8}"
         )
     return lines
-
-
-def write_report(report: Dict, output: Path) -> None:
-    output.write_text(json.dumps(report, indent=2) + "\n")
 
 
 def test_kernel_throughput(benchmark):

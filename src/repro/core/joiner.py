@@ -67,6 +67,7 @@ from repro.time.interval import Interval
 
 if TYPE_CHECKING:  # degrade imports this module; annotation-only the other way
     from repro.resilience.degrade import BufferReduction
+    from repro.storage.prefetch import PrefetchPipeline
 
 #: Builds a result tuple from a matched pair and their interval overlap, or
 #: None to reject the pair.  The default is the natural-join combination;
@@ -76,8 +77,14 @@ PairFn = Callable[[VTTuple, VTTuple, Interval], Optional[VTTuple]]
 #: Valid values of the ``execution`` knob.  ``"batch-parallel"`` only
 #: differs from ``"batch"`` in the *partitioning* phase; the sweep itself is
 #: inherently sequential (iteration i+1 consumes the cache iteration i
-#: wrote), so both run the batch kernels here.
-EXECUTION_MODES = ("tuple", "batch", "batch-parallel")
+#: wrote), so both run the batch kernels here.  ``"batch-parallel-sweep"``
+#: keeps the sweep's partition order sequential but parallelizes *within*
+#: it: the interval-pruned probe of :mod:`repro.exec.sweep_parallel` fans
+#: key-group lanes over a worker pool, and a
+#: :class:`~repro.storage.prefetch.PrefetchPipeline` overlaps the next
+#: partition's page reads (and defers tuple-cache spill writes) with the
+#: current partition's compute.
+EXECUTION_MODES = ("tuple", "batch", "batch-parallel", "batch-parallel-sweep")
 
 
 def natural_pair(x: VTTuple, y: VTTuple, common: Interval) -> VTTuple:
@@ -120,6 +127,8 @@ def join_partitions(
     direction: str = "backward",
     cache_memory_tuples: int = 0,
     execution: str = "tuple",
+    prefetch_depth: int = 8,
+    sweep_workers: Optional[int] = None,
     pool: Optional[BufferPool] = None,
     checkpointer: Optional[SweepCheckpointer] = None,
     resume_from: Optional[SweepCheckpoint] = None,
@@ -140,7 +149,14 @@ def join_partitions(
         execution: ``"tuple"`` for the tuple-at-a-time oracle loop,
             ``"batch"``/``"batch-parallel"`` for the batch kernels (both run
             the same kernels here; they differ only in the partitioning
-            phase, which is outside this function).
+            phase, which is outside this function), or
+            ``"batch-parallel-sweep"`` for the pipelined sweep: the
+            interval-pruned lane-parallel probe plus partition-barrier
+            prefetch and write-behind.
+        prefetch_depth: pages of read-ahead per partition barrier
+            (``"batch-parallel-sweep"`` only; 0 disables read-ahead).
+        sweep_workers: probe lanes for ``"batch-parallel-sweep"`` (None =
+            one per core, capped at 8; clamped to the visible cores).
         pool: when given, the sweep reserves its Figure 3 regions in this
             :class:`BufferPool` and guarantees -- on success, failure, or
             simulated crash -- that every reservation is released.
@@ -181,8 +197,17 @@ def join_partitions(
         order_list = list(range(n))
         step = 1
 
+    pipeline: Optional["PrefetchPipeline"] = None
     if execution == "tuple":
         engine: _ProbeEngine = _TupleEngine(partition_map, direction)
+    elif execution == "batch-parallel-sweep":
+        # Late imports, like the batch engine's kernels: the sweep module
+        # pulls in multiprocessing machinery this module must not require.
+        from repro.exec.sweep_parallel import PipelinedSweepEngine
+        from repro.storage.prefetch import PrefetchPipeline
+
+        engine = PipelinedSweepEngine(partition_map, direction, workers=sweep_workers)
+        pipeline = PrefetchPipeline(layout, prefetch_depth)
     else:
         engine = _BatchEngine(partition_map, direction)
 
@@ -210,6 +235,8 @@ def join_partitions(
                     cache_memory_tuples=cache_memory_tuples,
                     execution=execution,
                     result_file=result_file,
+                    prefetch_depth=prefetch_depth,
+                    sweep_workers=sweep_workers,
                 )
             )
     else:
@@ -278,14 +305,31 @@ def join_partitions(
                 for tup in outer_retained
                 if partition_map.overlaps_partition(tup.valid, index)
             ]
-            for page in r_parts[index].scan_pages():
+            outer_pages = (
+                pipeline.scan_pages(r_parts[index])
+                if pipeline is not None
+                else r_parts[index].scan_pages()
+            )
+            for page in outer_pages:
                 outer.extend(page)
 
             new_cache = None
             if has_next:
-                new_cache = _TupleCache(
-                    layout, f"tuple_cache_{next_index}", cache_memory_tuples, inner_total
-                )
+                if pipeline is not None:
+                    new_cache = _PipelinedTupleCache(
+                        layout,
+                        f"tuple_cache_{next_index}",
+                        cache_memory_tuples,
+                        inner_total,
+                        pipeline,
+                    )
+                else:
+                    new_cache = _TupleCache(
+                        layout,
+                        f"tuple_cache_{next_index}",
+                        cache_memory_tuples,
+                        inner_total,
+                    )
 
             blocks = _split_blocks(outer, block_tuples)
             if len(blocks) > 1:
@@ -309,8 +353,13 @@ def join_partitions(
                         layout,
                         pair_fn,
                     )
+                inner_pages = (
+                    pipeline.scan_pages(s_parts[index])
+                    if pipeline is not None
+                    else s_parts[index].scan_pages()
+                )
                 _probe_pages(
-                    s_parts[index].scan_pages(),
+                    inner_pages,
                     engine,
                     probe_index,
                     index,
@@ -355,6 +404,20 @@ def join_partitions(
                     cache_tuples_spilled=outcome.cache_tuples_spilled,
                 )
 
+            if pipeline is not None and pos + 1 < n:
+                _prefetch_next_partition(
+                    pipeline,
+                    r_parts,
+                    s_parts,
+                    partition_map,
+                    order_list[pos + 1],
+                    outer_retained,
+                    buff_size,
+                    buffer_reductions,
+                    pos + 1,
+                    spec,
+                )
+
         result_file.flush()
         return outcome
     except BaseException:
@@ -368,8 +431,54 @@ def join_partitions(
                 c.spill.abandon()
         raise
     finally:
+        if pipeline is not None:
+            pipeline.discard()
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
         for reservation in reservations:
             reservation.release()
+
+
+def _prefetch_next_partition(
+    pipeline: "PrefetchPipeline",
+    r_parts: Sequence[HeapFile],
+    s_parts: Sequence[HeapFile],
+    partition_map: PartitionMap,
+    next_part: int,
+    outer_retained: Sequence[VTTuple],
+    buff_size: int,
+    buffer_reductions: Sequence["BufferReduction"],
+    next_pos: int,
+    spec,
+) -> None:
+    """Read ahead the next partition's pages at the partition barrier.
+
+    The prefix property (see :mod:`repro.storage.prefetch`) needs the
+    prefetched pages to be exactly the first demand reads of the next
+    iteration.  The one thing that can break that on the TEMP device is a
+    partition overflow: its spill round-trip lands between the outer scan
+    and the inner scans.  Whether the next partition overflows is fully
+    determined by state in hand at the barrier -- the retained outer tuples,
+    the partition's cardinality, and the buffer size in force -- so it is
+    predicted here without touching the disk, and on a predicted overflow
+    the read-ahead stops at the outer partition's pages.
+    """
+    kept = sum(
+        1
+        for tup in outer_retained
+        if partition_map.overlaps_partition(tup.valid, next_part)
+    )
+    effective = min(
+        [buff_size]
+        + [red.buff_size for red in buffer_reductions if red.at_position <= next_pos]
+    )
+    block_tuples = max(1, effective * spec.capacity)
+    will_overflow = kept + r_parts[next_part].n_tuples > block_tuples
+    if will_overflow:
+        pipeline.prefetch((r_parts[next_part],))
+    else:
+        pipeline.prefetch((r_parts[next_part], s_parts[next_part]))
 
 
 def _note_buffer_reduction(report, pos: int, buff_size: int) -> None:
@@ -453,6 +562,59 @@ class _TupleCache:
             yield self.resident
         if self.spill is not None:
             yield from self.spill.scan_pages()
+
+
+class _PipelinedTupleCache(_TupleCache):
+    """A tuple cache with write-behind: spill appends are buffered in memory
+    and written in one run at the partition barrier (inside the pipeline's
+    ``writeback`` window, so the writes are charged normally *and* tagged).
+
+    Deferring the writes turns the CACHE device's serial read/write
+    interleaving into one read run followed by one write run: the same page
+    writes with the same contents, never more random accesses.  Crash-wise
+    the deferred tuples are volatile state, exactly like the serial cache's
+    partial write-buffer page: a crash before the barrier loses them
+    uncharged, and resume rebuilds the cache from the checkpoint.
+    """
+
+    def __init__(
+        self,
+        layout: DiskLayout,
+        name: str,
+        memory_tuples: int,
+        capacity_hint: int,
+        pipeline: "PrefetchPipeline",
+    ) -> None:
+        super().__init__(layout, name, memory_tuples, capacity_hint)
+        self._pipeline = pipeline
+        self._pending: List[VTTuple] = []
+
+    def append(self, tup: VTTuple) -> None:
+        if len(self.resident) < self._memory_tuples:
+            self.resident.append(tup)
+            return
+        self._pending.append(tup)
+
+    def flush(self) -> None:
+        if self._pending:
+            with self._pipeline.writeback():
+                if self.spill is None:
+                    self.spill = self._layout.cache_file(
+                        self.name, capacity_tuples=self._capacity_hint
+                    )
+                self.spill.append_many(self._pending)
+                self.spill.flush()
+            self._pending = []
+        elif self.spill is not None:
+            self.spill.flush()
+
+    @property
+    def n_tuples(self) -> int:
+        return (
+            len(self.resident)
+            + len(self._pending)
+            + (self.spill.n_tuples if self.spill else 0)
+        )
 
 
 def _split_blocks(outer: List[VTTuple], block_tuples: int) -> List[List[VTTuple]]:

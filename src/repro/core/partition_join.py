@@ -70,11 +70,21 @@ class PartitionJoinConfig:
             sweep through the batch kernels of :mod:`repro.exec`;
             ``"batch-parallel"`` additionally fans the Grace-partitioning
             placement out to a process pool.  All three produce identical
-            results and identical per-phase I/O statistics; see
-            ``docs/EXECUTION.md``.
-        parallel_workers: process-pool size for ``"batch-parallel"``
-            (None picks a machine-dependent default; the result never
-            depends on the pool size).
+            results and identical per-phase I/O statistics.
+            ``"batch-parallel-sweep"`` adds the pipelined sweep: the
+            interval-pruned lane-parallel probe of
+            :mod:`repro.exec.sweep_parallel` plus partition-barrier page
+            prefetch and write-behind -- still bit-identical results and
+            counters, with the pipeline's I/O share tagged on the
+            statistics; see ``docs/EXECUTION.md``.
+        parallel_workers: process-pool size for ``"batch-parallel"``'s
+            partitioning phase (None picks a machine-dependent default; the
+            result never depends on the pool size).
+        prefetch_depth: pages the sweep's prefetcher reads ahead per
+            partition barrier (``"batch-parallel-sweep"`` only; 0 disables
+            read-ahead while keeping write-behind).
+        sweep_workers: probe lanes of the pipelined sweep (None = one per
+            core, capped at 8; the result never depends on the lane count).
         checkpoint_interval: completed partitions between sweep checkpoints;
             0 (the default) disables checkpointing, >= 1 makes the sweep
             resumable via :func:`resume_join`.
@@ -102,6 +112,8 @@ class PartitionJoinConfig:
     sample_inner_relation: bool = False
     execution: str = "tuple"
     parallel_workers: Optional[int] = None
+    prefetch_depth: int = 8
+    sweep_workers: Optional[int] = None
     checkpoint_interval: int = 0
     retry_limit: Optional[int] = None
     degraded_fallback: bool = True
@@ -122,15 +134,29 @@ class PartitionJoinConfig:
                 f"cache reservation of {self.cache_buffer_pages} pages leaves no "
                 f"outer-partition space in a {self.memory_pages}-page buffer"
             )
-        if self.execution not in ("tuple", "batch", "batch-parallel"):
+        if self.execution not in (
+            "tuple",
+            "batch",
+            "batch-parallel",
+            "batch-parallel-sweep",
+        ):
             raise ValueError(
-                f"execution must be 'tuple', 'batch', or 'batch-parallel', "
-                f"got {self.execution!r}"
+                f"execution must be 'tuple', 'batch', 'batch-parallel', or "
+                f"'batch-parallel-sweep', got {self.execution!r}"
             )
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1 (or None for the default), "
                 f"got {self.parallel_workers}"
+            )
+        if not isinstance(self.prefetch_depth, int) or self.prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be an integer >= 0, got {self.prefetch_depth!r}"
+            )
+        if self.sweep_workers is not None and self.sweep_workers < 1:
+            raise ValueError(
+                f"sweep_workers must be >= 1 (or None for the default), "
+                f"got {self.sweep_workers}"
             )
         if not isinstance(self.checkpoint_interval, int) or self.checkpoint_interval < 0:
             raise ValueError(
@@ -331,6 +357,8 @@ def partition_join(
                 direction=config.sweep_direction,
                 cache_memory_tuples=config.cache_buffer_pages * layout.spec.capacity,
                 execution=config.execution,
+                prefetch_depth=config.prefetch_depth,
+                sweep_workers=config.sweep_workers,
                 pool=pool,
                 checkpointer=checkpointer,
                 buffer_reductions=config.buffer_reductions,
@@ -423,6 +451,8 @@ def resume_join(
                 direction=context.direction,
                 cache_memory_tuples=context.cache_memory_tuples,
                 execution=context.execution,
+                prefetch_depth=context.prefetch_depth,
+                sweep_workers=context.sweep_workers,
                 pool=pool,
                 checkpointer=checkpointer,
                 resume_from=recovery.checkpoint,
@@ -560,6 +590,8 @@ def _single_partition_join(
             collect=config.collect_result,
             pair_fn=oriented_pair,
             execution=config.execution,
+            prefetch_depth=config.prefetch_depth,
+            sweep_workers=config.sweep_workers,
             pool=pool,
             checkpointer=checkpointer,
             buffer_reductions=config.buffer_reductions,

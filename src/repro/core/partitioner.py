@@ -63,6 +63,8 @@ def do_partitioning(
             paired with the forward sweep).
         execution: ``"tuple"`` locates per tuple, ``"batch"`` per page via
             the locate kernel, ``"batch-parallel"`` via a process pool.
+            ``"batch-parallel-sweep"`` differs from ``"batch-parallel"``
+            only in the join phase, so it partitions identically to it.
         parallel_workers: pool size for ``"batch-parallel"`` (None = the
             :func:`repro.exec.parallel.default_workers` heuristic).
 
@@ -71,11 +73,15 @@ def do_partitioning(
     """
     if placement not in ("last", "first"):
         raise PlanError(f"placement must be 'last' or 'first', got {placement!r}")
-    if execution not in ("tuple", "batch", "batch-parallel"):
+    if execution not in ("tuple", "batch", "batch-parallel", "batch-parallel-sweep"):
         raise PlanError(
-            f"execution must be 'tuple', 'batch', or 'batch-parallel', "
-            f"got {execution!r}"
+            f"execution must be 'tuple', 'batch', 'batch-parallel', or "
+            f"'batch-parallel-sweep', got {execution!r}"
         )
+    if execution == "batch-parallel-sweep":
+        # The pipelined sweep changes the join phase only; its partitioning
+        # is the pooled placement of batch-parallel.
+        execution = "batch-parallel"
     n_partitions = len(partition_map)
     if memory_pages < 2:
         raise PlanError(f"partitioning needs >= 2 buffer pages, got {memory_pages}")

@@ -56,6 +56,14 @@ class TemporalDatabase:
             with the policy's retry bounds, checkpoint interval, and
             degraded-fallback setting, and their :class:`QueryResult`
             carries the resilience report.
+        execution: execution mode of partition joins (``"tuple"``,
+            ``"batch"``, ``"batch-parallel"``, or ``"batch-parallel-sweep"``
+            -- every mode returns identical results; see
+            ``docs/EXECUTION.md``).
+        prefetch_depth: read-ahead pages per partition barrier of the
+            pipelined sweep (``"batch-parallel-sweep"`` only).
+        sweep_workers: probe lanes of the pipelined sweep (None = one per
+            core, capped at 8).
     """
 
     def __init__(
@@ -64,11 +72,19 @@ class TemporalDatabase:
         cost_model: Optional[CostModel] = None,
         page_spec: Optional[PageSpec] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        execution: str = "tuple",
+        prefetch_depth: int = 8,
+        sweep_workers: Optional[int] = None,
     ) -> None:
         self.memory_pages = memory_pages
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.page_spec = page_spec if page_spec is not None else PageSpec()
         self.resilience = resilience
+        self.execution = execution
+        self.prefetch_depth = prefetch_depth
+        self.sweep_workers = sweep_workers
+        # Fail on a bad mode at construction, not at the first join.
+        self._join_config(memory_pages)
         self._relations: Dict[str, ValidTimeRelation] = {}
         self._statistics: Dict[str, Tuple[int, RelationStatistics]] = {}
 
@@ -98,6 +114,24 @@ class TemporalDatabase:
 
     def names(self) -> List[str]:
         return sorted(self._relations)
+
+    def _join_config(self, memory_pages: int) -> PartitionJoinConfig:
+        """The partition-join configuration this database's knobs describe."""
+        kwargs = dict(
+            memory_pages=memory_pages,
+            cost_model=self.cost_model,
+            page_spec=self.page_spec,
+            execution=self.execution,
+            prefetch_depth=self.prefetch_depth,
+            sweep_workers=self.sweep_workers,
+        )
+        if self.resilience is not None:
+            kwargs.update(
+                checkpoint_interval=self.resilience.checkpoint_interval,
+                retry_limit=self.resilience.retry_limit,
+                degraded_fallback=self.resilience.degraded_fallback,
+            )
+        return PartitionJoinConfig(**kwargs)
 
     # -- statistics -----------------------------------------------------------
 
@@ -146,21 +180,9 @@ class TemporalDatabase:
 
         report: Optional[ResilienceReport] = None
         if method == "partition":
-            config = PartitionJoinConfig(
-                memory_pages=self.memory_pages,
-                cost_model=self.cost_model,
-                page_spec=self.page_spec,
-            )
+            config = self._join_config(self.memory_pages)
             layout = None
             if self.resilience is not None:
-                config = PartitionJoinConfig(
-                    memory_pages=self.memory_pages,
-                    cost_model=self.cost_model,
-                    page_spec=self.page_spec,
-                    checkpoint_interval=self.resilience.checkpoint_interval,
-                    retry_limit=self.resilience.retry_limit,
-                    degraded_fallback=self.resilience.degraded_fallback,
-                )
                 layout = DiskLayout(
                     spec=self.page_spec,
                     retry_policy=self.resilience.retry_policy(),

@@ -60,6 +60,10 @@ class SweepContext:
     cache_memory_tuples: int
     execution: str
     result_file: HeapFile
+    #: Pipelined-sweep knobs (ignored by the other execution modes); the
+    #: defaults keep pre-pipeline recovery logs readable.
+    prefetch_depth: int = 8
+    sweep_workers: Optional[int] = None
 
 
 @dataclass(frozen=True)

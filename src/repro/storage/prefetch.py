@@ -1,0 +1,188 @@
+"""The I/O pipeline of the ``"batch-parallel-sweep"`` mode: double-buffered
+page prefetch plus write-behind for tuple-cache flushes.
+
+The partition sweep's disk traffic per partition is a fixed, predictable
+sequence: the outer partition's pages, then (per block) the tuple-cache
+spill pages and the inner partition's pages.  A real evaluator overlaps
+that I/O with the probe compute of the *previous* partition; this module
+models the overlap while keeping the simulated charge sequence honest:
+
+* :meth:`PrefetchPipeline.prefetch` reads a **prefix of the next
+  partition's serial page sequence** (outer pages first, then inner pages,
+  up to ``depth`` pages) at the partition barrier, pinning the pages into a
+  :class:`~repro.storage.buffer.PageCache`.  Because the prefix is read in
+  the exact order the demand loop would read it, and nothing else touches
+  the TEMP device between the barrier and the next partition, every
+  prefetched access is charged with the *same* random/sequential
+  classification as its demand-time counterpart -- the per-device charge
+  sequence is bit-identical to the serial sweep.
+* :meth:`PrefetchPipeline.scan_pages` is the demand path: cached pages are
+  consumed without touching the disk (their read was already charged at
+  prefetch time); pages past the prefetch horizon fall through to ordinary
+  charged reads, which continue sequentially from where the prefetcher's
+  head stopped.
+* :meth:`PrefetchPipeline.writeback` wraps the barrier flush of deferred
+  tuple-cache writes.  Deferring the spill writes to the barrier turns the
+  CACHE device's interleaved read/write pattern into one read run followed
+  by one write run -- the same operations on the same pages, never *more*
+  random accesses than the serial order.
+
+Every pipelined operation is charged into the normal
+:class:`~repro.storage.iostats.IOStatistics` buckets **and** tagged
+``prefetch_reads`` / ``writeback_writes`` (via
+:meth:`~repro.storage.disk.SimulatedDisk.pipeline_tag`), exactly like fault
+retries are tagged: the tags make the pipeline's share of the bill
+auditable without ever double-counting an operation.  The pipeline also
+keeps per-stage :class:`IOStatistics` ledgers, folded from charge deltas
+with :meth:`IOStatistics.merge`, so tests can reconcile
+``stage ledgers == tag counters`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.storage.buffer import PageCache
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import IOStatistics
+from repro.storage.layout import DiskLayout
+
+
+def page_key(heap: HeapFile, index: int) -> Tuple[str, int]:
+    """Cache key of page *index* of *heap* (extent names are unique)."""
+    return (heap.extent.name, index)
+
+
+class PrefetchPipeline:
+    """Double-buffered read-ahead and write-behind over one disk layout.
+
+    Args:
+        layout: the layout whose main disk the pipeline reads and writes
+            (charges land on ``layout.tracker.stats`` as usual).
+        depth: maximum pages read ahead per barrier.  0 disables read-ahead
+            (the write-behind path still works); the demand path then
+            behaves exactly like plain ``scan_pages``.
+
+    Attributes:
+        prefetch_stats: ledger of every charge issued by :meth:`prefetch`.
+        writeback_stats: ledger of every charge issued under
+            :meth:`writeback`.
+        demand_stats: ledger of every charge issued by the cache-miss side
+            of :meth:`scan_pages`.
+    """
+
+    def __init__(self, layout: DiskLayout, depth: int) -> None:
+        if depth < 0:
+            raise ValueError(f"prefetch depth must be >= 0, got {depth}")
+        self._layout = layout
+        self._disk = layout.disk
+        self.depth = depth
+        self.cache: Optional[PageCache] = PageCache(depth) if depth > 0 else None
+        self.prefetch_stats = IOStatistics()
+        self.writeback_stats = IOStatistics()
+        self.demand_stats = IOStatistics()
+
+    # -- read-ahead ---------------------------------------------------------
+
+    def prefetch(self, files: Sequence[HeapFile]) -> int:
+        """Read ahead up to ``depth`` pages of *files*, in serial scan order.
+
+        *files* must be given in the order the demand loop will scan them
+        (outer partition first, then inner partition); the prefix property
+        -- and with it the bit-identical charge classification -- holds
+        only for that order.  Returns the number of pages read ahead.
+        """
+        if self.cache is None:
+            return 0
+        budget = self.depth
+        fetched = 0
+        mark = self._disk.stats.copy()
+        try:
+            with self._disk.pipeline_tag(reads=True):
+                for heap in files:
+                    for index in range(heap.extent.n_pages):
+                        if fetched >= budget:
+                            return fetched
+                        key = page_key(heap, index)
+                        if key in self.cache:
+                            continue
+                        page = list(self._disk.read(heap.extent, index))
+                        self.cache.put(key, page, pin=True)
+                        fetched += 1
+        finally:
+            self.prefetch_stats.merge(self._disk.stats.diff(mark))
+        return fetched
+
+    def scan_pages(self, heap: HeapFile) -> Iterator[List[object]]:
+        """Scan *heap* page by page, consuming prefetched pages for free.
+
+        A cache hit hands over the page read ahead at the barrier -- that
+        read is already on the bill, so nothing is charged again.  A miss
+        charges a normal demand read, which continues the device's serial
+        sequence exactly where the prefetcher stopped.
+        """
+        for index in range(heap.extent.n_pages):
+            page: Optional[object] = None
+            if self.cache is not None:
+                page = self.cache.take(page_key(heap, index))
+            if page is None:
+                mark = self._disk.stats.copy()
+                page = heap.read_page(index)
+                self.demand_stats.merge(self._disk.stats.diff(mark))
+            yield page
+
+    # -- write-behind -------------------------------------------------------
+
+    def writeback(self) -> "_WritebackContext":
+        """Context manager for a barrier flush of deferred writes.
+
+        Charges issued inside are tagged ``writeback_writes`` and folded
+        into :attr:`writeback_stats`.
+        """
+        return _WritebackContext(self)
+
+    # -- teardown -----------------------------------------------------------
+
+    def discard(self) -> int:
+        """Drop every cached page (sweep teardown or crash unwinding).
+
+        The reads that filled the cache stay on the bill -- a dead
+        evaluator cannot uncharge I/O -- but the pages themselves are
+        volatile state and vanish.  Returns how many pages were dropped.
+        """
+        if self.cache is None:
+            return 0
+        dropped = len(self.cache)
+        self.cache.clear()
+        return dropped
+
+    # -- reconciliation -----------------------------------------------------
+
+    def stage_stats(self) -> IOStatistics:
+        """All three stage ledgers merged into one fresh object."""
+        total = IOStatistics()
+        total.merge(self.prefetch_stats)
+        total.merge(self.writeback_stats)
+        total.merge(self.demand_stats)
+        return total
+
+
+class _WritebackContext:
+    """Context manager returned by :meth:`PrefetchPipeline.writeback`."""
+
+    def __init__(self, pipeline: PrefetchPipeline) -> None:
+        self._pipeline = pipeline
+        self._mark: Optional[IOStatistics] = None
+        self._tag = None
+
+    def __enter__(self) -> PrefetchPipeline:
+        pipeline = self._pipeline
+        self._mark = pipeline._disk.stats.copy()
+        self._tag = pipeline._disk.pipeline_tag(writes=True)
+        self._tag.__enter__()
+        return pipeline
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pipeline = self._pipeline
+        self._tag.__exit__(exc_type, exc, tb)
+        pipeline.writeback_stats.merge(pipeline._disk.stats.diff(self._mark))

@@ -20,7 +20,7 @@ CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
 #: Small pages so modest relations still span many partitions.
 SPEC = PageSpec(page_bytes=256, tuple_bytes=32)
 
-EXECUTION_MODES = ("tuple", "batch", "batch-parallel")
+EXECUTION_MODES = ("tuple", "batch", "batch-parallel", "batch-parallel-sweep")
 
 
 def chaos_relation(name: str, n_tuples: int, seed: int) -> ValidTimeRelation:

@@ -143,6 +143,131 @@ class TestSweepEquivalence:
         run_modes(r, s, make_config)
 
 
+class TestPipelinedSweepEquivalence:
+    """``"batch-parallel-sweep"``: results and counters bit-identical, I/O
+    *op counts* bit-identical, weighted cost never above the oracle.
+
+    The pipeline's contract is deliberately one notch weaker than the batch
+    modes' on the random/sequential split: write-behind reorders the CACHE
+    device's accesses (same ops, fewer-or-equal randoms), so the full
+    per-kind breakdown is only bit-equal when the serial sweep has no
+    interleaved cache traffic -- which one scenario below pins down.
+    """
+
+    @staticmethod
+    def observe_counts(run):
+        obs = observe(run)
+        stats = run.layout.tracker.stats
+        obs["stats"] = (stats.reads, stats.writes)
+        obs["phases"] = {
+            name: (phase.reads, phase.writes)
+            for name, phase in run.layout.tracker.phases.items()
+        }
+        return obs
+
+    @pytest.mark.parametrize("direction", ["backward", "forward"])
+    def test_sweep_equivalence_with_overflow(
+        self, schema_r, schema_s, backend, direction
+    ):
+        r = random_relation(schema_r, 700, seed=11, n_keys=18)
+        s = random_relation(schema_s, 800, seed=12, n_keys=18)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=12, sweep_direction=direction, execution=mode
+            )
+
+        oracle = partition_join(r, s, make_config("tuple"))
+        run = partition_join(r, s, make_config("batch-parallel-sweep"))
+        assert oracle.outcome.overflow_blocks > 0
+        assert self.observe_counts(run) == self.observe_counts(oracle)
+        cost_model = make_config("tuple").cost_model
+        assert run.layout.tracker.stats.cost(cost_model) <= oracle.layout.tracker.stats.cost(cost_model)
+        assert oracle.result.multiset_equal(reference_join(r, s))
+
+    def test_sweep_full_bit_equality_without_cache_spill(
+        self, schema_r, schema_s, backend
+    ):
+        """With the tuple cache fully resident the CACHE device is silent,
+        prefetch is a strict prefix of the serial read order, and the whole
+        statistics breakdown -- random/sequential included -- is bit-equal."""
+        r = random_relation(schema_r, 500, seed=21, long_lived_fraction=0.3)
+        s = random_relation(schema_s, 500, seed=22, long_lived_fraction=0.3)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=20, cache_buffer_pages=6, execution=mode
+            )
+
+        oracle = partition_join(r, s, make_config("tuple"))
+        run = partition_join(r, s, make_config("batch-parallel-sweep"))
+        assert oracle.outcome.cache_tuples_spilled == 0
+        assert observe(run) == observe(oracle)
+        stats = run.layout.tracker.stats
+        assert stats.prefetch_reads > 0  # the pipeline actually ran
+
+    def test_sweep_zero_depth_disables_readahead(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 400, seed=31)
+        s = random_relation(schema_s, 400, seed=32)
+        oracle = partition_join(
+            r, s, PartitionJoinConfig(memory_pages=10, execution="tuple")
+        )
+        run = partition_join(
+            r,
+            s,
+            PartitionJoinConfig(
+                memory_pages=10, execution="batch-parallel-sweep", prefetch_depth=0
+            ),
+        )
+        assert self.observe_counts(run) == self.observe_counts(oracle)
+        assert run.layout.tracker.stats.prefetch_reads == 0
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_sweep_worker_count_is_unobservable(
+        self, schema_r, schema_s, backend, workers, monkeypatch
+    ):
+        """The lane count must never leak into any observable."""
+        import repro.exec.sweep_parallel as sweep_module
+
+        monkeypatch.setattr(sweep_module, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep_module, "MIN_LANE_ROWS", 0)
+        r = random_relation(schema_r, 500, seed=41, n_keys=24)
+        s = random_relation(schema_s, 500, seed=42, n_keys=24)
+        runs = [
+            partition_join(
+                r,
+                s,
+                PartitionJoinConfig(
+                    memory_pages=12,
+                    execution="batch-parallel-sweep",
+                    sweep_workers=w,
+                ),
+            )
+            for w in (workers, 1)
+        ]
+        assert observe(runs[0]) == observe(runs[1])
+
+    def test_sweep_predicate_variant(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 400, seed=51, long_lived_fraction=0.5)
+        s = random_relation(schema_s, 400, seed=52, long_lived_fraction=0.5)
+        accepted = [
+            rel for rel in AllenRelation if getattr(rel, "intersects", False)
+        ]
+        runs = {}
+        for mode in ("tuple", "batch-parallel-sweep"):
+            config = PartitionJoinConfig(memory_pages=12, execution=mode)
+            run = partitioned_predicate_join(r, s, config, accepted)
+            obs = observe(run)
+            stats = run.layout.tracker.stats
+            obs["stats"] = (stats.reads, stats.writes)
+            obs["phases"] = {
+                name: (phase.reads, phase.writes)
+                for name, phase in run.layout.tracker.phases.items()
+            }
+            runs[mode] = obs
+        assert runs["batch-parallel-sweep"] == runs["tuple"]
+
+
 class TestVariantsAndBaselines:
     def test_predicate_variant_equivalence(self, schema_r, schema_s, backend):
         r = random_relation(schema_r, 400, seed=51, long_lived_fraction=0.5)
@@ -184,3 +309,13 @@ class TestConfigValidation:
     def test_nonpositive_workers_rejected(self, workers):
         with pytest.raises(ValueError):
             PartitionJoinConfig(memory_pages=8, parallel_workers=workers)
+
+    @pytest.mark.parametrize("depth", [-1, 2.5])
+    def test_bad_prefetch_depth_rejected(self, depth):
+        with pytest.raises(ValueError):
+            PartitionJoinConfig(memory_pages=8, prefetch_depth=depth)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_nonpositive_sweep_workers_rejected(self, workers):
+        with pytest.raises(ValueError):
+            PartitionJoinConfig(memory_pages=8, sweep_workers=workers)

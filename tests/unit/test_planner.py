@@ -8,6 +8,8 @@ from repro.core.planner import (
     candidate_part_sizes,
     determine_part_intervals,
     estimate_join_cost,
+    estimate_pipelined_join_cost,
+    recommend_sweep_workers,
 )
 from repro.model.errors import PlanError
 from repro.model.vtuple import VTTuple
@@ -67,6 +69,101 @@ class TestEstimateJoinCost:
         model = CostModel.with_ratio(5)
         _, cache = estimate_join_cost(100, 2, [3, 0], model)
         assert cache == 2 * (5 + 2)  # one random + 2 sequential, written and read
+
+
+class TestPipelinedCostModel:
+    def test_zero_depth_degrades_to_serial_plus_cpu(self):
+        # No read-ahead: nothing overlaps, every page is demand-paged.
+        cost = estimate_pipelined_join_cost(
+            100.0, 40.0, prefetch_depth=0, pages_per_partition=10
+        )
+        assert cost == 140.0
+
+    def test_full_overlap_is_max_of_cpu_and_io(self):
+        cost = estimate_pipelined_join_cost(
+            100.0, 40.0, prefetch_depth=10, pages_per_partition=10
+        )
+        assert cost == 100.0  # I/O-bound: compute fully hidden
+        cost = estimate_pipelined_join_cost(
+            40.0, 100.0, prefetch_depth=10, pages_per_partition=10
+        )
+        assert cost == 100.0  # CPU-bound: I/O fully hidden
+
+    def test_partial_overlap_interpolates(self):
+        # alpha = 5/10: half the I/O overlaps the compute, half is demand.
+        cost = estimate_pipelined_join_cost(
+            100.0, 10.0, prefetch_depth=5, pages_per_partition=10
+        )
+        assert cost == max(10.0, 50.0) + 50.0
+
+    def test_workers_divide_the_compute(self):
+        cost = estimate_pipelined_join_cost(
+            10.0, 80.0, prefetch_depth=10, pages_per_partition=10, workers=4
+        )
+        assert cost == 20.0
+        # Never worse than the serial estimate, never better than the bound.
+        serial = 10.0 + 80.0
+        assert cost <= serial
+        assert cost >= max(10.0, 80.0 / 4)
+
+    def test_alpha_clamps_at_one(self):
+        a = estimate_pipelined_join_cost(
+            60.0, 0.0, prefetch_depth=50, pages_per_partition=10
+        )
+        b = estimate_pipelined_join_cost(
+            60.0, 0.0, prefetch_depth=10, pages_per_partition=10
+        )
+        assert a == b == 60.0
+
+    def test_empty_partition_means_no_overlap(self):
+        cost = estimate_pipelined_join_cost(
+            30.0, 5.0, prefetch_depth=8, pages_per_partition=0
+        )
+        assert cost == 35.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(PlanError):
+            estimate_pipelined_join_cost(
+                -1.0, 0.0, prefetch_depth=1, pages_per_partition=1
+            )
+        with pytest.raises(PlanError):
+            estimate_pipelined_join_cost(
+                1.0, -1.0, prefetch_depth=1, pages_per_partition=1
+            )
+        with pytest.raises(PlanError):
+            estimate_pipelined_join_cost(
+                1.0, 1.0, prefetch_depth=-1, pages_per_partition=1
+            )
+        with pytest.raises(PlanError):
+            estimate_pipelined_join_cost(
+                1.0, 1.0, prefetch_depth=1, pages_per_partition=1, workers=0
+            )
+
+
+class TestRecommendSweepWorkers:
+    def test_compute_free_join_needs_one_lane(self):
+        assert recommend_sweep_workers(0.0, 100.0) == 1
+
+    def test_io_free_join_takes_the_machine_limit(self, monkeypatch):
+        import repro.exec.sweep_parallel as sweep
+
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 4)
+        assert recommend_sweep_workers(10.0, 0.0) == 4
+
+    def test_smallest_lane_count_that_hides_compute(self, monkeypatch):
+        import repro.exec.sweep_parallel as sweep
+
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 8)
+        # C_cpu/W <= C_io first at W = ceil(70/20) = 4.
+        assert recommend_sweep_workers(70.0, 20.0, max_workers=8) == 4
+        # Clamped by the machine / explicit ceiling.
+        assert recommend_sweep_workers(900.0, 1.0, max_workers=2) == 2
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(PlanError):
+            recommend_sweep_workers(-1.0, 1.0)
+        with pytest.raises(PlanError):
+            recommend_sweep_workers(1.0, -1.0)
 
 
 class TestDeterminePartIntervals:

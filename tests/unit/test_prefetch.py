@@ -1,0 +1,178 @@
+"""Unit tests for the prefetch/write-behind I/O pipeline.
+
+The two properties everything else leans on:
+
+* **Accounting closes.**  Every pipelined operation is charged into the
+  normal buckets exactly once and tagged; stage ledgers, tag counters, and
+  the disk's main stream reconcile with no double-counting.
+* **Prefix charging.**  Read-ahead issued in serial scan order produces the
+  same per-device charge classification as the demand reads it replaces.
+"""
+
+import pytest
+
+from repro.storage.iostats import IOStatistics
+from repro.storage.layout import DiskLayout
+from repro.storage.page import PageSpec
+from repro.storage.prefetch import PrefetchPipeline, page_key
+
+
+SPEC = PageSpec(page_bytes=1024, tuple_bytes=256)  # 4 tuples per page
+
+
+@pytest.fixture
+def layout():
+    return DiskLayout(spec=SPEC)
+
+
+def temp_heap(layout, name, n_tuples):
+    heap = layout.temp_file(name, capacity_tuples=max(1, n_tuples))
+    heap.append_many((name, i) for i in range(n_tuples))
+    heap.flush()
+    return heap
+
+
+class TestPrefetch:
+    def test_depth_validated(self, layout):
+        with pytest.raises(ValueError):
+            PrefetchPipeline(layout, -1)
+
+    def test_zero_depth_reads_nothing(self, layout):
+        heap = temp_heap(layout, "a", 8)
+        pipeline = PrefetchPipeline(layout, 0)
+        assert pipeline.prefetch([heap]) == 0
+        assert pipeline.cache is None
+        # The demand path still works and charges normally.
+        mark = layout.tracker.stats.copy()
+        pages = list(pipeline.scan_pages(heap))
+        assert len(pages) == heap.n_pages
+        assert layout.tracker.stats.diff(mark).reads == heap.n_pages
+        assert layout.tracker.stats.prefetch_reads == 0
+
+    def test_prefetch_charges_and_tags_reads(self, layout):
+        heap = temp_heap(layout, "a", 12)  # 3 pages
+        pipeline = PrefetchPipeline(layout, 2)
+        fetched = pipeline.prefetch([heap])
+        assert fetched == 2
+        stats = layout.tracker.stats
+        assert stats.reads == 2  # charged into the main buckets...
+        assert stats.prefetch_reads == 2  # ...and tagged, not added again
+        assert pipeline.prefetch_stats.reads == 2
+        assert page_key(heap, 0) in pipeline.cache
+        assert page_key(heap, 1) in pipeline.cache
+        assert page_key(heap, 2) not in pipeline.cache
+
+    def test_budget_spans_files_in_order(self, layout):
+        a = temp_heap(layout, "a", 8)  # 2 pages
+        b = temp_heap(layout, "b", 8)  # 2 pages
+        pipeline = PrefetchPipeline(layout, 3)
+        assert pipeline.prefetch([a, b]) == 3
+        assert page_key(b, 0) in pipeline.cache
+        assert page_key(b, 1) not in pipeline.cache
+
+    def test_prefetch_skips_already_cached_pages(self, layout):
+        heap = temp_heap(layout, "a", 8)
+        pipeline = PrefetchPipeline(layout, 4)
+        assert pipeline.prefetch([heap]) == 2
+        assert pipeline.prefetch([heap]) == 0  # nothing new to read
+        assert layout.tracker.stats.reads == 2
+
+    def test_scan_consumes_cache_then_demands_rest(self, layout):
+        heap = temp_heap(layout, "a", 16)  # 4 pages
+        pipeline = PrefetchPipeline(layout, 2)
+        pipeline.prefetch([heap])
+        mark = layout.tracker.stats.copy()
+        pages = list(pipeline.scan_pages(heap))
+        assert len(pages) == 4
+        delta = layout.tracker.stats.diff(mark)
+        assert delta.reads == 2  # only the two uncached pages hit the disk
+        assert pipeline.demand_stats.reads == 2
+        assert len(pipeline.cache) == 0  # consumed, not retained
+
+    def test_scanned_pages_match_direct_reads(self, layout):
+        heap = temp_heap(layout, "a", 16)
+        direct = [heap.read_page(i) for i in range(heap.n_pages)]
+        pipeline = PrefetchPipeline(layout, 3)
+        pipeline.prefetch([heap])
+        assert list(pipeline.scan_pages(heap)) == direct
+
+    def test_prefix_charging_matches_serial_classification(self):
+        """Prefetch k pages + demand the rest == plain serial scan, charge
+        for charge (the invariant the sweep's statistics contract rests on)."""
+        serial = DiskLayout(spec=SPEC)
+        serial_heap = temp_heap(serial, "a", 20)
+        mark = serial.tracker.stats.copy()
+        for _ in serial_heap.scan_pages():
+            pass
+        want = serial.tracker.stats.diff(mark)
+
+        for depth in (1, 2, 5):
+            piped = DiskLayout(spec=SPEC)
+            heap = temp_heap(piped, "a", 20)
+            pipeline = PrefetchPipeline(piped, depth)
+            mark = piped.tracker.stats.copy()
+            pipeline.prefetch([heap])
+            for _ in pipeline.scan_pages(heap):
+                pass
+            got = piped.tracker.stats.diff(mark)
+            assert (got.random_reads, got.sequential_reads) == (
+                want.random_reads,
+                want.sequential_reads,
+            ), f"depth {depth} changed the charge classification"
+
+
+class TestWritebackAndReconciliation:
+    def test_writeback_tags_enclosed_writes(self, layout):
+        pipeline = PrefetchPipeline(layout, 2)
+        heap = layout.cache_file("c", capacity_tuples=8)
+        with pipeline.writeback():
+            heap.append_many(("c", i) for i in range(8))
+            heap.flush()
+        stats = layout.tracker.stats
+        assert stats.writes == 2
+        assert stats.writeback_writes == 2
+        assert pipeline.writeback_stats.writes == 2
+        # Writes outside the context are not tagged.
+        heap.append(("c", 99))
+        heap.flush()
+        assert layout.tracker.stats.writes == 3
+        assert layout.tracker.stats.writeback_writes == 2
+
+    def test_stage_ledgers_reconcile_with_tags(self, layout):
+        a = temp_heap(layout, "a", 12)
+        mark = layout.tracker.stats.copy()  # heap setup is not pipeline traffic
+        pipeline = PrefetchPipeline(layout, 2)
+        pipeline.prefetch([a])
+        for _ in pipeline.scan_pages(a):
+            pass
+        spill = layout.cache_file("c", capacity_tuples=4)
+        with pipeline.writeback():
+            spill.append_many(("c", i) for i in range(4))
+            spill.flush()
+        stage = pipeline.stage_stats()
+        stats = layout.tracker.stats
+        delta = stats.diff(mark)
+        # Stage ledgers cover exactly the pipeline's traffic; tags agree.
+        assert stage.reads == delta.reads
+        assert stage.writes == delta.writes
+        assert stage.prefetch_reads == stats.prefetch_reads == 2
+        assert stage.writeback_writes == stats.writeback_writes == 1
+        # Tags are side-ledgers: they never inflate the op totals.
+        assert stats.total_ops == stats.reads + stats.writes
+
+    def test_stage_stats_returns_fresh_object(self, layout):
+        pipeline = PrefetchPipeline(layout, 1)
+        first = pipeline.stage_stats()
+        assert isinstance(first, IOStatistics)
+        first.record(write=False, sequential=True)
+        assert pipeline.stage_stats().total_ops == 0
+
+    def test_discard_drops_pages_but_not_charges(self, layout):
+        heap = temp_heap(layout, "a", 8)
+        pipeline = PrefetchPipeline(layout, 2)
+        pipeline.prefetch([heap])
+        charged = layout.tracker.stats.reads
+        assert pipeline.discard() == 2
+        assert len(pipeline.cache) == 0
+        assert layout.tracker.stats.reads == charged  # the bill stands
+        assert pipeline.discard() == 0

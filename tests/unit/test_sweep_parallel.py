@@ -1,0 +1,297 @@
+"""Unit tests for the interval-pruned parallel probe executor.
+
+The contract under test: :class:`PipelinedSweepEngine` and the pruned
+probe functions produce matches and migration rows **bit-identical** (same
+pairs, same emission order) to the PR-1 kernels' CSR probe, for every
+backend, lane count, pool geometry, and on the composite-overflow fallback
+path.
+"""
+
+import random
+
+import pytest
+
+from repro.core.intervals import PartitionMap
+from repro.exec import kernels as kernels_module
+from repro.exec import sweep_parallel as sweep
+from repro.exec.backend import HAVE_NUMPY
+from repro.exec.kernels import PythonKernels, get_kernels
+from repro.exec.sweep_parallel import (
+    PipelinedSweepEngine,
+    PrunedProbeIndex,
+    PrunedProbeIndexPython,
+    default_sweep_workers,
+    effective_sweep_workers,
+    probe_pruned,
+)
+from repro.model.vtuple import VTTuple
+from repro.time.interval import Interval
+
+BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+
+
+@pytest.fixture(params=BACKENDS)
+def kernels(request):
+    return get_kernels(request.param)
+
+
+def vt(key, start, end, tag="x"):
+    return VTTuple((key,), (tag,), Interval(start, end))
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap([Interval(0, 19), Interval(20, 39), Interval(40, 59)])
+
+
+def random_tuples(rng, n, keys, hi=59):
+    out = []
+    for i in range(n):
+        start = rng.randrange(0, hi + 1)
+        end = min(hi, start + rng.choice((0, 0, 1, 2, 5, 25)))
+        out.append(vt(rng.choice(keys), start, end, tag=i))
+    return out
+
+
+def oracle_probe(kernels, block, page, boundaries, part_index, direction):
+    """The PR-1 CSR probe, with its own interner (the ground truth)."""
+    interner = kernels.make_interner()
+    index = kernels.build_probe_index(block, interner)
+    batch = kernels.page_batch(page, interner)
+    return kernels.probe(index, batch, boundaries, part_index, direction)
+
+
+class TestProbeMatchesOracle:
+    def test_fuzz_bit_identical_to_csr_probe(self, kernels, pmap):
+        """Random workloads, both directions, all partitions: same matches
+        in the same emission order, and the same migration rows."""
+        rng = random.Random(0x5EED)
+        boundaries = kernels.prepare_boundaries(pmap)
+        for trial in range(25):
+            keys = [f"k{j}" for j in range(rng.choice((1, 2, 5, 9)))]
+            block = random_tuples(rng, rng.randrange(0, 40), keys)
+            # Pages include keys absent from the block.
+            page = random_tuples(rng, rng.randrange(0, 24), keys + ["ghost"])
+            engine = PipelinedSweepEngine(pmap, "backward", workers=1, kernels=kernels)
+            index_obj = engine.build_index(block)
+            for direction in ("backward", "forward"):
+                engine._direction = direction
+                for part in range(len(pmap)):
+                    want = oracle_probe(kernels, block, page, boundaries, part, direction)
+                    got, migrate = engine.process_page(
+                        index_obj, page, part, part + 1, True
+                    )
+                    assert got == want, f"trial {trial} {direction} part {part}"
+                    oracle_interner = kernels.make_interner()
+                    kernels.build_probe_index(block, oracle_interner)
+                    want_migrate = kernels.migration_rows(
+                        kernels.page_batch(page, oracle_interner),
+                        boundaries,
+                        part + 1,
+                    )
+                    assert list(migrate) == list(want_migrate)
+
+    def test_empty_block_and_empty_page(self, kernels, pmap):
+        engine = PipelinedSweepEngine(pmap, "backward", workers=1, kernels=kernels)
+        index_obj = engine.build_index([])
+        assert engine.process_page(index_obj, [vt("a", 1, 2)], 0, None, False) == ([], [])
+        index_obj = engine.build_index([vt("a", 1, 2)])
+        assert engine.process_page(index_obj, [], 0, None, False) == ([], [])
+
+
+@needs_numpy
+class TestLaneInvariance:
+    def test_lane_count_is_unobservable(self, pmap, monkeypatch):
+        """Same arrays out of probe_pruned for every lane count."""
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        kernels = get_kernels("numpy")
+        rng = random.Random(7)
+        keys = [f"k{j}" for j in range(11)]
+        block = random_tuples(rng, 120, keys)
+        page = random_tuples(rng, 80, keys)
+        boundaries = kernels.prepare_boundaries(pmap)
+        interner = kernels.make_interner()
+        index = PrunedProbeIndex(block, interner)
+        batch = kernels.page_batch(page, interner)
+        baseline = None
+        for lanes in (1, 2, 3, 7, 64):
+            got = probe_pruned(
+                index,
+                batch.key_ids,
+                batch.starts,
+                batch.ends,
+                boundaries,
+                1,
+                "backward",
+                lanes=lanes,
+            )
+            as_lists = [arr.tolist() for arr in got]
+            if baseline is None:
+                baseline = as_lists
+            else:
+                assert as_lists == baseline, f"lanes={lanes} changed the output"
+
+    def test_composite_overflow_falls_back_to_csr(self, pmap):
+        """Starts spread over ~2^61 chronons overflow the composite key;
+        the index must carry a CSR fallback and stay correct through it."""
+        kernels = get_kernels("numpy")
+        far = 2**61
+        block = [vt("a", 0, far), vt("a", far, far + 5), vt("b", 1, 4)]
+        page = [vt("a", 2, far + 2), vt("b", 0, 9)]
+        interner = kernels.make_interner()
+        index = PrunedProbeIndex(block, interner)
+        assert index.fallback is not None
+        engine = PipelinedSweepEngine(pmap, "backward", workers=1, kernels=kernels)
+        index_obj = engine.build_index(block)
+        assert index_obj.fallback is not None
+        got, _ = engine.process_page(index_obj, page, 0, None, False)
+        want = oracle_probe(
+            kernels, block, page, kernels.prepare_boundaries(pmap), 0, "backward"
+        )
+        assert got == want
+
+    def test_small_pages_stay_single_lane(self, pmap):
+        """Below MIN_LANE_ROWS the pool is never consulted."""
+        kernels = get_kernels("numpy")
+        interner = kernels.make_interner()
+        block = [vt("a", 0, 9), vt("b", 3, 7)]
+        page = [vt("a", 1, 5)]
+        index = PrunedProbeIndex(block, interner)
+        batch = kernels.page_batch(page, interner)
+
+        class ExplodingPool:
+            def map(self, fn, tasks):  # pragma: no cover - must not run
+                raise AssertionError("pool used below the lane threshold")
+
+        got = probe_pruned(
+            index,
+            batch.key_ids,
+            batch.starts,
+            batch.ends,
+            kernels.prepare_boundaries(pmap),
+            0,
+            "backward",
+            lanes=4,
+            pool=ExplodingPool(),
+        )
+        assert got[0].size == 1
+
+
+@needs_numpy
+class TestEngine:
+    def test_honors_default_kernels_monkeypatch(self, pmap, monkeypatch):
+        monkeypatch.setattr(kernels_module, "_DEFAULT", PythonKernels())
+        engine = PipelinedSweepEngine(pmap, "backward")
+        assert engine._kernels.use_numpy is False
+        assert isinstance(engine.build_index([vt("a", 1, 2)]), PrunedProbeIndexPython)
+
+    def test_python_backend_never_opens_a_pool(self, pmap):
+        engine = PipelinedSweepEngine(
+            pmap, "backward", workers=4, kernels=get_kernels("python")
+        )
+        assert engine._ensure_pool() is None
+        engine.close()
+
+    def test_forced_pool_is_deterministic(self, pmap, monkeypatch):
+        """OVERSUBSCRIBE forces a real multi-process pool even on one core;
+        the matches must equal the single-lane run exactly."""
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        kernels = get_kernels("numpy")
+        rng = random.Random(21)
+        keys = [f"k{j}" for j in range(9)]
+        block = random_tuples(rng, 90, keys)
+        page = random_tuples(rng, 60, keys)
+
+        serial = PipelinedSweepEngine(pmap, "backward", workers=1, kernels=kernels)
+        want, _ = serial.process_page(serial.build_index(block), page, 1, None, False)
+
+        pooled = PipelinedSweepEngine(pmap, "backward", workers=3, kernels=kernels)
+        assert pooled.lanes == 3
+        try:
+            got, _ = pooled.process_page(pooled.build_index(block), page, 1, None, False)
+        finally:
+            pooled.close()
+        assert got == want
+        assert pooled.pool_dispatches + pooled.pool_fallbacks >= 1
+
+    def test_pool_spawn_failure_degrades_in_process(self, pmap, monkeypatch):
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+
+        class BrokenContext:
+            def Pool(self, processes):
+                raise OSError("no processes here")
+
+        monkeypatch.setattr(
+            sweep.multiprocessing, "get_context", lambda *a, **k: BrokenContext()
+        )
+        kernels = get_kernels("numpy")
+        block = [vt("a", 0, 9), vt("b", 3, 7), vt("a", 5, 12)]
+        page = [vt("a", 1, 5), vt("b", 4, 6)]
+        engine = PipelinedSweepEngine(pmap, "backward", workers=2, kernels=kernels)
+        got, _ = engine.process_page(engine.build_index(block), page, 0, None, False)
+        want = oracle_probe(
+            kernels, block, page, kernels.prepare_boundaries(pmap), 0, "backward"
+        )
+        assert got == want
+        assert engine.pool_fallbacks == 1
+        assert engine._pool_broken
+
+    def test_pool_crash_mid_probe_degrades_in_process(self, pmap, monkeypatch):
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        kernels = get_kernels("numpy")
+        rng = random.Random(3)
+        keys = [f"k{j}" for j in range(5)]
+        block = random_tuples(rng, 50, keys)
+        page = random_tuples(rng, 40, keys)
+        engine = PipelinedSweepEngine(pmap, "backward", workers=2, kernels=kernels)
+
+        class DyingPool:
+            def map(self, fn, tasks):
+                raise RuntimeError("worker died")
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        engine._pool = DyingPool()
+        got, _ = engine.process_page(engine.build_index(block), page, 1, None, False)
+        want = oracle_probe(
+            kernels, block, page, kernels.prepare_boundaries(pmap), 1, "backward"
+        )
+        assert got == want
+        assert engine.pool_fallbacks == 1
+        assert engine._pool is None  # the dead pool was shut down
+
+    def test_close_is_idempotent(self, pmap):
+        engine = PipelinedSweepEngine(pmap, "backward", workers=1)
+        engine.close()
+        engine.close()
+
+
+class TestWorkerCounts:
+    def test_default_caps_at_eight(self, monkeypatch):
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 32)
+        assert default_sweep_workers() == 8
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 3)
+        assert default_sweep_workers() == 3
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: None)
+        assert default_sweep_workers() == 1
+
+    def test_effective_clamps_to_cores(self, monkeypatch):
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 2)
+        assert effective_sweep_workers(8) == 2
+        assert effective_sweep_workers(1) == 1
+        assert effective_sweep_workers(None) == 2
+        assert effective_sweep_workers(0) == 1
+
+    def test_oversubscribe_lifts_the_clamp(self, monkeypatch):
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        assert effective_sweep_workers(6) == 6
