@@ -29,10 +29,12 @@ from typing import Dict, List, Optional, Sequence
 from harness import (
     REPO_ROOT,
     environment,
+    observed_config,
     phase_stats_fingerprint,
     probe_heavy_relation,
     result_fingerprint,
     write_report,
+    write_trace,
 )
 from repro.core.partition_join import PartitionJoinConfig, partition_join
 from repro.exec import HAVE_NUMPY
@@ -110,6 +112,34 @@ def run_benchmark(
     }
 
 
+def trace_join(
+    n_tuples: int,
+    trace_out: Path,
+    *,
+    memory_pages: int = 48,
+    parallel_workers: Optional[int] = None,
+) -> Dict[str, Path]:
+    """One extra *observed* batch-kernel run, exporting its trace.
+
+    Kept separate from the timed comparison so the observability hooks can
+    never color the reported numbers or the equivalence fingerprints.
+    """
+    r = probe_heavy_relation("works_on", n_tuples, seed=1994)
+    s = probe_heavy_relation("earns", n_tuples, seed=1995)
+    config = observed_config(
+        PartitionJoinConfig(
+            memory_pages=memory_pages,
+            page_spec=PageSpec(page_bytes=8192, tuple_bytes=16),
+            execution="batch",
+            parallel_workers=parallel_workers,
+            collect_result=False,
+            max_plan_candidates=6,
+        )
+    )
+    run = partition_join(r, s, config)
+    return write_trace(run, trace_out)
+
+
 def format_report(report: Dict) -> List[str]:
     lines = [
         "kernel throughput -- {n_tuples_per_side} x {n_tuples_per_side} tuples, "
@@ -155,6 +185,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--memory-pages", type=int, default=48)
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="TRACE_JSON",
+        help="also run one observed join and export a Chrome trace_event "
+        "JSON here plus a <stem>.metrics.json snapshot beside it",
+    )
     args = parser.parse_args(argv)
     if args.tuples < 1:
         parser.error(f"--tuples must be >= 1, got {args.tuples}")
@@ -164,6 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for line in format_report(report):
         print(line)
+    if args.trace_out is not None:
+        paths = trace_join(
+            args.tuples,
+            args.trace_out,
+            memory_pages=args.memory_pages,
+            parallel_workers=args.workers,
+        )
+        print(f"wrote {paths['trace']} and {paths['metrics']}")
     write_report(report, args.output)
     print(f"wrote {args.output}")
     return 0

@@ -34,14 +34,16 @@ from harness import (
     REPO_ROOT,
     environment,
     load_report,
+    observed_config,
     phase_op_fingerprint,
     phase_stats_fingerprint,
     probe_heavy_relation,
     result_fingerprint,
     time_modes,
     write_report,
+    write_trace,
 )
-from repro.core.partition_join import PartitionJoinConfig
+from repro.core.partition_join import PartitionJoinConfig, partition_join
 from repro.exec import HAVE_NUMPY
 from repro.storage.page import PageSpec
 
@@ -127,6 +129,36 @@ def run_benchmark(
     }
 
 
+def trace_join(
+    n_tuples: int,
+    trace_out: Path,
+    *,
+    memory_pages: int = 48,
+    sweep_workers: Optional[int] = 4,
+    prefetch_depth: int = 8,
+) -> Dict[str, Path]:
+    """One extra *observed* pipelined-sweep run, exporting its trace.
+
+    Kept separate from the timed comparison so the observability hooks can
+    never color the reported numbers or the equivalence fingerprints.
+    """
+    r = probe_heavy_relation("works_on", n_tuples, seed=1994)
+    s = probe_heavy_relation("earns", n_tuples, seed=1995)
+    config = observed_config(
+        PartitionJoinConfig(
+            memory_pages=memory_pages,
+            page_spec=PageSpec(page_bytes=8192, tuple_bytes=16),
+            execution="batch-parallel-sweep",
+            sweep_workers=sweep_workers,
+            prefetch_depth=prefetch_depth,
+            collect_result=False,
+            max_plan_candidates=6,
+        )
+    )
+    run = partition_join(r, s, config)
+    return write_trace(run, trace_out)
+
+
 def format_report(report: Dict) -> List[str]:
     lines = [
         "pipelined sweep -- {n_tuples_per_side} x {n_tuples_per_side} tuples, "
@@ -198,6 +230,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--prefetch-depth", type=int, default=8)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="TRACE_JSON",
+        help="also run one observed join and export a Chrome trace_event "
+        "JSON here plus a <stem>.metrics.json snapshot beside it",
+    )
+    parser.add_argument(
         "--check",
         type=Path,
         default=None,
@@ -217,6 +257,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for line in format_report(report):
         print(line)
+
+    if args.trace_out is not None:
+        paths = trace_join(
+            args.tuples,
+            args.trace_out,
+            memory_pages=args.memory_pages,
+            sweep_workers=args.workers,
+            prefetch_depth=args.prefetch_depth,
+        )
+        print(f"wrote {paths['trace']} and {paths['metrics']}")
 
     if args.check is not None:
         failures = check_against(report, args.check)

@@ -142,3 +142,34 @@ def write_report(report: Dict, output: Path) -> None:
 
 def load_report(path: Path) -> Dict:
     return json.loads(path.read_text())
+
+
+def observed_config(config: PartitionJoinConfig) -> PartitionJoinConfig:
+    """*config* with observability switched on (for ``--trace-out`` runs)."""
+    import dataclasses
+
+    from repro.obs import ObservabilityConfig
+
+    if config.observability is not None:
+        return config
+    return dataclasses.replace(config, observability=ObservabilityConfig())
+
+
+def write_trace(run, trace_out: Path) -> Dict[str, Path]:
+    """Export a run's observability artifacts next to *trace_out*.
+
+    Writes the Chrome ``trace_event`` JSON to *trace_out* (load it in
+    ``chrome://tracing`` / Perfetto) and the metrics snapshot to
+    ``<trace_out stem>.metrics.json``.  Returns the written paths.
+    """
+    obs = run.observability
+    if obs is None:
+        raise ValueError(
+            "run has no observability runtime; build its config via "
+            "observed_config() before joining"
+        )
+    trace_out = Path(trace_out)
+    trace_out.write_text(json.dumps(obs.chrome_trace(), indent=2) + "\n")
+    metrics_out = trace_out.with_name(trace_out.stem + ".metrics.json")
+    metrics_out.write_text(json.dumps(obs.metrics_snapshot(), indent=2) + "\n")
+    return {"trace": trace_out, "metrics": metrics_out}

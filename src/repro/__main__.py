@@ -8,9 +8,12 @@ Usage::
     python -m repro fig7 [--scale 16]      # long-lived sweep (Figure 7)
     python -m repro fig8 [--scale 16]      # memory x density grid (Figure 8)
     python -m repro all [--scale 16]       # everything above
+    python -m repro explain [--analyze]    # EXPLAIN (ANALYZE) a workload join
 
 Each figure command prints the measured series and the machine-checked
-shape verdict against the paper's claims.
+shape verdict against the paper's claims.  ``explain`` renders the chosen
+partition plan -- and with ``--analyze`` runs it, reporting predicted vs
+actual per-phase costs (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -107,8 +110,71 @@ _COMMANDS = {
 }
 
 
+def _run_explain(argv: List[str]) -> int:
+    """``python -m repro explain``: EXPLAIN (ANALYZE) a generated workload join."""
+    from repro.engine.database import TemporalDatabase
+    from repro.obs import ObservabilityConfig
+    from repro.workloads.generator import generate_pair
+    from repro.workloads.specs import DatabaseSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="Render the partition join's chosen plan for a generated "
+        "workload; --analyze runs it and reconciles predicted vs actual "
+        "per-phase cost.",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the join and report per-phase actuals with deviations",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=64,
+        help="uniform workload scale divisor (default 64)",
+    )
+    parser.add_argument(
+        "--memory-pages",
+        type=int,
+        default=32,
+        help="buffer pages the evaluation runs under (default 32)",
+    )
+    parser.add_argument(
+        "--execution",
+        default="batch",
+        choices=("tuple", "batch", "batch-parallel", "batch-parallel-sweep"),
+        help="execution mode of the partition join (default batch)",
+    )
+    parser.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "partition", "sort_merge", "nested_loop"),
+        help="join algorithm ('auto' lets the optimizer choose)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = DatabaseSpec(name="explain").scaled(args.scale)
+    r, s = generate_pair(spec)
+    db = TemporalDatabase(
+        memory_pages=args.memory_pages,
+        execution=args.execution,
+        observability=ObservabilityConfig(),
+    )
+    for rel in (r, s):
+        db.create_relation(rel.schema).extend(rel.tuples)
+    report = db.explain("r", "s", analyze=args.analyze, method=args.method)
+    print(report.render())
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     """Entry point; returns the number of shape-check deviations."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'explain' owns its own flag set; peel it off before the figure parser.
+    if argv and argv[0] == "explain":
+        return _run_explain(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the evaluation of 'Efficient Evaluation of "

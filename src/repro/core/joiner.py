@@ -51,6 +51,7 @@ assert bit-equality of outcomes and per-phase statistics.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,7 @@ from repro.model.errors import CheckpointError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
 from repro.model.vtuple import VTTuple
+from repro.obs import span_or_null
 from repro.resilience.checkpoint import SweepCheckpoint, SweepCheckpointer, SweepContext
 from repro.storage.buffer import BufferPool, Reservation
 from repro.storage.heapfile import HeapFile
@@ -66,6 +68,7 @@ from repro.storage.layout import DiskLayout
 from repro.time.interval import Interval
 
 if TYPE_CHECKING:  # degrade imports this module; annotation-only the other way
+    from repro.obs import Observability
     from repro.resilience.degrade import BufferReduction
     from repro.storage.prefetch import PrefetchPipeline
 
@@ -133,6 +136,7 @@ def join_partitions(
     checkpointer: Optional[SweepCheckpointer] = None,
     resume_from: Optional[SweepCheckpoint] = None,
     buffer_reductions: Sequence["BufferReduction"] = (),
+    obs: Optional["Observability"] = None,
 ) -> JoinOutcome:
     """Join pre-partitioned relations ``r`` and ``s`` (Appendix A.1).
 
@@ -170,6 +174,10 @@ def join_partitions(
             from each reduction's position on, the sweep runs with the
             smaller buffer, routing the excess through the Section 3.4
             overflow machinery and recording a degradation event.
+        obs: optional :class:`~repro.obs.Observability` runtime.  Purely
+            observational: spans, events, and metrics are recorded around
+            the sweep, but results, outcome counters, and charged I/O are
+            bit-identical with or without it.
     """
     if len(r_parts) != len(partition_map) or len(s_parts) != len(partition_map):
         raise ValueError("partition lists must align with the partition map")
@@ -206,7 +214,9 @@ def join_partitions(
         from repro.exec.sweep_parallel import PipelinedSweepEngine
         from repro.storage.prefetch import PrefetchPipeline
 
-        engine = PipelinedSweepEngine(partition_map, direction, workers=sweep_workers)
+        engine = PipelinedSweepEngine(
+            partition_map, direction, workers=sweep_workers, obs=obs
+        )
         pipeline = PrefetchPipeline(layout, prefetch_depth)
     else:
         engine = _BatchEngine(partition_map, direction)
@@ -278,109 +288,185 @@ def join_partitions(
 
     current_buff = buff_size
     new_cache: Optional[_TupleCache] = None
+    if obs is not None and pool is not None:
+        _pool_gauges(obs, pool)
+    sweep_cm = span_or_null(
+        obs,
+        "sweep",
+        partitions=n,
+        direction=direction,
+        execution=execution,
+        buff_size=buff_size,
+        resume_position=start_pos,
+    )
+    sweep_span = sweep_cm.__enter__()
     try:
         for pos in range(start_pos, n):
             index = order_list[pos]
             next_index = index + step  # the partition the sweep visits next
             has_next = 0 <= next_index < n
 
-            # Apply any scheduled buffer reductions that start here (or that
-            # started before the resume point -- those shrink silently, the
-            # pre-crash run already recorded them).
-            effective = min(
-                [buff_size]
-                + [red.buff_size for red in buffer_reductions if red.at_position <= pos]
-            )
-            if effective < current_buff:
-                current_buff = effective
-                if outer_reservation is not None:
-                    outer_reservation.resize(current_buff)
-                _note_buffer_reduction(report, pos, current_buff)
-            block_tuples = max(1, current_buff * spec.capacity)
+            with span_or_null(
+                obs, "partition", position=pos, partition=index
+            ) as part_span:
+                # Apply any scheduled buffer reductions that start here (or
+                # that started before the resume point -- those shrink
+                # silently, the pre-crash run already recorded them).
+                effective = min(
+                    [buff_size]
+                    + [
+                        red.buff_size
+                        for red in buffer_reductions
+                        if red.at_position <= pos
+                    ]
+                )
+                if effective < current_buff:
+                    current_buff = effective
+                    if outer_reservation is not None:
+                        outer_reservation.resize(current_buff)
+                        if obs is not None and pool is not None:
+                            _pool_gauges(obs, pool)
+                    _note_buffer_reduction(report, pos, current_buff, obs)
+                block_tuples = max(1, current_buff * spec.capacity)
 
-            # Purge retained outer tuples that do not reach this partition,
-            # then read the partition itself from disk.
-            outer: List[VTTuple] = [
-                tup
-                for tup in outer_retained
-                if partition_map.overlaps_partition(tup.valid, index)
-            ]
-            outer_pages = (
-                pipeline.scan_pages(r_parts[index])
-                if pipeline is not None
-                else r_parts[index].scan_pages()
-            )
-            for page in outer_pages:
-                outer.extend(page)
-
-            new_cache = None
-            if has_next:
-                if pipeline is not None:
-                    new_cache = _PipelinedTupleCache(
-                        layout,
-                        f"tuple_cache_{next_index}",
-                        cache_memory_tuples,
-                        inner_total,
-                        pipeline,
-                    )
-                else:
-                    new_cache = _TupleCache(
-                        layout,
-                        f"tuple_cache_{next_index}",
-                        cache_memory_tuples,
-                        inner_total,
-                    )
-
-            blocks = _split_blocks(outer, block_tuples)
-            if len(blocks) > 1:
-                outcome.overflow_blocks += len(blocks) - 1
-                _charge_spill(blocks[1:], layout, spec, index)
-
-            for block_number, block in enumerate(blocks):
-                probe_index = engine.build_index(block)
-                migrate = block_number == 0  # migration happens exactly once
-                if cache is not None:
-                    _probe_pages(
-                        cache.pages(),
-                        engine,
-                        probe_index,
-                        index,
-                        next_index if has_next else None,
-                        new_cache if migrate else None,
-                        result_file,
-                        collected,
-                        outcome,
-                        layout,
-                        pair_fn,
-                    )
-                inner_pages = (
-                    pipeline.scan_pages(s_parts[index])
+                # Purge retained outer tuples that do not reach this
+                # partition, then read the partition itself from disk.
+                outer: List[VTTuple] = [
+                    tup
+                    for tup in outer_retained
+                    if partition_map.overlaps_partition(tup.valid, index)
+                ]
+                outer_pages = (
+                    pipeline.scan_pages(r_parts[index])
                     if pipeline is not None
-                    else s_parts[index].scan_pages()
+                    else r_parts[index].scan_pages()
                 )
-                _probe_pages(
-                    inner_pages,
-                    engine,
-                    probe_index,
-                    index,
-                    next_index if has_next else None,
-                    new_cache if migrate else None,
-                    result_file,
-                    collected,
-                    outcome,
-                    layout,
-                    pair_fn,
-                )
+                for page in outer_pages:
+                    outer.extend(page)
 
-            if new_cache is not None:
-                new_cache.flush()
-                outcome.cache_tuples_peak = max(
-                    outcome.cache_tuples_peak, new_cache.n_tuples
+                new_cache = None
+                if has_next:
+                    if pipeline is not None:
+                        new_cache = _PipelinedTupleCache(
+                            layout,
+                            f"tuple_cache_{next_index}",
+                            cache_memory_tuples,
+                            inner_total,
+                            pipeline,
+                        )
+                    else:
+                        new_cache = _TupleCache(
+                            layout,
+                            f"tuple_cache_{next_index}",
+                            cache_memory_tuples,
+                            inner_total,
+                        )
+
+                blocks = _split_blocks(outer, block_tuples)
+                if len(blocks) > 1:
+                    outcome.overflow_blocks += len(blocks) - 1
+                    if obs is not None:
+                        obs.event(
+                            "overflow", partition=index, blocks=len(blocks) - 1
+                        )
+                        obs.count(
+                            "repro_overflow_blocks_total",
+                            "Extra outer blocks forced by partition overflow.",
+                            float(len(blocks) - 1),
+                        )
+                    _charge_spill(blocks[1:], layout, spec, index)
+
+                part_rows = part_matches = part_migrated = 0
+                for block_number, block in enumerate(blocks):
+                    probe_index = engine.build_index(block)
+                    migrate = block_number == 0  # migration happens exactly once
+                    if cache is not None:
+                        with span_or_null(
+                            obs,
+                            "probe",
+                            source="cache",
+                            partition=index,
+                            block=block_number,
+                        ) as probe_span:
+                            pages_n, rows_n, matches_n, migrated_n = _probe_pages(
+                                cache.pages(),
+                                engine,
+                                probe_index,
+                                index,
+                                next_index if has_next else None,
+                                new_cache if migrate else None,
+                                result_file,
+                                collected,
+                                outcome,
+                                layout,
+                                pair_fn,
+                            )
+                            probe_span.set(
+                                pages=pages_n,
+                                rows=rows_n,
+                                matches=matches_n,
+                                migrated=migrated_n,
+                            )
+                        part_rows += rows_n
+                        part_matches += matches_n
+                        part_migrated += migrated_n
+                    inner_pages = (
+                        pipeline.scan_pages(s_parts[index])
+                        if pipeline is not None
+                        else s_parts[index].scan_pages()
+                    )
+                    with span_or_null(
+                        obs,
+                        "probe",
+                        source="inner",
+                        partition=index,
+                        block=block_number,
+                    ) as probe_span:
+                        pages_n, rows_n, matches_n, migrated_n = _probe_pages(
+                            inner_pages,
+                            engine,
+                            probe_index,
+                            index,
+                            next_index if has_next else None,
+                            new_cache if migrate else None,
+                            result_file,
+                            collected,
+                            outcome,
+                            layout,
+                            pair_fn,
+                        )
+                        probe_span.set(
+                            pages=pages_n,
+                            rows=rows_n,
+                            matches=matches_n,
+                            migrated=migrated_n,
+                        )
+                    part_rows += rows_n
+                    part_matches += matches_n
+                    part_migrated += migrated_n
+
+                if new_cache is not None:
+                    new_cache.flush()
+                    outcome.cache_tuples_peak = max(
+                        outcome.cache_tuples_peak, new_cache.n_tuples
+                    )
+                    if new_cache.spill is not None:
+                        outcome.cache_tuples_spilled += new_cache.spill.n_tuples
+                cache = new_cache
+                outer_retained = outer
+                part_span.set(
+                    blocks=len(blocks),
+                    outer_tuples=len(outer),
+                    probe_rows=part_rows,
+                    matches=part_matches,
+                    migrated=part_migrated,
                 )
-                if new_cache.spill is not None:
-                    outcome.cache_tuples_spilled += new_cache.spill.n_tuples
-            cache = new_cache
-            outer_retained = outer
+                if obs is not None:
+                    obs.observe(
+                        "repro_probe_rows_per_partition",
+                        float(part_rows),
+                        "Rows probed against the outer block, per partition.",
+                    )
 
             completed = pos + 1
             if (
@@ -403,22 +489,41 @@ def join_partitions(
                     cache_tuples_peak=outcome.cache_tuples_peak,
                     cache_tuples_spilled=outcome.cache_tuples_spilled,
                 )
+                if obs is not None:
+                    obs.event("checkpoint", position=completed)
+                    obs.count(
+                        "repro_checkpoints_total",
+                        "Boundary checkpoints written mid-sweep.",
+                    )
 
             if pipeline is not None and pos + 1 < n:
-                _prefetch_next_partition(
-                    pipeline,
-                    r_parts,
-                    s_parts,
-                    partition_map,
-                    order_list[pos + 1],
-                    outer_retained,
-                    buff_size,
-                    buffer_reductions,
-                    pos + 1,
-                    spec,
-                )
+                with span_or_null(
+                    obs, "prefetch", lane="prefetch", next_position=pos + 1
+                ) as prefetch_span:
+                    _prefetch_next_partition(
+                        pipeline,
+                        r_parts,
+                        s_parts,
+                        partition_map,
+                        order_list[pos + 1],
+                        outer_retained,
+                        buff_size,
+                        buffer_reductions,
+                        pos + 1,
+                        spec,
+                    )
+                    prefetch_span.set(
+                        cached_pages=len(pipeline.cache)
+                        if pipeline.cache is not None
+                        else 0
+                    )
 
         result_file.flush()
+        sweep_span.set(
+            result_tuples=outcome.n_result_tuples,
+            overflow_blocks=outcome.overflow_blocks,
+            cache_tuples_peak=outcome.cache_tuples_peak,
+        )
         return outcome
     except BaseException:
         # The sweep died (simulated crash, fault, overflow...).  Volatile
@@ -431,6 +536,9 @@ def join_partitions(
                 c.spill.abandon()
         raise
     finally:
+        sweep_cm.__exit__(*sys.exc_info())
+        if obs is not None:
+            _export_engine_metrics(obs, engine, pipeline)
         if pipeline is not None:
             pipeline.discard()
         close = getattr(engine, "close", None)
@@ -438,6 +546,8 @@ def join_partitions(
             close()
         for reservation in reservations:
             reservation.release()
+        if obs is not None and pool is not None:
+            _pool_gauges(obs, pool)
 
 
 def _prefetch_next_partition(
@@ -481,7 +591,9 @@ def _prefetch_next_partition(
         pipeline.prefetch((r_parts[next_part], s_parts[next_part]))
 
 
-def _note_buffer_reduction(report, pos: int, buff_size: int) -> None:
+def _note_buffer_reduction(
+    report, pos: int, buff_size: int, obs: Optional["Observability"] = None
+) -> None:
     """Record a buffer-reduction degradation once per sweep position."""
     for event in report.degradations:
         if event.kind == "buffer-reduction" and event.position == pos:
@@ -491,6 +603,92 @@ def _note_buffer_reduction(report, pos: int, buff_size: int) -> None:
         f"outer buffer shrunk to {buff_size} pages at sweep position {pos}",
         position=pos,
     )
+    if obs is not None:
+        obs.event(
+            "degradation", kind="buffer-reduction", position=pos, buff_size=buff_size
+        )
+        obs.count(
+            "repro_degradations_total",
+            "Recorded degradation events by kind.",
+            kind="buffer-reduction",
+        )
+
+
+def _pool_gauges(obs: "Observability", pool: BufferPool) -> None:
+    """Publish the buffer pool's occupancy gauges."""
+    obs.gauge(
+        "repro_buffer_pool_pages",
+        float(pool.used_pages),
+        "Buffer pool occupancy in pages.",
+        state="used",
+    )
+    obs.gauge(
+        "repro_buffer_pool_pages",
+        float(pool.free_pages),
+        "Buffer pool occupancy in pages.",
+        state="free",
+    )
+
+
+def _export_engine_metrics(
+    obs: "Observability",
+    engine: "_ProbeEngine",
+    pipeline: Optional["PrefetchPipeline"],
+) -> None:
+    """Export the sweep's end-of-run ledgers into the metrics registry.
+
+    Covers the pipeline's per-stage I/O ledgers, the prefetch page cache's
+    hit/miss/eviction counts, and the parallel engine's worker-pool dispatch
+    counters.  Read-only over all of them.
+    """
+    if pipeline is not None:
+        stages = (
+            ("prefetch", pipeline.prefetch_stats),
+            ("writeback", pipeline.writeback_stats),
+            ("demand", pipeline.demand_stats),
+        )
+        for stage, stats in stages:
+            for kind, value in stats.as_dict().items():
+                if value:
+                    obs.count(
+                        "repro_pipeline_stage_ops_total",
+                        "Charged I/O operations by pipeline stage and kind.",
+                        float(value),
+                        stage=stage,
+                        kind=kind,
+                    )
+        if pipeline.cache is not None:
+            for kind in ("hits", "misses", "evictions"):
+                value = getattr(pipeline.cache, kind, 0)
+                if value:
+                    obs.count(
+                        "repro_page_cache_events_total",
+                        "Prefetch page-cache hits, misses, and evictions.",
+                        float(value),
+                        kind=kind,
+                    )
+    dispatches = getattr(engine, "pool_dispatches", None)
+    if dispatches is not None:
+        if dispatches:
+            obs.count(
+                "repro_pool_dispatches_total",
+                "Probe batches dispatched to the sweep worker pool.",
+                float(dispatches),
+            )
+        fallbacks = getattr(engine, "pool_fallbacks", 0)
+        if fallbacks:
+            obs.count(
+                "repro_pool_fallbacks_total",
+                "Probe batches that ran in-process instead of on the pool.",
+                float(fallbacks),
+            )
+    lanes = getattr(engine, "lanes", None)
+    if lanes:
+        obs.gauge(
+            "repro_sweep_lanes",
+            float(lanes),
+            "Probe lanes used by the pipelined sweep engine.",
+        )
 
 
 class _TupleCache:
@@ -752,7 +950,7 @@ def _probe_pages(
     outcome: JoinOutcome,
     layout: DiskLayout,
     pair_fn: PairFn,
-) -> None:
+) -> Tuple[int, int, int, int]:
     """Join every page of the *pages* stream against the outer block.
 
     When *new_cache* is given, tuples overlapping the sweep's next
@@ -760,8 +958,14 @@ def _probe_pages(
     (Figure 9's ``newCachePage`` handling).  The engine decides *how* the
     page is matched and filtered; emission and migration I/O happen here,
     identically for every engine.
+
+    Returns ``(pages, rows, emitted, migrated)`` counts for the probe span
+    -- derived from work already done, never changing what is done.
     """
+    n_pages = n_rows = n_emitted = n_migrated = 0
     for page in pages:
+        n_pages += 1
+        n_rows += len(page)
         matches, migrate_rows = engine.process_page(
             probe_index, page, index, next_index, new_cache is not None
         )
@@ -770,9 +974,12 @@ def _probe_pages(
             if joined is None:
                 continue
             outcome.n_result_tuples += 1
+            n_emitted += 1
             layout.write_result(result_file, joined)
             if collected is not None:
                 collected.add(joined)
         if new_cache is not None:
             for row in migrate_rows:
                 new_cache.append(page[row])
+            n_migrated += len(migrate_rows)
+    return n_pages, n_rows, n_emitted, n_migrated

@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.core.joiner import JoinOutcome, PairFn, join_partitions, natural_pair
 from repro.core.partitioner import do_partitioning
 from repro.core.planner import PartitionPlan, determine_part_intervals
+from repro.obs import Observability, ObservabilityConfig
 from repro.model.errors import (
     BufferOverflowError,
     CheckpointError,
@@ -38,6 +40,15 @@ from repro.storage.buffer import BufferPool, JoinBufferAllocation
 from repro.storage.iostats import CostModel
 from repro.storage.layout import DiskLayout
 from repro.storage.page import PageSpec
+
+#: Every legal ``PartitionJoinConfig.execution`` value; all modes are
+#: required to produce bit-identical results (see docs/EXECUTION.md).
+EXECUTION_MODES: Tuple[str, ...] = (
+    "tuple",
+    "batch",
+    "batch-parallel",
+    "batch-parallel-sweep",
+)
 
 
 @dataclass
@@ -95,6 +106,11 @@ class PartitionJoinConfig:
             raising; the degradation is recorded on the resilience report.
         buffer_reductions: scheduled mid-sweep shrinks of the outer buffer
             area (:class:`~repro.resilience.degrade.BufferReduction`).
+        observability: when set, the run records structured spans and
+            metrics into an :class:`~repro.obs.Observability` runtime,
+            returned on the result.  Strictly observational: results,
+            outcome counters, and charged I/O are bit-identical with the
+            knob on or off (see ``docs/OBSERVABILITY.md``).
 
     Every knob is validated centrally here, so a bad configuration fails at
     construction with a clear message instead of deep inside a phase.
@@ -118,6 +134,7 @@ class PartitionJoinConfig:
     retry_limit: Optional[int] = None
     degraded_fallback: bool = True
     buffer_reductions: Tuple[BufferReduction, ...] = ()
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         min_pages = JoinBufferAllocation.FIXED_PAGES + 1
@@ -134,12 +151,7 @@ class PartitionJoinConfig:
                 f"cache reservation of {self.cache_buffer_pages} pages leaves no "
                 f"outer-partition space in a {self.memory_pages}-page buffer"
             )
-        if self.execution not in (
-            "tuple",
-            "batch",
-            "batch-parallel",
-            "batch-parallel-sweep",
-        ):
+        if self.execution not in EXECUTION_MODES:
             raise ValueError(
                 f"execution must be 'tuple', 'batch', 'batch-parallel', or "
                 f"'batch-parallel-sweep', got {self.execution!r}"
@@ -174,6 +186,13 @@ class PartitionJoinConfig:
                     f"buffer_reductions must hold BufferReduction objects, "
                     f"got {reduction!r}"
                 )
+        if self.observability is not None and not isinstance(
+            self.observability, ObservabilityConfig
+        ):
+            raise ValueError(
+                f"observability must be an ObservabilityConfig or None, "
+                f"got {self.observability!r}"
+            )
 
     @property
     def buff_size(self) -> int:
@@ -194,12 +213,16 @@ class PartitionJoinResult:
         plan: the partitioning plan that was executed.
         layout: the disk layout, carrying the phase-tracked I/O statistics.
         recovery: the run's recovery log (None when checkpointing was off).
+        observability: the run's :class:`~repro.obs.Observability` runtime
+            (None when ``config.observability`` was unset); carries the
+            trace and the metrics snapshot.
     """
 
     outcome: JoinOutcome
     plan: PartitionPlan
     layout: DiskLayout
     recovery: Optional[RecoveryLog] = None
+    observability: Optional[Observability] = None
 
     @property
     def result(self) -> Optional[ValidTimeRelation]:
@@ -213,6 +236,35 @@ class PartitionJoinResult:
     def total_cost(self, cost_model: CostModel) -> float:
         """Weighted evaluation cost (result writes excluded, as in the paper)."""
         return self.layout.tracker.stats.cost(cost_model)
+
+
+def _build_observability(
+    config: PartitionJoinConfig, layout: DiskLayout
+) -> Optional[Observability]:
+    """The run's observability runtime, attached to the layout's disk.
+
+    Reuses a runtime already attached to the disk (a resumed run keeps
+    accumulating into the crashed run's trace and metrics).
+    """
+    if config.observability is None:
+        return None
+    existing = getattr(layout.disk, "_obs", None)
+    if existing is not None:
+        return existing
+    obs = Observability(config.observability)
+    layout.disk.attach_observer(obs)
+    return obs
+
+
+@contextmanager
+def _phase(tracker, obs: Optional[Observability], name: str) -> Iterator[None]:
+    """A tracker phase, mirrored onto the observability runtime when present."""
+    with tracker.phase(name):
+        if obs is not None:
+            with obs.phase(name):
+                yield
+        else:
+            yield
 
 
 def partition_join(
@@ -255,6 +307,7 @@ def partition_join(
             max_retries=config.retry_limit,
             backoff_ops=layout.disk.retry_policy.backoff_ops,
         )
+    obs = _build_observability(config, layout)
     if pool is not None and pool.total_pages < config.memory_pages:
         # Graceful degradation: the memory the plan assumed is not there.
         # Re-plan for what the pool can actually grant rather than failing
@@ -264,6 +317,18 @@ def partition_join(
             f"buffer pool grants {pool.total_pages} of {config.memory_pages} "
             f"requested pages; re-planning for the smaller budget",
         )
+        if obs is not None:
+            obs.event(
+                "degradation",
+                kind="replan",
+                granted_pages=pool.total_pages,
+                requested_pages=config.memory_pages,
+            )
+            obs.count(
+                "repro_degradations_total",
+                "Recorded degradation events by kind.",
+                kind="replan",
+            )
         config = dataclasses.replace(config, memory_pages=pool.total_pages)
     if config.checkpoint_interval > 0 and recovery is None:
         recovery = RecoveryLog()
@@ -297,9 +362,10 @@ def partition_join(
                 pair_fn,
                 recovery=recovery,
                 pool=pool,
+                obs=obs,
             )
 
-        with tracker.phase("sample"):
+        with _phase(tracker, obs, "sample"):
             plan = determine_part_intervals(
                 buff_size,
                 r_file,
@@ -313,10 +379,19 @@ def partition_join(
         layout.disk.park_heads()
         if recovery is not None:
             recovery.plan = plan
+        if obs is not None and plan.chosen is not None:
+            obs.event(
+                "plan",
+                num_partitions=len(plan.intervals),
+                part_size=plan.part_size,
+                n_samples=plan.chosen.n_samples,
+                c_sample=plan.chosen.c_sample,
+                c_join=plan.chosen.c_join,
+            )
 
         partition_map = plan.partition_map()
         placement = "last" if config.sweep_direction == "backward" else "first"
-        with tracker.phase("partition"):
+        with _phase(tracker, obs, "partition"):
             r_parts = do_partitioning(
                 r_file,
                 partition_map,
@@ -326,6 +401,7 @@ def partition_join(
                 placement=placement,
                 execution=config.execution,
                 parallel_workers=config.parallel_workers,
+                obs=obs,
             )
             layout.disk.park_heads()
             s_parts = do_partitioning(
@@ -337,6 +413,7 @@ def partition_join(
                 placement=placement,
                 execution=config.execution,
                 parallel_workers=config.parallel_workers,
+                obs=obs,
             )
         layout.disk.park_heads()
 
@@ -344,7 +421,7 @@ def partition_join(
         if config.checkpoint_interval > 0:
             checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
 
-        with tracker.phase("join"):
+        with _phase(tracker, obs, "join"):
             outcome = join_partitions(
                 r_parts,
                 s_parts,
@@ -362,20 +439,23 @@ def partition_join(
                 pool=pool,
                 checkpointer=checkpointer,
                 buffer_reductions=config.buffer_reductions,
+                obs=obs,
             )
 
         return PartitionJoinResult(
-            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
         )
     except PermanentIOFaultError as failure:
         if not config.degraded_fallback:
             raise
         outcome = _degrade_to_nested_loop(
-            r, s, buff_size, layout, result_schema, config, pair_fn, failure
+            r, s, buff_size, layout, result_schema, config, pair_fn, failure, obs=obs
         )
         plan = _trivial_plan(r, s, buff_size, config)
         return PartitionJoinResult(
-            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
         )
 
 
@@ -434,11 +514,17 @@ def resume_join(
     layout.tracker.recover()
     recovery.resumes += 1
     layout.resilience_report.resumes += 1
+    obs = _build_observability(config, layout)
+    if obs is not None:
+        obs.event("resume", position=recovery.checkpoint.position)
+        obs.count(
+            "repro_resumes_total", "Sweep resumes from a committed checkpoint."
+        )
 
     context = recovery.context
     checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
     try:
-        with layout.tracker.phase("join"):
+        with _phase(layout.tracker, obs, "join"):
             outcome = join_partitions(
                 context.r_parts,
                 context.s_parts,
@@ -457,25 +543,109 @@ def resume_join(
                 checkpointer=checkpointer,
                 resume_from=recovery.checkpoint,
                 buffer_reductions=config.buffer_reductions,
+                obs=obs,
             )
         plan = recovery.plan
         if plan is None:  # a single-partition run interrupted before plan commit
             plan = _trivial_plan(r, s, context.buff_size, config)
         return PartitionJoinResult(
-            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
         )
     except PermanentIOFaultError as failure:
         if not config.degraded_fallback:
             raise
         outcome = _degrade_to_nested_loop(
-            r, s, context.buff_size, layout, context.result_schema, config, pair_fn, failure
+            r, s, context.buff_size, layout, context.result_schema, config,
+            pair_fn, failure, obs=obs,
         )
         plan = recovery.plan
         if plan is None:
             plan = _trivial_plan(r, s, context.buff_size, config)
         return PartitionJoinResult(
-            outcome=outcome, plan=plan, layout=layout, recovery=recovery
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
         )
+
+
+def plan_partition_join(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    config: PartitionJoinConfig,
+) -> Tuple[PartitionPlan, bool, int, int]:
+    """Plan the partition join without executing it (the EXPLAIN entry point).
+
+    Runs exactly the planning path :func:`partition_join` would -- the same
+    single-partition shortcut test, the same seeded RNG, the same
+    ``determinePartIntervals`` call -- on a scratch layout, so the returned
+    plan is the plan the execution would choose.  The sampling I/O the
+    planner charges lands on the scratch layout and is discarded; EXPLAIN
+    predicts cost, it does not bill the catalog.
+
+    Returns ``(plan, single_partition, outer_pages, inner_pages)``.
+    """
+    layout = DiskLayout(spec=config.page_spec)
+    r_file = layout.place_relation(r)
+    s_file = layout.place_relation(s)
+    buff_size = config.buff_size
+    if min(r_file.n_pages, s_file.n_pages) <= buff_size:
+        allocation = JoinBufferAllocation(config.memory_pages)
+        plan = _single_partition_plan(r, s, r_file, s_file, allocation, config)
+        return plan, True, r_file.n_pages, s_file.n_pages
+    rng = random.Random(config.seed)
+    plan = determine_part_intervals(
+        buff_size,
+        r_file,
+        inner_tuples=len(s),
+        cost_model=config.cost_model,
+        rng=rng,
+        allow_scan_sampling=config.allow_scan_sampling,
+        max_candidates=config.max_plan_candidates,
+        inner=s_file if config.sample_inner_relation else None,
+    )
+    return plan, False, r_file.n_pages, s_file.n_pages
+
+
+def _single_partition_plan(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    r_file,
+    s_file,
+    allocation: JoinBufferAllocation,
+    config: PartitionJoinConfig,
+) -> PartitionPlan:
+    """The inline plan of the single-partition shortcut (see
+    :func:`_single_partition_join`, which must build the identical plan)."""
+    from repro.core.intervals import PartitionMap
+    from repro.core.planner import CandidateCost
+    from repro.time.interval import Interval
+    from repro.time.lifespan import lifespan_of
+
+    swap = not (r_file.n_pages <= allocation.buff_size)
+    outer_file, inner_file = (s_file, r_file) if swap else (r_file, s_file)
+    lifespan = lifespan_of(
+        [tup.valid for tup in r.tuples] + [tup.valid for tup in s.tuples]
+    )
+    interval = lifespan if lifespan is not None else Interval(0, 0)
+    partition_map = PartitionMap([Interval(interval.start, interval.end)])
+    return PartitionPlan(
+        intervals=list(partition_map.intervals),
+        part_size=max(1, outer_file.n_pages),
+        buff_size=allocation.buff_size,
+        chosen=CandidateCost(
+            part_size=outer_file.n_pages,
+            error_size=allocation.buff_size - outer_file.n_pages,
+            n_samples=0,
+            num_partitions=1,
+            c_sample=0.0,
+            c_join_scan=float(
+                2 * config.cost_model.io_ran
+                + max(0, outer_file.n_pages + inner_file.n_pages - 2)
+                * config.cost_model.io_seq
+            ),
+            c_join_cache=0.0,
+        ),
+    )
 
 
 def _degrade_to_nested_loop(
@@ -487,6 +657,7 @@ def _degrade_to_nested_loop(
     config: PartitionJoinConfig,
     pair_fn: PairFn,
     failure: PermanentIOFaultError,
+    obs: Optional[Observability] = None,
 ) -> JoinOutcome:
     """The permanent-failure fallback: block nested loop over fresh bases.
 
@@ -503,6 +674,25 @@ def _degrade_to_nested_loop(
         f"permanent page failure ({failure}); re-evaluating as a block "
         f"nested-loop join",
     )
+    if obs is not None:
+        obs.event("degradation", kind="nested-loop-fallback", failure=str(failure))
+        obs.count(
+            "repro_degradations_total",
+            "Recorded degradation events by kind.",
+            kind="nested-loop-fallback",
+        )
+        # fallback_nested_loop_join opens its own "degraded-join" tracker
+        # phase; mirror the label for the metrics attribution.
+        with obs.phase("degraded-join"):
+            return fallback_nested_loop_join(
+                r,
+                s,
+                buff_size,
+                layout,
+                result_schema,
+                collect=config.collect_result,
+                pair_fn=pair_fn,
+            )
     return fallback_nested_loop_join(
         r,
         s,
@@ -550,6 +740,7 @@ def _single_partition_join(
     *,
     recovery: Optional[RecoveryLog] = None,
     pool: Optional[BufferPool] = None,
+    obs: Optional[Observability] = None,
 ) -> PartitionJoinResult:
     """One-partition evaluation when a relation fits in the buffer.
 
@@ -559,9 +750,6 @@ def _single_partition_join(
     input.
     """
     from repro.core.intervals import PartitionMap
-    from repro.core.planner import CandidateCost, PartitionPlan
-    from repro.time.interval import Interval
-    from repro.time.lifespan import lifespan_of
 
     swap = not (r_file.n_pages <= allocation.buff_size)
     outer_file, inner_file = (s_file, r_file) if swap else (r_file, s_file)
@@ -569,17 +757,14 @@ def _single_partition_join(
     def oriented_pair(x, y, common):
         return pair_fn(y, x, common) if swap else pair_fn(x, y, common)
 
-    lifespan = lifespan_of(
-        [tup.valid for tup in r.tuples] + [tup.valid for tup in s.tuples]
-    )
-    interval = lifespan if lifespan is not None else Interval(0, 0)
-    partition_map = PartitionMap([Interval(interval.start, interval.end)])
+    plan = _single_partition_plan(r, s, r_file, s_file, allocation, config)
+    partition_map = PartitionMap(list(plan.intervals))
 
     checkpointer = None
     if config.checkpoint_interval > 0 and recovery is not None:
         checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
 
-    with layout.tracker.phase("join"):
+    with _phase(layout.tracker, obs, "join"):
         outcome = join_partitions(
             [outer_file],
             [inner_file],
@@ -595,31 +780,11 @@ def _single_partition_join(
             pool=pool,
             checkpointer=checkpointer,
             buffer_reductions=config.buffer_reductions,
+            obs=obs,
         )
-    plan = PartitionPlan(
-        intervals=list(partition_map.intervals),
-        # An empty input yields a zero-page "partition"; the plan still
-        # describes a one-page outer area so its invariants hold.
-        part_size=max(1, outer_file.n_pages),
-        buff_size=allocation.buff_size,
-        chosen=CandidateCost(
-            part_size=outer_file.n_pages,
-            error_size=allocation.buff_size - outer_file.n_pages,
-            n_samples=0,
-            num_partitions=1,
-            c_sample=0.0,
-            # The sequential term counts pages beyond each relation's first;
-            # clamp it so an empty input cannot drive the estimate negative.
-            c_join_scan=float(
-                2 * config.cost_model.io_ran
-                + max(0, outer_file.n_pages + inner_file.n_pages - 2)
-                * config.cost_model.io_seq
-            ),
-            c_join_cache=0.0,
-        ),
-    )
     if recovery is not None:
         recovery.plan = plan
     return PartitionJoinResult(
-        outcome=outcome, plan=plan, layout=layout, recovery=recovery
+        outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+        observability=obs,
     )

@@ -25,12 +25,16 @@ workers and replays placement results in input order).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.intervals import PartitionMap
 from repro.model.errors import PlanError
+from repro.obs import span_or_null
 from repro.storage.heapfile import HeapFile
 from repro.storage.layout import DiskLayout
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 def do_partitioning(
@@ -43,6 +47,7 @@ def do_partitioning(
     placement: str = "last",
     execution: str = "tuple",
     parallel_workers: Optional[int] = None,
+    obs: Optional["Observability"] = None,
 ) -> List[HeapFile]:
     """Partition *source* into one heap file per partitioning interval.
 
@@ -87,69 +92,86 @@ def do_partitioning(
         raise PlanError(f"partitioning needs >= 2 buffer pages, got {memory_pages}")
     bucket_buffer_pages = max(1, (memory_pages - 1) // n_partitions)
 
-    spec = source.spec
-    # Size each partition extent for the worst case (the whole relation) so
-    # overflow of the planner's estimate never fragments the extent.
-    partitions = [
-        layout.temp_file(f"{name}_part{i}", capacity_tuples=max(1, source.n_tuples))
-        for i in range(n_partitions)
-    ]
-    buffers: List[List] = [[] for _ in range(n_partitions)]
-    flush_threshold = bucket_buffer_pages * spec.capacity
+    with span_or_null(
+        obs,
+        "grace-partition",
+        relation=name,
+        partitions=n_partitions,
+        execution=execution,
+        placement=placement,
+    ) as span:
+        spec = source.spec
+        # Size each partition extent for the worst case (the whole relation)
+        # so overflow of the planner's estimate never fragments the extent.
+        partitions = [
+            layout.temp_file(f"{name}_part{i}", capacity_tuples=max(1, source.n_tuples))
+            for i in range(n_partitions)
+        ]
+        buffers: List[List] = [[] for _ in range(n_partitions)]
+        flush_threshold = bucket_buffer_pages * spec.capacity
 
-    def route(tup, index: int) -> None:
-        bucket = buffers[index]
-        bucket.append(tup)
-        if len(bucket) >= flush_threshold:
-            _flush(partitions[index], bucket)
-            buffers[index] = []
+        def route(tup, index: int) -> None:
+            bucket = buffers[index]
+            bucket.append(tup)
+            if len(bucket) >= flush_threshold:
+                _flush(partitions[index], bucket)
+                buffers[index] = []
 
-    if execution == "tuple":
-        locate = (
-            partition_map.last_overlapping
-            if placement == "last"
-            else partition_map.first_overlapping
-        )
-        for page in source.scan_pages():
-            for tup in page:
-                route(tup, locate(tup.valid))
-    elif execution == "batch":
-        from repro.exec.kernels import get_kernels
+        if execution == "tuple":
+            locate = (
+                partition_map.last_overlapping
+                if placement == "last"
+                else partition_map.first_overlapping
+            )
+            for page in source.scan_pages():
+                for tup in page:
+                    route(tup, locate(tup.valid))
+        elif execution == "batch":
+            from repro.exec.kernels import get_kernels
 
-        kernels = get_kernels()
-        boundaries = kernels.prepare_boundaries(partition_map)
-        for page in source.scan_pages():
-            batch = kernels.page_batch(page)
-            chronons = batch.ends if placement == "last" else batch.starts
-            for tup, index in zip(page, kernels.locate(chronons, boundaries)):
+            kernels = get_kernels()
+            boundaries = kernels.prepare_boundaries(partition_map)
+            for page in source.scan_pages():
+                batch = kernels.page_batch(page)
+                chronons = batch.ends if placement == "last" else batch.starts
+                for tup, index in zip(page, kernels.locate(chronons, boundaries)):
+                    route(tup, index)
+        else:  # batch-parallel
+            from repro.exec.parallel import locate_partitions_parallel
+
+            # The charged scan happens up front in the parent; workers
+            # receive only the (start, end) chronon pairs.  Replaying the
+            # routed flush loop afterwards issues the same TEMP-device
+            # access sequence as the serial path (BASE and TEMP have
+            # independent heads, so splitting the scan from the flushing
+            # changes no access's sequentiality).
+            tuples = []
+            spans = []
+            for page in source.scan_pages():
+                for tup in page:
+                    tuples.append(tup)
+                    spans.append((tup.valid.start, tup.valid.end))
+            with span_or_null(
+                obs, "parallel-locate", lane="pool", tuples=len(tuples)
+            ) as locate_span:
+                located = locate_partitions_parallel(
+                    spans,
+                    [interval.end for interval in partition_map.intervals],
+                    placement,
+                    workers=parallel_workers,
+                )
+                locate_span.set(located=len(located))
+            for tup, index in zip(tuples, located):
                 route(tup, index)
-    else:  # batch-parallel
-        from repro.exec.parallel import locate_partitions_parallel
 
-        # The charged scan happens up front in the parent; workers receive
-        # only the (start, end) chronon pairs.  Replaying the routed flush
-        # loop afterwards issues the same TEMP-device access sequence as the
-        # serial path (BASE and TEMP have independent heads, so splitting
-        # the scan from the flushing changes no access's sequentiality).
-        tuples = []
-        spans = []
-        for page in source.scan_pages():
-            for tup in page:
-                tuples.append(tup)
-                spans.append((tup.valid.start, tup.valid.end))
-        located = locate_partitions_parallel(
-            spans,
-            [interval.end for interval in partition_map.intervals],
-            placement,
-            workers=parallel_workers,
+        for index, bucket in enumerate(buffers):
+            if bucket:
+                _flush(partitions[index], bucket)
+        span.set(
+            tuples=source.n_tuples,
+            bucket_buffer_pages=bucket_buffer_pages,
         )
-        for tup, index in zip(tuples, located):
-            route(tup, index)
-
-    for index, bucket in enumerate(buffers):
-        if bucket:
-            _flush(partitions[index], bucket)
-    return partitions
+        return partitions
 
 
 def _flush(partition: HeapFile, bucket: List) -> None:

@@ -195,6 +195,34 @@ def estimate_join_cost(
     return scan, cache
 
 
+def estimate_partition_cost(
+    outer_pages: int,
+    inner_pages: int,
+    num_partitions: int,
+    cost_model: CostModel,
+) -> float:
+    """Predicted cost of the Grace-partitioning phase (``C_partition``).
+
+    The appendix folds partitioning into the measured total without a
+    closed-form estimate; EXPLAIN ANALYZE needs one so planner drift is
+    visible per phase.  The model is the idealized Section 3.2 pattern:
+    each relation is read once linearly (one seek plus sequential
+    transfers) and written out as one contiguous run per partition.  Real
+    runs pay more when bucket buffers flush early -- exactly the deviation
+    ``explain_analyze`` is there to expose.
+    """
+    if num_partitions < 1:
+        raise PlanError(f"partition estimate needs >= 1 partition, got {num_partitions}")
+    cost = 0.0
+    for pages in (outer_pages, inner_pages):
+        if pages <= 0:
+            continue
+        parts = min(num_partitions, pages)
+        cost += cost_model.cost_of_run(pages)  # the input scan
+        cost += parts * cost_model.io_ran + (pages - parts) * cost_model.io_seq
+    return cost
+
+
 def estimate_pipelined_join_cost(
     c_join_io: float,
     c_join_cpu: float,

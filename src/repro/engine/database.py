@@ -16,12 +16,18 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.aggregate.operator import temporal_aggregate
 from repro.baselines.nested_loop import nested_loop_join
 from repro.baselines.sort_merge import sort_merge_join
-from repro.core.partition_join import PartitionJoinConfig, partition_join
+from repro.core.partition_join import (
+    PartitionJoinConfig,
+    partition_join,
+    plan_partition_join,
+)
 from repro.engine.catalog import RelationStatistics, analyze
 from repro.engine.optimizer import JoinEstimate, choose_algorithm, estimate_costs
 from repro.model.errors import SchemaError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
+from repro.obs import Observability, ObservabilityConfig
+from repro.obs.explain import ExplainReport, PhaseCost, predicted_phases
 from repro.resilience.report import ResilienceReport
 from repro.resilience.retry import ResiliencePolicy
 from repro.storage.iostats import CostModel
@@ -35,7 +41,9 @@ class QueryResult:
 
     ``resilience`` is populated for partition joins run under a
     :class:`~repro.resilience.retry.ResiliencePolicy`; for other algorithms
-    (and with resilience off) it is None.
+    (and with resilience off) it is None.  ``observability`` carries the
+    run's :class:`~repro.obs.Observability` runtime for partition joins when
+    the database was built with an observability config.
     """
 
     relation: ValidTimeRelation
@@ -43,6 +51,10 @@ class QueryResult:
     cost: float
     estimates: Dict[str, JoinEstimate] = field(default_factory=dict)
     resilience: Optional[ResilienceReport] = None
+    observability: Optional[Observability] = None
+    #: The run's per-phase I/O tracker (what EXPLAIN ANALYZE reconciles
+    #: predictions against); None only for composite join_many results.
+    tracker: Optional[object] = None
 
 
 class TemporalDatabase:
@@ -64,6 +76,10 @@ class TemporalDatabase:
             pipelined sweep (``"batch-parallel-sweep"`` only).
         sweep_workers: probe lanes of the pipelined sweep (None = one per
             core, capped at 8).
+        observability: when given, partition joins record structured traces
+            and metrics (see ``docs/OBSERVABILITY.md``); the runtime is
+            returned on each :class:`QueryResult` and on
+            :meth:`explain_analyze` reports.
     """
 
     def __init__(
@@ -75,6 +91,7 @@ class TemporalDatabase:
         execution: str = "tuple",
         prefetch_depth: int = 8,
         sweep_workers: Optional[int] = None,
+        observability: Optional[ObservabilityConfig] = None,
     ) -> None:
         self.memory_pages = memory_pages
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -83,6 +100,7 @@ class TemporalDatabase:
         self.execution = execution
         self.prefetch_depth = prefetch_depth
         self.sweep_workers = sweep_workers
+        self.observability = observability
         # Fail on a bad mode at construction, not at the first join.
         self._join_config(memory_pages)
         self._relations: Dict[str, ValidTimeRelation] = {}
@@ -124,6 +142,7 @@ class TemporalDatabase:
             execution=self.execution,
             prefetch_depth=self.prefetch_depth,
             sweep_workers=self.sweep_workers,
+            observability=self.observability,
         )
         if self.resilience is not None:
             kwargs.update(
@@ -145,7 +164,7 @@ class TemporalDatabase:
             return stats
         return cached[1]
 
-    def explain(self, outer: str, inner: str) -> Dict[str, JoinEstimate]:
+    def _estimates(self, outer: str, inner: str) -> Dict[str, JoinEstimate]:
         """The optimizer's per-algorithm estimates for a join."""
         return estimate_costs(
             self.statistics(outer).n_pages,
@@ -154,6 +173,95 @@ class TemporalDatabase:
             self.cost_model,
             long_lived_fraction=self.statistics(inner).long_lived_fraction,
         )
+
+    def _choose(self, outer: str, inner: str) -> str:
+        return choose_algorithm(
+            self.statistics(outer).n_pages,
+            self.statistics(inner).n_pages,
+            self.memory_pages,
+            self.cost_model,
+            long_lived_fraction=self.statistics(inner).long_lived_fraction,
+        )
+
+    def explain(
+        self, outer: str, inner: str, *, analyze: bool = False, method: str = "auto"
+    ) -> ExplainReport:
+        """EXPLAIN (and optionally ANALYZE) a join of two named relations.
+
+        Without *analyze*, renders the plan the evaluation would choose --
+        the optimizer's per-algorithm estimates and, for the partition join,
+        the chosen partitioning (partition count, ``partSize``, sample size
+        ``m``) with its predicted per-phase costs.  Nothing is executed
+        (planning samples a scratch layout whose I/O is discarded).
+
+        With *analyze*, the join runs for real and each phase's predicted
+        cost is reconciled against the measured actuals on the run's
+        :class:`~repro.storage.iostats.PhaseTracker`, with deviations.
+
+        The report is a Mapping over the per-algorithm estimates, so code
+        written against the old ``Dict[str, JoinEstimate]`` return shape
+        keeps working.
+        """
+        estimates = self._estimates(outer, inner)
+        algorithm = method if method != "auto" else self._choose(outer, inner)
+        r = self.relation(outer)
+        s = self.relation(inner)
+
+        plan = None
+        single = False
+        phases: list = []
+        config = self._join_config(self.memory_pages)
+        if algorithm == "partition":
+            plan, single, _, _ = plan_partition_join(r, s, config)
+            phases = predicted_phases(
+                plan,
+                single,
+                self.statistics(outer).n_pages,
+                self.statistics(inner).n_pages,
+                config,
+            )
+        report = ExplainReport(
+            outer=outer,
+            inner=inner,
+            outer_pages=self.statistics(outer).n_pages,
+            inner_pages=self.statistics(inner).n_pages,
+            algorithm=algorithm,
+            method=method,
+            estimates=estimates,
+            memory_pages=self.memory_pages,
+            execution=self.execution,
+            plan=plan,
+            single_partition=single,
+            phases=phases,
+        )
+        if not analyze:
+            return report
+
+        result = self.join(outer, inner, method=algorithm)
+        report.analyzed = True
+        report.actual_total = result.cost
+        report.result_tuples = len(result.relation)
+        report.observability = result.observability
+        if result.tracker is not None:
+            by_phase = {p.phase: p for p in report.phases}
+            for name in result.tracker.phases:
+                actual = result.tracker.phase_cost(name, self.cost_model)
+                row = by_phase.get(name)
+                if row is None:
+                    row = PhaseCost(phase=name)
+                    report.phases.append(row)
+                    by_phase[name] = row
+                row.actual = actual
+            for row in report.phases:
+                if row.actual is None:
+                    row.actual = 0.0
+        return report
+
+    def explain_analyze(
+        self, outer: str, inner: str, *, method: str = "auto"
+    ) -> ExplainReport:
+        """Run the join and render predicted-vs-actual per-phase costs."""
+        return self.explain(outer, inner, analyze=True, method=method)
 
     # -- queries ------------------------------------------------------------------
 
@@ -168,17 +276,12 @@ class TemporalDatabase:
         """
         r = self.relation(outer)
         s = self.relation(inner)
-        estimates = self.explain(outer, inner)
+        estimates = self._estimates(outer, inner)
         if method == "auto":
-            method = choose_algorithm(
-                self.statistics(outer).n_pages,
-                self.statistics(inner).n_pages,
-                self.memory_pages,
-                self.cost_model,
-                long_lived_fraction=self.statistics(inner).long_lived_fraction,
-            )
+            method = self._choose(outer, inner)
 
         report: Optional[ResilienceReport] = None
+        observability: Optional[Observability] = None
         if method == "partition":
             config = self._join_config(self.memory_pages)
             layout = None
@@ -190,6 +293,8 @@ class TemporalDatabase:
                 )
             run = partition_join(r, s, config, layout=layout)
             relation, cost = run.result, run.total_cost(self.cost_model)
+            tracker = run.layout.tracker
+            observability = run.observability
             if self.resilience is not None:
                 report = run.resilience
         elif method == "sort_merge":
@@ -198,12 +303,14 @@ class TemporalDatabase:
             )
             relation = run.result
             cost = run.layout.tracker.stats.cost(self.cost_model)
+            tracker = run.layout.tracker
         elif method == "nested_loop":
             run = nested_loop_join(
                 r, s, self.memory_pages, page_spec=self.page_spec
             )
             relation = run.result
             cost = run.layout.tracker.stats.cost(self.cost_model)
+            tracker = run.layout.tracker
         else:
             raise ValueError(f"unknown join method {method!r}")
         assert relation is not None
@@ -213,6 +320,8 @@ class TemporalDatabase:
             cost=cost,
             estimates=estimates,
             resilience=report,
+            observability=observability,
+            tracker=tracker,
         )
 
     def join_many(self, names: List[str], *, method: str = "auto") -> QueryResult:

@@ -371,6 +371,7 @@ class PipelinedSweepEngine:
         *,
         workers: Optional[int] = None,
         kernels: Optional[Kernels] = None,
+        obs=None,
     ) -> None:
         self._kernels = kernels if kernels is not None else get_kernels()
         self._boundaries = self._kernels.prepare_boundaries(partition_map)
@@ -381,6 +382,9 @@ class PipelinedSweepEngine:
         self._pool_broken = self._kernels.use_numpy is False  # lanes ship arrays
         self.pool_dispatches = 0
         self.pool_fallbacks = 0
+        # Observation only (trace events on pool lifecycle transitions);
+        # the probe computation never consults it.
+        self._obs = obs
 
     # -- pool management ----------------------------------------------------
 
@@ -388,11 +392,15 @@ class PipelinedSweepEngine:
         if self._pool is None and not self._pool_broken and self.lanes >= 2:
             try:
                 self._pool = multiprocessing.get_context().Pool(processes=self.lanes)
+                if self._obs is not None:
+                    self._obs.event("pool-start", lanes=self.lanes)
             except Exception:
                 # Restricted environments (sandboxes, some CI runners)
                 # cannot spawn; same computation, one process.
                 self._pool_broken = True
                 self.pool_fallbacks += 1
+                if self._obs is not None:
+                    self._obs.event("pool-fallback", reason="spawn-failed")
         return self._pool
 
     def close(self) -> None:
@@ -463,6 +471,8 @@ class PipelinedSweepEngine:
             self.close()
             self._pool_broken = True
             self.pool_fallbacks += 1
+            if self._obs is not None:
+                self._obs.event("pool-fallback", reason="worker-died")
             pair_outer, pair_inner, cs, ce = probe_pruned(
                 index_obj,
                 batch.key_ids,

@@ -1,0 +1,270 @@
+"""EXPLAIN / EXPLAIN ANALYZE for the valid-time partition join.
+
+``EXPLAIN`` renders the plan the evaluation would choose -- partition count,
+``partSize``, the Kolmogorov sample size ``m``, the execution mode, and the
+predicted phase costs ``C_sample`` / ``C_partition`` / ``C_join`` (the
+Section 3.4 decomposition, with ``C_partition`` from
+:func:`repro.core.planner.estimate_partition_cost` since the paper gives no
+closed form for it).  ``EXPLAIN ANALYZE`` additionally runs the join and
+reconciles each prediction against the per-phase actuals on the layout's
+:class:`~repro.storage.iostats.PhaseTracker`, with deviation percentages.
+
+:class:`ExplainReport` implements the :class:`~collections.abc.Mapping`
+protocol over the optimizer's per-algorithm estimates, so callers of the
+pre-observability ``TemporalDatabase.explain`` -- which returned a plain
+``Dict[str, JoinEstimate]`` -- keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.partition_join import PartitionJoinConfig
+from repro.core.planner import PartitionPlan, estimate_partition_cost
+
+#: Phases rendered in the Section 3.4 order; anything else the tracker
+#: recorded (e.g. ``"degraded-join"``) is appended after these.
+_PHASE_ORDER = ("sample", "partition", "join")
+
+
+@dataclass
+class PhaseCost:
+    """One row of the predicted-vs-actual table.
+
+    Attributes:
+        phase: phase name on the :class:`PhaseTracker` ("sample",
+            "partition", "join", "degraded-join", ...).
+        predicted: the planner's cost estimate (None when the plan has no
+            prediction for this phase, e.g. a degraded re-evaluation).
+        actual: the phase's measured weighted cost (None before ANALYZE).
+    """
+
+    phase: str
+    predicted: Optional[float] = None
+    actual: Optional[float] = None
+
+    @property
+    def deviation_pct(self) -> Optional[float]:
+        """Signed deviation of actual from predicted, in percent."""
+        if self.predicted is None or self.actual is None:
+            return None
+        if self.predicted == 0.0:
+            return None if self.actual == 0.0 else float("inf")
+        return 100.0 * (self.actual - self.predicted) / self.predicted
+
+
+def predicted_phases(
+    plan: PartitionPlan,
+    single_partition: bool,
+    outer_pages: int,
+    inner_pages: int,
+    config: PartitionJoinConfig,
+) -> List[PhaseCost]:
+    """The planner's per-phase cost predictions for an (un-run) plan.
+
+    A single-partition shortcut skips sampling and partitioning outright, so
+    those phases predict zero; otherwise ``C_sample`` and ``C_join`` come
+    from the chosen candidate and ``C_partition`` from the idealized Grace
+    pattern of :func:`estimate_partition_cost`.
+    """
+    chosen = plan.chosen
+    if chosen is None:  # trivial plan: nothing was predicted
+        return [PhaseCost(phase=name) for name in _PHASE_ORDER]
+    if single_partition:
+        return [
+            PhaseCost("sample", predicted=0.0),
+            PhaseCost("partition", predicted=0.0),
+            PhaseCost("join", predicted=chosen.c_join),
+        ]
+    return [
+        PhaseCost("sample", predicted=chosen.c_sample),
+        PhaseCost(
+            "partition",
+            predicted=estimate_partition_cost(
+                outer_pages, inner_pages, len(plan.intervals), config.cost_model
+            ),
+        ),
+        PhaseCost("join", predicted=chosen.c_join),
+    ]
+
+
+class ExplainReport(Mapping):
+    """The rendered outcome of EXPLAIN / EXPLAIN ANALYZE.
+
+    A Mapping over the optimizer's per-algorithm ``JoinEstimate`` objects
+    (backward compatible with the plain dict the facade used to return),
+    carrying the chosen plan's description and -- after ANALYZE -- the
+    per-phase predicted-vs-actual reconciliation.
+    """
+
+    def __init__(
+        self,
+        *,
+        outer: str,
+        inner: str,
+        outer_pages: int,
+        inner_pages: int,
+        algorithm: str,
+        method: str,
+        estimates: Dict[str, Any],
+        memory_pages: int,
+        execution: str,
+        plan: Optional[PartitionPlan] = None,
+        single_partition: bool = False,
+        phases: Optional[List[PhaseCost]] = None,
+        analyzed: bool = False,
+        actual_total: Optional[float] = None,
+        result_tuples: Optional[int] = None,
+        observability: Optional[Any] = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_pages = outer_pages
+        self.inner_pages = inner_pages
+        self.algorithm = algorithm
+        self.method = method
+        self.estimates = estimates
+        self.memory_pages = memory_pages
+        self.execution = execution
+        self.plan = plan
+        self.single_partition = single_partition
+        self.phases: List[PhaseCost] = phases if phases is not None else []
+        self.analyzed = analyzed
+        self.actual_total = actual_total
+        self.result_tuples = result_tuples
+        self.observability = observability
+
+    # -- Mapping protocol (over the per-algorithm estimates) -----------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self.estimates[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.estimates)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def predicted_total(self) -> Optional[float]:
+        """Sum of the phase predictions (None when nothing was predicted)."""
+        known = [p.predicted for p in self.phases if p.predicted is not None]
+        return sum(known) if known else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of the report."""
+        return {
+            "outer": self.outer,
+            "inner": self.inner,
+            "outer_pages": self.outer_pages,
+            "inner_pages": self.inner_pages,
+            "algorithm": self.algorithm,
+            "method": self.method,
+            "execution": self.execution,
+            "memory_pages": self.memory_pages,
+            "estimates": {
+                name: est.cost for name, est in sorted(self.estimates.items())
+            },
+            "plan": None
+            if self.plan is None
+            else {
+                "num_partitions": len(self.plan.intervals),
+                "part_size": self.plan.part_size,
+                "buff_size": self.plan.buff_size,
+                "n_samples": self.plan.chosen.n_samples
+                if self.plan.chosen is not None
+                else None,
+                "single_partition": self.single_partition,
+            },
+            "phases": [
+                {
+                    "phase": p.phase,
+                    "predicted": p.predicted,
+                    "actual": p.actual,
+                    "deviation_pct": p.deviation_pct,
+                }
+                for p in self.phases
+            ],
+            "analyzed": self.analyzed,
+            "predicted_total": self.predicted_total,
+            "actual_total": self.actual_total,
+            "result_tuples": self.result_tuples,
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """The human-readable EXPLAIN text."""
+        title = "EXPLAIN ANALYZE" if self.analyzed else "EXPLAIN"
+        lines = [
+            f"{title} valid-time natural join: {self.outer} ⋈ {self.inner}",
+            f"  outer: {self.outer} ({self.outer_pages} pages)"
+            f"   inner: {self.inner} ({self.inner_pages} pages)",
+            f"  algorithm: {self.algorithm}"
+            + (" (chosen by cost)" if self.method == "auto" else " (forced)")
+            + f"   execution: {self.execution}"
+            + f"   memory: {self.memory_pages} pages",
+        ]
+        if self.estimates:
+            lines.append("  optimizer estimates:")
+            for name, est in sorted(self.estimates.items()):
+                marker = "  <- chosen" if name == self.algorithm else ""
+                lines.append(f"    {name:<12} {est.cost:>12.1f}{marker}")
+        plan = self.plan
+        if plan is not None:
+            chosen = plan.chosen
+            desc = (
+                f"  plan: {len(plan.intervals)} partition(s)"
+                f" x {plan.part_size} page(s) (buffSize {plan.buff_size}"
+            )
+            if chosen is not None:
+                desc += f", samples m={chosen.n_samples}"
+            desc += ")"
+            if self.single_partition:
+                desc += "  [single-partition shortcut]"
+            lines.append(desc)
+            if chosen is not None:
+                lines.append(
+                    f"  predicted: C_sample={chosen.c_sample:.1f}"
+                    f"  C_join={chosen.c_join:.1f}"
+                    f" (scan {chosen.c_join_scan:.1f}"
+                    f" + cache {chosen.c_join_cache:.1f})"
+                )
+        if self.phases:
+            lines.append(
+                f"  {'phase':<14} {'predicted':>12} {'actual':>12} {'deviation':>10}"
+            )
+            for p in self.phases:
+                predicted = "-" if p.predicted is None else f"{p.predicted:.1f}"
+                actual = "-" if p.actual is None else f"{p.actual:.1f}"
+                dev = p.deviation_pct
+                deviation = "-" if dev is None else f"{dev:+.1f}%"
+                lines.append(
+                    f"  {p.phase:<14} {predicted:>12} {actual:>12} {deviation:>10}"
+                )
+            predicted_total = self.predicted_total
+            total_row = PhaseCost(
+                "total", predicted=predicted_total, actual=self.actual_total
+            )
+            predicted = "-" if predicted_total is None else f"{predicted_total:.1f}"
+            actual = (
+                "-" if self.actual_total is None else f"{self.actual_total:.1f}"
+            )
+            dev = total_row.deviation_pct
+            deviation = "-" if dev is None else f"{dev:+.1f}%"
+            lines.append(
+                f"  {'total':<14} {predicted:>12} {actual:>12} {deviation:>10}"
+            )
+        if self.analyzed and self.result_tuples is not None:
+            lines.append(f"  result: {self.result_tuples} tuple(s)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplainReport({self.outer!r} join {self.inner!r}, "
+            f"algorithm={self.algorithm!r}, analyzed={self.analyzed})"
+        )

@@ -1,0 +1,237 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Prometheus-shaped but in-process: a :class:`MetricsRegistry` holds labeled
+*families* of counters, gauges, and fixed-bucket histograms, and snapshots
+everything into a stable, JSON-friendly dict.  The registry exists so the
+partition join's instrumentation (per-phase I/O, per-partition probe rows,
+retry/degradation counts, buffer-pool occupancy) has one sink that tests
+and the benchmark harness can read deterministically.
+
+Snapshot stability: metric names sort lexicographically, label sets render
+as ``k=v`` pairs in the family's declared label order, and histogram
+buckets keep their declared upper bounds -- two runs recording the same
+values produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (a generic 1-to-1e6 ladder; the
+#: instrumentation sites pick domain-specific buckets where it matters).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    4.0,
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative bucket counts, like Prometheus).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything beyond the last bound.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase, got {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        cumulative: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": [
+                {"le": bound, "count": cumulative[position]}
+                for position, bound in enumerate(self.buckets)
+            ]
+            + [{"le": "+Inf", "count": cumulative[-1]}],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    ``labels(**kv)`` resolves (creating on first use) the child for one
+    label combination; a family declared without label names has a single
+    anonymous child, reachable via ``labels()`` with no arguments.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, **labelvalues: Any) -> Any:
+        given = set(labelvalues)
+        expected = set(self.labelnames)
+        if given != expected:
+            raise ValueError(
+                f"metric {self.name!r} expects labels {sorted(expected)}, "
+                f"got {sorted(given)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def snapshot(self) -> Dict[str, Any]:
+        series: Dict[str, Any] = {}
+        for key in sorted(self._children):
+            label_string = ",".join(
+                f"{name}={value}" for name, value in zip(self.labelnames, key)
+            )
+            series[label_string] = self._children[key].snapshot()
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+
+class MetricsRegistry:
+    """The process-local registry all instrumentation records into.
+
+    Re-registering an existing name with the same kind and label names
+    returns the existing family (instrumentation sites can declare their
+    metrics independently); a conflicting redeclaration raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        names = tuple(labelnames)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != names:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {list(existing.labelnames)}; cannot redeclare "
+                    f"as {kind} with labels {list(names)}"
+                )
+            return existing
+        family = MetricFamily(
+            name, kind, help, names, tuple(buckets) if buckets is not None else None
+        )
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every family's current state, as a stable nested dict."""
+        return {name: self._families[name].snapshot() for name in sorted(self._families)}

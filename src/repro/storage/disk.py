@@ -140,6 +140,10 @@ class SimulatedDisk:
         self._extents: List[Extent] = []
         self._pipeline_reads = False
         self._pipeline_writes = False
+        # Optional observability runtime (repro.obs.Observability).  Kept as
+        # a plain attribute checked with one `is None` per charge so an
+        # unobserved disk pays nothing.
+        self._obs = None
 
     # -- allocation ----------------------------------------------------------
 
@@ -294,6 +298,15 @@ class SimulatedDisk:
         self.write(extent, index, page)
         return index
 
+    def attach_observer(self, obs) -> None:
+        """Attach (or with ``None``, detach) an observability runtime.
+
+        The observer's :meth:`~repro.obs.Observability.on_io` is called for
+        every *charged* access after it is recorded -- observation only;
+        accounting and behavior are unchanged (property-tested).
+        """
+        self._obs = obs
+
     def pipeline_tag(
         self, *, reads: bool = False, writes: bool = False
     ) -> "_PipelineTagContext":
@@ -321,9 +334,19 @@ class SimulatedDisk:
         if retry:
             self.stats.record_retry(write=write, count=1)
             per_device.record_retry(write=write, count=1)
-        if (self._pipeline_writes if write else self._pipeline_reads):
+        pipelined = self._pipeline_writes if write else self._pipeline_reads
+        if pipelined:
             self.stats.record_pipeline(write=write, count=1)
             per_device.record_pipeline(write=write, count=1)
+        obs = self._obs
+        if obs is not None:
+            obs.on_io(
+                extent.device,
+                write=write,
+                sequential=sequential,
+                retry=retry,
+                pipeline=pipelined,
+            )
 
     def _charge_backoff(self, extent: Extent, attempt: int, *, write: bool) -> None:
         """Charge the deterministic backoff penalty before a retry attempt.
@@ -341,6 +364,15 @@ class SimulatedDisk:
         per_device.record(write=write, sequential=False, count=penalty)
         per_device.record_retry(write=write, count=penalty)
         self.report.backoff_ops += penalty
+        obs = self._obs
+        if obs is not None:
+            obs.on_io(
+                extent.device,
+                write=write,
+                sequential=False,
+                retry=True,
+                count=penalty,
+            )
 
     # -- uncharged access ---------------------------------------------------------
 

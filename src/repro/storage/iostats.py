@@ -82,6 +82,10 @@ class IOStatistics:
     prefetch_reads: int = 0
     writeback_writes: int = 0
 
+    #: The label-tag fields: counters that annotate already-charged
+    #: operations without ever adding to ``total_ops`` or :meth:`cost`.
+    TAG_FIELDS = ("retry_reads", "retry_writes", "prefetch_reads", "writeback_writes")
+
     # -- recording ----------------------------------------------------------
 
     def record(self, *, write: bool, sequential: bool, count: int = 1) -> None:
@@ -121,6 +125,22 @@ class IOStatistics:
             self.writeback_writes += count
         else:
             self.prefetch_reads += count
+
+    def record_tag(self, tag: str, count: int = 1) -> None:
+        """Tag *count* already-recorded operations under a named tag field.
+
+        The generic entry point the metrics bridge uses: ``tag`` must be one
+        of :attr:`TAG_FIELDS` (``retry_reads``, ``retry_writes``,
+        ``prefetch_reads``, ``writeback_writes``).  An unknown tag raises
+        instead of silently minting a counter nothing will ever read.
+        """
+        if tag not in self.TAG_FIELDS:
+            raise ValueError(
+                f"unknown I/O tag {tag!r}; valid tags are {self.TAG_FIELDS}"
+            )
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        setattr(self, tag, getattr(self, tag) + count)
 
     def add(self, other: "IOStatistics") -> None:
         """Accumulate *other* into this object."""
@@ -185,6 +205,19 @@ class IOStatistics:
     def cost(self, model: CostModel) -> float:
         """Weighted evaluation cost under *model* (the paper's y-axis)."""
         return self.random_ops * model.io_ran + self.sequential_ops * model.io_seq
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every counter field as a plain dict (the metrics-bridge shape)."""
+        return {
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
+            "random_writes": self.random_writes,
+            "sequential_writes": self.sequential_writes,
+            "retry_reads": self.retry_reads,
+            "retry_writes": self.retry_writes,
+            "prefetch_reads": self.prefetch_reads,
+            "writeback_writes": self.writeback_writes,
+        }
 
     def copy(self) -> "IOStatistics":
         return IOStatistics(

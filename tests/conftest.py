@@ -13,6 +13,24 @@ from repro.model.vtuple import VTTuple
 from repro.time.interval import Interval
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_spans():
+    """Fail any test that leaves a tracer span open at teardown.
+
+    An instrumentation site that opens a span without closing it (a missing
+    ``with``, an early return around ``_end``) would otherwise only show up
+    as a silently truncated trace.
+    """
+    from repro.obs.trace import open_span_leaks
+
+    yield
+    leaks = open_span_leaks()
+    assert not leaks, (
+        "tracer span(s) left open after test: "
+        + ", ".join(f"{tracer!r} ({count} open)" for tracer, count in leaks)
+    )
+
+
 @pytest.fixture
 def schema_r() -> RelationSchema:
     return RelationSchema(

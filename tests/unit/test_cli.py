@@ -42,3 +42,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "cheapest algorithm" in out
         assert "over runner-up" in out
+
+
+class TestExplainCommand:
+    def test_explain_renders_a_plan(self, capsys):
+        assert main(["explain", "--scale", "512", "--method", "partition"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN valid-time natural join")
+        assert "plan:" in out
+        assert "result:" not in out  # no execution without --analyze
+
+    def test_explain_analyze_reconciles(self, capsys):
+        assert (
+            main(
+                [
+                    "explain",
+                    "--analyze",
+                    "--scale",
+                    "512",
+                    "--method",
+                    "partition",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "actual" in out
+        assert "result:" in out
+
+    def test_explain_rejects_unknown_execution(self):
+        with pytest.raises(SystemExit):
+            main(["explain", "--execution", "warp-speed"])

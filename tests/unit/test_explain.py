@@ -1,0 +1,159 @@
+"""Unit tests for EXPLAIN / EXPLAIN ANALYZE on the database facade."""
+
+import pytest
+
+from repro.engine.database import TemporalDatabase
+from repro.obs import ObservabilityConfig
+from repro.obs.explain import ExplainReport, PhaseCost
+from repro.storage.page import PageSpec
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def db(schema_r, schema_s):
+    """A database whose join spans many pages and several partitions."""
+    db = TemporalDatabase(
+        memory_pages=16,
+        page_spec=PageSpec(page_bytes=512, tuple_bytes=128),
+        execution="batch",
+        observability=ObservabilityConfig(),
+    )
+    db.create_relation(schema_r).extend(
+        random_relation(schema_r, 400, seed=301, payload_tag="p").tuples
+    )
+    db.create_relation(schema_s).extend(
+        random_relation(schema_s, 400, seed=302, payload_tag="q").tuples
+    )
+    return db
+
+
+@pytest.fixture
+def tiny_db(schema_r, schema_s):
+    """Both relations fit the buffer: the single-partition shortcut."""
+    db = TemporalDatabase(memory_pages=16)
+    db.create_relation(schema_r).extend(
+        random_relation(schema_r, 40, seed=11, payload_tag="p").tuples
+    )
+    db.create_relation(schema_s).extend(
+        random_relation(schema_s, 40, seed=23, payload_tag="q").tuples
+    )
+    return db
+
+
+class TestExplain:
+    def test_mapping_protocol_backward_compatible(self, db):
+        """The report must keep behaving like the old Dict[str, JoinEstimate]."""
+        report = db.explain("works_on", "earns")
+        assert isinstance(report, ExplainReport)
+        assert set(report) == {"partition", "sort_merge", "nested_loop"}
+        assert len(report) == 3
+        assert all(estimate.cost > 0 for estimate in report.values())
+        assert dict(report.items())["partition"] is report["partition"]
+        assert "partition" in report
+
+    def test_explain_does_not_execute(self, db):
+        report = db.explain("works_on", "earns", method="partition")
+        assert report.analyzed is False
+        assert report.actual_total is None
+        assert all(p.actual is None for p in report.phases)
+        # Planning samples a scratch layout; the database's observability
+        # runtime must see no I/O from it.
+        assert report.observability is None
+
+    def test_partition_plan_is_described(self, db):
+        report = db.explain("works_on", "earns", method="partition")
+        assert report.plan is not None
+        assert len(report.plan.intervals) >= 1
+        assert [p.phase for p in report.phases] == ["sample", "partition", "join"]
+        assert report.predicted_total == pytest.approx(
+            sum(p.predicted for p in report.phases)
+        )
+        text = report.render()
+        assert text.startswith("EXPLAIN valid-time natural join")
+        assert "plan:" in text
+        assert "partition(s)" in text
+        assert "<- chosen" in text or "(forced)" in text
+
+    def test_forced_vs_chosen_marker(self, db):
+        forced = db.explain("works_on", "earns", method="nested_loop")
+        assert forced.algorithm == "nested_loop"
+        assert "(forced)" in forced.render()
+        assert forced.plan is None  # no partition plan for other algorithms
+        auto = db.explain("works_on", "earns")
+        assert "(chosen by cost)" in auto.render()
+
+    def test_single_partition_shortcut_predicts_zero_prep(self, tiny_db):
+        report = tiny_db.explain("works_on", "earns", method="partition")
+        assert report.single_partition is True
+        by_phase = {p.phase: p for p in report.phases}
+        assert by_phase["sample"].predicted == 0.0
+        assert by_phase["partition"].predicted == 0.0
+        assert by_phase["join"].predicted > 0.0
+        assert "[single-partition shortcut]" in report.render()
+
+
+class TestExplainAnalyze:
+    def test_actuals_reconcile_exactly_with_tracker(self, db):
+        """The acceptance bar: per-phase actuals sum to the charged total."""
+        report = db.explain_analyze("works_on", "earns", method="partition")
+        assert report.analyzed is True
+        actuals = [p.actual for p in report.phases]
+        assert all(actual is not None for actual in actuals)
+        # Every charged operation happened inside a tracked phase, so the
+        # phase rows reconcile with the run's total bill *exactly* -- not
+        # approximately.
+        assert sum(actuals) == report.actual_total
+        assert report.actual_total > 0
+
+    def test_render_includes_actual_columns(self, db):
+        report = db.explain_analyze("works_on", "earns", method="partition")
+        text = report.render()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "actual" in text
+        assert "deviation" in text
+        assert "total" in text
+        assert "result:" in text
+
+    def test_analyze_carries_observability_runtime(self, db):
+        report = db.explain_analyze("works_on", "earns", method="partition")
+        assert report.observability is not None
+        trace = report.observability.chrome_trace()
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "sweep" in names
+        assert report.result_tuples == len(
+            db.join("works_on", "earns", method="partition").relation
+        )
+
+    def test_analyze_forced_sort_merge_has_actuals_only(self, db):
+        report = db.explain_analyze("works_on", "earns", method="sort_merge")
+        assert report.analyzed is True
+        assert report.plan is None
+        # No partition-plan predictions, but the run's phases still land.
+        assert report.actual_total is not None
+        assert sum(p.actual for p in report.phases) == report.actual_total
+
+    def test_as_dict_is_json_friendly(self, db):
+        import json
+
+        report = db.explain_analyze("works_on", "earns", method="partition")
+        snapshot = report.as_dict()
+        json.dumps(snapshot)
+        assert snapshot["analyzed"] is True
+        assert snapshot["plan"]["num_partitions"] == len(report.plan.intervals)
+
+
+class TestPhaseCost:
+    def test_deviation_requires_both_sides(self):
+        assert PhaseCost("join").deviation_pct is None
+        assert PhaseCost("join", predicted=10.0).deviation_pct is None
+        assert PhaseCost("join", actual=10.0).deviation_pct is None
+
+    def test_deviation_signed_percent(self):
+        assert PhaseCost("join", predicted=100.0, actual=110.0).deviation_pct == 10.0
+        assert PhaseCost("join", predicted=100.0, actual=90.0).deviation_pct == -10.0
+
+    def test_zero_prediction_edge_cases(self):
+        assert PhaseCost("join", predicted=0.0, actual=0.0).deviation_pct is None
+        assert PhaseCost("join", predicted=0.0, actual=5.0).deviation_pct == float(
+            "inf"
+        )

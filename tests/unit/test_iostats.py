@@ -94,6 +94,38 @@ class TestMergeAndPipelineTags:
             a += a
         assert a.total_ops == 10  # untouched by the rejected merges
 
+    def test_merge_of_empty_ledger_is_identity(self):
+        a = IOStatistics(1, 2, 3, 4, retry_reads=5, prefetch_reads=6)
+        before = a.as_dict()
+        a.merge(IOStatistics())
+        assert a.as_dict() == before
+
+    def test_record_tag_routes_to_named_field(self):
+        stats = IOStatistics()
+        for tag in IOStatistics.TAG_FIELDS:
+            stats.record_tag(tag, 2)
+        assert stats.retry_reads == 2
+        assert stats.retry_writes == 2
+        assert stats.prefetch_reads == 2
+        assert stats.writeback_writes == 2
+        # Tags annotate already-recorded ops; they never mint main-bucket ops.
+        assert stats.total_ops == 0
+
+    def test_record_tag_rejects_unknown_tag(self):
+        with pytest.raises(ValueError, match="unknown I/O tag"):
+            IOStatistics().record_tag("speculative_reads")
+
+    def test_record_tag_rejects_negative_count(self):
+        stats = IOStatistics()
+        with pytest.raises(ValueError):
+            stats.record_tag("retry_reads", -1)
+        assert stats.retry_reads == 0
+
+    def test_as_dict_covers_every_tag_field(self):
+        snapshot = IOStatistics().as_dict()
+        for tag in IOStatistics.TAG_FIELDS:
+            assert tag in snapshot
+
     def test_worker_ledgers_reconcile_exactly(self):
         """Per-worker ledgers merged once must equal the combined stream:
         no operation lost, none double-counted."""

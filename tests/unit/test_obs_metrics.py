@@ -1,0 +1,120 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.snapshot() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.snapshot() == 13.0
+
+    def test_histogram_bucketing(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 5.0, 100.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        # Cumulative counts, Prometheus-style, with a trailing +Inf bucket.
+        assert snapshot["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 10.0, "count": 3},
+            {"le": "+Inf", "count": 4},
+        ]
+        assert snapshot["sum"] == 110.5
+        assert snapshot["count"] == 4
+
+    def test_histogram_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+
+class TestFamiliesAndRegistry:
+    def test_labels_resolve_and_cache_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("phase",))
+        child = family.labels(phase="join")
+        child.inc(3)
+        assert family.labels(phase="join") is child
+        assert family.labels(phase="sample") is not child
+
+    def test_label_names_validated_exactly(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("phase", "device"))
+        with pytest.raises(ValueError):
+            family.labels(phase="join")  # missing 'device'
+        with pytest.raises(ValueError):
+            family.labels(phase="join", device="d", extra="x")
+
+    def test_unlabeled_family_has_anonymous_child(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("depth")
+        family.labels().set(4)
+        assert registry.snapshot()["depth"]["series"][""] == 4.0
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops", labelnames=("phase",))
+        second = registry.counter("ops", labelnames=("phase",))
+        assert first is second
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labelnames=("phase",))
+        with pytest.raises(ValueError):
+            registry.gauge("ops", labelnames=("phase",))  # kind conflict
+        with pytest.raises(ValueError):
+            registry.counter("ops", labelnames=("device",))  # label conflict
+
+    def test_snapshot_is_stable_and_sorted(self):
+        def populate(registry: MetricsRegistry) -> None:
+            registry.counter("z_ops", labelnames=("phase",)).labels(
+                phase="join"
+            ).inc(2)
+            registry.counter("a_ops").labels().inc()
+            registry.histogram("rows", buckets=(4.0, 16.0)).labels().observe(5)
+
+        one, two = MetricsRegistry(), MetricsRegistry()
+        populate(one)
+        populate(two)
+        # Two identically-recorded registries snapshot byte-identically.
+        assert json.dumps(one.snapshot()) == json.dumps(two.snapshot())
+        assert list(one.snapshot()) == ["a_ops", "rows", "z_ops"]
+
+    def test_series_keys_use_declared_label_order(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops", labelnames=("phase", "device"))
+        family.labels(device="disk", phase="join").inc()
+        assert list(registry.snapshot()["ops"]["series"]) == [
+            "phase=join,device=disk"
+        ]
+
+    def test_default_buckets_strictly_increase(self):
+        assert all(
+            b2 > b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )

@@ -1,0 +1,184 @@
+"""Unit tests for the structured tracer (spans, lanes, exporters)."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, open_span_leaks
+
+
+def ticking_clock(step: int = 10):
+    """A deterministic nanosecond clock advancing *step* per call."""
+    state = {"now": 0}
+
+    def clock() -> int:
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestSpanLifecycle:
+    def test_nesting_records_parent_and_lane(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # A child without an explicit lane inherits its parent's.
+        assert outer.lane == "main"
+        assert inner.lane == "main"
+        assert tracer.open_spans == 0
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_explicit_lane_overrides_inherited(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("sweep"):
+            with tracer.span("prefetch", lane="prefetch") as span:
+                pass
+        assert span.lane == "prefetch"
+
+    def test_durations_are_monotonic(self):
+        tracer = Tracer(clock=ticking_clock(step=5))
+        with tracer.span("op") as span:
+            assert span.duration_ns is None  # still open
+        assert span.duration_ns == 5
+        assert span.end_ns > span.start_ns
+
+    def test_attributes_coerced_to_scalars(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("op", n=3, flag=True, none=None) as span:
+            span.set(exotic=object(), ratio=0.5)
+        assert span.attributes["n"] == 3
+        assert span.attributes["flag"] is True
+        assert span.attributes["none"] is None
+        assert span.attributes["ratio"] == 0.5
+        assert isinstance(span.attributes["exotic"], str)  # repr fallback
+
+    def test_exception_closes_span_with_error_attr(self):
+        tracer = Tracer(clock=ticking_clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.open_spans == 0
+        (span,) = tracer.finished
+        assert "boom" in span.attributes["error"]
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("op") as span:
+            tracer.event("checkpoint", position=4)
+        (name, at_ns, attrs) = span.events[0]
+        assert name == "checkpoint"
+        assert attrs == {"position": 4}
+        assert at_ns > span.start_ns
+
+    def test_orphan_events_counted_not_raised(self):
+        tracer = Tracer(clock=ticking_clock())
+        tracer.event("nowhere")
+        assert tracer.orphan_events == 1
+        assert tracer.finished == []
+
+    def test_max_spans_retention_cap(self):
+        tracer = Tracer(clock=ticking_clock(), max_spans=2)
+        for number in range(5):
+            with tracer.span(f"s{number}"):
+                pass
+        assert len(tracer.finished) == 2
+        assert tracer.dropped_spans == 3
+        assert tracer.open_spans == 0  # dropped spans are still closed
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer(clock=ticking_clock())
+        seen = {}
+
+        def worker():
+            with tracer.span("worker-op", lane="lane-1") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main-op"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span must not become a child of the main thread's.
+        assert seen["parent"] is None
+        assert tracer.open_spans == 0
+
+
+class TestExporters:
+    def make_traced(self) -> Tracer:
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("sweep", partitions=2):
+            with tracer.span("probe", lane="probe"):
+                tracer.event("match", rows=7)
+        return tracer
+
+    def test_export_jsonl_round_trips(self):
+        tracer = self.make_traced()
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 2
+        spans = [json.loads(line) for line in lines]
+        by_name = {span["name"]: span for span in spans}
+        assert by_name["probe"]["parent_id"] == by_name["sweep"]["span_id"]
+        assert by_name["probe"]["events"][0]["attributes"] == {"rows": 7}
+
+    def test_chrome_trace_shape(self):
+        tracer = self.make_traced()
+        trace = tracer.chrome_trace()
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"sweep", "probe"}
+        # One tid lane per distinct span lane, each named via metadata.
+        lanes = {e["args"]["name"] for e in metadata}
+        assert lanes == {"main", "probe"}
+        assert len({e["tid"] for e in complete}) == 2
+        for event in complete:
+            assert event["pid"] == 1
+            assert event["dur"] >= 0
+        # The whole thing must be JSON-serializable (the export contract).
+        json.dumps(trace)
+
+    def test_span_as_dict_matches_slots(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("op", k="v") as span:
+            pass
+        snapshot = span.as_dict()
+        assert snapshot["name"] == "op"
+        assert snapshot["attributes"] == {"k": "v"}
+        assert snapshot["duration_ns"] == span.duration_ns
+
+
+class TestLeakAccounting:
+    def test_open_span_leaks_reports_and_clears(self):
+        tracer = Tracer(clock=ticking_clock())
+        context = tracer.span("leaky")
+        span = context.__enter__()
+        leaks = open_span_leaks()
+        assert (tracer, 1) in leaks
+        context.__exit__(None, None, None)
+        assert span.end_ns is not None
+        assert all(t is not tracer for t, _ in open_span_leaks())
+
+    def test_pickle_drops_collected_state(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("op"):
+            pass
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.finished == []
+        assert clone.open_spans == 0
+        with clone.span("fresh"):
+            pass
+        assert len(clone.finished) == 1
+
+
+class TestSpanRepr:
+    def test_repr_reflects_state(self):
+        span = Span("op", 1, None, "main", 100, {})
+        assert "open" in repr(span)
+        span.end_ns = 150
+        assert "50ns" in repr(span)
