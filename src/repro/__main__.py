@@ -9,6 +9,7 @@ Usage::
     python -m repro fig8 [--scale 16]      # memory x density grid (Figure 8)
     python -m repro all [--scale 16]       # everything above
     python -m repro explain [--analyze]    # EXPLAIN (ANALYZE) a workload join
+    python -m repro serve [--script f.jsonl]  # concurrent workload driver
 
 Each figure command prints the measured series and the machine-checked
 shape verdict against the paper's claims.  ``explain`` renders the chosen
@@ -168,13 +169,88 @@ def _run_explain(argv: List[str]) -> int:
     return 0
 
 
+def _run_serve(argv: List[str]) -> int:
+    """``python -m repro serve``: drive a concurrent workload through the
+    query service and print the serving summary."""
+    import json
+
+    from repro.service.workload import demo_workload, load_workload, run_workload
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Replay a JSONL workload script concurrently through the "
+        "query service (sessions, admission control, snapshot isolation, "
+        "plan/result caching); without --script, a built-in demo workload "
+        "runs.  See docs/SERVICE.md for the statement reference.",
+    )
+    parser.add_argument(
+        "--script",
+        help="path to a .jsonl workload script (default: built-in demo)",
+    )
+    parser.add_argument(
+        "--pool-pages",
+        type=int,
+        default=64,
+        help="shared buffer pages admission control arbitrates (default 64)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="executor worker threads (default 4)",
+    )
+    parser.add_argument(
+        "--execution",
+        default="batch",
+        choices=("tuple", "batch", "batch-parallel", "batch-parallel-sweep"),
+        help="partition-join execution mode (default batch)",
+    )
+    parser.add_argument(
+        "--admission-policy",
+        default="fifo",
+        choices=("fifo", "smallest"),
+        help="memory-grant queueing policy (default fifo)",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=4,
+        help="demo-workload session count (ignored with --script; default 4)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="additionally dump the repro_service_* metric families",
+    )
+    args = parser.parse_args(argv)
+
+    if args.script:
+        statements = load_workload(args.script)
+    else:
+        statements = demo_workload(sessions=args.sessions)
+    report = run_workload(
+        statements,
+        pool_pages=args.pool_pages,
+        workers=args.workers,
+        execution=args.execution,
+        admission_policy=args.admission_policy,
+    )
+    print(json.dumps(report.summary(), indent=2, default=str))
+    for line in report.errors:
+        print(f"error: {line}", file=sys.stderr)
+    return 1 if report.errors else 0
+
+
 def main(argv: List[str] | None = None) -> int:
     """Entry point; returns the number of shape-check deviations."""
     if argv is None:
         argv = sys.argv[1:]
-    # 'explain' owns its own flag set; peel it off before the figure parser.
+    # 'explain' and 'serve' own their flag sets; peel them off before the
+    # figure parser.
     if argv and argv[0] == "explain":
         return _run_explain(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return _run_serve(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the evaluation of 'Efficient Evaluation of "

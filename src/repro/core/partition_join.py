@@ -51,7 +51,7 @@ EXECUTION_MODES: Tuple[str, ...] = (
 )
 
 
-@dataclass
+@dataclass(frozen=True)
 class PartitionJoinConfig:
     """Knobs of the partition-join evaluation.
 
@@ -114,6 +114,11 @@ class PartitionJoinConfig:
 
     Every knob is validated centrally here, so a bad configuration fails at
     construction with a clear message instead of deep inside a phase.
+
+    The dataclass is frozen, hence hashable: a config can key the service
+    layer's plan and result caches (see ``docs/SERVICE.md``), and mutation
+    attempts raise ``FrozenInstanceError`` -- derive variants with
+    :func:`dataclasses.replace`.
     """
 
     memory_pages: int
@@ -276,6 +281,7 @@ def partition_join(
     pair_fn: PairFn = natural_pair,
     recovery: Optional[RecoveryLog] = None,
     pool: Optional[BufferPool] = None,
+    plan: Optional[PartitionPlan] = None,
 ) -> PartitionJoinResult:
     """Evaluate the valid-time natural join ``r JOIN_V s`` by partitioning.
 
@@ -292,6 +298,15 @@ def partition_join(
             than ``config.memory_pages`` triggers the *replan* degradation:
             the evaluation re-plans for the pool's actual size instead of
             failing.
+        plan: a previously computed :class:`~repro.core.planner.PartitionPlan`
+            for the *same* inputs and configuration (the service layer's plan
+            cache).  The sampling phase is skipped entirely -- no sample I/O
+            is charged -- and the given partitioning executes as-is.  Only
+            reuse a plan when relations and ``buff_size`` are unchanged;
+            results stay bit-identical because the plan fully determines the
+            partitioning.  Ignored when a relation fits in the buffer (the
+            single-partition shortcut never samples anyway), and discarded
+            when a smaller *pool* forces a replan.
 
     Raises:
         SchemaError: if the schemas are not join-compatible.
@@ -330,6 +345,7 @@ def partition_join(
                 kind="replan",
             )
         config = dataclasses.replace(config, memory_pages=pool.total_pages)
+        plan = None  # a cached plan assumed the larger budget
     if config.checkpoint_interval > 0 and recovery is None:
         recovery = RecoveryLog()
 
@@ -365,17 +381,22 @@ def partition_join(
                 obs=obs,
             )
 
-        with _phase(tracker, obs, "sample"):
-            plan = determine_part_intervals(
-                buff_size,
-                r_file,
-                inner_tuples=len(s),
-                cost_model=config.cost_model,
-                rng=rng,
-                allow_scan_sampling=config.allow_scan_sampling,
-                max_candidates=config.max_plan_candidates,
-                inner=s_file if config.sample_inner_relation else None,
-            )
+        if plan is not None and plan.buff_size != buff_size:
+            plan = None  # stale cached plan: planned for a different budget
+        if plan is None:
+            with _phase(tracker, obs, "sample"):
+                plan = determine_part_intervals(
+                    buff_size,
+                    r_file,
+                    inner_tuples=len(s),
+                    cost_model=config.cost_model,
+                    rng=rng,
+                    allow_scan_sampling=config.allow_scan_sampling,
+                    max_candidates=config.max_plan_candidates,
+                    inner=s_file if config.sample_inner_relation else None,
+                )
+        elif obs is not None:
+            obs.event("plan-reused", num_partitions=len(plan.intervals))
         layout.disk.park_heads()
         if recovery is not None:
             recovery.plan = plan

@@ -297,6 +297,51 @@ def recommend_sweep_workers(
     return max(1, min(limit, needed))
 
 
+#: Smallest memory grant worth running a partition join under: the three
+#: fixed single-page areas of Figure 3 plus one outer-partition page.
+MIN_GRANT_PAGES = 4
+
+
+def estimate_grant_pages(
+    outer_pages: int,
+    inner_pages: int,
+    requested_pages: int,
+) -> int:
+    """Buffer pages a join can actually *use*, for admission control.
+
+    The service layer grants memory from a shared pool (``docs/SERVICE.md``);
+    over-granting starves concurrent queries for nothing.  The planner's own
+    shortcut bounds the useful budget: once ``buffSize`` covers the smaller
+    input the evaluation collapses to a single partition, so pages beyond
+    ``min(outer, inner) + FIXED_PAGES`` cannot change the plan, the I/O, or
+    the result.  The estimate clamps the request into
+    ``[MIN_GRANT_PAGES, useful]`` (a request below the Figure 3 minimum is
+    raised to it -- the join cannot run at all under fewer pages).
+
+    Args:
+        outer_pages: catalog page count of the outer relation.
+        inner_pages: catalog page count of the inner relation.
+        requested_pages: the memory budget the query asked for
+            (``PartitionJoinConfig.memory_pages``).
+    """
+    from repro.storage.buffer import JoinBufferAllocation
+
+    if outer_pages < 0 or inner_pages < 0:
+        raise PlanError(
+            f"grant estimate needs non-negative page counts, got "
+            f"{outer_pages} and {inner_pages}"
+        )
+    if requested_pages < 1:
+        raise PlanError(
+            f"grant estimate needs a positive request, got {requested_pages}"
+        )
+    useful = max(
+        MIN_GRANT_PAGES,
+        min(outer_pages, inner_pages) + JoinBufferAllocation.FIXED_PAGES,
+    )
+    return max(MIN_GRANT_PAGES, min(requested_pages, useful))
+
+
 class _IncrementalSampler:
     """Draws ever-larger sample prefixes, switching to one scan when cheaper.
 

@@ -10,14 +10,25 @@ The long-lived classification follows the experiments' usage: a tuple is
 long-lived when its duration is a noticeable fraction of the relation
 lifespan (instantaneous tuples and short intervals behave identically for
 caching and backing-up purposes).
+
+The second half of the module is the :class:`VersionedCatalog`: immutable
+copy-on-write relation versions under a single monotonic epoch counter,
+giving the concurrent query service (:mod:`repro.service`) snapshot
+isolation -- readers join against a :class:`CatalogSnapshot` while writers
+install new versions, and any historical version stays replayable through
+:meth:`VersionedCatalog.version_at`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.model.errors import CatalogError, SchemaError
 from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
 from repro.storage.page import PageSpec
 from repro.time.lifespan import Lifespan
 
@@ -81,3 +92,293 @@ def analyze(relation: ValidTimeRelation, spec: PageSpec) -> RelationStatistics:
         n_keys=len(keys),
         mean_duration=total_duration / n_tuples,
     )
+
+
+# ---------------------------------------------------------------------------
+# Versioned catalog: snapshot isolation for the concurrent query service.
+#
+# Relations are stored as immutable *versions* under a single monotonic
+# epoch counter.  A writer never touches an existing version: append/delete
+# build a new relation object (copy-on-write) and install it as the current
+# version at the next epoch.  A reader takes a CatalogSnapshot -- a frozen
+# name -> version mapping -- and joins against it for as long as it likes;
+# concurrent writers advance the catalog underneath without affecting it.
+# Every version ever installed stays reachable through version_at(), which
+# is what lets the property suite replay any query serially at the exact
+# epochs it saw (docs/SERVICE.md).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationVersion:
+    """One immutable version of a named relation.
+
+    The wrapped :class:`~repro.model.relation.ValidTimeRelation` must never
+    be mutated -- the catalog builds a fresh one per mutation and hands out
+    the old object to snapshot holders.
+
+    Attributes:
+        name: catalog name of the relation.
+        epoch: global catalog epoch at which this version was installed.
+        relation: the version's (immutable-by-contract) contents.
+    """
+
+    name: str
+    epoch: int
+    relation: ValidTimeRelation
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self.relation.schema
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """A stable view of the whole catalog at one epoch.
+
+    Attributes:
+        epoch: the global epoch the snapshot was taken at.
+        versions: name -> :class:`RelationVersion` current at that epoch.
+    """
+
+    epoch: int
+    versions: Mapping[str, RelationVersion] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.versions
+
+    def version(self, name: str) -> RelationVersion:
+        try:
+            return self.versions[name]
+        except KeyError:
+            raise CatalogError(f"no relation named {name!r} in snapshot") from None
+
+    def relation(self, name: str) -> ValidTimeRelation:
+        return self.version(name).relation
+
+
+@dataclass
+class _ViewBinding:
+    """A live incremental view and the base relations feeding it."""
+
+    name: str
+    view: object  # MaterializedVTJoin-shaped: insert_r/delete_r/insert_s/delete_s
+    r_name: str
+    s_name: str
+
+
+class VersionedCatalog:
+    """Copy-on-write relation versions under one monotonic epoch counter.
+
+    Every mutation -- :meth:`register`, :meth:`append`, :meth:`delete`,
+    :meth:`drop` -- takes the catalog lock, bumps the epoch by exactly one,
+    and (for the relation mutations) installs a brand-new relation version.
+    Readers call :meth:`snapshot` and never block writers; writers never
+    invalidate readers.  The epoch a query's inputs carried is the cache key
+    the service layer builds plan- and result-cache entries from.
+
+    Incremental views (:class:`~repro.incremental.view.MaterializedVTJoin`)
+    can be attached to a pair of base relations; the catalog folds every
+    append/delete delta into them while holding the lock, and refuses to
+    drop a base relation that still feeds a live view.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._current: Dict[str, RelationVersion] = {}
+        self._history: Dict[str, List[RelationVersion]] = {}
+        self._views: Dict[str, _ViewBinding] = {}
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The global epoch (bumped by exactly one on every mutation)."""
+        with self._lock:
+            return self._epoch
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._current)
+
+    def snapshot(self) -> CatalogSnapshot:
+        """A stable view of every current relation version."""
+        with self._lock:
+            return CatalogSnapshot(epoch=self._epoch, versions=dict(self._current))
+
+    def current(self, name: str) -> RelationVersion:
+        """The current version of *name*."""
+        with self._lock:
+            try:
+                return self._current[name]
+            except KeyError:
+                raise CatalogError(f"no relation named {name!r}") from None
+
+    def version_at(self, name: str, epoch: int) -> RelationVersion:
+        """The version of *name* that was current at global *epoch*.
+
+        The serial-replay hook: a query that recorded its snapshot epochs
+        can be re-run later against exactly the inputs it saw.
+        """
+        with self._lock:
+            history = self._history.get(name)
+            if not history:
+                raise CatalogError(f"no relation named {name!r}")
+            candidate = None
+            for version in history:
+                if version.epoch <= epoch:
+                    candidate = version
+                else:
+                    break
+            if candidate is None:
+                raise CatalogError(
+                    f"relation {name!r} did not exist at epoch {epoch} "
+                    f"(registered at epoch {history[0].epoch})"
+                )
+            return candidate
+
+    # -- mutating -------------------------------------------------------------
+
+    def register(
+        self, schema: RelationSchema, tuples: Iterable[VTTuple] = ()
+    ) -> RelationVersion:
+        """Create a relation under its schema name (epoch + 1).
+
+        Raises:
+            SchemaError: the name is already registered (re-registration
+                would silently orphan existing snapshots and cache keys).
+        """
+        with self._lock:
+            if schema.name in self._current:
+                raise SchemaError(f"relation {schema.name!r} already exists")
+            relation = ValidTimeRelation(schema, tuples)
+            self._epoch += 1
+            version = RelationVersion(schema.name, self._epoch, relation)
+            self._current[schema.name] = version
+            self._history.setdefault(schema.name, []).append(version)
+            return version
+
+    def append(self, name: str, tuples: Iterable[VTTuple]) -> RelationVersion:
+        """Install a new version of *name* with *tuples* appended (epoch + 1)."""
+        with self._lock:
+            old = self.current(name)
+            added = ValidTimeRelation(old.schema, tuples)  # validates arity
+            new_relation = ValidTimeRelation(old.schema)
+            new_relation._tuples = list(old.relation._tuples) + list(added._tuples)
+            version = self._install(name, new_relation)
+            self._maintain_views(name, added._tuples, sign=+1)
+            return version
+
+    def delete(self, name: str, tuples: Iterable[VTTuple]) -> RelationVersion:
+        """Install a new version of *name* with *tuples* removed (epoch + 1).
+
+        Multiset semantics: each given tuple removes one occurrence.
+
+        Raises:
+            CatalogError: a tuple is not present in the current version.
+        """
+        with self._lock:
+            old = self.current(name)
+            remaining = list(old.relation._tuples)
+            removed: List[VTTuple] = []
+            for tup in tuples:
+                try:
+                    remaining.remove(tup)
+                except ValueError:
+                    raise CatalogError(
+                        f"cannot delete {tup!r}: not present in {name!r}"
+                    ) from None
+                removed.append(tup)
+            new_relation = ValidTimeRelation(old.schema)
+            new_relation._tuples = remaining
+            version = self._install(name, new_relation)
+            self._maintain_views(name, removed, sign=-1)
+            return version
+
+    def drop(self, name: str) -> None:
+        """Remove *name* from the catalog (epoch + 1).
+
+        Existing snapshots keep their versions; :meth:`version_at` keeps
+        answering for the dropped name's history.
+
+        Raises:
+            CatalogError: the relation feeds a live incremental view (detach
+                the view first; a maintained view over a vanished base would
+                silently go stale).
+        """
+        with self._lock:
+            if name not in self._current:
+                raise CatalogError(f"no relation named {name!r}")
+            holders = [
+                binding.name
+                for binding in self._views.values()
+                if name in (binding.r_name, binding.s_name)
+            ]
+            if holders:
+                raise CatalogError(
+                    f"cannot drop {name!r}: live incremental view(s) "
+                    f"{sorted(holders)} depend on it"
+                )
+            del self._current[name]
+            self._epoch += 1
+
+    def _install(self, name: str, relation: ValidTimeRelation) -> RelationVersion:
+        self._epoch += 1
+        version = RelationVersion(name, self._epoch, relation)
+        self._current[name] = version
+        self._history[name].append(version)
+        return version
+
+    # -- incremental views ----------------------------------------------------
+
+    def attach_view(self, view_name: str, view: object, r_name: str, s_name: str) -> None:
+        """Register a live incremental view over two base relations.
+
+        *view* is :class:`~repro.incremental.view.MaterializedVTJoin`-shaped;
+        from now on every append/delete on the bases is folded into it under
+        the catalog lock, so a view snapshot is always consistent with the
+        current epoch.
+        """
+        with self._lock:
+            if view_name in self._views:
+                raise CatalogError(f"view {view_name!r} already attached")
+            for base in (r_name, s_name):
+                if base not in self._current:
+                    raise CatalogError(f"no relation named {base!r}")
+            self._views[view_name] = _ViewBinding(view_name, view, r_name, s_name)
+
+    def detach_view(self, view_name: str) -> None:
+        with self._lock:
+            if view_name not in self._views:
+                raise CatalogError(f"no view named {view_name!r}")
+            del self._views[view_name]
+
+    def view(self, view_name: str):
+        with self._lock:
+            try:
+                return self._views[view_name].view
+            except KeyError:
+                raise CatalogError(f"no view named {view_name!r}") from None
+
+    def view_for(self, r_name: str, s_name: str):
+        """The live view maintained over ``(r_name, s_name)``, or None."""
+        with self._lock:
+            for binding in self._views.values():
+                if (binding.r_name, binding.s_name) == (r_name, s_name):
+                    return binding.view
+            return None
+
+    def _maintain_views(self, name: str, tuples: Iterable[VTTuple], *, sign: int) -> None:
+        for binding in self._views.values():
+            if binding.r_name == name:
+                insert, remove = binding.view.insert_r, binding.view.delete_r
+            elif binding.s_name == name:
+                insert, remove = binding.view.insert_s, binding.view.delete_s
+            else:
+                continue
+            for tup in tuples:
+                (insert if sign > 0 else remove)(tup)

@@ -377,3 +377,27 @@ class TemporalDatabase:
         """Temporal aggregation over a named relation (see
         :func:`repro.aggregate.operator.temporal_aggregate`)."""
         return temporal_aggregate(self.relation(name), op, **kwargs)
+
+    def serve(self, **service_kwargs):
+        """Open a concurrent :class:`~repro.service.service.QueryService`.
+
+        Every current relation is copied into a fresh
+        :class:`~repro.engine.catalog.VersionedCatalog` (epoch 0 versions);
+        further writes go through service sessions, not this database.
+        The service inherits this database's memory budget, cost model,
+        page geometry, and execution mode unless overridden via
+        *service_kwargs* (see :class:`~repro.service.service.QueryService`).
+        Close the returned service (it is a context manager) when done.
+        """
+        from repro.engine.catalog import VersionedCatalog
+        from repro.service.service import QueryService
+
+        catalog = VersionedCatalog()
+        for name in self.names():
+            relation = self._relations[name]
+            catalog.register(relation.schema, relation.tuples)
+        service_kwargs.setdefault("pool_pages", self.memory_pages)
+        service_kwargs.setdefault("cost_model", self.cost_model)
+        service_kwargs.setdefault("page_spec", self.page_spec)
+        service_kwargs.setdefault("execution", self.execution)
+        return QueryService(catalog, **service_kwargs)

@@ -110,3 +110,23 @@ class CheckpointError(ReproError):
 
 class PlanError(ReproError):
     """The partition planner could not produce a usable plan."""
+
+
+class ServiceError(ReproError):
+    """Base class for the concurrent query service (``repro.service``)."""
+
+
+class AdmissionTimeoutError(ServiceError):
+    """A memory-grant request waited past its admission timeout."""
+
+
+class QueryCancelledError(ServiceError):
+    """A submitted query was cancelled before it produced a result."""
+
+
+class SessionClosedError(ServiceError):
+    """An operation was issued on a closed (or never-opened) session."""
+
+
+class CatalogError(ServiceError):
+    """A versioned-catalog operation was invalid (unknown name, live view)."""

@@ -1,0 +1,63 @@
+"""The concurrent query service: sessions, admission, isolation, caching.
+
+The serving layer the ROADMAP's north star asks for: many concurrent
+sessions evaluating valid-time joins over one
+:class:`~repro.engine.catalog.VersionedCatalog`, sharing one buffer budget
+without ever oversubscribing it.  Five cooperating pieces (see
+``docs/SERVICE.md``):
+
+* :mod:`repro.service.admission` -- memory-grant admission control over a
+  shared (thread-safe) :class:`~repro.storage.buffer.BufferPool`, sized by
+  the planner's :func:`~repro.core.planner.estimate_grant_pages`, with
+  FIFO / smallest-grant-first policies, degradation under pressure, and
+  :class:`~repro.model.errors.AdmissionTimeoutError` on timeout;
+* :mod:`repro.service.cache` -- the epoch-keyed plan and result caches;
+* :mod:`repro.service.executor` -- a worker-thread executor with a bounded
+  run queue and per-query cancellation;
+* :mod:`repro.service.session` -- session lifecycle and per-session
+  configuration overrides;
+* :mod:`repro.service.service` -- :class:`QueryService`, tying the above
+  together and exposing the ``repro_service_*`` metric families.
+
+Snapshot isolation: every query joins against the catalog snapshot it took
+at submission; the property suite proves each result bit-identical to a
+serial replay at the same snapshot epochs, in all four execution modes.
+"""
+
+from repro.model.errors import (
+    AdmissionTimeoutError,
+    QueryCancelledError,
+    ServiceError,
+    SessionClosedError,
+)
+from repro.service.admission import AdmissionController, MemoryGrant
+from repro.service.cache import CachedJoin, PlanCache, ResultCache
+from repro.service.executor import QueryExecutor, QueryHandle
+from repro.service.service import QueryService, ServiceQueryResult
+from repro.service.session import Session, SessionConfig
+from repro.service.workload import (
+    demo_workload,
+    load_workload,
+    run_workload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTimeoutError",
+    "CachedJoin",
+    "MemoryGrant",
+    "PlanCache",
+    "QueryCancelledError",
+    "QueryExecutor",
+    "QueryHandle",
+    "QueryService",
+    "ResultCache",
+    "ServiceError",
+    "ServiceQueryResult",
+    "Session",
+    "SessionClosedError",
+    "SessionConfig",
+    "demo_workload",
+    "load_workload",
+    "run_workload",
+]

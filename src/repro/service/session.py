@@ -1,0 +1,145 @@
+"""Sessions: per-client lifecycle and configuration overrides.
+
+A :class:`Session` is one client's handle on the
+:class:`~repro.service.service.QueryService`: it carries that client's
+configuration overrides (execution mode, memory ask, cache opt-outs,
+admission timeout), submits queries and writes, and must be closed --
+every operation on a closed session raises
+:class:`~repro.model.errors.SessionClosedError`.  Sessions are cheap; the
+service caps how many may be open at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.model.errors import SessionClosedError
+from repro.model.vtuple import VTTuple
+
+#: Rows a write accepts: prepared VTTuples or ``(attrs..., vs, ve)`` rows.
+Rows = Union[Iterable[VTTuple], Iterable[Tuple]]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session overrides of the service defaults (None = inherit).
+
+    Attributes:
+        memory_pages: buffer-page ask per query (the admission request is
+            still capped by the planner's grant estimate).
+        execution: partition-join execution mode override.
+        method: default join method for this session (``"auto"``,
+            ``"partition"``, ``"sort_merge"``, ``"nested_loop"``).
+        use_plan_cache: serve/populate the shared plan cache.
+        use_result_cache: serve/populate the shared result cache.
+        admission_timeout: seconds this session's queries may queue.
+        label: diagnostic name (metrics and grant labels).
+    """
+
+    memory_pages: Optional[int] = None
+    execution: Optional[str] = None
+    method: str = "auto"
+    use_plan_cache: bool = True
+    use_result_cache: bool = True
+    admission_timeout: Optional[float] = None
+    label: str = ""
+
+
+class Session:
+    """One client's connection to the query service."""
+
+    def __init__(self, service, session_id: int, config: SessionConfig) -> None:
+        self._service = service
+        self.session_id = session_id
+        self.config = config
+        self._lock = threading.Lock()
+        self._closed = False
+        self.queries_submitted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._service._session_closed(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                f"session {self.session_id} ({self.config.label or 'unlabeled'}) "
+                f"is closed"
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def submit_join(
+        self,
+        outer: str,
+        inner: str,
+        *,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Queue a join; returns its :class:`~repro.service.executor.QueryHandle`."""
+        self._check_open()
+        with self._lock:
+            self.queries_submitted += 1
+        return self._service._submit_join(
+            self, outer, inner, method=method, timeout=timeout
+        )
+
+    def join(
+        self,
+        outer: str,
+        inner: str,
+        *,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+        result_timeout: Optional[float] = 300.0,
+    ):
+        """Run a join synchronously; returns a
+        :class:`~repro.service.service.ServiceQueryResult`."""
+        return self.submit_join(outer, inner, method=method, timeout=timeout).result(
+            result_timeout
+        )
+
+    # -- writes --------------------------------------------------------------
+
+    def append(self, name: str, rows: Rows) -> int:
+        """Append rows to a relation; returns the new catalog epoch."""
+        self._check_open()
+        return self._service._append(self, name, rows)
+
+    def delete(self, name: str, rows: Rows) -> int:
+        """Delete rows from a relation; returns the new catalog epoch."""
+        self._check_open()
+        return self._service._delete(self, name, rows)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Session(id={self.session_id}, {state}, label={self.config.label!r})"
+
+
+def coerce_rows(schema, rows: Rows) -> Sequence[VTTuple]:
+    """Accept VTTuples as-is; convert ``(attrs..., vs, ve)`` rows via schema."""
+    from repro.model.relation import ValidTimeRelation
+
+    materialized = list(rows)
+    if all(isinstance(row, VTTuple) for row in materialized):
+        return materialized
+    return list(ValidTimeRelation.from_rows(schema, materialized))

@@ -13,6 +13,7 @@ memory.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
@@ -40,6 +41,13 @@ class Reservation:
 class BufferPool:
     """A fixed budget of main-memory buffer pages.
 
+    Reserve/release/resize are serialized under a single lock, so a pool can
+    be shared by concurrent queries (the service layer's admission controller
+    accounts its memory grants on one; see ``docs/SERVICE.md``).  The lock
+    makes the check-then-charge of every operation atomic: two racing
+    reservations can never both pass the free-space check, and a release
+    can never be double-counted.
+
     Args:
         total_pages: the memory size in pages (``buffSize`` plus the fixed
             single-page areas, i.e. the whole allocation of Figure 3).
@@ -51,16 +59,19 @@ class BufferPool:
         self.total_pages = total_pages
         self._reservations: Dict[int, Reservation] = {}
         self._used = 0
+        self._lock = threading.Lock()
 
     @property
     def used_pages(self) -> int:
         """Pages currently reserved."""
-        return self._used
+        with self._lock:
+            return self._used
 
     @property
     def free_pages(self) -> int:
         """Pages still available."""
-        return self.total_pages - self._used
+        with self._lock:
+            return self.total_pages - self._used
 
     def reserve(self, label: str, pages: int) -> Reservation:
         """Reserve *pages* pages under *label*.
@@ -70,37 +81,44 @@ class BufferPool:
         """
         if pages < 0:
             raise BufferOverflowError(f"cannot reserve {pages} pages")
-        if pages > self.free_pages:
-            raise BufferOverflowError(
-                f"reservation {label!r} of {pages} pages exceeds free space "
-                f"({self.free_pages} of {self.total_pages})"
-            )
-        reservation = Reservation(self, label, pages)
-        self._reservations[id(reservation)] = reservation
-        self._used += pages
-        return reservation
+        with self._lock:
+            if pages > self.total_pages - self._used:
+                raise BufferOverflowError(
+                    f"reservation {label!r} of {pages} pages exceeds free space "
+                    f"({self.total_pages - self._used} of {self.total_pages})"
+                )
+            reservation = Reservation(self, label, pages)
+            self._reservations[id(reservation)] = reservation
+            self._used += pages
+            return reservation
 
     def _release(self, reservation: Reservation) -> None:
-        if id(reservation) not in self._reservations:
-            raise BufferOverflowError(f"reservation {reservation.label!r} already released")
-        del self._reservations[id(reservation)]
-        self._used -= reservation.pages
-        reservation.pages = 0
+        with self._lock:
+            if id(reservation) not in self._reservations:
+                raise BufferOverflowError(
+                    f"reservation {reservation.label!r} already released"
+                )
+            del self._reservations[id(reservation)]
+            self._used -= reservation.pages
+            reservation.pages = 0
 
     def _resize(self, reservation: Reservation, pages: int) -> None:
-        if id(reservation) not in self._reservations:
-            raise BufferOverflowError(f"reservation {reservation.label!r} already released")
-        if pages < 0:
-            raise BufferOverflowError(
-                f"cannot resize {reservation.label!r} to {pages} pages"
-            )
-        delta = pages - reservation.pages
-        if delta > self.free_pages:
-            raise BufferOverflowError(
-                f"resize of {reservation.label!r} to {pages} pages exceeds free space"
-            )
-        self._used += delta
-        reservation.pages = pages
+        with self._lock:
+            if id(reservation) not in self._reservations:
+                raise BufferOverflowError(
+                    f"reservation {reservation.label!r} already released"
+                )
+            if pages < 0:
+                raise BufferOverflowError(
+                    f"cannot resize {reservation.label!r} to {pages} pages"
+                )
+            delta = pages - reservation.pages
+            if delta > self.total_pages - self._used:
+                raise BufferOverflowError(
+                    f"resize of {reservation.label!r} to {pages} pages exceeds free space"
+                )
+            self._used += delta
+            reservation.pages = pages
 
 
 class PageCache:

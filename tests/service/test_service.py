@@ -1,0 +1,274 @@
+"""QueryService end-to-end: caching semantics, admission, writes, metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import QueryService
+
+from tests.service.conftest import make_catalog, make_tuples, outcome_counters
+
+
+def _series(service, family):
+    return service.metrics_snapshot().get(family, {}).get("series", {})
+
+
+def _counter(service, family, key=""):
+    return _series(service, family).get(key, 0.0)
+
+
+class TestResultCache:
+    def test_hit_charges_zero_io_and_counts(self, service):
+        with service.open_session() as session:
+            first = session.join("r", "s")
+            assert not first.result_cache_hit
+            assert first.charged_ops > 0
+            second = session.join("r", "s")
+        assert second.result_cache_hit
+        # The acceptance gate: a hit charges nothing anywhere.
+        assert second.charged_ops == 0
+        assert second.cost == 0.0
+        assert second.granted_pages == 0  # no memory was even requested
+        assert _counter(service, "repro_service_result_cache_hits") == 1.0
+        # Bit-identical replay: same relation, same outcome counters.
+        assert second.relation is first.relation
+        assert second.outcome == first.outcome
+        assert second.epochs == first.epochs
+
+    def test_append_invalidates_and_bumps_epochs(self, service):
+        with service.open_session() as session:
+            first = session.join("r", "s")
+            session.append("r", make_tuples(10, seed=77))
+            third = session.join("r", "s")
+        assert not third.result_cache_hit
+        assert third.epochs[0] > first.epochs[0]
+        assert third.epochs[1] == first.epochs[1]
+        assert third.outcome.n_result_tuples >= first.outcome.n_result_tuples
+        assert service.result_cache.stats.invalidations >= 1
+        assert (
+            _counter(
+                service,
+                "repro_service_cache_invalidations_total",
+                "cache=result",
+            )
+            >= 1.0
+        )
+
+    def test_delete_invalidates_too(self, service):
+        rows = make_tuples(6, seed=5)
+        with service.open_session() as session:
+            session.append("s", rows)
+            before = session.join("r", "s")
+            session.delete("s", rows)
+            after = session.join("r", "s")
+        assert not after.result_cache_hit
+        assert after.epochs[1] > before.epochs[1]
+
+    def test_session_opt_out(self, service):
+        with service.open_session(use_result_cache=False) as session:
+            session.join("r", "s")
+            again = session.join("r", "s")
+        assert not again.result_cache_hit
+        assert again.charged_ops > 0
+
+    def test_caches_can_be_disabled_service_wide(self):
+        with QueryService(
+            make_catalog(),
+            pool_pages=32,
+            plan_cache_entries=0,
+            result_cache_entries=0,
+        ) as svc:
+            assert svc.plan_cache is None and svc.result_cache is None
+            with svc.open_session() as session:
+                session.join("r", "s")
+                again = session.join("r", "s")
+            assert not again.result_cache_hit
+
+
+class TestPlanCache:
+    def test_second_partition_join_reuses_the_plan(self):
+        with QueryService(
+            make_catalog(120, 90), pool_pages=32, result_cache_entries=1
+        ) as svc:
+            with svc.open_session() as session:
+                first = session.join("r", "s", method="partition")
+                assert not first.plan_cache_hit
+                # Flush the result cache so the join actually re-runs.
+                svc.result_cache.clear()
+                second = session.join("r", "s", method="partition")
+            assert second.plan_cache_hit
+            # Skipping the sample phase can only reduce the charge.
+            assert second.charged_ops <= first.charged_ops
+            # Identical evaluation either way.
+            assert list(second.relation.tuples) == list(first.relation.tuples)
+            assert outcome_counters(second.outcome) == outcome_counters(first.outcome)
+
+    def test_append_invalidates_plans(self, service):
+        with service.open_session() as session:
+            session.join("r", "s", method="partition")
+            session.append("r", make_tuples(4, seed=9))
+            service.result_cache.clear()
+            result = session.join("r", "s", method="partition")
+        assert not result.plan_cache_hit
+
+
+class TestAdmissionIntegration:
+    def test_oversubscribed_sessions_all_complete(self):
+        # Pool fits roughly one query at a time; 4 sessions pile on.
+        with QueryService(
+            make_catalog(),
+            pool_pages=16,
+            workers=4,
+            result_cache_entries=0,
+            plan_cache_entries=0,
+            admission_timeout=30.0,
+        ) as svc:
+            sessions = [svc.open_session(memory_pages=14) for _ in range(4)]
+            handles = [
+                session.submit_join("r", "s", method="partition")
+                for session in sessions
+                for _ in range(2)
+            ]
+            results = [handle.result(60.0) for handle in handles]
+            for session in sessions:
+                session.close()
+        assert len(results) == 8
+        assert svc.admission.peak_granted_pages <= 16
+        assert svc.admission.granted_pages == 0
+        reference = list(results[0].relation.tuples)
+        for result in results[1:]:
+            assert list(result.relation.tuples) == reference
+
+    def test_degraded_grant_still_answers_correctly(self):
+        with QueryService(
+            make_catalog(),
+            pool_pages=24,
+            workers=2,
+            degrade_after=0.01,
+            result_cache_entries=0,
+            plan_cache_entries=0,
+        ) as svc:
+            block = svc.admission.acquire(16, label="squatter")
+            try:
+                with svc.open_session(memory_pages=20) as session:
+                    degraded = session.join("r", "s", method="partition")
+            finally:
+                block.release()
+            with svc.open_session(memory_pages=20) as session:
+                full = session.join("r", "s", method="partition")
+        assert degraded.degraded
+        assert degraded.granted_pages < degraded.requested_pages
+        # Same answer as the full-memory run (the replan ladder absorbed it).
+        assert sorted(map(repr, degraded.relation.tuples)) == sorted(
+            map(repr, full.relation.tuples)
+        )
+
+    def test_cancel_queued_query(self):
+        with QueryService(
+            make_catalog(),
+            pool_pages=16,
+            workers=2,
+            result_cache_entries=0,
+            plan_cache_entries=0,
+        ) as svc:
+            squatter = svc.admission.acquire(16, label="squatter")
+            try:
+                with svc.open_session(memory_pages=12) as session:
+                    handle = session.submit_join("r", "s", method="partition")
+                    while svc.admission.queue_length < 1:
+                        threading.Event().wait(0.001)
+                    assert handle.cancel()
+                    with pytest.raises(Exception):
+                        handle.result(5.0)
+                    assert handle.cancelled
+            finally:
+                squatter.release()
+        assert svc.admission.granted_pages == 0
+
+
+class TestMetricsAndReport:
+    def test_metric_families_present(self, service):
+        with service.open_session() as session:
+            session.join("r", "s")
+            session.join("r", "s")
+            session.append("r", make_tuples(2, seed=3))
+        snapshot = service.metrics_snapshot()
+        for family in (
+            "repro_service_queries_total",
+            "repro_service_result_cache_hits",
+            "repro_service_result_cache_misses",
+            "repro_service_queue_wait_seconds",
+            "repro_service_active_sessions",
+            "repro_service_granted_pages",
+            "repro_service_queued_pages",
+            "repro_service_sessions_total",
+            "repro_service_writes_total",
+        ):
+            assert family in snapshot, family
+        ok = [
+            count
+            for key, count in snapshot["repro_service_queries_total"]["series"].items()
+            if "status=ok" in key
+        ]
+        assert sum(ok) == 2.0
+        histogram = snapshot["repro_service_queue_wait_seconds"]["series"][""]
+        assert histogram["count"] == 1  # one grant: the hit never queued
+
+    def test_exact_counts_under_concurrency(self):
+        with QueryService(make_catalog(), pool_pages=32, workers=4) as svc:
+            n_sessions, per_session = 4, 6
+
+            def hammer(session):
+                for _ in range(per_session):
+                    session.join("r", "s")
+
+            sessions = [svc.open_session() for _ in range(n_sessions)]
+            threads = [
+                threading.Thread(target=hammer, args=(s,)) for s in sessions
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for session in sessions:
+                session.close()
+            snapshot = svc.metrics_snapshot()
+            total = sum(
+                snapshot["repro_service_queries_total"]["series"].values()
+            )
+            assert total == n_sessions * per_session
+            hits = _counter(svc, "repro_service_result_cache_hits")
+            misses = _counter(svc, "repro_service_result_cache_misses")
+            assert hits + misses == total
+            assert misses >= 1  # someone computed it first
+
+    def test_report_shape(self, service):
+        with service.open_session() as session:
+            session.join("r", "s")
+        report = service.report()
+        assert report["admission"]["capacity_pages"] == 32
+        assert report["result_cache"]["misses"] >= 1
+        assert 0.0 <= report["result_cache"]["hit_ratio"] <= 1.0
+
+
+class TestBaselineMethods:
+    @pytest.mark.parametrize("method", ["sort_merge", "nested_loop"])
+    def test_baselines_serve_and_cache(self, service, method):
+        with service.open_session() as session:
+            first = session.join("r", "s", method=method)
+            second = session.join("r", "s", method=method)
+        assert first.algorithm == method
+        assert first.charged_ops >= 0 and not first.result_cache_hit
+        assert second.result_cache_hit and second.charged_ops == 0
+        assert second.outcome.n_result_tuples == first.outcome.n_result_tuples
+
+    def test_methods_agree_on_cardinality(self, service):
+        with service.open_session() as session:
+            results = [
+                session.join("r", "s", method=m)
+                for m in ("partition", "sort_merge", "nested_loop")
+            ]
+        cardinalities = {r.outcome.n_result_tuples for r in results}
+        assert len(cardinalities) == 1

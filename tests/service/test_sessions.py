@@ -1,0 +1,86 @@
+"""Session lifecycle, per-session overrides, and the session cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import ServiceError, SessionClosedError
+from repro.service import QueryService, SessionConfig
+
+from tests.service.conftest import make_catalog
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, service):
+        session = service.open_session()
+        assert not session.closed
+        assert service.active_sessions == 1
+        session.close()
+        session.close()
+        assert session.closed
+        assert service.active_sessions == 0
+        with pytest.raises(SessionClosedError):
+            session.join("r", "s")
+        with pytest.raises(SessionClosedError):
+            session.append("r", [])
+
+    def test_context_manager_closes(self, service):
+        with service.open_session() as session:
+            assert service.active_sessions == 1
+        assert session.closed
+        assert service.active_sessions == 0
+
+    def test_session_cap(self):
+        with QueryService(make_catalog(), pool_pages=16, max_sessions=2) as svc:
+            a = svc.open_session()
+            svc.open_session()
+            with pytest.raises(ServiceError, match="session limit"):
+                svc.open_session()
+            a.close()
+            svc.open_session()  # freed slot is reusable
+
+    def test_service_close_closes_sessions(self):
+        svc = QueryService(make_catalog(), pool_pages=16)
+        session = svc.open_session()
+        svc.close()
+        assert session.closed
+        with pytest.raises(ServiceError, match="closed"):
+            svc.open_session()
+
+
+class TestOverrides:
+    def test_config_and_keyword_overrides(self, service):
+        base = SessionConfig(memory_pages=8, label="cfg")
+        with service.open_session(base, execution="batch") as session:
+            assert session.config.memory_pages == 8
+            assert session.config.execution == "batch"
+            assert session.config.label == "cfg"
+
+    def test_memory_override_drives_the_grant(self, service):
+        with service.open_session(memory_pages=8) as session:
+            result = session.join("r", "s", method="partition")
+            assert result.requested_pages <= 8
+            assert result.granted_pages <= 8
+
+    def test_execution_override_still_bit_identical(self, service):
+        with service.open_session(execution="tuple", use_result_cache=False) as a:
+            tuple_result = a.join("r", "s", method="partition")
+        with service.open_session(execution="batch", use_result_cache=False) as b:
+            batch_result = b.join("r", "s", method="partition")
+        assert list(tuple_result.relation.tuples) == list(batch_result.relation.tuples)
+
+    def test_invalid_overrides_rejected_at_open(self, service):
+        with pytest.raises(ServiceError, match="execution"):
+            service.open_session(execution="warp")
+        with pytest.raises(ServiceError, match="method"):
+            service.open_session(method="hash")
+        with pytest.raises(ServiceError, match="memory_pages"):
+            service.open_session(memory_pages=2)
+
+    def test_method_override_per_session(self, service):
+        with service.open_session(method="sort_merge") as session:
+            result = session.join("r", "s")
+            assert result.algorithm == "sort_merge"
+            # The per-call method beats the session default.
+            forced = session.join("r", "s", method="nested_loop")
+            assert forced.algorithm == "nested_loop"

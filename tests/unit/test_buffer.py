@@ -185,3 +185,77 @@ class TestJoinBufferAllocation:
         assert regions["tuple_cache_page"].pages == 1
         assert regions["result_page"].pages == 1
         assert pool.free_pages == 0
+
+
+class TestBufferPoolConcurrency:
+    """The pool is shared by concurrent queries: its accounting must hold
+    under contention (single lock, atomic check-then-charge)."""
+
+    def test_stress_never_oversubscribes_or_leaks(self):
+        import os
+        import random
+        import threading
+
+        seed = int(os.environ.get("SERVICE_STRESS_SEED", "0"))
+        pool = BufferPool(64)
+        errors = []
+        violations = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(seed * 1000 + worker_id)
+            barrier.wait()
+            for _ in range(300):
+                pages = rng.randrange(1, 24)
+                try:
+                    reservation = pool.reserve(f"w{worker_id}", pages)
+                except BufferOverflowError:
+                    continue
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+                used = pool.used_pages
+                if used > pool.total_pages or used < 0:
+                    violations.append(used)
+                if rng.random() < 0.3:
+                    try:
+                        reservation.resize(max(1, pages // 2))
+                    except BufferOverflowError:
+                        pass
+                reservation.release()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not violations
+        # No double counting in either direction: everything was released.
+        assert pool.used_pages == 0
+        assert pool.free_pages == 64
+
+    def test_concurrent_reserve_release_pairs_balance(self):
+        import threading
+
+        pool = BufferPool(8)
+        acquired = []
+        lock = threading.Lock()
+
+        def grab():
+            for _ in range(200):
+                try:
+                    reservation = pool.reserve("x", 3)
+                except BufferOverflowError:
+                    continue
+                with lock:
+                    acquired.append(1)
+                reservation.release()
+
+        threads = [threading.Thread(target=grab) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert pool.used_pages == 0
+        assert len(acquired) > 0

@@ -102,3 +102,152 @@ class TestJoinMany:
         db.create_relation(schema_r)
         with pytest.raises(SchemaError, match="at least two"):
             db.join_many(["works_on"])
+
+
+class TestVersionedCatalog:
+    """Edge cases of the copy-on-write versioned catalog (service layer)."""
+
+    def _schemas(self):
+        r = RelationSchema("vr", join_attributes=("k",), payload_attributes=("p",))
+        s = RelationSchema("vs", join_attributes=("k",), payload_attributes=("q",))
+        return r, s
+
+    def _catalog(self):
+        from repro.engine.catalog import VersionedCatalog
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = VersionedCatalog()
+        r_schema, s_schema = self._schemas()
+        catalog.register(
+            r_schema,
+            [VTTuple(("a",), (1,), Interval(0, 9)),
+             VTTuple(("b",), (2,), Interval(5, 14))],
+        )
+        catalog.register(
+            s_schema,
+            [VTTuple(("a",), (10,), Interval(3, 7))],
+        )
+        return catalog
+
+    def test_register_bumps_epoch(self):
+        catalog = self._catalog()
+        assert catalog.epoch == 2
+        assert catalog.current("vr").epoch == 1
+        assert catalog.current("vs").epoch == 2
+
+    def test_reregistering_name_raises(self):
+        from repro.model.errors import SchemaError as Err
+
+        catalog = self._catalog()
+        r_schema, _ = self._schemas()
+        before = catalog.epoch
+        with pytest.raises(Err, match="already"):
+            catalog.register(r_schema, [])
+        assert catalog.epoch == before  # a failed register burns no epoch
+
+    def test_epoch_monotonic_across_append_and_delete(self):
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        seen = [catalog.epoch]
+        extra = VTTuple(("c",), (3,), Interval(1, 2))
+        for _ in range(3):
+            catalog.append("vr", [extra])
+            seen.append(catalog.epoch)
+            catalog.delete("vr", [extra])
+            seen.append(catalog.epoch)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)  # strictly increasing: no reuse
+
+    def test_version_at_replays_history(self):
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        first = catalog.current("vr")
+        extra = VTTuple(("c",), (3,), Interval(1, 2))
+        second = catalog.append("vr", [extra])
+        assert len(first) == 2 and len(second) == 3
+        # The old version is untouched (copy-on-write)...
+        assert catalog.version_at("vr", first.epoch) is first
+        # ...and any epoch between installs resolves to the version then live.
+        assert catalog.version_at("vr", second.epoch - 1) is first
+        assert catalog.version_at("vr", catalog.epoch) is second
+
+    def test_version_at_before_creation_raises(self):
+        from repro.model.errors import CatalogError
+
+        catalog = self._catalog()
+        with pytest.raises(CatalogError):
+            catalog.version_at("vr", 0)
+        with pytest.raises(CatalogError):
+            catalog.version_at("nope", 1)
+
+    def test_delete_of_absent_tuple_raises(self):
+        from repro.model.errors import CatalogError
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        with pytest.raises(CatalogError, match="not present"):
+            catalog.delete("vr", [VTTuple(("zz",), (0,), Interval(0, 0))])
+
+    def test_drop_with_live_incremental_view_raises(self):
+        from repro.core.intervals import PartitionMap
+        from repro.incremental.view import MaterializedVTJoin
+        from repro.model.errors import CatalogError
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        r_schema, s_schema = self._schemas()
+        view = MaterializedVTJoin(
+            r_schema,
+            s_schema,
+            PartitionMap([Interval(0, 9), Interval(10, 19)]),
+            r_tuples=catalog.current("vr").relation.tuples,
+            s_tuples=catalog.current("vs").relation.tuples,
+        )
+        catalog.attach_view("v", view, "vr", "vs")
+        with pytest.raises(CatalogError, match="live incremental view"):
+            catalog.drop("vr")
+        with pytest.raises(CatalogError, match="live incremental view"):
+            catalog.drop("vs")
+        catalog.detach_view("v")
+        catalog.drop("vr")  # detaching unblocks the drop
+        assert "vr" not in catalog.names()
+        # History survives the drop: old epochs still replay.
+        assert len(catalog.version_at("vr", 1)) == 2
+
+    def test_view_maintained_by_catalog_writes(self):
+        from repro.core.intervals import PartitionMap
+        from repro.incremental.view import MaterializedVTJoin
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        r_schema, s_schema = self._schemas()
+        view = MaterializedVTJoin(
+            r_schema,
+            s_schema,
+            PartitionMap([Interval(0, 9), Interval(10, 19)]),
+            r_tuples=catalog.current("vr").relation.tuples,
+            s_tuples=catalog.current("vs").relation.tuples,
+        )
+        catalog.attach_view("v", view, "vr", "vs")
+        before = len(view.snapshot().tuples)
+        catalog.append("vs", [VTTuple(("b",), (20,), Interval(6, 12))])
+        after = len(view.snapshot().tuples)
+        assert after == before + 1  # ('b') overlaps [5,14] in vr
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        catalog = self._catalog()
+        snapshot = catalog.snapshot()
+        catalog.append("vr", [VTTuple(("c",), (3,), Interval(1, 2))])
+        assert len(snapshot.relation("vr")) == 2
+        assert len(catalog.current("vr")) == 3
+        assert snapshot.epoch < catalog.epoch

@@ -4,6 +4,8 @@ Every knob fails at construction with a clear message, so a bad
 configuration never surfaces as a confusing error deep inside a phase.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.core.partition_join import PartitionJoinConfig
@@ -102,3 +104,36 @@ class TestPlanValidation:
     def test_intervals_required(self):
         with pytest.raises(PlanError, match="interval"):
             self.make_plan(intervals=[])
+
+
+class TestConfigFrozen:
+    """The config is frozen and hashable: it keys the service-layer caches."""
+
+    def test_mutation_raises(self):
+        config = PartitionJoinConfig(memory_pages=16)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.memory_pages = 32
+
+    def test_new_field_assignment_raises(self):
+        config = PartitionJoinConfig(memory_pages=16)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.surprise = True
+
+    def test_hashable_and_equal_by_value(self):
+        a = PartitionJoinConfig(memory_pages=16, execution="batch")
+        b = PartitionJoinConfig(memory_pages=16, execution="batch")
+        c = PartitionJoinConfig(memory_pages=32, execution="batch")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_usable_as_dict_key(self):
+        cache = {PartitionJoinConfig(memory_pages=16): "plan"}
+        assert cache[PartitionJoinConfig(memory_pages=16)] == "plan"
+
+    def test_replace_produces_new_frozen_config(self):
+        config = PartitionJoinConfig(memory_pages=16)
+        smaller = dataclasses.replace(config, memory_pages=8)
+        assert smaller.memory_pages == 8 and config.memory_pages == 16
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            smaller.memory_pages = 4
