@@ -61,9 +61,18 @@ class AdmissionEvent:
 class MemoryGrant:
     """Pages granted to one query; release returns them to the pool.
 
-    Usable as a context manager.  ``degraded`` is True when the controller
-    handed out fewer pages than requested (the query's join replans for the
-    smaller budget).
+    Usable as a context manager.  Two distinct shortfalls:
+
+    * ``clamped`` -- the original ask exceeded the whole pool, so the
+      *request* was cut down to capacity before queueing.  Deterministic:
+      the same ask against the same pool always clamps the same way.
+    * ``degraded`` -- the controller granted fewer pages than the
+      (post-clamp) request because pressure outlasted ``degrade_after``.
+      Nondeterministic: the grant depends on whatever happened to be free.
+
+    ``requested_pages`` is the post-clamp request (what admission actually
+    tried to satisfy, and what ``degraded_grants`` counts against);
+    ``asked_pages`` preserves the caller's original ask.
     """
 
     def __init__(
@@ -72,17 +81,24 @@ class MemoryGrant:
         reservation: Reservation,
         requested_pages: int,
         queue_wait_seconds: float,
+        *,
+        asked_pages: Optional[int] = None,
     ) -> None:
         self._controller = controller
         self._reservation = reservation
         self.pages = reservation.pages
         self.requested_pages = requested_pages
+        self.asked_pages = asked_pages if asked_pages is not None else requested_pages
         self.queue_wait_seconds = queue_wait_seconds
         self._released = False
 
     @property
     def degraded(self) -> bool:
         return self.pages < self.requested_pages
+
+    @property
+    def clamped(self) -> bool:
+        return self.requested_pages < self.asked_pages
 
     def release(self) -> None:
         """Return the pages (idempotent)."""
@@ -264,7 +280,11 @@ class AdmissionController:
                         )
                         self._condition.notify_all()
                         return MemoryGrant(
-                            self, reservation, pages, now - begin
+                            self,
+                            reservation,
+                            requested,
+                            now - begin,
+                            asked_pages=pages,
                         )
                     if now >= deadline:
                         self.timeouts += 1

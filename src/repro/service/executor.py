@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional, Set
 
 from repro.model.errors import QueryCancelledError, ServiceError
 
@@ -139,6 +139,7 @@ class QueryExecutor:
         self._shutdown = False
         self._query_ids = 0
         self._active = 0
+        self._running: Set[QueryHandle] = set()
         self._threads: List[threading.Thread] = [
             threading.Thread(target=self._work, name=f"{name}-{i}", daemon=True)
             for i in range(workers)
@@ -182,15 +183,32 @@ class QueryExecutor:
             self._condition.notify()
             return handle
 
-    def shutdown(self, *, wait: bool = True, cancel_queued: bool = True) -> None:
-        """Stop accepting work; optionally cancel the backlog and join."""
+    def shutdown(
+        self,
+        *,
+        wait: bool = True,
+        cancel_queued: bool = True,
+        cancel_running: bool = False,
+    ) -> None:
+        """Stop accepting work; optionally cancel the backlog and join.
+
+        ``cancel_queued`` cancels not-yet-started queries for certain.
+        ``cancel_running`` additionally requests cancellation of in-flight
+        queries: their blocking waits (admission queues observe the cancel
+        event) abort promptly, and cooperative queries stop at their next
+        cancellation point -- so teardown doesn't sit behind a long
+        admission wait.
+        """
         with self._condition:
             self._shutdown = True
             backlog = list(self._queue) if cancel_queued else []
             if cancel_queued:
                 self._queue.clear()
+            running = list(self._running) if cancel_running else []
             self._condition.notify_all()
         for handle, _ in backlog:
+            handle.cancel()
+        for handle in running:
             handle.cancel()
         if wait:
             for thread in self._threads:
@@ -207,6 +225,7 @@ class QueryExecutor:
                     return  # shutdown with an empty queue
                 handle, fn = self._queue.popleft()
                 self._active += 1
+                self._running.add(handle)
             try:
                 if not handle._claim():
                     continue  # cancelled while queued
@@ -217,4 +236,5 @@ class QueryExecutor:
             finally:
                 with self._condition:
                     self._active -= 1
+                    self._running.discard(handle)
                     self._condition.notify_all()

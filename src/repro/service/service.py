@@ -85,7 +85,12 @@ class ServiceQueryResult:
         result_cache_hit / plan_cache_hit: which caches served.
         requested_pages / granted_pages: the admission ask and grant
             (both 0 on a result-cache hit: no memory was needed).
-        degraded: the grant was smaller than the ask.
+        degraded: admission granted fewer pages than it tried to satisfy
+            (pressure outlasted ``degrade_after``); the grant size is
+            nondeterministic, so such a run never populates the result
+            cache.
+        clamped: the ask exceeded the whole pool and was cut to capacity
+            before queueing (deterministic, unlike a degraded grant).
         queue_wait_seconds: time spent queued for admission.
         session_id / query_id: who asked.
     """
@@ -104,6 +109,7 @@ class ServiceQueryResult:
     requested_pages: int = 0
     granted_pages: int = 0
     degraded: bool = False
+    clamped: bool = False
     queue_wait_seconds: float = 0.0
     session_id: int = 0
     query_id: int = 0
@@ -198,11 +204,18 @@ class QueryService:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the executor down and close every open session."""
+        """Shut the executor down and close every open session.
+
+        Queued queries are cancelled outright; in-flight queries get a
+        cancel request too, which aborts an admission wait promptly and is
+        honored at the query's next cancellation point.  A query already
+        deep inside a join kernel has no further cancellation points and
+        runs to completion (bounded by the executor's join timeout).
+        """
         if self._closed:
             return
         self._closed = True
-        self.executor.shutdown(wait=True, cancel_queued=True)
+        self.executor.shutdown(wait=True, cancel_queued=True, cancel_running=True)
         with self._sessions_lock:
             sessions = list(self._sessions.values())
         for session in sessions:
@@ -342,8 +355,15 @@ class QueryService:
             with self.obs.span(
                 "service:query", outer=outer, inner=inner, session=session.session_id
             ):
+                handle.check_cancelled()
+                snapshot = self.catalog.snapshot()
+                config = self._query_config(session)
+                # Resolve "auto" before dispatch so every status of
+                # repro_service_queries_total carries the same method label.
+                if method == "auto":
+                    method = self._choose_method(snapshot, outer, inner, config)
                 return self._run_join_inner(
-                    session, outer, inner, method, timeout, handle
+                    session, snapshot, outer, inner, method, config, timeout, handle
                 )
         except QueryCancelledError:
             self._count_query("cancelled", method)
@@ -363,20 +383,17 @@ class QueryService:
     def _run_join_inner(
         self,
         session: Session,
+        snapshot: CatalogSnapshot,
         outer: str,
         inner: str,
         method: str,
+        config: PartitionJoinConfig,
         timeout: Optional[float],
         handle: QueryHandle,
     ) -> ServiceQueryResult:
-        handle.check_cancelled()
-        snapshot = self.catalog.snapshot()
         r_version = snapshot.version(outer)
         s_version = snapshot.version(inner)
         epochs = (r_version.epoch, s_version.epoch)
-        config = self._query_config(session)
-        if method == "auto":
-            method = self._choose_method(snapshot, outer, inner, config)
 
         # 1. Result cache: a hit charges nothing at all.
         if self.result_cache is not None and session.config.use_result_cache:
@@ -434,6 +451,7 @@ class QueryService:
             result = self._evaluate(
                 outer, inner, r_version.relation, s_version.relation,
                 method, config, grant.pages, epochs, session,
+                degraded=grant.degraded,
             )
         finally:
             grant.release()
@@ -445,6 +463,7 @@ class QueryService:
             requested_pages=request,
             granted_pages=grant.pages,
             degraded=grant.degraded,
+            clamped=grant.clamped,
             queue_wait_seconds=grant.queue_wait_seconds,
             session_id=session.session_id,
             query_id=handle.query_id,
@@ -461,6 +480,8 @@ class QueryService:
         granted_pages: int,
         epochs: Tuple[int, int],
         session: Session,
+        *,
+        degraded: bool = False,
     ) -> ServiceQueryResult:
         plan_cache_hit = False
         if method == "partition":
@@ -523,9 +544,15 @@ class QueryService:
         else:  # pragma: no cover -- validated upstream
             raise ServiceError(f"unknown join method {method!r}")
 
+        # A degraded grant ran with a nondeterministic, pressure-dependent
+        # budget: its outcome counters (and potentially tuple order) are not
+        # the full-budget answer, so storing it under the full-budget config
+        # key would break bit-identity for later full-grant hits.  Mirror
+        # the plan cache's full_grant guard and skip the store.
         if (
             self.result_cache is not None
             and session.config.use_result_cache
+            and not degraded
             and relation is not None
         ):
             self.result_cache.store(

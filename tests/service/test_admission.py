@@ -186,8 +186,14 @@ class TestDegradationAndTimeout:
         controller = AdmissionController(8, default_timeout=1.0)
         with controller.acquire(100, label="huge") as grant:
             assert grant.pages == 8
-            assert grant.degraded  # got less than asked
+            assert grant.clamped
+            assert grant.asked_pages == 100
+            assert grant.requested_pages == 8  # the post-clamp request
+            # The clamped request was satisfied in full: not degraded, in
+            # agreement with the degraded_grants counter.
+            assert not grant.degraded
         assert controller.clamped_requests == 1
+        assert controller.degraded_grants == 0
 
     def test_cancellation_aborts_the_wait(self):
         controller = AdmissionController(8, default_timeout=5.0)

@@ -114,6 +114,26 @@ class TestCancellation:
         handle.result(5.0)
         assert not handle.cancel()
 
+    def test_shutdown_cancels_running_when_asked(self):
+        executor = QueryExecutor(workers=1, queue_limit=8)
+        entered = threading.Event()
+
+        def cooperative(handle):
+            entered.set()
+            # Blocks until cancelled; a plain wait would hold shutdown for 30s.
+            if handle.cancel_event.wait(30.0):
+                handle.check_cancelled()
+            return "finished"
+
+        handle = executor.submit(cooperative)
+        assert entered.wait(5.0)
+        before = time.monotonic()
+        executor.shutdown(wait=True, cancel_queued=True, cancel_running=True)
+        assert time.monotonic() - before < 10.0
+        with pytest.raises(QueryCancelledError):
+            handle.result(1.0)
+        assert handle.cancelled
+
     def test_shutdown_cancels_backlog(self):
         executor = QueryExecutor(workers=1, queue_limit=8)
         release = threading.Event()

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
+from repro.model.errors import AdmissionTimeoutError, QueryCancelledError
 from repro.service import QueryService
 
 from tests.service.conftest import make_catalog, make_tuples, outcome_counters
@@ -165,6 +167,34 @@ class TestAdmissionIntegration:
             map(repr, full.relation.tuples)
         )
 
+    def test_degraded_grant_never_populates_the_result_cache(self):
+        # The serving guarantee is bit-identity with a serial replay; a
+        # degraded run's budget is pressure-dependent, so its outcome must
+        # never be stored under the full-budget cache key.
+        with QueryService(
+            make_catalog(),
+            pool_pages=24,
+            workers=2,
+            degrade_after=0.01,
+            plan_cache_entries=0,
+        ) as svc:
+            block = svc.admission.acquire(16, label="squatter")
+            try:
+                with svc.open_session(memory_pages=20) as session:
+                    degraded = session.join("r", "s", method="partition")
+            finally:
+                block.release()
+            assert degraded.degraded
+            assert len(svc.result_cache) == 0
+            with svc.open_session(memory_pages=20) as session:
+                full = session.join("r", "s", method="partition")
+                hit = session.join("r", "s", method="partition")
+        # The full-grant run had to compute fresh -- a hit here would have
+        # replayed the degraded run's counters as if they were its own.
+        assert not full.result_cache_hit and full.charged_ops > 0
+        assert hit.result_cache_hit
+        assert hit.outcome == full.outcome
+
     def test_cancel_queued_query(self):
         with QueryService(
             make_catalog(),
@@ -185,6 +215,31 @@ class TestAdmissionIntegration:
                     assert handle.cancelled
             finally:
                 squatter.release()
+        assert svc.admission.granted_pages == 0
+
+    def test_close_cancels_inflight_admission_waiters(self):
+        svc = QueryService(
+            make_catalog(),
+            pool_pages=16,
+            workers=2,
+            result_cache_entries=0,
+            plan_cache_entries=0,
+            admission_timeout=30.0,
+        )
+        squatter = svc.admission.acquire(16, label="squatter")
+        try:
+            session = svc.open_session(memory_pages=12)
+            handle = session.submit_join("r", "s", method="partition")
+            while svc.admission.queue_length < 1:
+                threading.Event().wait(0.001)
+            before = time.monotonic()
+            svc.close()  # must not sit out the 30s admission timeout
+            assert time.monotonic() - before < 10.0
+            with pytest.raises(QueryCancelledError):
+                handle.result(5.0)
+            assert handle.cancelled
+        finally:
+            squatter.release()
         assert svc.admission.granted_pages == 0
 
 
@@ -215,6 +270,35 @@ class TestMetricsAndReport:
         assert sum(ok) == 2.0
         histogram = snapshot["repro_service_queue_wait_seconds"]["series"][""]
         assert histogram["count"] == 1  # one grant: the hit never queued
+
+    def test_status_counts_share_resolved_method_label(self):
+        # "auto" is resolved before dispatch, so ok/error/timeout counts of
+        # repro_service_queries_total all land on the same method label and
+        # per-method totals add up across statuses.
+        with QueryService(
+            make_catalog(),
+            pool_pages=16,
+            workers=2,
+            result_cache_entries=0,
+            plan_cache_entries=0,
+        ) as svc:
+            with svc.open_session() as session:
+                session.join("r", "s", method="auto")
+                squatter = svc.admission.acquire(16, label="squatter")
+                try:
+                    with pytest.raises(AdmissionTimeoutError):
+                        session.join("r", "s", method="auto", timeout=0.05)
+                finally:
+                    squatter.release()
+            series = _series(svc, "repro_service_queries_total")
+        statuses = {
+            part
+            for key in series
+            for part in key.split(",")
+            if part.startswith("status=")
+        }
+        assert statuses == {"status=ok", "status=admission_timeout"}
+        assert all("method=auto" not in key for key in series)
 
     def test_exact_counts_under_concurrency(self):
         with QueryService(make_catalog(), pool_pages=32, workers=4) as svc:
