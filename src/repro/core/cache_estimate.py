@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.core.intervals import PartitionMap
+from repro.core.intervals import PartitionMap, SampleSpans
+from repro.exec.backend import np
 from repro.model.vtuple import VTTuple
 from repro.storage.page import PageSpec
 
@@ -47,15 +48,35 @@ def estimate_cache_sizes(
     """
     if population_tuples < 0:
         raise ValueError(f"negative population {population_tuples}")
-    counts = [0] * len(partition_map)
-    for tup in samples:
-        first = partition_map.first_overlapping(tup.valid)
-        last = partition_map.last_overlapping(tup.valid)
-        # The tuple is cached for every overlapped partition except its last,
-        # where it is read from the partition itself (Figure 9).
-        for index in range(first, last):
-            counts[index] += 1
-    if not samples:
+    if not len(samples):
         return [0] * len(partition_map)
+    if np is not None and isinstance(samples, SampleSpans):
+        # Vectorized replay of the loop below: ``index_of_chronon`` is a
+        # clamped ``bisect_left``, i.e. a clamped left ``searchsorted``,
+        # and the per-tuple ``counts[first:last] += 1`` is a difference
+        # array accumulated once.
+        boundary_ends = np.asarray(
+            [interval.end for interval in partition_map.intervals], dtype=np.int64
+        )
+        clamp = len(partition_map) - 1
+        first = np.minimum(
+            np.searchsorted(boundary_ends, samples.starts, side="left"), clamp
+        )
+        last = np.minimum(
+            np.searchsorted(boundary_ends, samples.ends, side="left"), clamp
+        )
+        deltas = np.zeros(len(partition_map) + 1, dtype=np.int64)
+        np.add.at(deltas, first, 1)
+        np.add.at(deltas, last, -1)
+        counts = np.cumsum(deltas[:-1]).tolist()
+    else:
+        counts = [0] * len(partition_map)
+        for tup in samples:
+            first = partition_map.first_overlapping(tup.valid)
+            last = partition_map.last_overlapping(tup.valid)
+            # The tuple is cached for every overlapped partition except its
+            # last, where it is read from the partition itself (Figure 9).
+            for index in range(first, last):
+                counts[index] += 1
     scale = population_tuples / len(samples)
     return [spec.pages_for_tuples(round(count * scale)) for count in counts]

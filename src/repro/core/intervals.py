@@ -29,9 +29,57 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import List, Sequence
 
+from repro.exec.backend import np
 from repro.model.errors import PlanError
 from repro.model.vtuple import VTTuple
 from repro.time.interval import Interval
+
+
+class SampleSpans:
+    """A planner sample held as two parallel chronon columns.
+
+    The scan sampler over columnar pages produces this instead of a list of
+    tuples: the plan consumers (:func:`choose_intervals`,
+    :func:`estimate_cache_sizes`) only ever read interval endpoints, and
+    holding those as ``int64`` arrays lets both run vectorized.  The
+    sequence protocol hands out per-sample span objects for any consumer
+    that still iterates, so the two representations are interchangeable.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, starts, ends) -> None:
+        self.starts = starts
+        self.ends = ends
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return SampleSpans(self.starts[index], self.ends[index])
+        return _SpanItem(Interval(int(self.starts[index]), int(self.ends[index])))
+
+    def __iter__(self):
+        for start, end in zip(self.starts.tolist(), self.ends.tolist()):
+            yield _SpanItem(Interval(start, end))
+
+
+class _SpanItem:
+    """One sample of a :class:`SampleSpans`, for tuple-at-a-time consumers."""
+
+    __slots__ = ("valid",)
+
+    def __init__(self, valid: Interval) -> None:
+        self.valid = valid
+
+    @property
+    def vs(self) -> int:
+        return self.valid.start
+
+    @property
+    def ve(self) -> int:
+        return self.valid.end
 
 
 def choose_intervals(samples: Sequence[VTTuple], num_partitions: int) -> List[Interval]:
@@ -52,11 +100,15 @@ def choose_intervals(samples: Sequence[VTTuple], num_partitions: int) -> List[In
     """
     if num_partitions < 1:
         raise PlanError(f"num_partitions must be >= 1, got {num_partitions}")
-    if not samples:
+    if not len(samples):
         raise PlanError("cannot choose partitioning intervals from an empty sample")
 
-    lo = min(tup.vs for tup in samples)
-    hi = max(tup.ve for tup in samples)
+    if np is not None and isinstance(samples, SampleSpans):
+        lo = int(samples.starts.min())
+        hi = int(samples.ends.max())
+    else:
+        lo = min(tup.vs for tup in samples)
+        hi = max(tup.ve for tup in samples)
     if num_partitions == 1 or lo == hi:
         return [Interval(lo, hi)]
 
@@ -81,7 +133,11 @@ def choose_intervals(samples: Sequence[VTTuple], num_partitions: int) -> List[In
 
 def _equal_depth_positions(samples: Sequence[VTTuple], num_partitions: int) -> List[int]:
     """1-based multiset positions of the interior boundary chronons."""
-    total = sum(tup.valid.duration for tup in samples)
+    if np is not None and isinstance(samples, SampleSpans):
+        # duration = end - start + 1, summed over the sample columns.
+        total = int((samples.ends - samples.starts).sum()) + len(samples)
+    else:
+        total = sum(tup.valid.duration for tup in samples)
     step = total / num_partitions
     return [int(round(i * step)) for i in range(1, num_partitions)]
 
@@ -95,8 +151,12 @@ def _coverage_quantiles(samples: Sequence[VTTuple], positions: Sequence[int]) ->
     """
     if not positions:
         return []
-    starts = sorted(tup.vs for tup in samples)
-    ends = sorted(tup.ve for tup in samples)
+    if np is not None and isinstance(samples, SampleSpans):
+        starts = np.sort(samples.starts).tolist()
+        ends = np.sort(samples.ends).tolist()
+    else:
+        starts = sorted(tup.vs for tup in samples)
+        ends = sorted(tup.ve for tup in samples)
     wanted = sorted(max(1, p) for p in positions)  # one result per position
     results: List[int] = []
 

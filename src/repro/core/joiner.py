@@ -56,13 +56,15 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intervals import PartitionMap
+from repro.exec.batch import ColumnarBlock
 from repro.model.errors import CheckpointError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
 from repro.model.vtuple import VTTuple
 from repro.obs import span_or_null
 from repro.resilience.checkpoint import SweepCheckpoint, SweepCheckpointer, SweepContext
-from repro.storage.buffer import BufferPool, Reservation
+from repro.storage.buffer import BufferOverflowError, BufferPool, Reservation
+from repro.storage.columnar_page import ColumnarPage
 from repro.storage.heapfile import HeapFile
 from repro.storage.layout import DiskLayout
 from repro.time.interval import Interval
@@ -86,8 +88,19 @@ PairFn = Callable[[VTTuple, VTTuple, Interval], Optional[VTTuple]]
 #: key-group lanes over a worker pool, and a
 #: :class:`~repro.storage.prefetch.PrefetchPipeline` overlaps the next
 #: partition's page reads (and defers tuple-cache spill writes) with the
-#: current partition's compute.
-EXECUTION_MODES = ("tuple", "batch", "batch-parallel", "batch-parallel-sweep")
+#: current partition's compute.  ``"zero-copy-sweep"`` is the pipelined
+#: sweep with the copy path removed: columnar pages feed the batch kernels
+#: as buffer views, lane fan-out crosses the pool through a shared-memory
+#: column arena instead of pickling, and workers write match indices into
+#: preallocated result slabs.  Charged I/O and results are bit-identical to
+#: every other mode; only the in-memory transport differs.
+EXECUTION_MODES = (
+    "tuple",
+    "batch",
+    "batch-parallel",
+    "batch-parallel-sweep",
+    "zero-copy-sweep",
+)
 
 
 def natural_pair(x: VTTuple, y: VTTuple, common: Interval) -> VTTuple:
@@ -132,6 +145,8 @@ def join_partitions(
     execution: str = "tuple",
     prefetch_depth: int = 8,
     sweep_workers: Optional[int] = None,
+    interner=None,
+    multibuffer_plan=None,
     pool: Optional[BufferPool] = None,
     checkpointer: Optional[SweepCheckpointer] = None,
     resume_from: Optional[SweepCheckpoint] = None,
@@ -159,8 +174,18 @@ def join_partitions(
             prefetch and write-behind.
         prefetch_depth: pages of read-ahead per partition barrier
             (``"batch-parallel-sweep"`` only; 0 disables read-ahead).
-        sweep_workers: probe lanes for ``"batch-parallel-sweep"`` (None =
-            one per core, capped at 8; clamped to the visible cores).
+        sweep_workers: probe lanes for the pipelined sweeps (None = one per
+            core, capped at 8; clamped to the visible cores).
+        interner: a :class:`~repro.exec.batch.KeyInterner` to reuse across
+            joins (the service layer's per-relation-version interner cache).
+            Interner ids never leak into results -- emission order is
+            restored by the final sort -- so sharing is result-identical.
+        multibuffer_plan: a :class:`~repro.planner.multibuffer.MultiBufferPlan`
+            sizing the zero-copy sweep's auxiliary buffers (prefetch window,
+            column arena, result slabs).  When given with a *pool*, the plan
+            is shrunk to the pool's spare pages before any reservation;
+            every shrink degrades transport only, never results.  Ignored by
+            the non-zero-copy modes.
         pool: when given, the sweep reserves its Figure 3 regions in this
             :class:`BufferPool` and guarantees -- on success, failure, or
             simulated crash -- that every reservation is released.
@@ -205,23 +230,64 @@ def join_partitions(
         order_list = list(range(n))
         step = 1
 
+    spec = layout.spec
+    zero_copy = execution == "zero-copy-sweep"
+
+    # The multi-buffer plan rides ON TOP of the join budget.  When a pool
+    # bounds memory, shrink the plan to the pages left after the Figure 3
+    # reservations below -- before the engine or pipeline sees any of its
+    # numbers, so reservation and use always agree on the geometry.
+    aux_plan = multibuffer_plan if zero_copy else None
+    if aux_plan is not None and pool is not None:
+        fig3_pages = (
+            buff_size + 3 + spec.pages_for_tuples(cache_memory_tuples)
+        )
+        headroom = max(0, pool.free_pages - fig3_pages)
+        if aux_plan.total_aux_pages > headroom:
+            shrunk = aux_plan.shrink_to(headroom, spec)
+            layout.resilience_report.record_degradation(
+                "multibuffer-shrink",
+                f"auxiliary buffers shrunk from {aux_plan.total_aux_pages} to "
+                f"{shrunk.total_aux_pages} pages to fit the pool's "
+                f"{headroom} spare pages",
+            )
+            if obs is not None:
+                obs.event(
+                    "degradation",
+                    kind="multibuffer-shrink",
+                    requested_pages=aux_plan.total_aux_pages,
+                    granted_pages=shrunk.total_aux_pages,
+                )
+                obs.count(
+                    "repro_degradations_total",
+                    "Recorded degradation events by kind.",
+                    kind="multibuffer-shrink",
+                )
+            aux_plan = shrunk
+    effective_depth = aux_plan.prefetch_depth if aux_plan is not None else prefetch_depth
+
     pipeline: Optional["PrefetchPipeline"] = None
     if execution == "tuple":
         engine: _ProbeEngine = _TupleEngine(partition_map, direction)
-    elif execution == "batch-parallel-sweep":
+    elif execution in ("batch-parallel-sweep", "zero-copy-sweep"):
         # Late imports, like the batch engine's kernels: the sweep module
         # pulls in multiprocessing machinery this module must not require.
         from repro.exec.sweep_parallel import PipelinedSweepEngine
         from repro.storage.prefetch import PrefetchPipeline
 
         engine = PipelinedSweepEngine(
-            partition_map, direction, workers=sweep_workers, obs=obs
+            partition_map,
+            direction,
+            workers=sweep_workers,
+            obs=obs,
+            zero_copy=zero_copy,
+            interner=interner,
+            arena_plan=aux_plan.arena_geometry() if aux_plan is not None else None,
         )
-        pipeline = PrefetchPipeline(layout, prefetch_depth)
+        pipeline = PrefetchPipeline(layout, effective_depth)
     else:
-        engine = _BatchEngine(partition_map, direction)
+        engine = _BatchEngine(partition_map, direction, interner=interner)
 
-    spec = layout.spec
     inner_total = sum(part.n_tuples for part in s_parts)
     report = layout.disk.report
 
@@ -245,8 +311,9 @@ def join_partitions(
                     cache_memory_tuples=cache_memory_tuples,
                     execution=execution,
                     result_file=result_file,
-                    prefetch_depth=prefetch_depth,
+                    prefetch_depth=effective_depth,
                     sweep_workers=sweep_workers,
+                    arena=aux_plan.arena_geometry() if aux_plan is not None else None,
                 )
             )
     else:
@@ -285,6 +352,28 @@ def join_partitions(
         resident_pages = spec.pages_for_tuples(cache_memory_tuples)
         if resident_pages:
             reservations.append(pool.reserve("cache_resident", resident_pages))
+        if aux_plan is not None:
+            # Auxiliary regions of the multi-buffer plan, best-effort: the
+            # plan was shrunk to the pool's headroom above, but concurrent
+            # reservations may have landed since.  A refused region is
+            # simply not used -- the transport degrades, results do not.
+            for label, pages in (
+                ("prefetch_cache", aux_plan.prefetch_pages),
+                ("column_arena", aux_plan.arena_pages),
+                ("lane_slabs", aux_plan.slab_pages),
+            ):
+                if pages <= 0:
+                    continue
+                try:
+                    reservations.append(pool.reserve(label, pages))
+                except BufferOverflowError:
+                    if obs is not None:
+                        obs.event(
+                            "degradation",
+                            kind="aux-reservation-refused",
+                            label=label,
+                            pages=pages,
+                        )
 
     current_buff = buff_size
     new_cache: Optional[_TupleCache] = None
@@ -331,18 +420,14 @@ def join_partitions(
 
                 # Purge retained outer tuples that do not reach this
                 # partition, then read the partition itself from disk.
-                outer: List[VTTuple] = [
-                    tup
-                    for tup in outer_retained
-                    if partition_map.overlaps_partition(tup.valid, index)
-                ]
                 outer_pages = (
                     pipeline.scan_pages(r_parts[index])
                     if pipeline is not None
                     else r_parts[index].scan_pages()
                 )
-                for page in outer_pages:
-                    outer.extend(page)
+                outer = _assemble_outer(
+                    outer_retained, outer_pages, partition_map, index, engine
+                )
 
                 new_cache = None
                 if has_next:
@@ -574,11 +659,7 @@ def _prefetch_next_partition(
     predicted here without touching the disk, and on a predicted overflow
     the read-ahead stops at the outer partition's pages.
     """
-    kept = sum(
-        1
-        for tup in outer_retained
-        if partition_map.overlaps_partition(tup.valid, next_part)
-    )
+    kept = _retained_overlap_count(outer_retained, partition_map, next_part)
     effective = min(
         [buff_size]
         + [red.buff_size for red in buffer_reductions if red.at_position <= next_pos]
@@ -689,6 +770,27 @@ def _export_engine_metrics(
             float(lanes),
             "Probe lanes used by the pipelined sweep engine.",
         )
+    copy_traffic = getattr(engine, "copy_traffic", None)
+    if copy_traffic is not None:
+        traffic = copy_traffic()
+        for transport in ("pickled", "shared"):
+            value = traffic.get(f"bytes_{transport}", 0)
+            if value:
+                obs.count(
+                    "repro_arena_copy_bytes_total",
+                    "Bytes crossing the worker-pool boundary by transport.",
+                    float(value),
+                    transport=transport,
+                )
+        for kind in ("arena_overflows", "slab_overflows"):
+            value = traffic.get(kind, 0)
+            if value:
+                obs.count(
+                    "repro_arena_overflows_total",
+                    "Dispatches that fell back to pickling by overflow kind.",
+                    float(value),
+                    kind=kind,
+                )
 
 
 class _TupleCache:
@@ -815,6 +917,52 @@ class _PipelinedTupleCache(_TupleCache):
         )
 
 
+def _assemble_outer(
+    outer_retained, outer_pages, partition_map, index: int, engine
+) -> Sequence[VTTuple]:
+    """The outer block: purged retained tuples plus the partition's pages.
+
+    When the engine consumes packed blocks and every page is columnar (the
+    zero-copy sweep), rows stay in their pages: the purge is vectorized over
+    the column views and no tuple is materialized until something touches
+    the row.  Every other combination builds the row-oriented list exactly
+    as before.  Both shapes hold the same rows in the same order, and the
+    charged page reads happen identically (the scan is consumed up front
+    either way).
+    """
+    pages = list(outer_pages)
+    if getattr(engine, "supports_columnar_blocks", False) and all(
+        isinstance(page, ColumnarPage) for page in pages
+    ):
+        if isinstance(outer_retained, ColumnarBlock):
+            retained = outer_retained.purged(partition_map, index)._segments
+        elif not outer_retained:
+            retained = []
+        else:
+            retained = None
+        if retained is not None:
+            return ColumnarBlock(retained + [(page, None) for page in pages])
+    outer: List[VTTuple] = [
+        tup
+        for tup in outer_retained
+        if partition_map.overlaps_partition(tup.valid, index)
+    ]
+    for page in pages:
+        outer.extend(page)
+    return outer
+
+
+def _retained_overlap_count(outer_retained, partition_map, next_part: int) -> int:
+    """How many retained outer tuples reach *next_part* (overflow predictor)."""
+    if isinstance(outer_retained, ColumnarBlock):
+        return outer_retained.count_overlapping(partition_map, next_part)
+    return sum(
+        1
+        for tup in outer_retained
+        if partition_map.overlaps_partition(tup.valid, next_part)
+    )
+
+
 def _split_blocks(outer: List[VTTuple], block_tuples: int) -> List[List[VTTuple]]:
     """Split the outer partition into buffer-sized blocks (usually one)."""
     if len(outer) <= block_tuples:
@@ -915,12 +1063,18 @@ class _BatchEngine(_ProbeEngine):
     """The batch kernels: one columnar decomposition per page, whole-column
     probe / intersection / owner-filter / migration operations."""
 
-    def __init__(self, partition_map: PartitionMap, direction: str, kernels=None) -> None:
+    def __init__(
+        self, partition_map: PartitionMap, direction: str, kernels=None, interner=None
+    ) -> None:
+        from repro.exec.batch import CodeTranslator
         from repro.exec.kernels import get_kernels
 
         self._kernels = kernels if kernels is not None else get_kernels()
         self._boundaries = self._kernels.prepare_boundaries(partition_map)
-        self._interner = self._kernels.make_interner()
+        self._interner = interner if interner is not None else self._kernels.make_interner()
+        self._translator = (
+            CodeTranslator(self._interner) if self._kernels.use_numpy else None
+        )
         self._direction = direction
 
     def build_index(self, block: Sequence[VTTuple]):
@@ -928,7 +1082,7 @@ class _BatchEngine(_ProbeEngine):
 
     def process_page(self, index_obj, page, part_index, next_index, want_migration):
         kernels = self._kernels
-        batch = kernels.page_batch(page, self._interner)
+        batch = kernels.page_batch(page, self._interner, translator=self._translator)
         matches = kernels.probe(
             index_obj, batch, self._boundaries, part_index, self._direction
         )

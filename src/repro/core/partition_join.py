@@ -48,6 +48,7 @@ EXECUTION_MODES: Tuple[str, ...] = (
     "batch",
     "batch-parallel",
     "batch-parallel-sweep",
+    "zero-copy-sweep",
 )
 
 
@@ -87,7 +88,13 @@ class PartitionJoinConfig:
             :mod:`repro.exec.sweep_parallel` plus partition-barrier page
             prefetch and write-behind -- still bit-identical results and
             counters, with the pipeline's I/O share tagged on the
-            statistics; see ``docs/EXECUTION.md``.
+            statistics; see ``docs/EXECUTION.md``.  ``"zero-copy-sweep"``
+            is the pipelined sweep on the zero-copy transport: columnar
+            pages probed as buffer views, lane fan-out through a
+            shared-memory column arena with preallocated result slabs,
+            and auxiliary buffers sized jointly by the
+            :mod:`repro.planner.multibuffer` pass -- identical results
+            and charged I/O again; only in-memory copy traffic changes.
         parallel_workers: process-pool size for ``"batch-parallel"``'s
             partitioning phase (None picks a machine-dependent default; the
             result never depends on the pool size).
@@ -158,8 +165,8 @@ class PartitionJoinConfig:
             )
         if self.execution not in EXECUTION_MODES:
             raise ValueError(
-                f"execution must be 'tuple', 'batch', 'batch-parallel', or "
-                f"'batch-parallel-sweep', got {self.execution!r}"
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
             )
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
@@ -282,6 +289,7 @@ def partition_join(
     recovery: Optional[RecoveryLog] = None,
     pool: Optional[BufferPool] = None,
     plan: Optional[PartitionPlan] = None,
+    interner=None,
 ) -> PartitionJoinResult:
     """Evaluate the valid-time natural join ``r JOIN_V s`` by partitioning.
 
@@ -307,6 +315,10 @@ def partition_join(
             partitioning.  Ignored when a relation fits in the buffer (the
             single-partition shortcut never samples anyway), and discarded
             when a smaller *pool* forces a replan.
+        interner: a :class:`~repro.exec.batch.KeyInterner` shared across
+            repeated joins of the same relation version (the service
+            layer's interner cache).  Interner ids never reach results, so
+            sharing is result-identical; None builds a fresh one per run.
 
     Raises:
         SchemaError: if the schemas are not join-compatible.
@@ -316,7 +328,13 @@ def partition_join(
     """
     result_schema = r.schema.join_result_schema(s.schema)
     if layout is None:
-        layout = DiskLayout(spec=config.page_spec)
+        # The zero-copy mode stores pages in the packed columnar layout so
+        # the batch kernels probe buffer views; the layout is readable by
+        # every mode and changes no charged I/O (page counts are identical).
+        layout = DiskLayout(
+            spec=config.page_spec,
+            columnar=(config.execution == "zero-copy-sweep"),
+        )
     if config.retry_limit is not None:
         layout.disk.retry_policy = RetryPolicy(
             max_retries=config.retry_limit,
@@ -379,6 +397,7 @@ def partition_join(
                 recovery=recovery,
                 pool=pool,
                 obs=obs,
+                interner=interner,
             )
 
         if plan is not None and plan.buff_size != buff_size:
@@ -442,6 +461,9 @@ def partition_join(
         if config.checkpoint_interval > 0:
             checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
 
+        multibuffer_plan = _multibuffer_for(
+            config, r_file.n_pages, s_file.n_pages, buff_size, obs=obs
+        )
         with _phase(tracker, obs, "join"):
             outcome = join_partitions(
                 r_parts,
@@ -457,6 +479,8 @@ def partition_join(
                 execution=config.execution,
                 prefetch_depth=config.prefetch_depth,
                 sweep_workers=config.sweep_workers,
+                interner=interner,
+                multibuffer_plan=multibuffer_plan,
                 pool=pool,
                 checkpointer=checkpointer,
                 buffer_reductions=config.buffer_reductions,
@@ -478,6 +502,42 @@ def partition_join(
             outcome=outcome, plan=plan, layout=layout, recovery=recovery,
             observability=obs,
         )
+
+
+def _multibuffer_for(
+    config: PartitionJoinConfig,
+    outer_pages: int,
+    inner_pages: int,
+    buff_size: int,
+    *,
+    obs: Optional[Observability] = None,
+):
+    """The zero-copy sweep's auxiliary-buffer plan (None for other modes)."""
+    if config.execution != "zero-copy-sweep":
+        return None
+    from repro.exec.sweep_parallel import effective_sweep_workers
+    from repro.planner.multibuffer import plan_multibuffer
+
+    plan = plan_multibuffer(
+        outer_pages,
+        inner_pages,
+        buff_size,
+        config.page_spec,
+        lanes=effective_sweep_workers(config.sweep_workers),
+        prefetch_depth=config.prefetch_depth,
+    )
+    if obs is not None:
+        obs.event(
+            "multibuffer-plan",
+            lanes=plan.lanes,
+            prefetch_depth=plan.prefetch_depth,
+            prefetch_pages=plan.prefetch_pages,
+            arena_pages=plan.arena_pages,
+            slab_rows=plan.slab_rows,
+            slab_pages=plan.slab_pages,
+            total_aux_pages=plan.total_aux_pages,
+        )
+    return plan
 
 
 def resume_join(
@@ -544,6 +604,19 @@ def resume_join(
 
     context = recovery.context
     checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
+    # Shared-memory segments died with the crashed process; rebuild the
+    # multi-buffer plan from the checkpointed geometry so the resumed sweep
+    # allocates fresh segments of exactly the original shape.
+    resumed_plan = None
+    if getattr(context, "arena", None) is not None:
+        from repro.planner.multibuffer import MultiBufferPlan
+
+        resumed_plan = MultiBufferPlan.from_descriptor(
+            context.arena,
+            prefetch_depth=context.prefetch_depth,
+            buff_size=context.buff_size,
+            spec=config.page_spec,
+        )
     try:
         with _phase(layout.tracker, obs, "join"):
             outcome = join_partitions(
@@ -560,6 +633,7 @@ def resume_join(
                 execution=context.execution,
                 prefetch_depth=context.prefetch_depth,
                 sweep_workers=context.sweep_workers,
+                multibuffer_plan=resumed_plan,
                 pool=pool,
                 checkpointer=checkpointer,
                 resume_from=recovery.checkpoint,
@@ -762,6 +836,7 @@ def _single_partition_join(
     recovery: Optional[RecoveryLog] = None,
     pool: Optional[BufferPool] = None,
     obs: Optional[Observability] = None,
+    interner=None,
 ) -> PartitionJoinResult:
     """One-partition evaluation when a relation fits in the buffer.
 
@@ -785,6 +860,9 @@ def _single_partition_join(
     if config.checkpoint_interval > 0 and recovery is not None:
         checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
 
+    multibuffer_plan = _multibuffer_for(
+        config, outer_file.n_pages, inner_file.n_pages, allocation.buff_size, obs=obs
+    )
     with _phase(layout.tracker, obs, "join"):
         outcome = join_partitions(
             [outer_file],
@@ -798,6 +876,8 @@ def _single_partition_join(
             execution=config.execution,
             prefetch_depth=config.prefetch_depth,
             sweep_workers=config.sweep_workers,
+            interner=interner,
+            multibuffer_plan=multibuffer_plan,
             pool=pool,
             checkpointer=checkpointer,
             buffer_reductions=config.buffer_reductions,

@@ -70,6 +70,9 @@ def do_partitioning(
             the locate kernel, ``"batch-parallel"`` via a process pool.
             ``"batch-parallel-sweep"`` differs from ``"batch-parallel"``
             only in the join phase, so it partitions identically to it.
+            ``"zero-copy-sweep"`` runs the same pooled placement but ships
+            the chronon column through a shared-memory segment instead of
+            pickled chunks (identical indices either way).
         parallel_workers: pool size for ``"batch-parallel"`` (None = the
             :func:`repro.exec.parallel.default_workers` heuristic).
 
@@ -78,14 +81,22 @@ def do_partitioning(
     """
     if placement not in ("last", "first"):
         raise PlanError(f"placement must be 'last' or 'first', got {placement!r}")
-    if execution not in ("tuple", "batch", "batch-parallel", "batch-parallel-sweep"):
+    if execution not in (
+        "tuple",
+        "batch",
+        "batch-parallel",
+        "batch-parallel-sweep",
+        "zero-copy-sweep",
+    ):
         raise PlanError(
-            f"execution must be 'tuple', 'batch', 'batch-parallel', or "
-            f"'batch-parallel-sweep', got {execution!r}"
+            f"execution must be 'tuple', 'batch', 'batch-parallel', "
+            f"'batch-parallel-sweep', or 'zero-copy-sweep', got {execution!r}"
         )
-    if execution == "batch-parallel-sweep":
-        # The pipelined sweep changes the join phase only; its partitioning
-        # is the pooled placement of batch-parallel.
+    transport = "shared" if execution == "zero-copy-sweep" else "pickle"
+    if execution in ("batch-parallel-sweep", "zero-copy-sweep"):
+        # The pipelined sweeps change the join phase only; their partitioning
+        # is the pooled placement of batch-parallel (zero-copy additionally
+        # scatters the chronon column through shared memory).
         execution = "batch-parallel"
     n_partitions = len(partition_map)
     if memory_pages < 2:
@@ -145,24 +156,41 @@ def do_partitioning(
             # access sequence as the serial path (BASE and TEMP have
             # independent heads, so splitting the scan from the flushing
             # changes no access's sequentiality).
-            tuples = []
-            spans = []
-            for page in source.scan_pages():
-                for tup in page:
-                    tuples.append(tup)
-                    spans.append((tup.valid.start, tup.valid.end))
+            columnar = source.columnar and source.dictionary is not None
+            if columnar:
+                # Columnar fast path: spans come straight off the packed
+                # column buffers and routing moves (start, end, code,
+                # payload) column entries -- no tuple is ever materialized.
+                pages = []
+                spans = []
+                for page in source.scan_pages():
+                    pages.append(page)
+                    spans.extend(zip(page.starts_list(), page.ends_list()))
+            else:
+                tuples = []
+                spans = []
+                for page in source.scan_pages():
+                    for tup in page:
+                        tuples.append(tup)
+                        spans.append((tup.valid.start, tup.valid.end))
             with span_or_null(
-                obs, "parallel-locate", lane="pool", tuples=len(tuples)
+                obs, "parallel-locate", lane="pool", tuples=len(spans)
             ) as locate_span:
                 located = locate_partitions_parallel(
                     spans,
                     [interval.end for interval in partition_map.intervals],
                     placement,
                     workers=parallel_workers,
+                    transport=transport,
                 )
                 locate_span.set(located=len(located))
-            for tup, index in zip(tuples, located):
-                route(tup, index)
+            if columnar:
+                _route_columns(
+                    pages, located, partitions, source.dictionary, flush_threshold
+                )
+            else:
+                for tup, index in zip(tuples, located):
+                    route(tup, index)
 
         for index, bucket in enumerate(buffers):
             if bucket:
@@ -178,3 +206,126 @@ def _flush(partition: HeapFile, bucket: List) -> None:
     """Write a bucket's tuples as one contiguous run of pages."""
     partition.append_many(bucket)
     partition.flush()
+
+
+def _route_columns(
+    pages, located, partitions: List[HeapFile], dictionary, flush_threshold: int
+) -> None:
+    """Replay the routed flush loop over columnar pages, zero-copy.
+
+    Rows move as column entries -- gathers from the packed page buffers
+    into per-bucket column runs -- and flush through
+    :meth:`HeapFile.append_coded_run`.  The partitions *share the source
+    file's dictionary*, so key codes pass through untranslated: no
+    ``dictionary.code`` lookup, no tuple re-decomposition on the write
+    side.  Rows are processed in exactly the input order and buckets flush
+    at exactly the thresholds of the tuple-routing path, so the charged
+    TEMP-device access sequence is bit-identical.
+    """
+    for partition in partitions:
+        partition.dictionary = dictionary
+    from repro.exec.backend import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        _route_columns_numpy(pages, located, partitions, flush_threshold)
+        return
+    buffers = [([], [], [], []) for _ in partitions]
+    position = 0
+    for page in pages:
+        n = len(page)
+        page_located = located[position : position + n]
+        position += n
+        for start, end, code, payload, index in zip(
+            page.starts_list(),
+            page.ends_list(),
+            page.codes_list(),
+            page.payloads,
+            page_located,
+        ):
+            bucket = buffers[index]
+            bucket[0].append(start)
+            bucket[1].append(end)
+            bucket[2].append(code)
+            bucket[3].append(payload)
+            if len(bucket[0]) >= flush_threshold:
+                partitions[index].append_coded_run(*bucket)
+                buffers[index] = ([], [], [], [])
+    for index, bucket in enumerate(buffers):
+        if bucket[0]:
+            partitions[index].append_coded_run(*bucket)
+
+
+def _route_columns_numpy(
+    pages, located, partitions: List[HeapFile], flush_threshold: int
+) -> None:
+    """Vectorized bucket routing: group each page's rows by partition index.
+
+    A bucket holds its pending rows as ``(page, row-index array)`` segments
+    instead of appending row by row; a flush gathers the column runs from
+    the segments at once.  Flush *order* is what the serial loop defines, so
+    it is replayed exactly: within one page a bucket can cross the flush
+    threshold at most once (a page holds at most ``spec.capacity`` rows and
+    ``flush_threshold >= spec.capacity`` since every bucket has at least one
+    buffer page), so the crossings are totally ordered by the input-row
+    position at which each bucket fills -- flushing in that order issues the
+    identical TEMP-device access sequence.
+    """
+    from repro.exec.backend import np
+
+    segments: List[List] = [[] for _ in partitions]
+    sizes = [0] * len(partitions)
+
+    def flush(bucket: int) -> None:
+        starts: List[int] = []
+        ends: List[int] = []
+        codes: List[int] = []
+        payloads: List = []
+        for seg_page, rows in segments[bucket]:
+            if rows is None:
+                starts += seg_page.starts_list()
+                ends += seg_page.ends_list()
+                codes += seg_page.codes_list()
+                payloads += seg_page.payloads
+            else:
+                starts += seg_page.starts_view()[rows].tolist()
+                ends += seg_page.ends_view()[rows].tolist()
+                codes += seg_page.codes_view()[rows].tolist()
+                page_payloads = seg_page.payloads
+                payloads += [page_payloads[i] for i in rows.tolist()]
+        partitions[bucket].append_coded_run(starts, ends, codes, payloads)
+        segments[bucket] = []
+        sizes[bucket] = 0
+
+    position = 0
+    for page in pages:
+        n = len(page)
+        loc = np.asarray(located[position : position + n], dtype=np.int64)
+        position += n
+        # Stable argsort groups the rows by bucket while keeping each
+        # group's indices in input order.
+        order = np.argsort(loc, kind="stable")
+        grouped = loc[order]
+        buckets, first = np.unique(grouped, return_index=True)
+        boundaries = first.tolist() + [n]
+        crossings = []
+        for k, bucket in enumerate(buckets.tolist()):
+            rows = order[boundaries[k] : boundaries[k + 1]]
+            need = flush_threshold - sizes[bucket]
+            if len(rows) >= need:
+                # This bucket fills at input row rows[need - 1].
+                crossings.append((int(rows[need - 1]), bucket, rows, need))
+            else:
+                # A whole-page group needs no gather at flush time.
+                segments[bucket].append((page, rows if len(rows) < n else None))
+                sizes[bucket] += len(rows)
+        crossings.sort()
+        for _row, bucket, rows, need in crossings:
+            segments[bucket].append((page, rows[:need]))
+            flush(bucket)
+            rest = rows[need:]
+            if len(rest):
+                segments[bucket].append((page, rest))
+                sizes[bucket] = len(rest)
+    for bucket in range(len(partitions)):
+        if sizes[bucket]:
+            flush(bucket)

@@ -41,15 +41,18 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.cache_estimate import estimate_cache_sizes
-from repro.core.intervals import PartitionMap, choose_intervals
+from repro.core.intervals import PartitionMap, SampleSpans, choose_intervals
+from repro.exec.backend import np
 from repro.model.errors import PlanError
 from repro.model.vtuple import VTTuple
 from repro.sampling.kolmogorov import required_samples
 from repro.sampling.sampler import SamplePlan, SampleStrategy, plan_sampling
+from repro.storage.columnar_page import ColumnarPage, trusted_interval
 from repro.storage.heapfile import HeapFile
 from repro.storage.iostats import CostModel
 from repro.time.interval import Interval
@@ -306,6 +309,11 @@ def estimate_grant_pages(
     outer_pages: int,
     inner_pages: int,
     requested_pages: int,
+    *,
+    execution: Optional[str] = None,
+    spec=None,
+    lanes: Optional[int] = None,
+    prefetch_depth: int = 8,
 ) -> int:
     """Buffer pages a join can actually *use*, for admission control.
 
@@ -318,11 +326,24 @@ def estimate_grant_pages(
     ``[MIN_GRANT_PAGES, useful]`` (a request below the Figure 3 minimum is
     raised to it -- the join cannot run at all under fewer pages).
 
+    For the ``"zero-copy-sweep"`` execution, the useful budget additionally
+    covers the mode's auxiliary consumers -- prefetch window, shared column
+    arena, per-lane result slabs -- sized by the multibuffer pass
+    (:func:`repro.planner.multibuffer.plan_multibuffer`).  Earlier the grant
+    ignored these entirely, so a "full" grant under concurrency silently
+    starved the pipeline into its degraded shapes.
+
     Args:
         outer_pages: catalog page count of the outer relation.
         inner_pages: catalog page count of the inner relation.
         requested_pages: the memory budget the query asked for
             (``PartitionJoinConfig.memory_pages``).
+        execution: the query's execution mode; only ``"zero-copy-sweep"``
+            changes the estimate.
+        spec: the page geometry (required to size the zero-copy aux pages;
+            defaults to :class:`~repro.storage.page.PageSpec`'s default).
+        lanes: probe lanes of the fan-out (None = the machine default).
+        prefetch_depth: the requested read-ahead depth.
     """
     from repro.storage.buffer import JoinBufferAllocation
 
@@ -339,7 +360,46 @@ def estimate_grant_pages(
         MIN_GRANT_PAGES,
         min(outer_pages, inner_pages) + JoinBufferAllocation.FIXED_PAGES,
     )
+    if execution == "zero-copy-sweep":
+        from repro.exec.sweep_parallel import effective_sweep_workers
+        from repro.planner.multibuffer import plan_multibuffer
+        from repro.storage.page import PageSpec
+
+        geometry = spec if spec is not None else PageSpec()
+        buff_size = max(1, useful - JoinBufferAllocation.FIXED_PAGES)
+        plan = plan_multibuffer(
+            outer_pages,
+            inner_pages,
+            buff_size,
+            geometry,
+            lanes=effective_sweep_workers(lanes),
+            prefetch_depth=prefetch_depth,
+        )
+        useful += plan.total_aux_pages
     return max(MIN_GRANT_PAGES, min(requested_pages, useful))
+
+
+class _SpanSample:
+    """A sampled row reduced to its interval.
+
+    The planner's sample consumers (:func:`choose_intervals`,
+    :func:`estimate_cache_sizes`) read only ``vs``/``ve``/``valid``, so the
+    scan sampler over columnar pages hands out these instead of
+    materializing whole tuples the plan never looks at.
+    """
+
+    __slots__ = ("valid",)
+
+    def __init__(self, valid) -> None:
+        self.valid = valid
+
+    @property
+    def vs(self) -> int:
+        return self.valid.start
+
+    @property
+    def ve(self) -> int:
+        return self.valid.end
 
 
 class _IncrementalSampler:
@@ -365,26 +425,86 @@ class _IncrementalSampler:
         self._positions = list(range(outer.n_tuples))
         rng.shuffle(self._positions)
         self._samples: List[VTTuple] = []
-        self._all_tuples: Optional[List[VTTuple]] = None
+        self._scanned_pages: Optional[List] = None
+        self._page_offsets: List[int] = []
+        self._page_spans: dict = {}
+        self._column_starts = None
+        self._column_ends = None
+        self._position_array = None
+        self._n_drawn = 0
         self.scan_done = False
 
     def prefix(self, needed: int) -> List[VTTuple]:
         """The first *needed* samples, drawing (and charging) as required."""
         needed = min(needed, self._outer.n_tuples)
+        if self._column_starts is not None:
+            # Columnar scan: the whole relation's span columns are already
+            # concatenated, so a prefix is one vectorized gather at the
+            # pre-shuffled positions -- no per-sample work at all.
+            if needed > self._n_drawn:
+                self._n_drawn = needed
+            positions = self._position_array[:needed]
+            return SampleSpans(
+                self._column_starts[positions], self._column_ends[positions]
+            )
         if needed <= len(self._samples):
             return self._samples[:needed]
         scan_cost = self._cost_model.cost_of_run(self._outer.n_pages)
         random_cost = needed * self._cost_model.io_ran
         if self._allow_scan and (self.scan_done or random_cost >= scan_cost):
             if not self.scan_done:
-                self._all_tuples = [
-                    tup for page in self._outer.scan_pages() for tup in page
-                ]
+                # Keep the scanned pages; only the sampled positions are
+                # ever materialized (columnar pages build rows lazily, so
+                # flattening the whole relation here would pay a per-tuple
+                # cost the sample never looks at).
+                self._scanned_pages = list(self._outer.scan_pages())
+                offset = 0
+                for page in self._scanned_pages:
+                    self._page_offsets.append(offset)
+                    offset += len(page)
                 self.scan_done = True
-            assert self._all_tuples is not None
+                if (
+                    np is not None
+                    and self._scanned_pages
+                    and all(
+                        isinstance(page, ColumnarPage)
+                        for page in self._scanned_pages
+                    )
+                ):
+                    self._column_starts = np.concatenate(
+                        [page.starts_view() for page in self._scanned_pages]
+                    )
+                    self._column_ends = np.concatenate(
+                        [page.ends_view() for page in self._scanned_pages]
+                    )
+                    self._position_array = np.asarray(
+                        self._positions, dtype=np.int64
+                    )
+                    self._n_drawn = max(needed, len(self._samples))
+                    positions = self._position_array[:needed]
+                    return SampleSpans(
+                        self._column_starts[positions],
+                        self._column_ends[positions],
+                    )
+            assert self._scanned_pages is not None
             while len(self._samples) < needed:
                 position = self._positions[len(self._samples)]
-                self._samples.append(self._all_tuples[position])
+                index = bisect_right(self._page_offsets, position) - 1
+                page = self._scanned_pages[index]
+                offset = position - self._page_offsets[index]
+                if isinstance(page, ColumnarPage):
+                    # The planner only ever reads a sample's interval, so
+                    # columnar pages hand out spans without building tuples
+                    # (keys and payloads stay packed); the page's span
+                    # columns decode once, to plain lists.
+                    spans = self._page_spans.get(index)
+                    if spans is None:
+                        spans = (page.starts_list(), page.ends_list())
+                        self._page_spans[index] = spans
+                    valid = trusted_interval(spans[0][offset], spans[1][offset])
+                    self._samples.append(_SpanSample(valid))
+                else:
+                    self._samples.append(page[offset])
         else:
             while len(self._samples) < needed:
                 position = self._positions[len(self._samples)]
@@ -405,12 +525,13 @@ class _IncrementalSampler:
     def executed_plan(self) -> SamplePlan:
         """How the draw actually went, for the plan record."""
         strategy = SampleStrategy.SCAN if self.scan_done else SampleStrategy.RANDOM
+        n_samples = max(len(self._samples), self._n_drawn)
         cost = (
             self._cost_model.cost_of_run(self._outer.n_pages)
             if self.scan_done
-            else len(self._samples) * self._cost_model.io_ran
+            else n_samples * self._cost_model.io_ran
         )
-        return SamplePlan(len(self._samples), strategy, cost)
+        return SamplePlan(n_samples, strategy, cost)
 
 
 def determine_part_intervals(

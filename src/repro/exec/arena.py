@@ -1,0 +1,556 @@
+"""Shared-memory column arenas: lane fan-out without pickling.
+
+The ``"batch-parallel-sweep"`` pool fan-out ships every lane task as a
+pickled tuple of numpy arrays -- the *entire* pruned index is serialized
+once per lane, per page, and the matched pair arrays are pickled again on
+the way back.  On the benchmark workload that is tens of megabytes of
+serialization for a probe whose compute is microseconds per lane.  This
+module replaces both directions with ``multiprocessing.shared_memory``:
+
+* a :class:`ColumnArena` is one shared segment used as a bump allocator.
+  The parent pushes the pruned index's columns once per outer block and
+  each page's lane columns once per dispatch; workers receive only
+  ``(offset, length)`` descriptors and rebuild zero-copy ``np.frombuffer``
+  views over the same physical pages.
+* :class:`LaneResultSlabs` preallocates one result slab per lane.  Workers
+  write their matched-pair arrays (and a count header) straight into their
+  slab and return a bare row count; the parent copies the rows back out of
+  shared memory.  Only a lane whose matches overflow its slab falls back to
+  pickling its arrays -- counted, never wrong.
+
+Both fan-out flavors are exposed as *dispatchers* -- callables with the
+``dispatch(shared, lane_tasks)`` signature that
+:func:`repro.exec.sweep_parallel.probe_pruned` accepts -- so the engine
+can A/B them and every failure path (segment creation refused, arena
+overflow, slab overflow) degrades to the pickling path of the identical
+computation.
+
+Copy accounting: the module keeps process-wide ``bytes_pickled`` /
+``bytes_shared`` counters (see :func:`copy_counters`), fed by both
+dispatchers, so benchmarks and the CI perf gate can compare serialization
+traffic across modes without instrumenting ``pickle`` itself.
+
+Lifecycle: every live segment is registered in a module registry
+(:func:`active_arena_count`); :meth:`ShmLaneDispatcher.close` -- invoked
+from the sweep's ``finally`` via the engine -- unlinks them on success,
+crash, and degradation paths alike, which the arena leak tests assert.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.backend import np
+
+#: Descriptor of one array pushed into an arena: (offset bytes, length rows).
+Span = Tuple[int, int]
+
+_SEQ = itertools.count()
+
+#: Live segments created by this process, name -> SharedMemory.  The leak
+#: tests assert this drains to empty however a sweep ends.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+# Process-wide copy-traffic counters (reset by benchmarks per run).
+_COPY = {"bytes_pickled": 0, "bytes_shared": 0}
+
+
+def copy_counters() -> Dict[str, int]:
+    """Snapshot of the process-wide copy-traffic counters."""
+    return dict(_COPY)
+
+
+def reset_copy_counters() -> None:
+    """Zero the process-wide copy-traffic counters."""
+    _COPY["bytes_pickled"] = 0
+    _COPY["bytes_shared"] = 0
+
+
+def active_arena_count() -> int:
+    """Shared segments this process created and has not yet unlinked."""
+    return len(_LIVE_SEGMENTS)
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create and register a uniquely named shared segment."""
+    name = f"repro_arena_{os.getpid():x}_{next(_SEQ):x}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(8, nbytes))
+    _LIVE_SEGMENTS[shm.name] = shm
+    return shm
+
+
+def _release_segment(shm: Optional[shared_memory.SharedMemory]) -> None:
+    """Close and unlink a segment (idempotent, exception-safe)."""
+    if shm is None:
+        return
+    _LIVE_SEGMENTS.pop(shm.name, None)
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        # Already unlinked (double close) or the platform cleaned it up.
+        pass
+
+
+class ArenaOverflowError(Exception):
+    """A push would not fit the arena; the caller falls back to pickling."""
+
+
+class ColumnArena:
+    """A bump allocator over one shared-memory segment of ``int64`` columns.
+
+    The parent is the only writer; workers attach read-only views.  Pushes
+    are 8-byte aligned by construction (everything stored is ``int64``).
+    """
+
+    __slots__ = ("shm", "nbytes", "offset", "total_pushed", "_np")
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = _new_segment(nbytes)
+        self.nbytes = self.shm.size
+        self.offset = 0
+        self.total_pushed = 0
+        self._np = np.frombuffer(self.shm.buf, dtype=np.int64)
+
+    def mark(self) -> int:
+        """The current bump offset (bytes), for later :meth:`reset_to`."""
+        return self.offset
+
+    def reset_to(self, mark: int) -> None:
+        """Roll the allocator back to *mark*, reusing the space above it."""
+        self.offset = mark
+
+    def push(self, column) -> Span:
+        """Copy *column* (any int64 array) into the arena.
+
+        Returns the ``(offset, length)`` descriptor a worker needs to
+        rebuild the view.  This is the *single* copy of the fan-out --
+        parent memory to shared pages -- replacing a pickle serialization,
+        a pipe write, a pipe read, and an unpickle allocation per lane.
+        """
+        arr = np.ascontiguousarray(column, dtype=np.int64)
+        start = self.offset
+        end = start + arr.nbytes
+        if end > self.nbytes:
+            raise ArenaOverflowError(
+                f"push of {arr.nbytes} bytes at {start} exceeds arena of {self.nbytes}"
+            )
+        self._np[start // 8 : end // 8] = arr
+        self.offset = end
+        self.total_pushed += arr.nbytes
+        _COPY["bytes_shared"] += arr.nbytes
+        return (start, int(arr.size))
+
+    def view(self, span: Span):
+        """Zero-copy view of a pushed column (parent side)."""
+        offset, length = span
+        return self._np[offset // 8 : offset // 8 + length]
+
+    def close(self) -> None:
+        """Release the segment (idempotent)."""
+        self._np = None
+        _release_segment(self.shm)
+        self.shm = None
+
+
+class LaneResultSlabs:
+    """Preallocated per-lane result slabs in one shared segment.
+
+    Slab layout (all ``int64``): ``[count][inner xC][pos xC][start xC][end
+    xC]`` where ``C`` is the per-lane row capacity.  Lanes write disjoint
+    slabs, so no synchronization is needed beyond the pool's own
+    request/response ordering.
+    """
+
+    __slots__ = ("shm", "lanes", "capacity", "total_read", "_words", "_np")
+
+    def __init__(self, lanes: int, capacity: int) -> None:
+        self.lanes = lanes
+        self.capacity = capacity
+        self.total_read = 0
+        self._words = 1 + 4 * capacity
+        self.shm = _new_segment(8 * lanes * self._words)
+        self._np = np.frombuffer(self.shm.buf, dtype=np.int64)
+
+    def read_lane(self, slot: int, count: int) -> Tuple:
+        """Copy lane *slot*'s arrays back out of the slab.
+
+        The copy is mandatory -- the slab is reused by the next dispatch --
+        and is the only parent-side copy of the return direction.
+        """
+        base = slot * self._words + 1
+        cap = self.capacity
+        view = self._np
+        self.total_read += 32 * count
+        _COPY["bytes_shared"] += 32 * count
+        return tuple(
+            view[base + i * cap : base + i * cap + count].copy() for i in range(4)
+        )
+
+    def close(self) -> None:
+        """Release the segment (idempotent)."""
+        self._np = None
+        _release_segment(self.shm)
+        self.shm = None
+
+
+@dataclass(frozen=True)
+class ArenaDescriptor:
+    """Checkpointable arena *geometry* -- never buffer contents.
+
+    A checkpoint must be able to bring a resumed sweep back to an
+    equivalent execution environment, but the arena contents are pure
+    scratch (rebuilt from the tuple cache and the partition pages on
+    replay), so only the shape is worth persisting.
+    """
+
+    data_bytes: int
+    slab_rows: int
+    lanes: int
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Worker-process cache of attached segments, name -> SharedMemory.  Entries
+#: live for the worker's lifetime; the parent's unlink still reclaims the
+#: pages once every attached process exits.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment, once per worker process.
+
+    On Python < 3.13 attaching registers the segment with the resource
+    tracker, which then spuriously warns (and double-unlinks) at exit for
+    segments the *parent* owns; explicitly unregistering restores the
+    pre-3.13 ``track=False`` semantics.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    _ATTACHED[name] = shm
+    return shm
+
+
+def _segment_view(name: str):
+    """Whole-segment ``int64`` view of an attached segment."""
+    return np.frombuffer(_attach(name).buf, dtype=np.int64)
+
+
+def _span_view(seg, span: Span):
+    offset, length = span
+    return seg[offset // 8 : offset // 8 + length]
+
+
+def _shm_lane_task(args) -> object:
+    """Pool entry point: probe one lane entirely through shared memory.
+
+    Receives only names, descriptors, and two scalars; returns the match
+    count when the results fit the lane's slab, or the raw arrays (pickled
+    by the pool as usual) when they overflow it.
+    """
+    (
+        data_name,
+        index_spans,
+        min_start,
+        stride,
+        lane_spans,
+        slab_name,
+        slot,
+        capacity,
+    ) = args
+    from repro.exec.sweep_parallel import _lane_pairs
+
+    seg = _segment_view(data_name)
+    comp, starts_sorted, ends_sorted, grp_maxlen = (
+        _span_view(seg, span) for span in index_spans
+    )
+    g, rows, i_starts, i_ends = (_span_view(seg, span) for span in lane_spans)
+    pair_inner, pos, cs, ce = _lane_pairs(
+        comp,
+        starts_sorted,
+        ends_sorted,
+        grp_maxlen,
+        min_start,
+        stride,
+        g,
+        rows,
+        i_starts,
+        i_ends,
+    )
+    count = int(pair_inner.size)
+    if count > capacity:
+        return (pair_inner, pos, cs, ce)
+    slab = _segment_view(slab_name)
+    words = 1 + 4 * capacity
+    base = slot * words
+    slab[base] = count
+    base += 1
+    for i, arr in enumerate((pair_inner, pos, cs, ce)):
+        slab[base + i * capacity : base + i * capacity + count] = arr
+    return count
+
+
+# -- dispatchers --------------------------------------------------------------
+
+
+def _task_nbytes(task: Sequence) -> int:
+    """Approximate serialized payload of a lane task (array bytes only)."""
+    total = 0
+    for item in task:
+        nbytes = getattr(item, "nbytes", None)
+        total += nbytes if nbytes is not None else 8
+    return total
+
+
+class PickledLaneDispatcher:
+    """The PR-3 fan-out as a dispatcher: ``pool.map`` over pickled tasks.
+
+    Exists so the engine (and the benchmark ablation) can meter the
+    serialization traffic of the baseline path through the same counters
+    the shared-memory path uses.
+    """
+
+    __slots__ = ("pool", "bytes_pickled")
+
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.bytes_pickled = 0
+
+    def __call__(self, shared, lane_tasks) -> List[Tuple]:
+        from repro.exec.sweep_parallel import _lane_task
+
+        tasks = [shared + task for task in lane_tasks]
+        sent = sum(_task_nbytes(task) for task in tasks)
+        parts = self.pool.map(_lane_task, tasks)
+        received = sum(_task_nbytes(part) for part in parts)
+        self.bytes_pickled += sent + received
+        _COPY["bytes_pickled"] += sent + received
+        return parts
+
+    def close(self) -> None:  # symmetry with ShmLaneDispatcher
+        pass
+
+
+class ShmLaneDispatcher:
+    """Zero-pickle lane fan-out over shared-memory arenas.
+
+    Per outer block, the pruned index's four columns are pushed into the
+    data arena **once**; per page dispatch, only each lane's four small
+    input columns follow.  Workers receive descriptors, compute, and write
+    into their result slab.  Every overflow degrades to the pickling path
+    of the same computation (counted in :attr:`arena_overflows` /
+    :attr:`slab_overflows`).
+    """
+
+    __slots__ = (
+        "pool",
+        "arena",
+        "slabs",
+        "bytes_pickled",
+        "arena_overflows",
+        "slab_overflows",
+        "dispatches",
+        "_index_src",
+        "_index_spans",
+        "_index_mark",
+        "_pickled",
+    )
+
+    def __init__(self, pool, *, data_bytes: int, slab_rows: int, lanes: int) -> None:
+        self.pool = pool
+        self.arena = ColumnArena(data_bytes)
+        self.slabs = LaneResultSlabs(lanes, slab_rows)
+        self.bytes_pickled = 0
+        self.arena_overflows = 0
+        self.slab_overflows = 0
+        self.dispatches = 0
+        self._index_src: Optional[Tuple] = None
+        self._index_spans: Optional[List[Span]] = None
+        self._index_mark = 0
+        self._pickled = PickledLaneDispatcher(pool)
+
+    @property
+    def descriptor(self) -> ArenaDescriptor:
+        """Checkpointable geometry of the attached segments."""
+        return ArenaDescriptor(
+            data_bytes=self.arena.nbytes if self.arena is not None else 0,
+            slab_rows=self.slabs.capacity if self.slabs is not None else 0,
+            lanes=self.slabs.lanes if self.slabs is not None else 0,
+        )
+
+    @property
+    def bytes_shared(self) -> int:
+        """Bytes moved through shared memory by this dispatcher, both ways."""
+        pushed = self.arena.total_pushed if self.arena is not None else 0
+        read = self.slabs.total_read if self.slabs is not None else 0
+        return pushed + read
+
+    def __call__(self, shared, lane_tasks) -> List[Tuple]:
+        try:
+            return self._dispatch_shared(shared, lane_tasks)
+        except ArenaOverflowError:
+            # The planner under-sized the arena for this block/page (e.g. a
+            # degraded grant shrank it).  Same computation, pickled.
+            self.arena_overflows += 1
+            parts = self._pickled(shared, lane_tasks)
+            self.bytes_pickled = self._pickled.bytes_pickled
+            return parts
+
+    def _dispatch_shared(self, shared, lane_tasks) -> List[Tuple]:
+        comp, starts_sorted, ends_sorted, grp_maxlen, min_start, stride = shared
+        # One index push per outer block: the block's columns are identified
+        # by object identity, and holding the reference pins the id.
+        if self._index_src is None or self._index_src[0] is not comp:
+            self.arena.reset_to(0)
+            self._index_src = None
+            self._index_spans = [
+                self.arena.push(col)
+                for col in (comp, starts_sorted, ends_sorted, grp_maxlen)
+            ]
+            self._index_src = shared
+            self._index_mark = self.arena.mark()
+
+        self.arena.reset_to(self._index_mark)
+        slab_name = self.slabs.shm.name
+        data_name = self.arena.shm.name
+        capacity = self.slabs.capacity
+        tasks = []
+        for slot, task in enumerate(lane_tasks):
+            lane_spans = [self.arena.push(col) for col in task]
+            tasks.append(
+                (
+                    data_name,
+                    self._index_spans,
+                    min_start,
+                    stride,
+                    lane_spans,
+                    slab_name,
+                    slot,
+                    capacity,
+                )
+            )
+        results = self.pool.map(_shm_lane_task, tasks)
+        self.dispatches += 1
+
+        parts: List[Tuple] = []
+        for slot, result in enumerate(results):
+            if isinstance(result, int):
+                pair_inner, pos, cs, ce = self.slabs.read_lane(slot, result)
+            else:
+                # Slab overflow: the worker pickled its arrays back.
+                self.slab_overflows += 1
+                pair_inner, pos, cs, ce = result
+                overflow_bytes = _task_nbytes(result)
+                self.bytes_pickled += overflow_bytes
+                _COPY["bytes_pickled"] += overflow_bytes
+            parts.append((pair_inner, pos, cs, ce))
+        return parts
+
+    def close(self) -> None:
+        """Unlink both segments (idempotent; never raises).
+
+        The engine's ``close`` -- which the sweep's ``finally`` always
+        reaches, success or crash -- funnels here, so segment lifetime is
+        bounded by the join however it ends.
+        """
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+        if self.slabs is not None:
+            self.slabs.close()
+            self.slabs = None
+        self._index_src = None
+        self._index_spans = None
+
+
+# -- shared-memory transport for parallel Grace placement ---------------------
+
+
+def _locate_shm_task(args) -> int:
+    """Pool entry point: locate one descriptor-addressed chunk of chronons.
+
+    Reads the chronon column from the shared input segment and writes the
+    located partition indices into the same rows of the output segment;
+    only the two names, two descriptors, and the boundary list cross the
+    pool boundary.
+    """
+    in_name, span, out_name, boundary_ends = args
+    from repro.exec.kernels import get_kernels
+
+    seg = _segment_view(in_name)
+    chronons = _span_view(seg, span)
+    kernels = get_kernels()
+    located = kernels.locate(chronons, kernels.prepare_boundaries(list(boundary_ends)))
+    out = _segment_view(out_name)
+    offset, length = span
+    out[offset // 8 : offset // 8 + length] = np.asarray(located, dtype=np.int64)
+    return length
+
+
+def locate_spans_shared(
+    chronons: Sequence[int],
+    boundary_ends: Sequence[int],
+    pool,
+    chunk: int,
+) -> Optional[List[int]]:
+    """Locate *chronons* through a shared-memory scatter/gather.
+
+    The chronon column is written to a shared input segment once; workers
+    fill a shared output segment in place.  Returns None when the segments
+    cannot be created (the caller falls back to the pickling transport).
+    """
+    n = len(chronons)
+    arena = out = None
+    try:
+        try:
+            arena = ColumnArena(8 * n)
+            out = ColumnArena(8 * n)
+        except Exception:
+            return None
+        span = arena.push(np.asarray(chronons, dtype=np.int64))
+        out.offset = 8 * n  # reserve; workers write via descriptors
+        ends = list(boundary_ends)
+        tasks = [
+            (arena.shm.name, (8 * i, min(chunk, n - i)), out.shm.name, ends)
+            for i in range(0, n, chunk)
+        ]
+        pool.map(_locate_shm_task, tasks)
+        _COPY["bytes_shared"] += 8 * n
+        return out.view((0, n)).tolist()
+    finally:
+        if arena is not None:
+            arena.close()
+        if out is not None:
+            out.close()
+
+
+__all__ = [
+    "ArenaDescriptor",
+    "ArenaOverflowError",
+    "ColumnArena",
+    "LaneResultSlabs",
+    "PickledLaneDispatcher",
+    "ShmLaneDispatcher",
+    "active_arena_count",
+    "copy_counters",
+    "locate_spans_shared",
+    "reset_copy_counters",
+]

@@ -29,9 +29,22 @@ from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.backend import HAVE_NUMPY, backend_name, np
-from repro.exec.batch import KeyInterner, PageBatch
+from repro.exec.batch import CodeTranslator, KeyInterner, PageBatch
 from repro.model.vtuple import VTTuple
 from repro.time.interval import Interval
+
+
+def _columnar_page_type():
+    """The ColumnarPage class, imported lazily.
+
+    ``storage.columnar_page`` itself imports :mod:`repro.exec.backend`, so a
+    top-level import here would be circular (storage -> exec -> kernels ->
+    storage).  By the time a page reaches a kernel both packages are fully
+    initialized and this is a ``sys.modules`` hit.
+    """
+    from repro.storage.columnar_page import ColumnarPage
+
+    return ColumnarPage
 
 #: A matched pair ready for the pair function: (outer tuple, inner tuple,
 #: overlap interval).  Emission order is (inner row, outer insertion order),
@@ -83,8 +96,15 @@ class Kernels:
         interner: Optional[KeyInterner] = None,
         *,
         intern: bool = False,
+        translator: Optional[CodeTranslator] = None,
     ) -> PageBatch:
-        """Build the backend-native :class:`PageBatch` for *page*."""
+        """Build the backend-native :class:`PageBatch` for *page*.
+
+        A :class:`~repro.storage.columnar_page.ColumnarPage` takes the
+        zero-copy path (column views over the page buffer, key ids via the
+        *translator*'s gather table); any other sequence is decomposed
+        tuple by tuple as before.
+        """
         raise NotImplementedError
 
     # -- the kernels -------------------------------------------------------
@@ -129,8 +149,10 @@ class PythonKernels(Kernels):
 
     use_numpy = False
 
-    def page_batch(self, page, interner=None, *, intern=False):
+    def page_batch(self, page, interner=None, *, intern=False, translator=None):
         # Key-id columns buy nothing without vector ops; skip them.
+        if isinstance(page, _columnar_page_type()):
+            return PageBatch.from_columnar(page, None, use_numpy=False)
         return PageBatch.from_tuples(page, None, use_numpy=False)
 
     def build_probe_index(self, block, interner):
@@ -223,7 +245,11 @@ class NumpyKernels(Kernels):
                 "NumpyKernels requires numpy; install the repro[fast] extra"
             )
 
-    def page_batch(self, page, interner=None, *, intern=False):
+    def page_batch(self, page, interner=None, *, intern=False, translator=None):
+        if isinstance(page, _columnar_page_type()):
+            return PageBatch.from_columnar(
+                page, interner, intern=intern, use_numpy=True, translator=translator
+            )
         return PageBatch.from_tuples(page, interner, intern=intern, use_numpy=True)
 
     def build_probe_index(self, block, interner):

@@ -77,6 +77,7 @@ def locate_partitions_parallel(
     *,
     workers: Optional[int] = None,
     kernels: Optional[Kernels] = None,
+    transport: str = "pickle",
 ) -> List[int]:
     """Storage-partition index of every span, computed with a process pool.
 
@@ -89,6 +90,12 @@ def locate_partitions_parallel(
             computes in-process.
         kernels: kernels for the in-process fallback path (defaults to the
             process-wide selection).
+        transport: ``"pickle"`` ships chronon chunks as pickled tuples (the
+            classic path); ``"shared"`` scatters the chronon column through
+            a shared-memory segment and gathers the located indices from a
+            shared output segment, so only descriptors cross the pool
+            boundary (the ``"zero-copy-sweep"`` path).  Both transports --
+            and every fallback between them -- return identical indices.
 
     Returns:
         Partition indices in input order -- identical whatever the worker
@@ -96,6 +103,8 @@ def locate_partitions_parallel(
     """
     if placement not in ("last", "first"):
         raise ValueError(f"placement must be 'last' or 'first', got {placement!r}")
+    if transport not in ("pickle", "shared"):
+        raise ValueError(f"transport must be 'pickle' or 'shared', got {transport!r}")
     active = kernels if kernels is not None else get_kernels()
     n = len(spans)
     n_workers = default_workers() if workers is None else workers
@@ -110,6 +119,26 @@ def locate_partitions_parallel(
     if n_workers <= 1 or n < MIN_PARALLEL_TUPLES:
         return active.locate([span[0] for span in oriented],
                              active.prepare_boundaries(list(boundary_ends)))
+
+    if transport == "shared" and active.use_numpy:
+        try:
+            from repro.exec.arena import locate_spans_shared
+
+            with multiprocessing.get_context().Pool(
+                processes=min(n_workers, max(1, (n + CHUNK_SPANS - 1) // CHUNK_SPANS)),
+            ) as pool:
+                located_shared = locate_spans_shared(
+                    [span[0] for span in oriented],
+                    list(boundary_ends),
+                    pool,
+                    CHUNK_SPANS,
+                )
+            if located_shared is not None:
+                return located_shared
+        except Exception:
+            # Segment or pool creation refused -- fall through to the
+            # pickling transport of the identical computation.
+            pass
 
     chunks: List[SpanChunk] = [
         tuple(oriented[i : i + CHUNK_SPANS]) for i in range(0, n, CHUNK_SPANS)

@@ -45,9 +45,15 @@ from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.backend import HAVE_NUMPY, np
+from repro.exec.batch import CodeTranslator
 from repro.exec.kernels import Kernels, Match, get_kernels
 from repro.model.vtuple import VTTuple
 from repro.time.interval import Interval
+
+#: Arena geometry used when no multibuffer plan is supplied: one generous
+#: data arena and per-lane slabs sized for a full page's worth of matches.
+DEFAULT_ARENA_BYTES = 1 << 22
+DEFAULT_SLAB_ROWS = 1 << 16
 
 #: Pairs-per-page threshold below which lanes always run in-process: pool
 #: round-trip latency costs more than the probe itself.
@@ -104,8 +110,11 @@ class PrunedProbeIndex:
         "fallback",
     )
 
-    def __init__(self, block: Sequence[VTTuple], interner) -> None:
-        self.block = list(block)
+    def __init__(self, block: Sequence[VTTuple], interner, translator=None) -> None:
+        columnar = translator is not None and hasattr(block, "columns")
+        # A ColumnarBlock stays packed (rows materialize on emission only);
+        # anything else is snapshotted into a list as before.
+        self.block = block if columnar else list(block)
         self.fallback = None
         n = len(self.block)
         if n == 0:
@@ -119,11 +128,16 @@ class PrunedProbeIndex:
             self.min_start = 0
             self.stride = 1
             return
-        key_ids = np.fromiter(
-            (interner.intern(tup.key) for tup in self.block), np.int64, count=n
-        )
-        starts = np.fromiter((tup.valid.start for tup in self.block), np.int64, count=n)
-        ends = np.fromiter((tup.valid.end for tup in self.block), np.int64, count=n)
+        if columnar:
+            key_ids, starts, ends = self.block.columns(translator)
+        else:
+            key_ids = np.fromiter(
+                (interner.intern(tup.key) for tup in self.block), np.int64, count=n
+            )
+            starts = np.fromiter(
+                (tup.valid.start for tup in self.block), np.int64, count=n
+            )
+            ends = np.fromiter((tup.valid.end for tup in self.block), np.int64, count=n)
         # Sort by (group, start); ties keep arbitrary relative order -- the
         # emission sort restores block insertion order from ``order``.
         self.order = np.lexsort((starts, key_ids))
@@ -211,14 +225,17 @@ def probe_pruned(
     *,
     lanes: int = 1,
     pool=None,
+    dispatch=None,
 ) -> Tuple:
     """Probe one inner page's columns against a pruned index.
 
     Returns ``(pair_outer_rows, pair_inner_rows, common_starts,
     common_ends)`` in the oracle's emission order -- (inner row, outer
     block insertion order) -- as flat arrays.  ``lanes``/``pool`` control
-    the fan-out; the output is identical for every lane count and for pool
-    or in-process execution.
+    the fan-out; *dispatch* (a ``dispatch(shared, lane_tasks)`` callable,
+    e.g. an :class:`~repro.exec.arena.ShmLaneDispatcher`) replaces the raw
+    ``pool.map`` when given.  The output is identical for every lane
+    count and for every fan-out flavor, pool or in-process.
     """
     empty = np.empty(0, np.int64)
     n = int(key_ids.shape[0]) if hasattr(key_ids, "shape") else len(key_ids)
@@ -247,17 +264,19 @@ def probe_pruned(
         parts = [_lane_pairs(*shared, g, rows, i_starts, i_ends)]
     else:
         lane_of = g % lanes
-        tasks = []
+        lane_tasks = []
         for lane in range(lanes):
             members = np.nonzero(lane_of == lane)[0]
             if members.size:
-                tasks.append(
-                    shared + (g[members], rows[members], i_starts[members], i_ends[members])
+                lane_tasks.append(
+                    (g[members], rows[members], i_starts[members], i_ends[members])
                 )
-        if pool is not None:
-            parts = pool.map(_lane_task, tasks)
+        if dispatch is not None:
+            parts = dispatch(shared, lane_tasks)
+        elif pool is not None:
+            parts = pool.map(_lane_task, [shared + task for task in lane_tasks])
         else:
-            parts = [_lane_pairs(*task) for task in tasks]
+            parts = [_lane_pairs(*shared, *task) for task in lane_tasks]
 
     pair_inner = np.concatenate([p[0] for p in parts]) if parts else empty
     if pair_inner.size == 0:
@@ -372,16 +391,31 @@ class PipelinedSweepEngine:
         workers: Optional[int] = None,
         kernels: Optional[Kernels] = None,
         obs=None,
+        zero_copy: bool = False,
+        interner=None,
+        arena_plan=None,
     ) -> None:
         self._kernels = kernels if kernels is not None else get_kernels()
         self._boundaries = self._kernels.prepare_boundaries(partition_map)
-        self._interner = self._kernels.make_interner()
+        # An injected interner (the service's epoch-keyed shared one) skips
+        # the rebuild-per-join churn; id values never affect results, so
+        # sharing is sound (see KeyInterner docstring).
+        self._interner = interner if interner is not None else self._kernels.make_interner()
+        self._translator = (
+            CodeTranslator(self._interner) if self._kernels.use_numpy else None
+        )
         self._direction = direction
         self.lanes = effective_sweep_workers(workers)
         self._pool = None
         self._pool_broken = self._kernels.use_numpy is False  # lanes ship arrays
         self.pool_dispatches = 0
         self.pool_fallbacks = 0
+        #: Fan the lanes out through shared-memory arenas instead of pickled
+        #: ``pool.map`` tasks (the ``"zero-copy-sweep"`` mode).
+        self.zero_copy = zero_copy
+        self._arena_plan = arena_plan
+        self._arena_broken = False
+        self._dispatcher = None
         # Observation only (trace events on pool lifecycle transitions);
         # the probe computation never consults it.
         self._obs = obs
@@ -403,8 +437,79 @@ class PipelinedSweepEngine:
                     self._obs.event("pool-fallback", reason="spawn-failed")
         return self._pool
 
+    def _ensure_dispatcher(self, pool):
+        """The fan-out dispatcher for *pool* (created lazily, like the pool).
+
+        Zero-copy mode gets a shared-memory dispatcher, falling back to the
+        metered pickling dispatcher when segments cannot be created (e.g.
+        no ``/dev/shm`` in a sandbox); the classic mode always gets the
+        metered pickling dispatcher.  Either way the computation -- and
+        thus the result -- is identical.
+        """
+        from repro.exec import arena as arena_mod
+
+        if self._dispatcher is not None:
+            return self._dispatcher
+        if self.zero_copy and not self._arena_broken:
+            plan = self._arena_plan
+            try:
+                self._dispatcher = arena_mod.ShmLaneDispatcher(
+                    pool,
+                    data_bytes=(
+                        plan.data_bytes if plan is not None else DEFAULT_ARENA_BYTES
+                    ),
+                    slab_rows=(
+                        plan.slab_rows if plan is not None else DEFAULT_SLAB_ROWS
+                    ),
+                    lanes=self.lanes,
+                )
+                if self._obs is not None:
+                    desc = self._dispatcher.descriptor
+                    self._obs.event(
+                        "arena-start",
+                        data_bytes=desc.data_bytes,
+                        slab_rows=desc.slab_rows,
+                        lanes=desc.lanes,
+                    )
+                return self._dispatcher
+            except Exception:
+                self._arena_broken = True
+                if self._obs is not None:
+                    self._obs.event("arena-fallback", reason="segment-create-failed")
+        self._dispatcher = arena_mod.PickledLaneDispatcher(pool)
+        return self._dispatcher
+
+    @property
+    def arena_descriptor(self):
+        """Checkpointable arena geometry, or None when no arena is live."""
+        dispatcher = self._dispatcher
+        if dispatcher is None or not hasattr(dispatcher, "descriptor"):
+            return None
+        return dispatcher.descriptor
+
+    def copy_traffic(self) -> Dict[str, int]:
+        """Serialization/copy counters of the active fan-out (for obs)."""
+        dispatcher = self._dispatcher
+        return {
+            "bytes_pickled": getattr(dispatcher, "bytes_pickled", 0),
+            "bytes_shared": getattr(dispatcher, "bytes_shared", 0),
+            "arena_overflows": getattr(dispatcher, "arena_overflows", 0),
+            "slab_overflows": getattr(dispatcher, "slab_overflows", 0),
+        }
+
     def close(self) -> None:
-        """Shut the lane pool down (idempotent; the sweep's finally calls it)."""
+        """Shut the lane pool down (idempotent; the sweep's finally calls it).
+
+        Also unlinks the shared-memory arenas, so the segments' lifetime is
+        bounded by the join on every path -- success, crash unwinding, and
+        pool-degradation all funnel here.
+        """
+        if self._dispatcher is not None:
+            try:
+                self._dispatcher.close()
+            except Exception:
+                pass
+            self._dispatcher = None
         if self._pool is not None:
             try:
                 self._pool.terminate()
@@ -415,9 +520,14 @@ class PipelinedSweepEngine:
 
     # -- engine contract ----------------------------------------------------
 
+    @property
+    def supports_columnar_blocks(self) -> bool:
+        """Whether :meth:`build_index` consumes packed ColumnarBlocks."""
+        return self._kernels.use_numpy
+
     def build_index(self, block: Sequence[VTTuple]):
         if self._kernels.use_numpy:
-            return PrunedProbeIndex(block, self._interner)
+            return PrunedProbeIndex(block, self._interner, translator=self._translator)
         return PrunedProbeIndexPython(block)
 
     def process_page(
@@ -428,7 +538,7 @@ class PipelinedSweepEngine:
         next_index: Optional[int],
         want_migration: bool,
     ) -> Tuple[List[Match], List[int]]:
-        batch = self._kernels.page_batch(page, self._interner)
+        batch = self._kernels.page_batch(page, self._interner, translator=self._translator)
         if self._kernels.use_numpy:
             matches = self._probe_numpy(index_obj, batch, part_index)
         else:
@@ -451,6 +561,7 @@ class PipelinedSweepEngine:
                 index_obj.fallback, batch, self._boundaries, part_index, self._direction
             )
         pool = self._ensure_pool() if self.lanes >= 2 else None
+        dispatch = self._ensure_dispatcher(pool) if pool is not None else None
         try:
             pair_outer, pair_inner, cs, ce = probe_pruned(
                 index_obj,
@@ -462,6 +573,7 @@ class PipelinedSweepEngine:
                 self._direction,
                 lanes=self.lanes if pool is not None else 1,
                 pool=pool,
+                dispatch=dispatch,
             )
             if pool is not None:
                 self.pool_dispatches += 1

@@ -1,0 +1,23 @@
+"""Planner passes that sit above the core cost model.
+
+The :mod:`repro.core.planner` module owns the paper's cost formulas (C_part
+/ C_join, partition-count search, admission grants).  This package holds
+the passes layered on top of them; currently the multi-buffer allocation
+pass (:mod:`repro.planner.multibuffer`) that sizes every *auxiliary*
+buffer consumer of the zero-copy sweep -- prefetch window, shared column
+arena, per-lane result slabs -- jointly under one BufferPool budget.
+"""
+
+from repro.planner.multibuffer import (
+    MultiBufferPlan,
+    best_factor,
+    best_root,
+    plan_multibuffer,
+)
+
+__all__ = [
+    "MultiBufferPlan",
+    "best_factor",
+    "best_root",
+    "plan_multibuffer",
+]

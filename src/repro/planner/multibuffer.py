@@ -1,0 +1,265 @@
+"""Joint multi-buffer allocation for the zero-copy sweep.
+
+The partition join's page budget (``buffSize``) is chosen by the paper's
+cost model and must stay exactly what the serial plan chose -- changing it
+would change the partitioning, the tuple-cache trajectory, and every
+charged I/O, breaking the bit-identity contract between execution modes.
+But the ``"zero-copy-sweep"`` mode has three *auxiliary* buffer consumers
+the paper never had, and before this pass they were sized by disconnected
+defaults:
+
+* the **prefetch window** (``prefetch_depth`` pinned pages of read-ahead),
+* the **shared column arena** the lane fan-out pushes index/page columns
+  into,
+* the **per-lane result slabs** workers write match indices into.
+
+This pass sizes all three jointly under one explicit auxiliary page budget,
+using the two classic buffer-needs estimators from SimpleDB's multibuffer
+chunking (``BufferNeeds.best_root`` / ``best_factor``): the highest root
+(resp. factor) of an output size that fits the available buffers.  The
+allocation never touches the join budget -- auxiliary pages ride *on top*
+of ``buffSize``, are reserved best-effort, and every shortfall degrades the
+plan (smaller slabs, smaller arena, shallower prefetch) without ever
+changing results: arena overflow falls back to pickled dispatch, slab
+overflow to pickled returns, and a zero prefetch depth to demand paging,
+all of which are result-identical by construction.
+
+The same pass feeds admission control: ``estimate_grant_pages`` adds
+``plan.total_aux_pages`` to a zero-copy query's useful budget, so the
+service's grants account for the prefetch window and the lane buffers it
+previously ignored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.storage.page import PageSpec
+
+#: Smallest useful per-lane slab: below this, slab traffic is dominated by
+#: the header/IPC overhead the slabs exist to avoid.
+MIN_SLAB_ROWS = 1024
+
+#: Hard floor for the shared arena: one page worth of columns.
+MIN_ARENA_PAGES = 1
+
+
+def best_root(size: int, avail: int) -> int:
+    """The highest *i*-th root of *size* that fits in *avail* buffers.
+
+    The SimpleDB multibuffer rule: chunking an output of ``size`` blocks
+    into ``ceil(size ** (1/i))``-block chunks costs ``i`` passes, so the
+    best chunk size under ``avail`` buffers is the highest root that fits.
+    Returns 1 when ``avail <= 1``.
+    """
+    if size < 0 or avail < 0:
+        raise ValueError(f"best_root needs non-negative inputs, got {size}, {avail}")
+    if avail <= 1 or size <= 1:
+        return 1
+    i = 1
+    k = size
+    while k > avail:
+        i += 1
+        k = math.ceil(size ** (1 / i))
+    return k
+
+
+def best_factor(size: int, avail: int) -> int:
+    """The highest ``ceil(size / i)`` factor of *size* fitting *avail*.
+
+    The companion rule for single-pass consumers (scan windows): the
+    largest even division of ``size`` that fits the available buffers.
+    Returns 1 when ``avail <= 1``.
+    """
+    if size < 0 or avail < 0:
+        raise ValueError(f"best_factor needs non-negative inputs, got {size}, {avail}")
+    if avail <= 1 or size <= 1:
+        return 1
+    i = 1
+    k = size
+    while k > avail:
+        i += 1
+        k = math.ceil(size / i)
+    return k
+
+
+@dataclass(frozen=True)
+class MultiBufferPlan:
+    """The joint auxiliary-buffer allocation of one zero-copy join.
+
+    All page counts are in the join's page geometry.  ``join_pages`` is
+    carried for reporting only -- the pass never alters it.
+    """
+
+    join_pages: int
+    lanes: int
+    prefetch_depth: int
+    prefetch_pages: int
+    arena_bytes: int
+    arena_pages: int
+    slab_rows: int
+    slab_pages: int
+
+    @property
+    def total_aux_pages(self) -> int:
+        """Pages the plan asks for on top of the join budget."""
+        return self.prefetch_pages + self.arena_pages + self.slab_pages
+
+    def arena_geometry(self):
+        """The plan's arena shape as a checkpointable descriptor."""
+        from repro.exec.arena import ArenaDescriptor
+
+        return ArenaDescriptor(
+            data_bytes=self.arena_bytes, slab_rows=self.slab_rows, lanes=self.lanes
+        )
+
+    @classmethod
+    def from_descriptor(
+        cls, descriptor, *, prefetch_depth: int, buff_size: int, spec: PageSpec
+    ) -> "MultiBufferPlan":
+        """Rebuild a plan from a checkpointed arena descriptor.
+
+        The recovery log stores only the arena *geometry* (segments are
+        volatile); resume reconstructs the page accounting from it so the
+        restarted sweep reserves and allocates exactly the original shape.
+        """
+        arena_pages = max(
+            MIN_ARENA_PAGES, math.ceil(descriptor.data_bytes / spec.page_bytes)
+        )
+        slab_pages = math.ceil(
+            8 * descriptor.lanes * (1 + 4 * descriptor.slab_rows) / spec.page_bytes
+        )
+        return cls(
+            join_pages=buff_size,
+            lanes=descriptor.lanes,
+            prefetch_depth=prefetch_depth,
+            prefetch_pages=max(0, prefetch_depth),
+            arena_bytes=descriptor.data_bytes,
+            arena_pages=arena_pages,
+            slab_rows=descriptor.slab_rows,
+            slab_pages=slab_pages,
+        )
+
+    def shrink_to(self, avail_pages: int, spec: PageSpec) -> "MultiBufferPlan":
+        """The same plan degraded to fit *avail_pages* auxiliary pages.
+
+        Degradation order mirrors the cost of losing each consumer: slabs
+        shrink first (overflow falls back to pickled returns -- cheap),
+        then the arena (whole-dispatch pickled fallback), then the
+        prefetch window (pure demand paging).  Results are identical at
+        every point of the ladder.
+        """
+        if avail_pages >= self.total_aux_pages:
+            return self
+        remaining = max(0, avail_pages)
+        prefetch_pages = min(self.prefetch_pages, remaining)
+        remaining -= prefetch_pages
+        arena_pages = min(self.arena_pages, remaining)
+        remaining -= arena_pages
+        slab_pages = min(self.slab_pages, remaining)
+        slab_rows = max(
+            MIN_SLAB_ROWS, (slab_pages * spec.page_bytes) // (8 * 4 * max(1, self.lanes))
+        )
+        return replace(
+            self,
+            prefetch_depth=min(self.prefetch_depth, prefetch_pages),
+            prefetch_pages=prefetch_pages,
+            arena_pages=arena_pages,
+            arena_bytes=max(spec.page_bytes * MIN_ARENA_PAGES, arena_pages * spec.page_bytes),
+            slab_pages=slab_pages,
+            slab_rows=slab_rows,
+        )
+
+
+def plan_multibuffer(
+    outer_pages: int,
+    inner_pages: int,
+    buff_size: int,
+    spec: PageSpec,
+    *,
+    lanes: int,
+    prefetch_depth: int = 8,
+    aux_pages: Optional[int] = None,
+) -> MultiBufferPlan:
+    """Size the zero-copy sweep's auxiliary buffers jointly.
+
+    Args:
+        outer_pages: catalog page count of the outer relation.
+        inner_pages: catalog page count of the inner relation.
+        buff_size: the join's outer-block budget (pages) -- read, never
+            altered.
+        spec: the page geometry (tuples per page, bytes per page).
+        lanes: probe lanes of the fan-out (1 = no pool, slabs/arena still
+            sized for the degenerate case).
+        prefetch_depth: the *requested* read-ahead depth; the pass may only
+            lower it.
+        aux_pages: the auxiliary page budget.  None means "unconstrained"
+            (standalone runs reserve best-effort and degrade at the pool);
+            admission-controlled runs pass the granted headroom.
+
+    The three consumers, in allocation order:
+
+    1. **Prefetch window** -- the per-partition serial page run is about
+       ``buff_size`` outer pages plus the partition's share of the inner
+       relation; ``best_factor`` of that run under the remaining budget is
+       the deepest read-ahead that still evenly tiles the run, capped at
+       the requested depth.
+    2. **Column arena** -- sized to the worst-case push: the pruned
+       index's four ``int64`` columns of a full outer block plus four
+       page columns per lane.
+    3. **Result slabs** -- the worst-case pair count of one (page, block)
+       probe is ``page_rows * block_rows``; its ``best_root`` under the
+       rows the remaining budget can hold is the classic chunk size, floored
+       at :data:`MIN_SLAB_ROWS`.  Four columns plus a header word per lane.
+    """
+    if outer_pages < 0 or inner_pages < 0 or buff_size < 1:
+        raise ValueError(
+            f"plan_multibuffer needs non-negative relations and buff_size >= 1, "
+            f"got {outer_pages}, {inner_pages}, {buff_size}"
+        )
+    lanes = max(1, lanes)
+    page_rows = spec.capacity
+    block_rows = buff_size * page_rows
+
+    budget = aux_pages if aux_pages is not None else (1 << 30)
+
+    # 1. Prefetch window.
+    n_partitions = max(1, math.ceil(max(1, outer_pages) / buff_size))
+    partition_run = min(buff_size, max(1, outer_pages)) + max(
+        1, math.ceil(inner_pages / n_partitions)
+    )
+    depth = min(max(0, prefetch_depth), best_factor(partition_run, budget))
+    prefetch_pages = depth
+    budget -= prefetch_pages
+
+    # 2. Column arena.
+    arena_bytes = 8 * 4 * (block_rows + lanes * page_rows)
+    arena_pages = max(MIN_ARENA_PAGES, math.ceil(arena_bytes / spec.page_bytes))
+    arena_pages = min(arena_pages, max(MIN_ARENA_PAGES, budget))
+    arena_bytes = arena_pages * spec.page_bytes
+    budget -= arena_pages
+
+    # 3. Result slabs.  The budget bounds the rows a slab can hold; even an
+    # unconstrained budget is capped at one block's rows per lane, so the
+    # root rule lands on the classic square-root chunk instead of degenerating
+    # to "the whole worst case fits".
+    avail_rows = max(0, budget) * spec.page_bytes // (8 * 4 * lanes)
+    avail_rows = min(avail_rows, block_rows)
+    slab_rows = max(MIN_SLAB_ROWS, best_root(page_rows * block_rows, avail_rows))
+    slab_pages = math.ceil(8 * lanes * (1 + 4 * slab_rows) / spec.page_bytes)
+
+    return MultiBufferPlan(
+        join_pages=buff_size,
+        lanes=lanes,
+        prefetch_depth=depth,
+        prefetch_pages=prefetch_pages,
+        arena_bytes=arena_bytes,
+        arena_pages=arena_pages,
+        slab_rows=slab_rows,
+        slab_pages=slab_pages,
+    )
+
+
+__all__ = ["MIN_ARENA_PAGES", "MIN_SLAB_ROWS", "MultiBufferPlan", "best_factor", "best_root", "plan_multibuffer"]

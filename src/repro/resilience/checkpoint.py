@@ -64,6 +64,12 @@ class SweepContext:
     #: defaults keep pre-pipeline recovery logs readable.
     prefetch_depth: int = 8
     sweep_workers: Optional[int] = None
+    #: Zero-copy sweep arena geometry (an
+    #: :class:`~repro.exec.arena.ArenaDescriptor`, or None for the other
+    #: modes).  Geometry only -- shared-memory segments are volatile and die
+    #: with the process; resume recreates fresh segments of the same shape
+    #: so the restarted run degrades (or not) exactly like the original.
+    arena: Optional[Any] = None
 
 
 @dataclass(frozen=True)

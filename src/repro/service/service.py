@@ -54,7 +54,7 @@ from repro.model.errors import (
 from repro.model.relation import ValidTimeRelation
 from repro.obs import Observability, ObservabilityConfig
 from repro.service.admission import AdmissionController
-from repro.service.cache import CachedJoin, PlanCache, ResultCache
+from repro.service.cache import CachedJoin, InternerCache, PlanCache, ResultCache
 from repro.service.executor import QueryExecutor, QueryHandle
 from repro.service.session import Rows, Session, SessionConfig, coerce_rows
 from repro.storage.buffer import BufferPool
@@ -185,6 +185,15 @@ class QueryService:
         self.result_cache = (
             ResultCache(result_cache_entries) if result_cache_entries else None
         )
+        # Per-relation-version key interners for the batch kernels: epoch
+        # keyed like the plan cache, so repeated joins of an unchanged
+        # relation stop re-interning its keys from scratch.  Sized with the
+        # plan cache (0 disables both).
+        self.interner_cache = (
+            InternerCache(max(1, plan_cache_entries // 4))
+            if plan_cache_entries
+            else None
+        )
         self.max_sessions = max_sessions
         self.obs = Observability(
             observability
@@ -298,7 +307,7 @@ class QueryService:
 
     def _on_mutation(self, name: str, kind: str) -> None:
         dropped = 0
-        for cache in (self.plan_cache, self.result_cache):
+        for cache in (self.plan_cache, self.result_cache, self.interner_cache):
             if cache is not None:
                 count = cache.invalidate_relation(name)
                 dropped += count
@@ -428,7 +437,13 @@ class QueryService:
         inner_pages = self._statistics(s_version).n_pages
         if method == "partition":
             request = estimate_grant_pages(
-                outer_pages, inner_pages, config.memory_pages
+                outer_pages,
+                inner_pages,
+                config.memory_pages,
+                execution=config.execution,
+                spec=config.page_spec,
+                lanes=config.sweep_workers,
+                prefetch_depth=config.prefetch_depth,
             )
         else:
             request = config.memory_pages
@@ -496,6 +511,10 @@ class QueryService:
                     self.page_spec.pages_for_tuples(len(r)),
                     self.page_spec.pages_for_tuples(len(s)),
                     config.memory_pages,
+                    execution=config.execution,
+                    spec=config.page_spec,
+                    lanes=config.sweep_workers,
+                    prefetch_depth=config.prefetch_depth,
                 )
             )
             # ...but a cached plan must key on the *effective* budget, so a
@@ -523,7 +542,19 @@ class QueryService:
                         "repro_service_plan_cache_misses",
                         "Partition joins that had to sample a plan.",
                     )
-            run = partition_join(r, s, effective_config, pool=pool, plan=plan)
+            interner = None
+            if self.interner_cache is not None and effective_config.execution != "tuple":
+                from repro.exec.backend import backend_name
+
+                # Epoch-keyed, so repeated joins of the same relation
+                # version skip the per-join interner rebuild.  Ids never
+                # reach results; see InternerCache.
+                interner = self.interner_cache.lookup_or_create(
+                    outer, epochs[0], backend_name()
+                )
+            run = partition_join(
+                r, s, effective_config, pool=pool, plan=plan, interner=interner
+            )
             if use_plan_cache and not plan_cache_hit:
                 self.plan_cache.store(
                     outer, inner, epochs, effective_config, run.plan

@@ -8,9 +8,11 @@ charged through the owning :class:`SimulatedDisk`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.vtuple import VTTuple
+from repro.storage.columnar_page import ColumnarPage, KeyDictionary, page_view
 from repro.storage.disk import Extent, SimulatedDisk
 from repro.storage.page import PageSpec
 
@@ -22,12 +24,27 @@ class HeapFile:
         disk: the simulated disk holding the file.
         extent: the extent the pages live in.
         spec: page geometry.
+        columnar: store pages in the packed zero-copy column layout
+            (:class:`~repro.storage.columnar_page.ColumnarPage`) instead of
+            tuple lists.  The logical content is identical -- a columnar
+            page is a Sequence of the same tuples -- but batch consumers
+            get ``np.frombuffer`` column views instead of re-decomposing
+            each page tuple by tuple.
     """
 
-    def __init__(self, disk: SimulatedDisk, extent: Extent, spec: PageSpec) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        extent: Extent,
+        spec: PageSpec,
+        *,
+        columnar: bool = False,
+    ) -> None:
         self.disk = disk
         self.extent = extent
         self.spec = spec
+        self.columnar = columnar
+        self.dictionary: Optional[KeyDictionary] = KeyDictionary() if columnar else None
         self._write_page: List[VTTuple] = []
         self._n_tuples = 0
 
@@ -42,11 +59,12 @@ class HeapFile:
         *,
         device: int = 0,
         capacity_tuples: int = 0,
+        columnar: bool = False,
     ) -> "HeapFile":
         """Allocate a fresh heap file sized for *capacity_tuples*."""
         capacity_pages = max(1, spec.pages_for_tuples(capacity_tuples))
         extent = disk.allocate(name, device=device, capacity=capacity_pages)
-        return cls(disk, extent, spec)
+        return cls(disk, extent, spec, columnar=columnar)
 
     @classmethod
     def bulk_load(
@@ -57,6 +75,7 @@ class HeapFile:
         tuples: Iterable[VTTuple],
         *,
         device: int = 0,
+        columnar: bool = False,
     ) -> "HeapFile":
         """Create a file already containing *tuples*, without charging I/O.
 
@@ -65,12 +84,24 @@ class HeapFile:
         """
         tuple_list = list(tuples)
         heap = cls.create(
-            disk, name, spec, device=device, capacity_tuples=max(1, len(tuple_list))
+            disk,
+            name,
+            spec,
+            device=device,
+            capacity_tuples=max(1, len(tuple_list)),
+            columnar=columnar,
         )
         capacity = spec.capacity
-        pages: List[object] = [
+        chunks = [
             tuple_list[i : i + capacity] for i in range(0, len(tuple_list), capacity)
         ]
+        pages: List[object]
+        if columnar:
+            pages = [
+                ColumnarPage.from_tuples(chunk, heap.dictionary) for chunk in chunks
+            ]
+        else:
+            pages = list(chunks)
         disk.load(heap.extent, pages)
         heap._n_tuples = len(tuple_list)
         return heap
@@ -104,8 +135,47 @@ class HeapFile:
     def flush(self) -> None:
         """Write the partial page buffer to disk (no-op when empty)."""
         if self._write_page:
-            self.disk.append(self.extent, self._write_page)
+            payload: object = self._write_page
+            if self.columnar:
+                payload = ColumnarPage.from_tuples(self._write_page, self.dictionary)
+            self.disk.append(self.extent, payload)
             self._write_page = []
+
+    def append_coded_run(
+        self,
+        starts: Sequence[int],
+        ends: Sequence[int],
+        codes: Sequence[int],
+        payloads: Sequence[Tuple],
+    ) -> None:
+        """Append pre-coded columnar rows, packing pages directly.
+
+        The zero-copy partitioner routes the source pages' columns here
+        without ever materializing tuple objects; the caller guarantees
+        *codes* are valid in this file's dictionary (the partitioner shares
+        the source relation's dictionary with its partitions, so source
+        codes pass through untranslated).  Writes exactly the page sequence
+        ``append_many`` + ``flush`` would: one full page per
+        ``spec.capacity`` rows and a final partial page, each charged as
+        one append.
+        """
+        if not self.columnar or self.dictionary is None:
+            raise ValueError("append_coded_run requires a columnar heap file")
+        if self._write_page:
+            self.flush()
+        capacity = self.spec.capacity
+        n = len(starts)
+        for i in range(0, n, capacity):
+            j = min(i + capacity, n)
+            packed = array("q")
+            packed.extend(starts[i:j])
+            packed.extend(ends[i:j])
+            packed.extend(codes[i:j])
+            page = ColumnarPage(
+                packed.tobytes(), j - i, self.dictionary, tuple(payloads[i:j])
+            )
+            self.disk.append(self.extent, page)
+        self._n_tuples += n
 
     def abandon(self) -> None:
         """Drop the unflushed write buffer without charging any I/O.
@@ -131,9 +201,14 @@ class HeapFile:
 
     # -- reading --------------------------------------------------------------------
 
-    def read_page(self, index: int) -> List[VTTuple]:
-        """Read page *index*, charging one I/O."""
-        return list(self.disk.read(self.extent, index))
+    def read_page(self, index: int):
+        """Read page *index*, charging one I/O.
+
+        List pages are handed out as defensive copies; columnar pages are
+        immutable and handed out as-is (that unshared copy is exactly the
+        per-read cost the columnar layout removes).
+        """
+        return page_view(self.disk.read(self.extent, index))
 
     def scan_pages(self) -> Iterator[List[VTTuple]]:
         """Scan the file page by page, charging one I/O each.
@@ -143,7 +218,7 @@ class HeapFile:
         for a linear relation scan.
         """
         for index in range(self.extent.n_pages):
-            yield list(self.disk.read(self.extent, index))
+            yield page_view(self.disk.read(self.extent, index))
 
     def scan(self) -> Iterator[VTTuple]:
         """Scan the file tuple by tuple (page I/O charged underneath)."""

@@ -69,6 +69,10 @@ class DiskLayout:
             perturb nothing the paper measures.
         retry_policy: retry bounds of the main disk (None = defaults).
         checksums: store checksummed page frames on the main disk.
+        columnar: store heap pages in the packed zero-copy column layout
+            (see :mod:`repro.storage.columnar_page`).  Result files stay
+            row-oriented -- results are emitted tuple-at-a-time and their
+            cost stream is excluded from reports anyway.
     """
 
     spec: PageSpec = field(default_factory=PageSpec)
@@ -77,6 +81,7 @@ class DiskLayout:
     fault_injector: Optional[FaultInjector] = None
     retry_policy: Optional[RetryPolicy] = None
     checksums: bool = False
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         self.disk = SimulatedDisk(
@@ -102,6 +107,7 @@ class DiskLayout:
             self.spec,
             relation.tuples,
             device=Device.BASE,
+            columnar=self.columnar,
         )
 
     def temp_file(self, name: str, capacity_tuples: int = 0) -> HeapFile:
@@ -112,6 +118,7 @@ class DiskLayout:
             self.spec,
             device=Device.TEMP,
             capacity_tuples=capacity_tuples,
+            columnar=self.columnar,
         )
 
     def file_on(self, device: int, name: str, capacity_tuples: int = 0) -> HeapFile:
@@ -122,6 +129,7 @@ class DiskLayout:
             self.spec,
             device=device,
             capacity_tuples=capacity_tuples,
+            columnar=self.columnar,
         )
 
     def cache_file(self, name: str, capacity_tuples: int = 0) -> HeapFile:
@@ -132,6 +140,7 @@ class DiskLayout:
             self.spec,
             device=Device.CACHE,
             capacity_tuples=capacity_tuples,
+            columnar=self.columnar,
         )
 
     def result_file(self, name: str, result_spec: Optional[PageSpec] = None) -> HeapFile:

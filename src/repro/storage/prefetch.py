@@ -43,6 +43,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.buffer import PageCache
+from repro.storage.columnar_page import page_view
 from repro.storage.heapfile import HeapFile
 from repro.storage.iostats import IOStatistics
 from repro.storage.layout import DiskLayout
@@ -106,7 +107,7 @@ class PrefetchPipeline:
                         key = page_key(heap, index)
                         if key in self.cache:
                             continue
-                        page = list(self._disk.read(heap.extent, index))
+                        page = page_view(self._disk.read(heap.extent, index))
                         self.cache.put(key, page, pin=True)
                         fetched += 1
         finally:

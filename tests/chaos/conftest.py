@@ -20,7 +20,13 @@ CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
 #: Small pages so modest relations still span many partitions.
 SPEC = PageSpec(page_bytes=256, tuple_bytes=32)
 
-EXECUTION_MODES = ("tuple", "batch", "batch-parallel", "batch-parallel-sweep")
+EXECUTION_MODES = (
+    "tuple",
+    "batch",
+    "batch-parallel",
+    "batch-parallel-sweep",
+    "zero-copy-sweep",
+)
 
 
 def chaos_relation(name: str, n_tuples: int, seed: int) -> ValidTimeRelation:

@@ -1,0 +1,163 @@
+"""Chaos tests for the shared-memory arena fan-out of the zero-copy sweep.
+
+Two claims under fire:
+
+1. **No segment survives the join.**  Shared-memory segments are volatile
+   per-sweep scratch; success, simulated crashes, lane death, and
+   create-failure degradation must all funnel through ``close()`` and
+   unlink every segment (``active_arena_count() == 0`` after each test).
+2. **The arena is a pure transport.**  Killing a lane mid-write, crashing
+   the whole sweep between checkpoints and resuming, or refusing segment
+   creation outright must leave the join's tuples and outcome counters
+   bit-identical to an undisturbed run.
+"""
+
+import pytest
+
+from repro.core.partition_join import partition_join, resume_join
+from repro.exec.backend import HAVE_NUMPY
+from repro.model.errors import SimulatedCrashError
+from repro.resilience import FaultInjector, RecoveryLog
+from repro.storage.layout import DiskLayout
+
+from tests.chaos.conftest import CHAOS_SEED, SPEC, chaos_config, chaos_relation
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the shared-memory arena is numpy-only"
+)
+
+if HAVE_NUMPY:
+    from repro.exec import arena as arena_mod
+    from repro.exec import sweep_parallel as sweep
+    from repro.exec.arena import active_arena_count, copy_counters, reset_copy_counters
+
+R = chaos_relation("ar", 400, CHAOS_SEED + 11)
+S = chaos_relation("as", 400, CHAOS_SEED + 12)
+
+_ORACLE = []
+
+
+def oracle():
+    """An undisturbed zero-copy run (in-process lanes; no pool needed)."""
+    if not _ORACLE:
+        _ORACLE.append(
+            partition_join(
+                R, S, chaos_config("zero-copy-sweep"), layout=DiskLayout(spec=SPEC)
+            )
+        )
+    return _ORACLE[0]
+
+
+def assert_same_outcome(run, expected):
+    assert list(run.result.tuples) == list(expected.result.tuples)
+    assert run.outcome.n_result_tuples == expected.outcome.n_result_tuples
+    assert run.outcome.overflow_blocks == expected.outcome.overflow_blocks
+    assert run.outcome.cache_tuples_peak == expected.outcome.cache_tuples_peak
+    assert run.outcome.cache_tuples_spilled == expected.outcome.cache_tuples_spilled
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    reset_copy_counters()
+    yield
+    assert active_arena_count() == 0, "a join leaked a shared-memory segment"
+
+
+@pytest.fixture
+def forced_lanes(monkeypatch):
+    """Force a real 2-lane pool + shared arena even on a 1-core runner."""
+    monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+    monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+
+
+def pooled_config(**overrides):
+    return chaos_config("zero-copy-sweep", sweep_workers=2, **overrides)
+
+
+class TestArenaLifecycle:
+    def test_success_path_unlinks_segments(self, forced_lanes):
+        run = partition_join(R, S, pooled_config(), layout=DiskLayout(spec=SPEC))
+        assert_same_outcome(run, oracle())
+        # The shared transport actually carried the fan-out...
+        assert copy_counters()["bytes_shared"] > 0
+        # ...and nothing survived the join.
+        assert active_arena_count() == 0
+
+    def test_crash_unwinding_unlinks_segments(self, forced_lanes):
+        injector = FaultInjector(seed=CHAOS_SEED)
+        injector.schedule_crash(at_op=150)
+        layout = DiskLayout(spec=SPEC, fault_injector=injector, checksums=True)
+        with pytest.raises(SimulatedCrashError):
+            partition_join(R, S, pooled_config(), layout=layout, recovery=RecoveryLog())
+        assert active_arena_count() == 0
+
+    def test_segment_create_failure_degrades_bit_identical(
+        self, forced_lanes, monkeypatch
+    ):
+        """No /dev/shm (sandboxes): pickled dispatch, same results."""
+
+        def refuse(self, *args, **kwargs):
+            raise OSError("shared memory refused")
+
+        monkeypatch.setattr(arena_mod.ShmLaneDispatcher, "__init__", refuse)
+        run = partition_join(R, S, pooled_config(), layout=DiskLayout(spec=SPEC))
+        assert_same_outcome(run, oracle())
+        assert copy_counters()["bytes_shared"] == 0
+
+
+class TestLaneCrashMidWrite:
+    def test_lane_death_mid_write_degrades_bit_identical(
+        self, forced_lanes, monkeypatch
+    ):
+        """Kill the shared dispatch after real columns hit the arena: the
+        engine must drop to in-process probing with identical results."""
+        original = arena_mod.ShmLaneDispatcher._dispatch_shared
+        state = {"calls": 0}
+
+        def dying(self, shared, lane_tasks):
+            state["calls"] += 1
+            if state["calls"] == 3:  # columns of dispatches 1-2 are live
+                raise RuntimeError("lane died mid-write")
+            return original(self, shared, lane_tasks)
+
+        monkeypatch.setattr(arena_mod.ShmLaneDispatcher, "_dispatch_shared", dying)
+        run = partition_join(R, S, pooled_config(), layout=DiskLayout(spec=SPEC))
+        assert state["calls"] >= 3, "the dispatch never reached the crash point"
+        assert_same_outcome(run, oracle())
+        assert active_arena_count() == 0
+
+
+class TestCrashResumeZeroCopy:
+    def test_resume_recreates_arena_and_stays_bit_identical(self, forced_lanes):
+        """Crash the pooled zero-copy sweep at several charged ops; resume
+        must rebuild fresh segments of the checkpointed geometry and land on
+        the undisturbed run exactly."""
+        expected = oracle()
+
+        probe_injector = FaultInjector(seed=CHAOS_SEED)
+        probe_layout = DiskLayout(
+            spec=SPEC, fault_injector=probe_injector, checksums=True
+        )
+        probe = partition_join(
+            R, S, pooled_config(), layout=probe_layout, recovery=RecoveryLog()
+        )
+        assert_same_outcome(probe, expected)
+        total_ops = probe_injector.ops_seen
+        assert total_ops > 0
+
+        # Three crash points spread over the run (the exhaustive k-sweep
+        # lives in test_crash_resume.py; here each run pays for a real pool).
+        for k in (total_ops // 4, total_ops // 2, (3 * total_ops) // 4):
+            injector = FaultInjector(seed=CHAOS_SEED)
+            injector.schedule_crash(at_op=max(1, k))
+            layout = DiskLayout(spec=SPEC, fault_injector=injector, checksums=True)
+            recovery = RecoveryLog()
+            config = pooled_config()
+            try:
+                run = partition_join(R, S, config, layout=layout, recovery=recovery)
+            except SimulatedCrashError:
+                assert active_arena_count() == 0  # crash unlinked everything
+                run = resume_join(R, S, config, layout=layout, recovery=recovery)
+                assert layout.resilience_report.resumes == 1
+            assert_same_outcome(run, expected)
+            assert active_arena_count() == 0

@@ -268,6 +268,68 @@ class TestPipelinedSweepEquivalence:
         assert runs["batch-parallel-sweep"] == runs["tuple"]
 
 
+class TestZeroCopySweepEquivalence:
+    """``"zero-copy-sweep"``: the columnar page layout and shared-memory
+    fan-out are pure mechanism.  The mode's every observable -- including
+    the full random/sequential breakdown per phase -- must equal
+    ``"batch-parallel-sweep"`` exactly, and its relationship to the tuple
+    oracle is exactly the pipelined contract (same op counts, never
+    costlier)."""
+
+    @pytest.mark.parametrize("direction", ["backward", "forward"])
+    def test_full_stats_equal_pipelined_sweep(
+        self, schema_r, schema_s, backend, direction
+    ):
+        r = random_relation(schema_r, 700, seed=11, n_keys=18)
+        s = random_relation(schema_s, 800, seed=12, n_keys=18)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=12, sweep_direction=direction, execution=mode
+            )
+
+        pipelined = partition_join(r, s, make_config("batch-parallel-sweep"))
+        zero_copy = partition_join(r, s, make_config("zero-copy-sweep"))
+        assert pipelined.outcome.overflow_blocks > 0  # the thrashing path
+        assert observe(zero_copy) == observe(pipelined)
+
+    def test_op_counts_equal_tuple_oracle(self, schema_r, schema_s, backend):
+        r = random_relation(schema_r, 500, seed=21, long_lived_fraction=0.6)
+        s = random_relation(schema_s, 500, seed=22, long_lived_fraction=0.6)
+
+        def make_config(mode):
+            return PartitionJoinConfig(
+                memory_pages=16, cache_buffer_pages=2, execution=mode
+            )
+
+        oracle = partition_join(r, s, make_config("tuple"))
+        run = partition_join(r, s, make_config("zero-copy-sweep"))
+        observe_counts = TestPipelinedSweepEquivalence.observe_counts
+        assert observe_counts(run) == observe_counts(oracle)
+        cost_model = make_config("tuple").cost_model
+        assert (
+            run.layout.tracker.stats.cost(cost_model)
+            <= oracle.layout.tracker.stats.cost(cost_model)
+        )
+        assert oracle.result.multiset_equal(reference_join(r, s))
+
+    def test_columnar_layout_is_on_disk(self, schema_r, schema_s, backend):
+        """The mode actually runs over packed pages, not tuple lists."""
+        from repro.storage.columnar_page import ColumnarPage
+
+        r = random_relation(schema_r, 200, seed=31)
+        s = random_relation(schema_s, 200, seed=32)
+        run = partition_join(
+            r, s, PartitionJoinConfig(memory_pages=10, execution="zero-copy-sweep")
+        )
+        assert run.layout.columnar
+        # Any file written through this layout packs columnar pages.
+        heap = run.layout.temp_file("probe", capacity_tuples=8)
+        heap.append_many(list(r.tuples)[:8])
+        heap.flush()
+        assert isinstance(next(iter(heap.scan_pages())), ColumnarPage)
+
+
 class TestVariantsAndBaselines:
     def test_predicate_variant_equivalence(self, schema_r, schema_s, backend):
         r = random_relation(schema_r, 400, seed=51, long_lived_fraction=0.5)

@@ -1,0 +1,247 @@
+"""Unit tests for the shared-memory column arena and lane-result slabs.
+
+The contract: the shared-memory transport is a pure transport -- every
+dispatch (in-slab, slab-overflow, arena-overflow, pickled fallback) returns
+bit-identical lane results -- and every segment the dispatchers create is
+unlinked by ``close()`` on every path.
+"""
+
+import random
+
+import pytest
+
+from repro.exec.backend import HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the shared-memory arena is numpy-only"
+)
+
+if HAVE_NUMPY:
+    import numpy as np
+
+    from repro.exec.arena import (
+        ArenaDescriptor,
+        ArenaOverflowError,
+        ColumnArena,
+        LaneResultSlabs,
+        PickledLaneDispatcher,
+        ShmLaneDispatcher,
+        active_arena_count,
+        copy_counters,
+        reset_copy_counters,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_counters():
+    reset_copy_counters()
+    yield
+    assert active_arena_count() == 0, "a test leaked a shared-memory segment"
+
+
+class TestColumnArena:
+    def test_push_view_round_trip(self):
+        arena = ColumnArena(1 << 12)
+        try:
+            col = np.arange(100, dtype=np.int64) * 7
+            # Copy out of the view before close() -- a live view pins the
+            # shared-memory mapping.
+            got = arena.view(arena.push(col)).copy()
+            assert np.array_equal(got, col)
+        finally:
+            arena.close()
+
+    def test_mark_reset_reuses_space(self):
+        arena = ColumnArena(8 * 16)
+        try:
+            arena.push(np.arange(8, dtype=np.int64))
+            mark = arena.mark()
+            arena.push(np.arange(8, dtype=np.int64))
+            arena.reset_to(mark)
+            # Without the reset this second push would overflow.
+            span = arena.push(np.arange(8, dtype=np.int64) + 1)
+            assert list(arena.view(span)) == list(range(1, 9))
+        finally:
+            arena.close()
+
+    def test_overflow_raises(self):
+        arena = ColumnArena(8 * 4)
+        try:
+            with pytest.raises(ArenaOverflowError):
+                arena.push(np.arange(16, dtype=np.int64))
+        finally:
+            arena.close()
+
+    def test_push_meters_shared_bytes(self):
+        arena = ColumnArena(1 << 12)
+        try:
+            arena.push(np.arange(10, dtype=np.int64))
+            assert copy_counters()["bytes_shared"] == 80
+            assert arena.total_pushed == 80
+        finally:
+            arena.close()
+
+    def test_close_is_idempotent_and_releases(self):
+        arena = ColumnArena(1 << 12)
+        assert active_arena_count() == 1
+        arena.close()
+        arena.close()
+        assert active_arena_count() == 0
+
+
+class TestLaneResultSlabs:
+    def test_disjoint_lanes_round_trip(self):
+        slabs = LaneResultSlabs(lanes=3, capacity=8)
+        try:
+            # Emulate two workers writing their slabs directly.
+            words = slabs._words
+            for slot, count in ((0, 5), (2, 3)):
+                base = slot * words
+                slabs._np[base] = count
+                for i in range(4):
+                    lo = base + 1 + i * slabs.capacity
+                    slabs._np[lo : lo + count] = np.arange(count) + 10 * slot + i
+            a = slabs.read_lane(0, 5)
+            b = slabs.read_lane(2, 3)
+            assert [list(x) for x in a] == [
+                list(np.arange(5) + i) for i in range(4)
+            ]
+            assert [list(x) for x in b] == [
+                list(np.arange(3) + 20 + i) for i in range(4)
+            ]
+        finally:
+            slabs.close()
+
+    def test_read_lane_copies(self):
+        slabs = LaneResultSlabs(lanes=1, capacity=4)
+        try:
+            slabs._np[0] = 2
+            slabs._np[1:3] = (7, 8)
+            (inner, _, _, _) = slabs.read_lane(0, 2)
+            slabs._np[1:3] = (0, 0)  # the slab is reused by the next dispatch
+            assert list(inner) == [7, 8]
+        finally:
+            slabs.close()
+
+
+class TestDispatcherEquivalence:
+    """Pickled pool, shared-memory pool, and in-process must agree exactly."""
+
+    def _run_engine(self, pmap_tuples, pages, *, zero_copy, arena_plan=None,
+                    workers=2, monkeypatch=None):
+        import repro.exec.sweep_parallel as sweep
+        from repro.core.intervals import PartitionMap
+        from repro.exec.sweep_parallel import PipelinedSweepEngine
+        from repro.time.interval import Interval
+
+        pmap = PartitionMap([Interval(0, 199), Interval(200, 399), Interval(400, 599)])
+        engine = PipelinedSweepEngine(
+            pmap, "backward", workers=workers, zero_copy=zero_copy,
+            arena_plan=arena_plan,
+        )
+        try:
+            index = engine.build_index(pmap_tuples)
+            out = []
+            for page in pages:
+                out.append(engine.process_page(index, page, 2, 1, True))
+            traffic = engine.copy_traffic()
+        finally:
+            engine.close()
+        return out, traffic
+
+    @pytest.fixture
+    def workload(self):
+        from repro.model.vtuple import VTTuple
+        from repro.time.interval import Interval
+
+        rng = random.Random(11)
+
+        def tuples(n, tag):
+            out = []
+            for i in range(n):
+                start = rng.randrange(0, 600)
+                end = min(599, start + rng.randrange(0, 80))
+                out.append(
+                    VTTuple(
+                        (f"k{rng.randrange(20)}",), (f"{tag}{i}",), Interval(start, end)
+                    )
+                )
+            return out
+
+        block = tuples(2000, "b")
+        pages = [tuples(700, f"p{j}_") for j in range(3)]
+        return block, pages
+
+    def test_zero_copy_pool_matches_serial_and_pickled(self, workload, monkeypatch):
+        import repro.exec.sweep_parallel as sweep
+
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        block, pages = workload
+
+        serial, _ = self._run_engine(block, pages, zero_copy=False, workers=1)
+        pickled, t_pickled = self._run_engine(block, pages, zero_copy=False, workers=3)
+        shm, t_shm = self._run_engine(block, pages, zero_copy=True, workers=3)
+
+        assert shm == serial == pickled
+        assert t_shm["bytes_shared"] > 0
+        assert t_shm["arena_overflows"] == 0
+        assert t_pickled["bytes_pickled"] > 0
+        # The descriptor fan-out must beat pickling on moved bytes.
+        assert t_shm["bytes_shared"] < t_pickled["bytes_pickled"]
+
+    def test_slab_overflow_is_bit_identical(self, workload, monkeypatch):
+        import repro.exec.sweep_parallel as sweep
+        from repro.exec.arena import ArenaDescriptor
+
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        block, pages = workload
+        serial, _ = self._run_engine(block, pages, zero_copy=False, workers=1)
+        tiny_slabs = ArenaDescriptor(data_bytes=1 << 22, slab_rows=16, lanes=3)
+        shm, traffic = self._run_engine(
+            block, pages, zero_copy=True, workers=3, arena_plan=tiny_slabs
+        )
+        assert shm == serial
+        assert traffic["slab_overflows"] > 0
+
+    def test_arena_overflow_falls_back_to_pickling(self, workload, monkeypatch):
+        import repro.exec.sweep_parallel as sweep
+        from repro.exec.arena import ArenaDescriptor
+
+        monkeypatch.setattr(sweep, "OVERSUBSCRIBE", True)
+        monkeypatch.setattr(sweep, "MIN_LANE_ROWS", 0)
+        block, pages = workload
+        serial, _ = self._run_engine(block, pages, zero_copy=False, workers=1)
+        tiny_arena = ArenaDescriptor(data_bytes=256, slab_rows=1 << 14, lanes=3)
+        shm, traffic = self._run_engine(
+            block, pages, zero_copy=True, workers=3, arena_plan=tiny_arena
+        )
+        assert shm == serial
+        assert traffic["arena_overflows"] > 0
+        assert traffic["bytes_pickled"] > 0
+
+
+class TestLocateTransports:
+    def test_shared_transport_matches_pickle(self):
+        from repro.exec.parallel import locate_partitions_parallel
+
+        rng = random.Random(5)
+        spans = []
+        for _ in range(20000):
+            start = rng.randrange(0, 1000)
+            spans.append((start, start + rng.randrange(0, 50)))
+        boundaries = [99, 199, 399, 699, 1099]
+        serial = locate_partitions_parallel(spans, boundaries, "last", workers=1)
+        for transport in ("pickle", "shared"):
+            got = locate_partitions_parallel(
+                spans, boundaries, "last", workers=3, transport=transport
+            )
+            assert got == serial, transport
+        assert active_arena_count() == 0
+
+    def test_unknown_transport_rejected(self):
+        from repro.exec.parallel import locate_partitions_parallel
+
+        with pytest.raises(ValueError):
+            locate_partitions_parallel([(0, 1)], [5], "last", transport="carrier-pigeon")

@@ -1,0 +1,197 @@
+"""Unit tests for the joint multi-buffer allocation pass.
+
+The contract: the pass sizes the zero-copy sweep's three auxiliary
+consumers (prefetch window, column arena, lane slabs) with the classic
+SimpleDB buffer-needs estimators, never touches the join's own page
+budget, degrades along a fixed ladder under pressure, and round-trips
+through the checkpointed arena descriptor so resume reallocates the
+original shape.
+"""
+
+import pytest
+
+from repro.core.planner import estimate_grant_pages
+from repro.planner.multibuffer import (
+    MIN_ARENA_PAGES,
+    MIN_SLAB_ROWS,
+    MultiBufferPlan,
+    best_factor,
+    best_root,
+    plan_multibuffer,
+)
+from repro.storage.page import PageSpec
+
+#: 8 tuples per page -- small enough for hand-checked geometry.
+SPEC = PageSpec(page_bytes=256, tuple_bytes=32)
+
+
+class TestEstimators:
+    def test_best_root_picks_highest_fitting_root(self):
+        # 1000 blocks, 40 buffers: sqrt chunking (32 blocks) fits, so the
+        # square root wins over deeper roots.
+        assert best_root(1000, 40) == 32
+        # The whole output fits: one pass, chunk == size.
+        assert best_root(30, 40) == 30
+        # Cube root needed: sqrt(10**6) = 1000 > 50, cbrt = 100 > 50,
+        # 4th root = 32 <= 50.
+        assert best_root(10**6, 50) == 32
+
+    def test_best_factor_picks_highest_fitting_division(self):
+        # ceil(100/4) = 25 is the first division fitting 30 buffers.
+        assert best_factor(100, 30) == 25
+        assert best_factor(100, 100) == 100
+        assert best_factor(100, 1) == 1
+
+    @pytest.mark.parametrize("fn", [best_root, best_factor])
+    def test_degenerate_inputs(self, fn):
+        assert fn(0, 10) == 1
+        assert fn(10, 0) == 1
+        assert fn(1, 1) == 1
+
+    @pytest.mark.parametrize("fn", [best_root, best_factor])
+    def test_negative_inputs_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(-1, 10)
+        with pytest.raises(ValueError):
+            fn(10, -1)
+
+
+class TestPlanGeometry:
+    def plan(self, **overrides):
+        settings = dict(
+            outer_pages=100,
+            inner_pages=100,
+            buff_size=10,
+            spec=SPEC,
+            lanes=3,
+            prefetch_depth=8,
+        )
+        settings.update(overrides)
+        return plan_multibuffer(
+            settings.pop("outer_pages"),
+            settings.pop("inner_pages"),
+            settings.pop("buff_size"),
+            settings.pop("spec"),
+            **settings,
+        )
+
+    def test_unconstrained_geometry_by_hand(self):
+        plan = self.plan()
+        assert plan.join_pages == 10  # read, never altered
+        # Partition run = 10 outer + 10 inner pages; the requested depth 8
+        # already tiles it.
+        assert plan.prefetch_depth == plan.prefetch_pages == 8
+        # Arena: 4 int64 columns of an 80-row block + 3 lanes x 8-row page
+        # columns = 32 * 104 bytes = 13 pages.
+        assert plan.arena_pages == 13
+        assert plan.arena_bytes == 13 * SPEC.page_bytes
+        # Worst-case pairs 8 * 80 = 640; best_root caps rows at one block
+        # (80), so sqrt chunking gives 26 -- floored at MIN_SLAB_ROWS.
+        assert plan.slab_rows == MIN_SLAB_ROWS
+        assert plan.total_aux_pages == (
+            plan.prefetch_pages + plan.arena_pages + plan.slab_pages
+        )
+
+    def test_lanes_floor_and_scaling(self):
+        assert self.plan(lanes=0).lanes == 1
+        # More lanes push more page columns into the arena.
+        assert self.plan(lanes=8).arena_pages > self.plan(lanes=1).arena_pages
+
+    def test_prefetch_capped_by_partition_run(self):
+        # One partition covering everything: run = 3 + 5 pages; a requested
+        # depth of 64 is clamped to the run the factor rule tiles.
+        plan = self.plan(outer_pages=3, inner_pages=5, buff_size=10, prefetch_depth=64)
+        assert plan.prefetch_depth <= 8
+
+    def test_aux_budget_squeezes_arena(self):
+        roomy = self.plan()
+        tight = self.plan(aux_pages=20)
+        assert tight.arena_pages < roomy.arena_pages
+        assert tight.arena_pages >= MIN_ARENA_PAGES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.plan(buff_size=0)
+        with pytest.raises(ValueError):
+            self.plan(outer_pages=-1)
+
+
+class TestShrinkLadder:
+    def plan(self):
+        return plan_multibuffer(100, 100, 10, SPEC, lanes=3, prefetch_depth=8)
+
+    def test_no_op_when_it_fits(self):
+        plan = self.plan()
+        assert plan.shrink_to(plan.total_aux_pages, SPEC) is plan
+        assert plan.shrink_to(plan.total_aux_pages + 5, SPEC) is plan
+
+    def test_slabs_lose_first_then_arena_then_prefetch(self):
+        plan = self.plan()
+        # Room for prefetch + arena only: slabs take the (zero) remainder.
+        squeezed = plan.shrink_to(plan.prefetch_pages + plan.arena_pages, SPEC)
+        assert squeezed.prefetch_pages == plan.prefetch_pages
+        assert squeezed.arena_pages == plan.arena_pages
+        assert squeezed.slab_pages == 0
+        # Less than prefetch + arena: the arena shrinks next.
+        tighter = plan.shrink_to(plan.prefetch_pages + 3, SPEC)
+        assert tighter.prefetch_pages == plan.prefetch_pages
+        assert tighter.arena_pages == 3
+        # Less than the prefetch window alone: the depth itself drops.
+        starved = plan.shrink_to(2, SPEC)
+        assert starved.prefetch_pages == 2
+        assert starved.prefetch_depth == 2
+        assert starved.arena_pages == 0
+
+    def test_shrink_never_increases_total(self):
+        plan = self.plan()
+        for avail in range(0, plan.total_aux_pages + 1, 7):
+            shrunk = plan.shrink_to(avail, SPEC)
+            # The slab-row floor can keep nominal slab pages above zero, but
+            # prefetch + arena always respect the budget.
+            assert shrunk.prefetch_pages + shrunk.arena_pages <= max(0, avail)
+            assert shrunk.join_pages == plan.join_pages
+
+
+class TestDescriptorRoundTrip:
+    def test_resume_reconstructs_the_same_accounting(self):
+        plan = plan_multibuffer(100, 100, 10, SPEC, lanes=3, prefetch_depth=8)
+        descriptor = plan.arena_geometry()
+        resumed = MultiBufferPlan.from_descriptor(
+            descriptor, prefetch_depth=plan.prefetch_depth, buff_size=10, spec=SPEC
+        )
+        assert resumed.arena_bytes == plan.arena_bytes
+        assert resumed.arena_pages == plan.arena_pages
+        assert resumed.slab_rows == plan.slab_rows
+        assert resumed.slab_pages == plan.slab_pages
+        assert resumed.lanes == plan.lanes
+        assert resumed.total_aux_pages == plan.total_aux_pages
+
+    def test_degraded_plan_round_trips_too(self):
+        plan = plan_multibuffer(100, 100, 10, SPEC, lanes=3, prefetch_depth=8)
+        shrunk = plan.shrink_to(15, SPEC)
+        resumed = MultiBufferPlan.from_descriptor(
+            shrunk.arena_geometry(),
+            prefetch_depth=shrunk.prefetch_depth,
+            buff_size=10,
+            spec=SPEC,
+        )
+        assert resumed.arena_bytes == shrunk.arena_bytes
+        assert resumed.lanes == shrunk.lanes
+
+
+class TestAdmissionInteraction:
+    """``estimate_grant_pages`` must cover the aux pages for zero-copy only."""
+
+    def test_zero_copy_grant_covers_aux_pages(self):
+        base = estimate_grant_pages(100, 100, 200)
+        zero_copy = estimate_grant_pages(
+            100, 100, 200, execution="zero-copy-sweep", spec=SPEC, lanes=2
+        )
+        assert zero_copy > base
+        # Never more than asked for.
+        assert zero_copy <= 200
+
+    def test_other_modes_unchanged(self):
+        base = estimate_grant_pages(100, 100, 200)
+        for execution in ("tuple", "batch", "batch-parallel", "batch-parallel-sweep"):
+            assert estimate_grant_pages(100, 100, 200, execution=execution) == base
