@@ -145,6 +145,7 @@ def join_partitions(
     execution: str = "tuple",
     prefetch_depth: int = 8,
     sweep_workers: Optional[int] = None,
+    supervision=None,
     interner=None,
     multibuffer_plan=None,
     pool: Optional[BufferPool] = None,
@@ -176,6 +177,12 @@ def join_partitions(
             (``"batch-parallel-sweep"`` only; 0 disables read-ahead).
         sweep_workers: probe lanes for the pipelined sweeps (None = one per
             core, capped at 8; clamped to the visible cores).
+        supervision: a :class:`~repro.resilience.supervisor.SupervisionPolicy`
+            putting the sweep's lane pool under a
+            :class:`~repro.resilience.supervisor.LaneSupervisor` (crash/hang
+            detection, deterministic re-dispatch, quarantine); None runs the
+            bare pool with whole-sweep degradation as before.  Results and
+            charged I/O are identical either way -- lanes are pure compute.
         interner: a :class:`~repro.exec.batch.KeyInterner` to reuse across
             joins (the service layer's per-relation-version interner cache).
             Interner ids never leak into results -- emission order is
@@ -272,9 +279,23 @@ def join_partitions(
     elif execution in ("batch-parallel-sweep", "zero-copy-sweep"):
         # Late imports, like the batch engine's kernels: the sweep module
         # pulls in multiprocessing machinery this module must not require.
-        from repro.exec.sweep_parallel import PipelinedSweepEngine
+        from repro.exec.sweep_parallel import (
+            PipelinedSweepEngine,
+            effective_sweep_workers,
+        )
         from repro.storage.prefetch import PrefetchPipeline
 
+        supervisor = None
+        if supervision is not None:
+            from repro.resilience.supervisor import LaneSupervisor
+
+            supervisor = LaneSupervisor(
+                effective_sweep_workers(sweep_workers),
+                policy=supervision,
+                injector=layout.disk.fault_injector,
+                report=layout.resilience_report,
+                obs=obs,
+            )
         engine = PipelinedSweepEngine(
             partition_map,
             direction,
@@ -283,6 +304,8 @@ def join_partitions(
             zero_copy=zero_copy,
             interner=interner,
             arena_plan=aux_plan.arena_geometry() if aux_plan is not None else None,
+            supervisor=supervisor,
+            report=layout.resilience_report,
         )
         pipeline = PrefetchPipeline(layout, effective_depth)
     else:
@@ -791,6 +814,13 @@ def _export_engine_metrics(
                     float(value),
                     kind=kind,
                 )
+        value = traffic.get("slab_poisoned", 0)
+        if value:
+            obs.count(
+                "repro_arena_slab_poisoned_total",
+                "Result slabs that failed validation and were recomputed.",
+                float(value),
+            )
 
 
 class _TupleCache:

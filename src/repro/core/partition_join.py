@@ -103,6 +103,20 @@ class PartitionJoinConfig:
             read-ahead while keeping write-behind).
         sweep_workers: probe lanes of the pipelined sweep (None = one per
             core, capped at 8; the result never depends on the lane count).
+        lane_supervision: supervise the sweep's lane pool (heartbeats,
+            crash/hang detection, deterministic re-dispatch, quarantine --
+            see ``docs/RESILIENCE.md``).  Off, pool failure degrades the
+            whole sweep to in-process execution as before.
+        lane_timeout_seconds: wall-clock deadline per supervised lane
+            dispatch; a dispatch still incomplete past it is declared hung
+            and re-dispatched.
+        lane_heartbeat_seconds: progress-sampling cadence of the supervisor
+            (intervals without a completed lane count as heartbeat misses).
+        lane_max_redispatches: consecutive failed dispatches tolerated
+            before the supervisor retires to in-process execution.
+        lane_quarantine_after: consecutive failures per quarantined lane
+            (every Nth consecutive failure shrinks the lane count by one;
+            0 disables quarantine).
         checkpoint_interval: completed partitions between sweep checkpoints;
             0 (the default) disables checkpointing, >= 1 makes the sweep
             resumable via :func:`resume_join`.
@@ -142,6 +156,11 @@ class PartitionJoinConfig:
     parallel_workers: Optional[int] = None
     prefetch_depth: int = 8
     sweep_workers: Optional[int] = None
+    lane_supervision: bool = True
+    lane_timeout_seconds: float = 30.0
+    lane_heartbeat_seconds: float = 0.5
+    lane_max_redispatches: int = 3
+    lane_quarantine_after: int = 2
     checkpoint_interval: int = 0
     retry_limit: Optional[int] = None
     degraded_fallback: bool = True
@@ -182,6 +201,26 @@ class PartitionJoinConfig:
                 f"sweep_workers must be >= 1 (or None for the default), "
                 f"got {self.sweep_workers}"
             )
+        if self.lane_timeout_seconds <= 0:
+            raise ValueError(
+                f"lane_timeout_seconds must be positive, "
+                f"got {self.lane_timeout_seconds}"
+            )
+        if self.lane_heartbeat_seconds <= 0:
+            raise ValueError(
+                f"lane_heartbeat_seconds must be positive, "
+                f"got {self.lane_heartbeat_seconds}"
+            )
+        if not isinstance(self.lane_max_redispatches, int) or self.lane_max_redispatches < 0:
+            raise ValueError(
+                f"lane_max_redispatches must be an integer >= 0, "
+                f"got {self.lane_max_redispatches!r}"
+            )
+        if not isinstance(self.lane_quarantine_after, int) or self.lane_quarantine_after < 0:
+            raise ValueError(
+                f"lane_quarantine_after must be an integer >= 0 (0 disables "
+                f"quarantine), got {self.lane_quarantine_after!r}"
+            )
         if not isinstance(self.checkpoint_interval, int) or self.checkpoint_interval < 0:
             raise ValueError(
                 f"checkpoint_interval must be an integer >= 1, or 0 to disable "
@@ -213,6 +252,20 @@ class PartitionJoinConfig:
             self.memory_pages
             - JoinBufferAllocation.FIXED_PAGES
             - self.cache_buffer_pages
+        )
+
+    def supervision_policy(self):
+        """The lane :class:`~repro.resilience.supervisor.SupervisionPolicy`
+        these knobs describe, or None when supervision is off."""
+        if not self.lane_supervision:
+            return None
+        from repro.resilience.supervisor import SupervisionPolicy
+
+        return SupervisionPolicy(
+            lane_timeout_seconds=self.lane_timeout_seconds,
+            heartbeat_seconds=self.lane_heartbeat_seconds,
+            max_redispatches=self.lane_max_redispatches,
+            quarantine_after=self.lane_quarantine_after,
         )
 
 
@@ -479,6 +532,7 @@ def partition_join(
                 execution=config.execution,
                 prefetch_depth=config.prefetch_depth,
                 sweep_workers=config.sweep_workers,
+                supervision=config.supervision_policy(),
                 interner=interner,
                 multibuffer_plan=multibuffer_plan,
                 pool=pool,
@@ -633,6 +687,7 @@ def resume_join(
                 execution=context.execution,
                 prefetch_depth=context.prefetch_depth,
                 sweep_workers=context.sweep_workers,
+                supervision=config.supervision_policy(),
                 multibuffer_plan=resumed_plan,
                 pool=pool,
                 checkpointer=checkpointer,
@@ -876,6 +931,7 @@ def _single_partition_join(
             execution=config.execution,
             prefetch_depth=config.prefetch_depth,
             sweep_workers=config.sweep_workers,
+            supervision=config.supervision_policy(),
             interner=interner,
             multibuffer_plan=multibuffer_plan,
             pool=pool,

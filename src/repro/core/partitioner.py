@@ -182,6 +182,8 @@ def do_partitioning(
                     placement,
                     workers=parallel_workers,
                     transport=transport,
+                    report=layout.resilience_report,
+                    obs=obs,
                 )
                 locate_span.set(located=len(located))
             if columnar:

@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import itertools
 import os
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.backend import np
+from repro.model.errors import SlabCorruptionError
 
 #: Descriptor of one array pushed into an arena: (offset bytes, length rows).
 Span = Tuple[int, int]
@@ -101,6 +103,45 @@ def _release_segment(shm: Optional[shared_memory.SharedMemory]) -> None:
 
 class ArenaOverflowError(Exception):
     """A push would not fit the arena; the caller falls back to pickling."""
+
+
+#: Words of the per-lane slab header: ``[count][seq][crc]``.  The sequence
+#: number is assigned by the parent per dispatch and the CRC covers the
+#: written row prefixes, so a stale slab (a lane that died before writing)
+#: or a torn one (corrupted shared pages) fails validation at gather time
+#: instead of silently feeding garbage into the join.
+_SLAB_HEADER = 3
+
+
+def _slab_words(capacity: int) -> int:
+    """Slab size in int64 words for one lane of *capacity* rows."""
+    return _SLAB_HEADER + 4 * capacity
+
+
+def _slab_crc(arrays) -> int:
+    """CRC-32 chained over the four result arrays (row prefixes only)."""
+    crc = 0
+    for arr in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(arr, dtype=np.int64), crc)
+    return crc
+
+
+def _write_slab(slab, slot: int, capacity: int, arrays, seq: int) -> None:
+    """Write one lane's result arrays plus validation header into *slab*.
+
+    Shared by the worker-side task and the parent-side test helper so the
+    writer and :meth:`LaneResultSlabs.read_lane` can never disagree on the
+    layout.
+    """
+    words = _slab_words(capacity)
+    base = slot * words
+    count = len(arrays[0])
+    slab[base] = count
+    slab[base + 1] = seq
+    slab[base + 2] = _slab_crc(arrays)
+    off = base + _SLAB_HEADER
+    for i, arr in enumerate(arrays):
+        slab[off + i * capacity : off + i * capacity + count] = arr
 
 
 class ColumnArena:
@@ -163,10 +204,11 @@ class ColumnArena:
 class LaneResultSlabs:
     """Preallocated per-lane result slabs in one shared segment.
 
-    Slab layout (all ``int64``): ``[count][inner xC][pos xC][start xC][end
-    xC]`` where ``C`` is the per-lane row capacity.  Lanes write disjoint
-    slabs, so no synchronization is needed beyond the pool's own
-    request/response ordering.
+    Slab layout (all ``int64``): ``[count][seq][crc][inner xC][pos xC]
+    [start xC][end xC]`` where ``C`` is the per-lane row capacity.  Lanes
+    write disjoint slabs, so no synchronization is needed beyond the pool's
+    own request/response ordering; the header validates each gather against
+    stale or torn writes (see :meth:`read_lane`).
     """
 
     __slots__ = ("shm", "lanes", "capacity", "total_read", "_words", "_np")
@@ -175,24 +217,66 @@ class LaneResultSlabs:
         self.lanes = lanes
         self.capacity = capacity
         self.total_read = 0
-        self._words = 1 + 4 * capacity
+        self._words = _slab_words(capacity)
         self.shm = _new_segment(8 * lanes * self._words)
         self._np = np.frombuffer(self.shm.buf, dtype=np.int64)
 
-    def read_lane(self, slot: int, count: int) -> Tuple:
-        """Copy lane *slot*'s arrays back out of the slab.
+    def write(self, slot: int, arrays, seq: int = 0) -> None:
+        """Parent-side slab write (tests and tooling; workers use the task)."""
+        _write_slab(self._np, slot, self.capacity, arrays, seq)
+
+    def read_lane(self, slot: int, count: int, expected_seq: Optional[int] = None) -> Tuple:
+        """Copy lane *slot*'s arrays back out of the slab, validated.
 
         The copy is mandatory -- the slab is reused by the next dispatch --
-        and is the only parent-side copy of the return direction.
+        and is the only parent-side copy of the return direction.  The
+        header is validated on every read: the stored count must match the
+        worker's returned *count*, the CRC must cover the stored rows, and
+        (when *expected_seq* is given) the sequence number must be this
+        dispatch's -- a slab last written by an earlier dispatch means the
+        lane died before writing.  Any mismatch raises
+        :class:`~repro.model.errors.SlabCorruptionError`; the dispatcher
+        then recomputes the dispatch through the pickled path.
         """
-        base = slot * self._words + 1
+        base = slot * self._words
         cap = self.capacity
         view = self._np
+        stored_count = int(view[base])
+        stored_seq = int(view[base + 1])
+        stored_crc = int(view[base + 2])
+        if stored_count != count:
+            raise SlabCorruptionError(
+                f"slab header count {stored_count} != returned count {count}",
+                slot=slot,
+            )
+        if expected_seq is not None and stored_seq != expected_seq:
+            raise SlabCorruptionError(
+                f"slab sequence {stored_seq} != dispatch sequence {expected_seq}",
+                slot=slot,
+            )
+        off = base + _SLAB_HEADER
+        arrays = tuple(
+            view[off + i * cap : off + i * cap + count].copy() for i in range(4)
+        )
+        if _slab_crc(arrays) != stored_crc:
+            raise SlabCorruptionError(
+                f"slab CRC mismatch for {count} rows", slot=slot
+            )
         self.total_read += 32 * count
         _COPY["bytes_shared"] += 32 * count
-        return tuple(
-            view[base + i * cap : base + i * cap + count].copy() for i in range(4)
-        )
+        return arrays
+
+    def corrupt(self, slot: int) -> None:
+        """Chaos helper: damage lane *slot* so validation must fail.
+
+        Flips bits in the first payload word when rows are present (a torn
+        page), or in the stored CRC when the lane is empty.
+        """
+        base = slot * self._words
+        if int(self._np[base]) > 0:
+            self._np[base + _SLAB_HEADER] ^= 0x5A5A5A5A
+        else:
+            self._np[base + 2] ^= 1
 
     def close(self) -> None:
         """Release the segment (idempotent)."""
@@ -275,6 +359,7 @@ def _shm_lane_task(args) -> object:
         slab_name,
         slot,
         capacity,
+        seq,
     ) = args
     from repro.exec.sweep_parallel import _lane_pairs
 
@@ -299,12 +384,7 @@ def _shm_lane_task(args) -> object:
     if count > capacity:
         return (pair_inner, pos, cs, ce)
     slab = _segment_view(slab_name)
-    words = 1 + 4 * capacity
-    base = slot * words
-    slab[base] = count
-    base += 1
-    for i, arr in enumerate((pair_inner, pos, cs, ce)):
-        slab[base + i * capacity : base + i * capacity + count] = arr
+    _write_slab(slab, slot, capacity, (pair_inner, pos, cs, ce), seq)
     return count
 
 
@@ -328,18 +408,24 @@ class PickledLaneDispatcher:
     the shared-memory path uses.
     """
 
-    __slots__ = ("pool", "bytes_pickled")
+    __slots__ = ("pool", "bytes_pickled", "_supervisor")
 
-    def __init__(self, pool) -> None:
+    def __init__(self, pool, *, supervisor=None) -> None:
         self.pool = pool
         self.bytes_pickled = 0
+        self._supervisor = supervisor
+
+    def _map(self, fn, tasks) -> List:
+        if self._supervisor is not None:
+            return self._supervisor.map(fn, tasks, label="pickled-lanes")
+        return self.pool.map(fn, tasks)
 
     def __call__(self, shared, lane_tasks) -> List[Tuple]:
         from repro.exec.sweep_parallel import _lane_task
 
         tasks = [shared + task for task in lane_tasks]
         sent = sum(_task_nbytes(task) for task in tasks)
-        parts = self.pool.map(_lane_task, tasks)
+        parts = self._map(_lane_task, tasks)
         received = sum(_task_nbytes(part) for part in parts)
         self.bytes_pickled += sent + received
         _COPY["bytes_pickled"] += sent + received
@@ -367,25 +453,41 @@ class ShmLaneDispatcher:
         "bytes_pickled",
         "arena_overflows",
         "slab_overflows",
+        "slab_poisoned",
         "dispatches",
         "_index_src",
         "_index_spans",
         "_index_mark",
         "_pickled",
+        "_supervisor",
     )
 
-    def __init__(self, pool, *, data_bytes: int, slab_rows: int, lanes: int) -> None:
+    def __init__(
+        self, pool, *, data_bytes: int, slab_rows: int, lanes: int, supervisor=None
+    ) -> None:
         self.pool = pool
         self.arena = ColumnArena(data_bytes)
-        self.slabs = LaneResultSlabs(lanes, slab_rows)
+        try:
+            self.slabs = LaneResultSlabs(lanes, slab_rows)
+        except BaseException:
+            # The arena segment is already live; without this the failed
+            # construction leaked it (no dispatcher exists to close it).
+            self.arena.close()
+            raise
         self.bytes_pickled = 0
         self.arena_overflows = 0
         self.slab_overflows = 0
+        self.slab_poisoned = 0
         self.dispatches = 0
         self._index_src: Optional[Tuple] = None
         self._index_spans: Optional[List[Span]] = None
         self._index_mark = 0
-        self._pickled = PickledLaneDispatcher(pool)
+        self._supervisor = supervisor
+        self._pickled = PickledLaneDispatcher(pool, supervisor=supervisor)
+        if supervisor is not None:
+            # Supervisor-owned teardown: segments are reclaimed even when a
+            # lane dies mid-gather and the engine's unwind path is abnormal.
+            supervisor.add_teardown(self.close)
 
     @property
     def descriptor(self) -> ArenaDescriptor:
@@ -413,6 +515,22 @@ class ShmLaneDispatcher:
             parts = self._pickled(shared, lane_tasks)
             self.bytes_pickled = self._pickled.bytes_pickled
             return parts
+        except SlabCorruptionError as damage:
+            # A result slab failed CRC/sequence validation: stale write
+            # from a dead lane or torn shared pages.  The lane tasks are
+            # pure, so recomputing the whole dispatch through the pickled
+            # transport is bit-identical -- and bypasses the damaged slab.
+            self.slab_poisoned += 1
+            if self._supervisor is not None:
+                self._supervisor.note_poison(str(damage))
+            parts = self._pickled(shared, lane_tasks)
+            self.bytes_pickled = self._pickled.bytes_pickled
+            return parts
+
+    def _map(self, fn, tasks) -> List:
+        if self._supervisor is not None:
+            return self._supervisor.map(fn, tasks, label="shm-lanes")
+        return self.pool.map(fn, tasks)
 
     def _dispatch_shared(self, shared, lane_tasks) -> List[Tuple]:
         comp, starts_sorted, ends_sorted, grp_maxlen, min_start, stride = shared
@@ -432,6 +550,7 @@ class ShmLaneDispatcher:
         slab_name = self.slabs.shm.name
         data_name = self.arena.shm.name
         capacity = self.slabs.capacity
+        seq = self.dispatches + 1
         tasks = []
         for slot, task in enumerate(lane_tasks):
             lane_spans = [self.arena.push(col) for col in task]
@@ -445,15 +564,20 @@ class ShmLaneDispatcher:
                     slab_name,
                     slot,
                     capacity,
+                    seq,
                 )
             )
-        results = self.pool.map(_shm_lane_task, tasks)
-        self.dispatches += 1
+        results = self._map(_shm_lane_task, tasks)
+        self.dispatches = seq
+        if self._supervisor is not None and self._supervisor.scripted_slab_poison(seq):
+            self._corrupt_scripted(results)
 
         parts: List[Tuple] = []
         for slot, result in enumerate(results):
             if isinstance(result, int):
-                pair_inner, pos, cs, ce = self.slabs.read_lane(slot, result)
+                pair_inner, pos, cs, ce = self.slabs.read_lane(
+                    slot, result, expected_seq=seq
+                )
             else:
                 # Slab overflow: the worker pickled its arrays back.
                 self.slab_overflows += 1
@@ -463,6 +587,13 @@ class ShmLaneDispatcher:
                 _COPY["bytes_pickled"] += overflow_bytes
             parts.append((pair_inner, pos, cs, ce))
         return parts
+
+    def _corrupt_scripted(self, results) -> None:
+        """Scripted chaos: damage the first slab-resident lane of a gather."""
+        for slot, result in enumerate(results):
+            if isinstance(result, int):
+                self.slabs.corrupt(slot)
+                return
 
     def close(self) -> None:
         """Unlink both segments (idempotent; never raises).
@@ -510,12 +641,15 @@ def locate_spans_shared(
     boundary_ends: Sequence[int],
     pool,
     chunk: int,
+    mapper=None,
 ) -> Optional[List[int]]:
     """Locate *chronons* through a shared-memory scatter/gather.
 
     The chronon column is written to a shared input segment once; workers
     fill a shared output segment in place.  Returns None when the segments
     cannot be created (the caller falls back to the pickling transport).
+    *mapper* overrides ``pool.map`` -- the supervised locate path passes
+    :meth:`~repro.resilience.supervisor.LaneSupervisor.map` here.
     """
     n = len(chronons)
     arena = out = None
@@ -532,7 +666,7 @@ def locate_spans_shared(
             (arena.shm.name, (8 * i, min(chunk, n - i)), out.shm.name, ends)
             for i in range(0, n, chunk)
         ]
-        pool.map(_locate_shm_task, tasks)
+        (mapper if mapper is not None else pool.map)(_locate_shm_task, tasks)
         _COPY["bytes_shared"] += 8 * n
         return out.view((0, n)).tolist()
     finally:

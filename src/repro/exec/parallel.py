@@ -28,11 +28,11 @@ kernel, so results never depend on whether the pool could start.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.exec.kernels import Kernels, get_kernels
+from repro.resilience.supervisor import LANE_POOL_ERRORS, LaneSupervisor
 
 #: Chunk of work shipped to one worker: (start, end) chronon pairs.
 SpanChunk = Tuple[Tuple[int, int], ...]
@@ -78,6 +78,8 @@ def locate_partitions_parallel(
     workers: Optional[int] = None,
     kernels: Optional[Kernels] = None,
     transport: str = "pickle",
+    report=None,
+    obs=None,
 ) -> List[int]:
     """Storage-partition index of every span, computed with a process pool.
 
@@ -96,6 +98,10 @@ def locate_partitions_parallel(
             shared output segment, so only descriptors cross the pool
             boundary (the ``"zero-copy-sweep"`` path).  Both transports --
             and every fallback between them -- return identical indices.
+        report: optional :class:`~repro.resilience.report.ResilienceReport`;
+            transport fallbacks record a ``DegradationEvent`` on it, so the
+            serial path is never taken invisibly.
+        obs: optional observability runtime (fallback events and metrics).
 
     Returns:
         Partition indices in input order -- identical whatever the worker
@@ -120,44 +126,76 @@ def locate_partitions_parallel(
         return active.locate([span[0] for span in oriented],
                              active.prepare_boundaries(list(boundary_ends)))
 
-    if transport == "shared" and active.use_numpy:
-        try:
-            from repro.exec.arena import locate_spans_shared
+    def degrade(detail: str) -> None:
+        # Never silent: every transport fallback leaves a DegradationEvent
+        # and a metric increment behind (when a sink was provided).
+        if report is not None:
+            report.record_degradation("pool-fallback", detail)
+        if obs is not None:
+            obs.event("degradation", kind="pool-fallback", detail=detail)
+            obs.count(
+                "repro_degradations_total",
+                "Recorded degradation events by kind.",
+                kind="pool-fallback",
+            )
 
-            with multiprocessing.get_context().Pool(
-                processes=min(n_workers, max(1, (n + CHUNK_SPANS - 1) // CHUNK_SPANS)),
-            ) as pool:
-                located_shared = locate_spans_shared(
-                    [span[0] for span in oriented],
-                    list(boundary_ends),
-                    pool,
-                    CHUNK_SPANS,
-                )
-            if located_shared is not None:
-                return located_shared
-        except Exception:
-            # Segment or pool creation refused -- fall through to the
-            # pickling transport of the identical computation.
-            pass
-
-    chunks: List[SpanChunk] = [
-        tuple(oriented[i : i + CHUNK_SPANS]) for i in range(0, n, CHUNK_SPANS)
-    ]
+    # One supervised pool serves both transports: dispatch deadlines,
+    # crash detection, and deterministic re-dispatch come for free, and the
+    # chunk-count clamp matches the historical pool sizing of both paths.
+    lanes = min(n_workers, max(1, (n + CHUNK_SPANS - 1) // CHUNK_SPANS))
+    supervisor = LaneSupervisor(
+        lanes,
+        report=report,
+        obs=obs,
+        initializer=_init_worker,
+        initargs=(list(boundary_ends),),
+    )
     try:
-        with multiprocessing.get_context().Pool(
-            processes=min(n_workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(list(boundary_ends),),
-        ) as pool:
-            located = pool.map(_locate_chunk, chunks)
-    except Exception:
-        # Pool start-up or a worker failed -- restricted environments raise
-        # OSError/ValueError/ImportError, dying workers surface pool-specific
-        # errors.  Whatever the cause: same computation, same result, one
-        # process.  (Only genuine interrupts propagate.)
-        return active.locate([span[0] for span in oriented],
-                             active.prepare_boundaries(list(boundary_ends)))
-    merged: List[int] = []
-    for part in located:  # pool.map preserves chunk order
-        merged.extend(part)
-    return merged
+        if transport == "shared" and active.use_numpy:
+            try:
+                from repro.exec.arena import locate_spans_shared
+
+                pool = supervisor.ensure_pool()
+                if pool is not None:
+                    located_shared = locate_spans_shared(
+                        [span[0] for span in oriented],
+                        list(boundary_ends),
+                        pool,
+                        CHUNK_SPANS,
+                        mapper=supervisor.map,
+                    )
+                    if located_shared is not None:
+                        return located_shared
+                    degrade(
+                        "shared locate segments could not be created; "
+                        "using pickled chunks"
+                    )
+            except LANE_POOL_ERRORS as error:
+                # Fall through to the pickling transport of the identical
+                # computation.  (Only genuine interrupts propagate.)
+                degrade(
+                    f"shared locate transport failed "
+                    f"({type(error).__name__}); using pickled chunks"
+                )
+
+        chunks: List[SpanChunk] = [
+            tuple(oriented[i : i + CHUNK_SPANS]) for i in range(0, n, CHUNK_SPANS)
+        ]
+        try:
+            located = supervisor.map(_locate_chunk, chunks, label="locate")
+        except LANE_POOL_ERRORS as error:
+            # The supervisor recovers worker death internally; anything that
+            # still surfaces here means the dispatch machinery itself is
+            # unusable.  Same computation, same result, one process.
+            degrade(
+                f"pickled locate dispatch failed "
+                f"({type(error).__name__}); locating in-process"
+            )
+            return active.locate([span[0] for span in oriented],
+                                 active.prepare_boundaries(list(boundary_ends)))
+        merged: List[int] = []
+        for part in located:  # dispatch order preserves chunk order
+            merged.extend(part)
+        return merged
+    finally:
+        supervisor.close()

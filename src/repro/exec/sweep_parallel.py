@@ -48,6 +48,7 @@ from repro.exec.backend import HAVE_NUMPY, np
 from repro.exec.batch import CodeTranslator
 from repro.exec.kernels import Kernels, Match, get_kernels
 from repro.model.vtuple import VTTuple
+from repro.resilience.supervisor import LANE_POOL_ERRORS
 from repro.time.interval import Interval
 
 #: Arena geometry used when no multibuffer plan is supplied: one generous
@@ -394,6 +395,8 @@ class PipelinedSweepEngine:
         zero_copy: bool = False,
         interner=None,
         arena_plan=None,
+        supervisor=None,
+        report=None,
     ) -> None:
         self._kernels = kernels if kernels is not None else get_kernels()
         self._boundaries = self._kernels.prepare_boundaries(partition_map)
@@ -405,7 +408,11 @@ class PipelinedSweepEngine:
             CodeTranslator(self._interner) if self._kernels.use_numpy else None
         )
         self._direction = direction
-        self.lanes = effective_sweep_workers(workers)
+        # A LaneSupervisor owns the pool (and the lane count, which its
+        # quarantine ladder may shrink mid-sweep); without one the engine
+        # manages a bare pool exactly as before.
+        self.supervision = supervisor
+        self._lanes = effective_sweep_workers(workers)
         self._pool = None
         self._pool_broken = self._kernels.use_numpy is False  # lanes ship arrays
         self.pool_dispatches = 0
@@ -419,23 +426,46 @@ class PipelinedSweepEngine:
         # Observation only (trace events on pool lifecycle transitions);
         # the probe computation never consults it.
         self._obs = obs
+        # Degradation sink (lane failures, pool fallbacks); observation
+        # only -- the probe computation never consults it.
+        self._report = report
 
     # -- pool management ----------------------------------------------------
 
+    @property
+    def lanes(self) -> int:
+        """Current lane count (shrinks when the supervisor quarantines)."""
+        if self.supervision is not None:
+            return self.supervision.lanes
+        return self._lanes
+
     def _ensure_pool(self):
+        if self.supervision is not None:
+            pool = self.supervision.ensure_pool()
+            if pool is None and not self._pool_broken:
+                # Retired (or never spawnable): probes run in-process from
+                # here on.  The supervisor already recorded why.
+                self._pool_broken = True
+                self.pool_fallbacks += 1
+            return pool
         if self._pool is None and not self._pool_broken and self.lanes >= 2:
             try:
                 self._pool = multiprocessing.get_context().Pool(processes=self.lanes)
                 if self._obs is not None:
                     self._obs.event("pool-start", lanes=self.lanes)
-            except Exception:
+            except LANE_POOL_ERRORS:
                 # Restricted environments (sandboxes, some CI runners)
                 # cannot spawn; same computation, one process.
                 self._pool_broken = True
                 self.pool_fallbacks += 1
+                self._degrade("pool-fallback", "lane pool could not be spawned")
                 if self._obs is not None:
                     self._obs.event("pool-fallback", reason="spawn-failed")
         return self._pool
+
+    def _degrade(self, kind: str, detail: str) -> None:
+        if self._report is not None:
+            self._report.record_degradation(kind, detail)
 
     def _ensure_dispatcher(self, pool):
         """The fan-out dispatcher for *pool* (created lazily, like the pool).
@@ -462,6 +492,7 @@ class PipelinedSweepEngine:
                         plan.slab_rows if plan is not None else DEFAULT_SLAB_ROWS
                     ),
                     lanes=self.lanes,
+                    supervisor=self.supervision,
                 )
                 if self._obs is not None:
                     desc = self._dispatcher.descriptor
@@ -474,9 +505,12 @@ class PipelinedSweepEngine:
                 return self._dispatcher
             except Exception:
                 self._arena_broken = True
+                self._degrade("arena-fallback", "shared segments could not be created")
                 if self._obs is not None:
                     self._obs.event("arena-fallback", reason="segment-create-failed")
-        self._dispatcher = arena_mod.PickledLaneDispatcher(pool)
+        self._dispatcher = arena_mod.PickledLaneDispatcher(
+            pool, supervisor=self.supervision
+        )
         return self._dispatcher
 
     @property
@@ -495,6 +529,7 @@ class PipelinedSweepEngine:
             "bytes_shared": getattr(dispatcher, "bytes_shared", 0),
             "arena_overflows": getattr(dispatcher, "arena_overflows", 0),
             "slab_overflows": getattr(dispatcher, "slab_overflows", 0),
+            "slab_poisoned": getattr(dispatcher, "slab_poisoned", 0),
         }
 
     def close(self) -> None:
@@ -502,7 +537,9 @@ class PipelinedSweepEngine:
 
         Also unlinks the shared-memory arenas, so the segments' lifetime is
         bounded by the join on every path -- success, crash unwinding, and
-        pool-degradation all funnel here.
+        pool-degradation all funnel here.  Under supervision the segments
+        are additionally registered as supervisor teardowns, so closing the
+        supervisor reclaims them too.
         """
         if self._dispatcher is not None:
             try:
@@ -510,6 +547,8 @@ class PipelinedSweepEngine:
             except Exception:
                 pass
             self._dispatcher = None
+        if self.supervision is not None:
+            self.supervision.close()
         if self._pool is not None:
             try:
                 self._pool.terminate()
@@ -577,12 +616,14 @@ class PipelinedSweepEngine:
             )
             if pool is not None:
                 self.pool_dispatches += 1
-        except Exception:
-            # A dying pool worker surfaces here; degrade to one process for
-            # the rest of the sweep -- identical computation, same result.
+        except LANE_POOL_ERRORS:
+            # An unsupervised pool dying surfaces here (the supervisor
+            # recovers these internally); degrade to one process for the
+            # rest of the sweep -- identical computation, same result.
             self.close()
             self._pool_broken = True
             self.pool_fallbacks += 1
+            self._degrade("pool-fallback", "lane pool failed mid-dispatch")
             if self._obs is not None:
                 self._obs.event("pool-fallback", reason="worker-died")
             pair_outer, pair_inner, cs, ce = probe_pruned(

@@ -108,6 +108,19 @@ class CheckpointError(ReproError):
     """A sweep checkpoint could not be written, committed, or restored."""
 
 
+class LaneFailureError(ReproError):
+    """A supervised worker lane crashed, hung, or raised mid-dispatch.
+
+    Carries ``kind`` context (``"death"``/``"hang"``/``"error"``) so the
+    :class:`~repro.resilience.supervisor.LaneSupervisor` can account the
+    failure before re-dispatching the lost work deterministically.
+    """
+
+
+class SlabCorruptionError(LaneFailureError):
+    """A lane's shared-memory result slab failed CRC/sequence validation."""
+
+
 class PlanError(ReproError):
     """The partition planner could not produce a usable plan."""
 
@@ -130,3 +143,7 @@ class SessionClosedError(ServiceError):
 
 class CatalogError(ServiceError):
     """A versioned-catalog operation was invalid (unknown name, live view)."""
+
+
+class QueryDeadlineError(ServiceError):
+    """A query exceeded its per-query deadline budget (admission + execution)."""

@@ -21,10 +21,13 @@ __all__ = [
     "DegradationEvent",
     "FaultDecision",
     "FaultInjector",
+    "LaneSupervisionStats",
+    "LaneSupervisor",
     "RecoveryLog",
     "ResiliencePolicy",
     "ResilienceReport",
     "RetryPolicy",
+    "SupervisionPolicy",
     "SweepCheckpoint",
     "SweepCheckpointer",
     "SweepContext",
@@ -38,6 +41,11 @@ _LAZY = {
     "SweepContext": "repro.resilience.checkpoint",
     "BufferReduction": "repro.resilience.degrade",
     "fallback_nested_loop_join": "repro.resilience.degrade",
+    # Lazy: the supervisor pulls in multiprocessing, which the storage
+    # leaves never need.
+    "LaneSupervisionStats": "repro.resilience.supervisor",
+    "LaneSupervisor": "repro.resilience.supervisor",
+    "SupervisionPolicy": "repro.resilience.supervisor",
 }
 
 

@@ -21,9 +21,17 @@ class DegradationEvent:
         kind: ``"nested-loop-fallback"`` (permanent page failure, the join
             re-ran as a block nested loop over the base relations),
             ``"replan"`` (the buffer budget shrank before planning, the
-            planner re-ran with a smaller ``partSize``), or
+            planner re-ran with a smaller ``partSize``),
             ``"buffer-reduction"`` (the budget shrank mid-sweep, the outer
-            block was split -- the Section 3.4 overflow machinery).
+            block was split -- the Section 3.4 overflow machinery),
+            ``"pool-fallback"`` / ``"arena-fallback"`` (a worker pool or
+            shared segment could not be used; the identical computation ran
+            in-process / over pickled chunks), or one of the lane
+            supervisor's ``"lane-*"`` kinds (``lane-death``, ``lane-hang``,
+            ``lane-error``, ``lane-poison``, ``lane-quarantine``,
+            ``lane-retired`` -- see :mod:`repro.resilience.supervisor`).
+            The ``lane-`` prefix is load-bearing: the service keeps
+            lane-disturbed runs out of its result cache by that prefix.
         detail: human-readable description.
         position: sweep position the event applies to, when applicable.
     """

@@ -12,8 +12,11 @@ without ever oversubscribing it.  Five cooperating pieces (see
   FIFO / smallest-grant-first policies, degradation under pressure, and
   :class:`~repro.model.errors.AdmissionTimeoutError` on timeout;
 * :mod:`repro.service.cache` -- the epoch-keyed plan and result caches;
+* :mod:`repro.service.breaker` -- the lane circuit breaker that trips
+  pooled execution to serial after clustered worker-lane failures and
+  half-opens on probe queries;
 * :mod:`repro.service.executor` -- a worker-thread executor with a bounded
-  run queue and per-query cancellation;
+  run queue, per-query cancellation, and whole-query deadline budgets;
 * :mod:`repro.service.session` -- session lifecycle and per-session
   configuration overrides;
 * :mod:`repro.service.service` -- :class:`QueryService`, tying the above
@@ -27,10 +30,12 @@ serial replay at the same snapshot epochs, in all four execution modes.
 from repro.model.errors import (
     AdmissionTimeoutError,
     QueryCancelledError,
+    QueryDeadlineError,
     ServiceError,
     SessionClosedError,
 )
 from repro.service.admission import AdmissionController, MemoryGrant
+from repro.service.breaker import LaneCircuitBreaker
 from repro.service.cache import CachedJoin, PlanCache, ResultCache
 from repro.service.executor import QueryExecutor, QueryHandle
 from repro.service.service import QueryService, ServiceQueryResult
@@ -45,9 +50,11 @@ __all__ = [
     "AdmissionController",
     "AdmissionTimeoutError",
     "CachedJoin",
+    "LaneCircuitBreaker",
     "MemoryGrant",
     "PlanCache",
     "QueryCancelledError",
+    "QueryDeadlineError",
     "QueryExecutor",
     "QueryHandle",
     "QueryService",

@@ -1,0 +1,147 @@
+"""A lane circuit breaker: stop paying for lane recovery when lanes keep dying.
+
+The :class:`~repro.resilience.supervisor.LaneSupervisor` makes individual
+lane failures survivable -- re-dispatch is bit-identical, so one crashed
+worker costs a retry, not a wrong answer.  But when lane failures *cluster*
+(a host out of memory, a cgroup killing children, a poisoned numpy build),
+every pooled query pays the detection deadline plus the re-dispatch before
+it lands on the same failure again.  The service-level answer is the classic
+circuit breaker:
+
+* **closed** -- lanes allowed.  Each lane-disturbed run (any ``lane-*``
+  :class:`~repro.resilience.report.DegradationEvent`) counts toward a
+  sliding window; ``threshold`` failures inside ``window_seconds`` trip the
+  breaker.
+* **open** -- queries run serial (``sweep_workers=1``, supervision off): no
+  pools are spawned at all.  Results stay bit-identical -- lane count never
+  affects the answer -- so this is purely a latency/ throughput trade.
+* **half-open** -- after ``cooldown_seconds`` the next query is admitted to
+  lanes as a *probe*; its peers stay serial until it reports back.  A clean
+  probe closes the breaker; a disturbed one reopens it for another cooldown.
+
+Serial runs report nothing (they cannot observe lane health), so a stream
+of probes under continuous failure costs exactly one lane attempt per
+cooldown period.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List
+
+from repro.model.errors import ServiceError
+
+#: Breaker states, in gauge order (0=closed, 1=open, 2=half-open).
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class LaneCircuitBreaker:
+    """Trips pooled execution to serial after clustered lane failures.
+
+    Args:
+        threshold: lane-disturbed runs within the window that trip the
+            breaker.
+        window_seconds: sliding failure-counting window.
+        cooldown_seconds: how long the breaker stays open before admitting
+            a half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_seconds: float = 60.0,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ServiceError(f"breaker threshold must be >= 1, got {threshold}")
+        if window_seconds <= 0:
+            raise ServiceError(
+                f"breaker window_seconds must be positive, got {window_seconds}"
+            )
+        if cooldown_seconds < 0:
+            raise ServiceError(
+                f"breaker cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.threshold = threshold
+        self.window_seconds = window_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures: List[float] = []
+        self._opened_at = 0.0
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_index(self) -> int:
+        """The state as a gauge value (see :data:`BREAKER_STATES`)."""
+        return BREAKER_STATES.index(self.state)
+
+    def admit(self) -> bool:
+        """May the next query use lanes?  False means run serial.
+
+        An open breaker past its cooldown admits exactly one caller as the
+        half-open probe; everyone else stays serial until the probe's
+        :meth:`record` lands.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.cooldown_seconds:
+                    return False
+                self._state = "half-open"
+                self._probing = True
+                return True
+            # half-open: one probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record(self, used_lanes: bool, lane_failed: bool) -> None:
+        """Report one finished query's lane health.
+
+        Serial runs (``used_lanes=False``) carry no signal and are ignored;
+        a pooled run either feeds the failure window or -- as the half-open
+        probe -- decides the breaker's fate outright.
+        """
+        if not used_lanes:
+            return
+        with self._lock:
+            now = self._clock()
+            if self._state == "half-open":
+                self._probing = False
+                if lane_failed:
+                    self._trip(now)
+                else:
+                    self._state = "closed"
+                    self._failures.clear()
+                return
+            if not lane_failed:
+                return
+            self._failures.append(now)
+            horizon = now - self.window_seconds
+            self._failures = [t for t in self._failures if t > horizon]
+            if self._state == "closed" and len(self._failures) >= self.threshold:
+                self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        """Open the breaker (caller holds the lock)."""
+        self._state = "open"
+        self._opened_at = now
+        self._probing = False
+        self._failures.clear()
+        self.trips += 1
+
+
+__all__ = ["BREAKER_STATES", "LaneCircuitBreaker"]

@@ -14,18 +14,41 @@ waits) at its cancellation points.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Set
 
-from repro.model.errors import QueryCancelledError, ServiceError
+from repro.model.errors import (
+    QueryCancelledError,
+    QueryDeadlineError,
+    ServiceError,
+)
 
 
 class QueryHandle:
-    """The caller's view of one submitted query."""
+    """The caller's view of one submitted query.
 
-    def __init__(self, query_id: int, label: str = "") -> None:
+    A handle optionally carries a *deadline*: a wall-clock budget covering
+    everything from submission on -- run-queue wait, admission wait, and
+    execution.  The clock starts at handle creation (submission), so a
+    query stuck behind a full run queue burns budget exactly like one
+    stuck in an admission queue.
+    """
+
+    def __init__(
+        self,
+        query_id: int,
+        label: str = "",
+        deadline_seconds: Optional[float] = None,
+    ) -> None:
         self.query_id = query_id
         self.label = label
+        self.deadline_seconds = deadline_seconds
+        self._deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         self.cancel_event = threading.Event()
         self._done = threading.Event()
         self._lock = threading.Lock()
@@ -54,6 +77,23 @@ class QueryHandle:
         if self.cancel_event.is_set():
             raise QueryCancelledError(
                 f"query {self.query_id} ({self.label or 'unlabeled'}) cancelled"
+            )
+
+    # -- deadline --------------------------------------------------------------
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Deadline budget left (never negative); None when unbudgeted."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def check_deadline(self) -> None:
+        """Raise :class:`QueryDeadlineError` once the deadline budget is spent."""
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            raise QueryDeadlineError(
+                f"query {self.query_id} ({self.label or 'unlabeled'}) exceeded "
+                f"its {self.deadline_seconds:.3f}s deadline budget",
+                deadline_seconds=self.deadline_seconds,
             )
 
     # -- completion ----------------------------------------------------------
@@ -162,9 +202,16 @@ class QueryExecutor:
     # -- submission ----------------------------------------------------------
 
     def submit(
-        self, fn: Callable[[QueryHandle], Any], *, label: str = ""
+        self,
+        fn: Callable[[QueryHandle], Any],
+        *,
+        label: str = "",
+        deadline_seconds: Optional[float] = None,
     ) -> QueryHandle:
         """Queue *fn* for execution; returns its handle immediately.
+
+        ``deadline_seconds`` starts the handle's whole-query deadline clock
+        now, so run-queue wait counts against the budget.
 
         Raises:
             ServiceError: executor shut down, or the run queue is full.
@@ -178,7 +225,7 @@ class QueryExecutor:
                     f"retry later or raise queue_limit"
                 )
             self._query_ids += 1
-            handle = QueryHandle(self._query_ids, label)
+            handle = QueryHandle(self._query_ids, label, deadline_seconds)
             self._queue.append((handle, fn))
             self._condition.notify()
             return handle

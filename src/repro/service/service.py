@@ -49,11 +49,13 @@ from repro.engine.optimizer import choose_algorithm
 from repro.model.errors import (
     AdmissionTimeoutError,
     QueryCancelledError,
+    QueryDeadlineError,
     ServiceError,
 )
 from repro.model.relation import ValidTimeRelation
 from repro.obs import Observability, ObservabilityConfig
 from repro.service.admission import AdmissionController
+from repro.service.breaker import LaneCircuitBreaker
 from repro.service.cache import CachedJoin, InternerCache, PlanCache, ResultCache
 from repro.service.executor import QueryExecutor, QueryHandle
 from repro.service.session import Rows, Session, SessionConfig, coerce_rows
@@ -65,6 +67,9 @@ from repro.storage.page import PageSpec
 QUEUE_WAIT_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0, 30.0)
 
 _JOIN_METHODS = ("auto", "partition", "sort_merge", "nested_loop")
+
+#: Execution modes that spawn worker lanes (and hence feed the lane breaker).
+_LANE_MODES = ("batch-parallel", "batch-parallel-sweep", "zero-copy-sweep")
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,13 @@ class QueryService:
         cost_model / page_spec: the served cost environment.
         observability: optional tracing config; metrics are always on.
         max_sessions: open-session cap.
+        lane_failure_threshold: lane-disturbed runs within
+            ``lane_failure_window`` seconds that trip the lane circuit
+            breaker to serial execution (see
+            :class:`~repro.service.breaker.LaneCircuitBreaker`).
+        lane_failure_window: the breaker's sliding failure window, seconds.
+        lane_breaker_cooldown: seconds an open breaker waits before
+            admitting a half-open probe query back onto lanes.
     """
 
     def __init__(
@@ -155,6 +167,9 @@ class QueryService:
         page_spec: Optional[PageSpec] = None,
         observability: Optional[ObservabilityConfig] = None,
         max_sessions: int = 64,
+        lane_failure_threshold: int = 3,
+        lane_failure_window: float = 60.0,
+        lane_breaker_cooldown: float = 30.0,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ServiceError(
@@ -181,6 +196,11 @@ class QueryService:
             degrade_after=degrade_after,
         )
         self.executor = QueryExecutor(workers=workers, queue_limit=queue_limit)
+        self.lane_breaker = LaneCircuitBreaker(
+            threshold=lane_failure_threshold,
+            window_seconds=lane_failure_window,
+            cooldown_seconds=lane_breaker_cooldown,
+        )
         self.plan_cache = PlanCache(plan_cache_entries) if plan_cache_entries else None
         self.result_cache = (
             ResultCache(result_cache_entries) if result_cache_entries else None
@@ -258,6 +278,11 @@ class QueryService:
         if config.memory_pages is not None and config.memory_pages < 4:
             raise ServiceError(
                 f"memory_pages must be >= 4, got {config.memory_pages}"
+            )
+        if config.deadline_seconds is not None and config.deadline_seconds <= 0:
+            raise ServiceError(
+                f"deadline_seconds must be positive (or None), "
+                f"got {config.deadline_seconds}"
             )
         with self._sessions_lock:
             if len(self._sessions) >= self.max_sessions:
@@ -346,6 +371,7 @@ class QueryService:
         handle = self.executor.submit(
             lambda h: self._run_join(session, outer, inner, effective_method, timeout, h),
             label=label,
+            deadline_seconds=session.config.deadline_seconds,
         )
         self._gauge_queue_depth()
         return handle
@@ -376,6 +402,14 @@ class QueryService:
                 )
         except QueryCancelledError:
             self._count_query("cancelled", method)
+            raise
+        except QueryDeadlineError:
+            self._count_query("deadline", method)
+            with self._metrics_lock:
+                self.obs.count(
+                    "repro_service_deadline_exceeded_total",
+                    "Queries that blew their whole-query deadline budget.",
+                )
             raise
         except AdmissionTimeoutError:
             self._count_query("admission_timeout", method)
@@ -453,16 +487,36 @@ class QueryService:
             else session.config.admission_timeout
         )
         handle.check_cancelled()
-        grant = self.admission.acquire(
-            request,
-            label=handle.label or f"s{session.session_id}",
-            timeout=admission_timeout,
-            cancelled=handle.cancel_event,
+        handle.check_deadline()
+        # The deadline budget covers admission wait too: cap the admission
+        # timeout to whatever budget remains, and report an admission wait
+        # cut short *by the deadline* as a deadline miss, not a timeout.
+        remaining = handle.remaining_seconds()
+        deadline_bound = remaining is not None and (
+            admission_timeout is None or remaining < admission_timeout
         )
+        if deadline_bound:
+            admission_timeout = remaining
+        try:
+            grant = self.admission.acquire(
+                request,
+                label=handle.label or f"s{session.session_id}",
+                timeout=admission_timeout,
+                cancelled=handle.cancel_event,
+            )
+        except AdmissionTimeoutError as error:
+            if deadline_bound:
+                raise QueryDeadlineError(
+                    f"query {handle.query_id} ({handle.label or 'unlabeled'}) "
+                    f"exceeded its deadline budget waiting for admission",
+                    deadline_seconds=handle.deadline_seconds,
+                ) from error
+            raise
         self._observe_queue_wait(grant.queue_wait_seconds)
         self._gauge_pool()
         try:
             handle.check_cancelled()
+            handle.check_deadline()
             result = self._evaluate(
                 outer, inner, r_version.relation, s_version.relation,
                 method, config, grant.pages, epochs, session,
@@ -499,6 +553,8 @@ class QueryService:
         degraded: bool = False,
     ) -> ServiceQueryResult:
         plan_cache_hit = False
+        lane_disturbed = False
+        use_lanes = False
         if method == "partition":
             pool = BufferPool(granted_pages)
             plan = None
@@ -524,6 +580,25 @@ class QueryService:
                 if granted_pages >= config.memory_pages
                 else dataclasses.replace(config, memory_pages=granted_pages)
             )
+            if config.execution in _LANE_MODES:
+                # The lane circuit breaker decides pooled-vs-serial BEFORE
+                # the plan-cache lookup: a serial run plans identically (the
+                # plan never depends on lane count) but must not spawn the
+                # pools an open breaker exists to avoid.  Results are
+                # bit-identical either way, so this is purely a latency
+                # trade and the cache keys stay on the original config.
+                use_lanes = self.lane_breaker.admit()
+                if not use_lanes:
+                    effective_config = dataclasses.replace(
+                        effective_config,
+                        parallel_workers=1,
+                        sweep_workers=1,
+                        lane_supervision=False,
+                    )
+                    self._count(
+                        "repro_service_breaker_serial_total",
+                        "Queries forced to serial execution by the lane breaker.",
+                    )
             use_plan_cache = (
                 self.plan_cache is not None
                 and session.config.use_plan_cache
@@ -559,6 +634,18 @@ class QueryService:
                 self.plan_cache.store(
                     outer, inner, epochs, effective_config, run.plan
                 )
+            lane_disturbed = any(
+                event.kind.startswith("lane-")
+                for event in run.resilience.degradations
+            )
+            if config.execution in _LANE_MODES:
+                self.lane_breaker.record(use_lanes, lane_disturbed)
+                self._gauge_breaker()
+                if lane_disturbed:
+                    self._count(
+                        "repro_service_lane_disturbed_total",
+                        "Queries whose run recovered from lane failures.",
+                    )
             outcome = run.outcome
             relation = run.outcome.result
             cost = run.total_cost(self.cost_model)
@@ -579,11 +666,17 @@ class QueryService:
         # budget: its outcome counters (and potentially tuple order) are not
         # the full-budget answer, so storing it under the full-budget config
         # key would break bit-identity for later full-grant hits.  Mirror
-        # the plan cache's full_grant guard and skip the store.
+        # the plan cache's full_grant guard and skip the store.  A
+        # lane-disturbed run is likewise kept out: its *answer* is provably
+        # identical (re-dispatch determinism), but caching it would hide the
+        # disturbance from every later serving of the same query -- repeat
+        # queries must re-observe lane health, and chaos tests must compare
+        # recomputations, not a memo of the disturbed run.
         if (
             self.result_cache is not None
             and session.config.use_result_cache
             and not degraded
+            and not lane_disturbed
             and relation is not None
         ):
             self.result_cache.store(
@@ -699,6 +792,19 @@ class QueryService:
                 "Buffer pages currently queued for admission.",
             )
 
+    def _gauge_breaker(self) -> None:
+        with self._metrics_lock:
+            self.obs.gauge(
+                "repro_service_lane_breaker_state",
+                float(self.lane_breaker.state_index),
+                "Lane circuit breaker state (0=closed, 1=open, 2=half-open).",
+            )
+            self.obs.gauge(
+                "repro_service_lane_breaker_trips",
+                float(self.lane_breaker.trips),
+                "Times the lane circuit breaker has tripped open.",
+            )
+
     def _gauge_queue_depth(self) -> None:
         with self._metrics_lock:
             self.obs.gauge(
@@ -726,6 +832,13 @@ class QueryService:
                 "timeouts": self.admission.timeouts,
                 "clamped_requests": self.admission.clamped_requests,
                 "policy": self.admission.policy,
+            },
+            "lane_breaker": {
+                "state": self.lane_breaker.state,
+                "trips": self.lane_breaker.trips,
+                "threshold": self.lane_breaker.threshold,
+                "window_seconds": self.lane_breaker.window_seconds,
+                "cooldown_seconds": self.lane_breaker.cooldown_seconds,
             },
         }
         for label, cache in (

@@ -35,6 +35,12 @@ class SessionConfig:
         use_plan_cache: serve/populate the shared plan cache.
         use_result_cache: serve/populate the shared result cache.
         admission_timeout: seconds this session's queries may queue.
+        deadline_seconds: whole-query deadline budget -- admission wait
+            *plus* execution, measured from submission.  A query past its
+            deadline raises
+            :class:`~repro.model.errors.QueryDeadlineError` at its next
+            deadline check (admission waits are capped to the remaining
+            budget).  None disables the budget.
         label: diagnostic name (metrics and grant labels).
     """
 
@@ -44,6 +50,7 @@ class SessionConfig:
     use_plan_cache: bool = True
     use_result_cache: bool = True
     admission_timeout: Optional[float] = None
+    deadline_seconds: Optional[float] = None
     label: str = ""
 
 

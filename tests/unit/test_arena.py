@@ -93,14 +93,12 @@ class TestLaneResultSlabs:
     def test_disjoint_lanes_round_trip(self):
         slabs = LaneResultSlabs(lanes=3, capacity=8)
         try:
-            # Emulate two workers writing their slabs directly.
-            words = slabs._words
+            # Emulate two workers writing their slabs.
             for slot, count in ((0, 5), (2, 3)):
-                base = slot * words
-                slabs._np[base] = count
-                for i in range(4):
-                    lo = base + 1 + i * slabs.capacity
-                    slabs._np[lo : lo + count] = np.arange(count) + 10 * slot + i
+                slabs.write(
+                    slot,
+                    tuple(np.arange(count) + 10 * slot + i for i in range(4)),
+                )
             a = slabs.read_lane(0, 5)
             b = slabs.read_lane(2, 3)
             assert [list(x) for x in a] == [
@@ -115,13 +113,75 @@ class TestLaneResultSlabs:
     def test_read_lane_copies(self):
         slabs = LaneResultSlabs(lanes=1, capacity=4)
         try:
-            slabs._np[0] = 2
-            slabs._np[1:3] = (7, 8)
+            arrays = tuple(np.asarray([7 + i, 8 + i]) for i in range(4))
+            slabs.write(0, arrays)
             (inner, _, _, _) = slabs.read_lane(0, 2)
-            slabs._np[1:3] = (0, 0)  # the slab is reused by the next dispatch
-            assert list(inner) == [7, 8]
+            slabs.write(0, tuple(np.zeros(2, dtype=np.int64) for _ in range(4)))
+            assert list(inner) == [7, 8]  # the copy survives slab reuse
         finally:
             slabs.close()
+
+    def test_count_mismatch_raises(self):
+        from repro.model.errors import SlabCorruptionError
+
+        slabs = LaneResultSlabs(lanes=1, capacity=4)
+        try:
+            slabs.write(0, tuple(np.asarray([1, 2]) for _ in range(4)))
+            with pytest.raises(SlabCorruptionError):
+                slabs.read_lane(0, 3)
+        finally:
+            slabs.close()
+
+    def test_sequence_mismatch_raises(self):
+        from repro.model.errors import SlabCorruptionError
+
+        slabs = LaneResultSlabs(lanes=1, capacity=4)
+        try:
+            slabs.write(0, tuple(np.asarray([1, 2]) for _ in range(4)), seq=7)
+            assert slabs.read_lane(0, 2, expected_seq=7)
+            with pytest.raises(SlabCorruptionError):
+                slabs.read_lane(0, 2, expected_seq=8)
+        finally:
+            slabs.close()
+
+    def test_crc_catches_payload_corruption(self):
+        from repro.model.errors import SlabCorruptionError
+
+        slabs = LaneResultSlabs(lanes=1, capacity=4)
+        try:
+            slabs.write(0, tuple(np.asarray([1, 2, 3]) for _ in range(4)))
+            slabs.corrupt(0)
+            with pytest.raises(SlabCorruptionError):
+                slabs.read_lane(0, 3)
+        finally:
+            slabs.close()
+
+    def test_crc_catches_empty_slab_corruption(self):
+        from repro.model.errors import SlabCorruptionError
+
+        slabs = LaneResultSlabs(lanes=1, capacity=4)
+        try:
+            slabs.write(0, tuple(np.asarray([], dtype=np.int64) for _ in range(4)))
+            assert all(len(a) == 0 for a in slabs.read_lane(0, 0))
+            slabs.corrupt(0)  # flips the stored CRC when there is no payload
+            with pytest.raises(SlabCorruptionError):
+                slabs.read_lane(0, 0)
+        finally:
+            slabs.close()
+
+
+class TestInitLeak:
+    def test_failed_slab_creation_releases_the_arena(self, monkeypatch):
+        """A dispatcher that dies half-built must not leak its first segment."""
+        import repro.exec.arena as arena_mod
+
+        def explode(*args, **kwargs):
+            raise OSError("no shared memory for slabs")
+
+        monkeypatch.setattr(arena_mod, "LaneResultSlabs", explode)
+        with pytest.raises(OSError):
+            ShmLaneDispatcher(None, data_bytes=1 << 12, slab_rows=8, lanes=2)
+        assert active_arena_count() == 0
 
 
 class TestDispatcherEquivalence:
