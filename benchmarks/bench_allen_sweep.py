@@ -1,0 +1,387 @@
+"""Forward-scan sweep vs the partition join, plus the Allen-predicate bill.
+
+Runs the same natural join (by default 50 000 x 50 000 tuples, the
+``harness`` probe-heavy workload under a 48-page budget) twice -- once on
+endpoint-sorted inputs and once on the raw unsorted stream -- across three
+executions: the tuple-mode partition join (the paper's algorithm, the
+wall-clock baseline the acceptance gate measures against), the batch
+partition join, and the PR-8 ``"forward-sweep"``.  Before any number is
+reported it asserts the equivalence contract (identical result
+cardinality in every mode on both workloads) and the planner contract:
+EXPLAIN picks ``forward-sweep`` on the sorted side of the crossover and
+``partition`` on the unsorted side.
+
+A second section times the sweep under every registry predicate (the 13
+Allen relations plus the ``intersects``/``covers`` disjunctions) on
+endpoint-sorted inputs.  The disjoint predicates ``before``/``after``
+produce O(n^2) result pairs -- ~39M at full scale -- so they run at a
+capped sub-scale (default 8 000 tuples per side) with the cap recorded in
+their rows; every other predicate runs at full scale.
+
+Writes machine-readable ``BENCH_allen.json`` next to the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_allen_sweep.py
+
+CI gates on the committed numbers with ``--check``::
+
+    PYTHONPATH=src python benchmarks/bench_allen_sweep.py \\
+        --tuples 8000 --check BENCH_allen.json
+
+which asserts the committed sorted-input speedup still clears the 1.5x
+acceptance bar, re-checks the planner crossover on the fixed-size planner
+workload, and requires the fresh (small-scale) sweep to win outright on
+sorted input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from harness import (
+    REPO_ROOT,
+    charged_io,
+    environment,
+    load_report,
+    probe_heavy_relation,
+    timed_join,
+    time_modes,
+    write_report,
+)
+from repro.algebra.predicates import NATURAL_PREDICATE, predicate_names
+from repro.core.partition_join import PartitionJoinConfig
+from repro.core.planner import choose_physical_operator
+from repro.engine.database import TemporalDatabase
+from repro.storage.iostats import CostModel
+from repro.storage.page import PageSpec
+
+MODES = ("tuple", "batch", "forward-sweep")
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_allen.json"
+
+#: The acceptance bar on the committed full-scale report: the forward
+#: sweep's wall-clock win over the partition join on endpoint-sorted input.
+SORTED_SPEEDUP_FLOOR = 1.5
+
+#: Predicates whose result set is quadratic in the input (every pair of
+#: strictly disjoint intervals qualifies); they run at a capped sub-scale.
+QUADRATIC_PREDICATES = ("before", "after")
+
+#: The planner-crossover section is deliberately scale-independent (the
+#: ``--tuples`` flag never touches it): 8 000 tuples per side on 1 KiB
+#: pages under a 16-page budget gives 125 pages per relation -- firmly
+#: past the single-partition shortcut and expensive enough that the
+#: blocked nested loop is priced out -- so the sorted/unsorted operator
+#: flip is a pure function of the sortedness metadata and stays
+#: comparable across runs.
+PLANNER_TUPLES = 8_000
+PLANNER_MEMORY_PAGES = 16
+PLANNER_PAGE_SPEC = PageSpec(page_bytes=1024, tuple_bytes=16)
+
+
+def endpoint_sort(relation):
+    return relation.sorted_by(lambda t: (t.vs, t.ve, t.key, t.payload))
+
+
+def run_benchmark(
+    n_tuples: int,
+    *,
+    memory_pages: int = 48,
+    disjoint_cap: int = 8_000,
+) -> Dict:
+    r = probe_heavy_relation("works_on", n_tuples, seed=1994)
+    s = probe_heavy_relation("earns", n_tuples, seed=1995)
+    page_spec = PageSpec(page_bytes=8192, tuple_bytes=16)
+
+    def make_config(mode: str, predicate: str = NATURAL_PREDICATE):
+        return PartitionJoinConfig(
+            memory_pages=memory_pages,
+            page_spec=page_spec,
+            execution=mode,
+            predicate=predicate if mode == "forward-sweep" else NATURAL_PREDICATE,
+            collect_result=False,
+            max_plan_candidates=6,
+        )
+
+    workloads = {
+        "sorted": (endpoint_sort(r), endpoint_sort(s)),
+        "unsorted": (r, s),
+    }
+    sections: Dict[str, Dict] = {}
+    for label, (outer, inner) in workloads.items():
+        results = time_modes(outer, inner, MODES, make_config)
+        # -- the equivalence contract, asserted before any number is
+        # reported: every mode computes the same natural join.
+        cardinalities = {m: row["n_result_tuples"] for m, row in results.items()}
+        if len(set(cardinalities.values())) != 1:
+            raise AssertionError(
+                f"{label} workload: modes disagree on the join result "
+                f"({cardinalities})"
+            )
+        for row in results.values():
+            del row["run"]
+        for mode in MODES[1:]:
+            results[mode]["speedup_vs_partition"] = round(
+                results[mode]["tuples_per_sec"] / results["tuple"]["tuples_per_sec"],
+                2,
+            )
+        results["forward-sweep"]["speedup_vs_batch"] = round(
+            results["forward-sweep"]["tuples_per_sec"]
+            / results["batch"]["tuples_per_sec"],
+            2,
+        )
+        sections[label] = results
+
+    return {
+        "workload": {
+            "n_tuples_per_side": n_tuples,
+            "memory_pages": memory_pages,
+            "page_bytes": page_spec.page_bytes,
+            "tuple_bytes": page_spec.tuple_bytes,
+            "disjoint_cap": disjoint_cap,
+        },
+        "environment": environment(),
+        "sorted": sections["sorted"],
+        "unsorted": sections["unsorted"],
+        "planner": planner_crossover(),
+        "predicates": predicate_sweep(
+            r, s, sections, make_config, n_tuples, disjoint_cap
+        ),
+    }
+
+
+def planner_crossover() -> Dict:
+    """EXPLAIN on both sides of the crossover, on the fixed planner workload.
+
+    Asserts -- before the rows are reported -- that the database's EXPLAIN
+    picks the forward sweep when both inputs carry endpoint-sorted
+    metadata and the partition join when neither does, and records the
+    cost model's view of the same decision via
+    :func:`repro.core.planner.choose_physical_operator`.
+    """
+    r = probe_heavy_relation("works_on", PLANNER_TUPLES, seed=1994)
+    s = probe_heavy_relation("earns", PLANNER_TUPLES, seed=1995)
+    rows: Dict[str, Dict] = {}
+    for label, sort in (("sorted", True), ("unsorted", False)):
+        outer = endpoint_sort(r) if sort else r
+        inner = endpoint_sort(s) if sort else s
+        db = TemporalDatabase(
+            memory_pages=PLANNER_MEMORY_PAGES, page_spec=PLANNER_PAGE_SPEC
+        )
+        db.create_relation(outer.schema)
+        db.create_relation(inner.schema)
+        db.relation(outer.schema.name).extend(outer.tuples)
+        db.relation(inner.schema.name).extend(inner.tuples)
+        report = db.explain(outer.schema.name, inner.schema.name)
+        pages = PLANNER_PAGE_SPEC.pages_for_tuples(PLANNER_TUPLES)
+        choice = choose_physical_operator(
+            pages,
+            pages,
+            PLANNER_MEMORY_PAGES,
+            CostModel(),
+            outer_sorted=sort,
+            inner_sorted=sort,
+        )
+        expected = "forward-sweep" if sort else "partition"
+        if report.operator != expected or choice.operator != expected:
+            raise AssertionError(
+                f"planner picked {report.operator!r}/{choice.operator!r} on the "
+                f"{label} side of the crossover (expected {expected!r})"
+            )
+        rows[label] = {
+            "operator": report.operator,
+            "algorithm": report.algorithm,
+            "rationale": report.operator_rationale,
+            "sweep_cost": round(choice.sweep_cost, 1),
+            "partition_cost": round(choice.partition_cost, 1),
+            "sort_charge": round(choice.sort_charge, 1),
+        }
+    rows["workload"] = {
+        "n_tuples_per_side": PLANNER_TUPLES,
+        "memory_pages": PLANNER_MEMORY_PAGES,
+    }
+    return rows
+
+
+def predicate_sweep(
+    r, s, sections, make_config, n_tuples: int, disjoint_cap: int
+) -> Dict:
+    """The forward sweep under every registry predicate, on sorted input.
+
+    ``intersects`` must reproduce the mode-comparison cardinality exactly
+    (same workload, same predicate -- the natural join); the quadratic
+    predicates run at ``disjoint_cap`` tuples per side and say so in
+    their rows.
+    """
+    sorted_full = (endpoint_sort(r), endpoint_sort(s))
+    capped_n = min(n_tuples, disjoint_cap)
+    sorted_capped = sorted_full
+    if capped_n < n_tuples:
+        sorted_capped = (
+            endpoint_sort(probe_heavy_relation("works_on", capped_n, seed=1994)),
+            endpoint_sort(probe_heavy_relation("earns", capped_n, seed=1995)),
+        )
+    rows: Dict[str, Dict] = {}
+    for name in predicate_names():
+        capped = name in QUADRATIC_PREDICATES
+        outer, inner = sorted_capped if capped else sorted_full
+        config = make_config("forward-sweep", predicate=name)
+        run, elapsed = timed_join(outer, inner, config)
+        rows[name] = {
+            "seconds": round(elapsed, 4),
+            "n_result_tuples": run.outcome.n_result_tuples,
+            "tuples_per_side": len(outer),
+            "capped": capped,
+            "io": charged_io(run, config),
+        }
+    natural = rows[NATURAL_PREDICATE]["n_result_tuples"]
+    expected = sections["sorted"]["forward-sweep"]["n_result_tuples"]
+    if natural != expected:
+        raise AssertionError(
+            f"the {NATURAL_PREDICATE!r} predicate row diverged from the "
+            f"mode comparison ({natural} != {expected})"
+        )
+    return rows
+
+
+def format_report(report: Dict) -> List[str]:
+    lines = [
+        "forward-scan sweep vs partition join -- {n_tuples_per_side} x "
+        "{n_tuples_per_side} tuples, {memory_pages} pages, backend={backend}".format(
+            backend=report["environment"]["backend"], **report["workload"]
+        )
+    ]
+    for label in ("sorted", "unsorted"):
+        lines.append(
+            f"{label:<9} {'mode':<14} {'seconds':>9} {'tuples/sec':>12} "
+            f"{'io cost':>10} {'speedup':>8}"
+        )
+        for mode, row in report[label].items():
+            lines.append(
+                f"{'':<9} {mode:<14} {row['seconds']:>9.3f} "
+                f"{row['tuples_per_sec']:>12,.0f} {row['io']['io_cost']:>10,.0f} "
+                f"{row.get('speedup_vs_partition', 1.0):>8}"
+            )
+    for label in ("sorted", "unsorted"):
+        choice = report["planner"][label]
+        lines.append(
+            f"planner/{label}: {choice['operator']} "
+            f"(sweep {choice['sweep_cost']:,.0f} vs partition "
+            f"{choice['partition_cost']:,.0f})"
+        )
+    lines.append(f"{'predicate':<14} {'seconds':>9} {'results':>12} {'tuples':>8}")
+    for name, row in sorted(report["predicates"].items()):
+        cap = " (capped)" if row["capped"] else ""
+        lines.append(
+            f"{name:<14} {row['seconds']:>9.3f} {row['n_result_tuples']:>12,} "
+            f"{row['tuples_per_side']:>8,}{cap}"
+        )
+    return lines
+
+
+def check_against(report: Dict, committed_path: Path) -> List[str]:
+    """The CI perf-smoke gate: acceptance bar + crossover vs the committed run."""
+    committed = load_report(committed_path)
+    failures = []
+
+    committed_speedup = committed["sorted"]["forward-sweep"]["speedup_vs_partition"]
+    if committed_speedup < SORTED_SPEEDUP_FLOOR:
+        failures.append(
+            f"committed sorted-input speedup {committed_speedup}x is below the "
+            f"{SORTED_SPEEDUP_FLOOR}x acceptance bar"
+        )
+    for label, expected in (("sorted", "forward-sweep"), ("unsorted", "partition")):
+        for name, rep in (("committed", committed), ("fresh", report)):
+            operator = rep["planner"][label]["operator"]
+            if operator != expected:
+                failures.append(
+                    f"{name} planner picked {operator!r} on the {label} side of "
+                    f"the crossover (expected {expected!r})"
+                )
+    fresh_speedup = report["sorted"]["forward-sweep"]["speedup_vs_partition"]
+    if fresh_speedup <= 1.0:
+        failures.append(
+            f"fresh sorted-input sweep no longer beats the partition join "
+            f"({fresh_speedup}x)"
+        )
+    if report["sorted"]["forward-sweep"]["n_result_tuples"] <= 0 < report[
+        "workload"
+    ]["n_tuples_per_side"]:
+        failures.append("smoke workload produced no result tuples")
+    missing = set(committed["predicates"]) - set(report["predicates"])
+    if missing:
+        failures.append(f"predicates dropped from the sweep: {sorted(missing)}")
+    return failures
+
+
+def test_allen_sweep_throughput(benchmark):
+    """Pytest entry: the same comparison at the suite's bench scale."""
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", 16))
+    n_tuples = max(8_000, 50_000 // scale)
+    report = benchmark.pedantic(
+        run_benchmark, args=(n_tuples,), rounds=1, iterations=1
+    )
+    print()
+    for line in format_report(report):
+        print(line)
+    benchmark.extra_info.update(
+        {mode: row["tuples_per_sec"] for mode, row in report["sorted"].items()}
+    )
+    # The acceptance bar (>= 1.5x on sorted input) is checked at full 50k
+    # scale on the committed report; at reduced scale the sweep must still
+    # win outright, and the planner must flip on the crossover.
+    assert report["sorted"]["forward-sweep"]["speedup_vs_partition"] > 1.0
+    assert report["planner"]["sorted"]["operator"] == "forward-sweep"
+    assert report["planner"]["unsorted"]["operator"] == "partition"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=50_000, help="tuples per side")
+    parser.add_argument("--memory-pages", type=int, default=48)
+    parser.add_argument(
+        "--disjoint-cap",
+        type=int,
+        default=8_000,
+        help="tuples per side for the quadratic-output predicates",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="regression-gate mode: compare against a committed report "
+        "instead of writing one",
+    )
+    args = parser.parse_args(argv)
+    if args.tuples < 1:
+        parser.error(f"--tuples must be >= 1, got {args.tuples}")
+    if args.disjoint_cap < 1:
+        parser.error(f"--disjoint-cap must be >= 1, got {args.disjoint_cap}")
+
+    report = run_benchmark(
+        args.tuples,
+        memory_pages=args.memory_pages,
+        disjoint_cap=args.disjoint_cap,
+    )
+    for line in format_report(report):
+        print(line)
+
+    if args.check is not None:
+        failures = check_against(report, args.check)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print(f"ok: acceptance bar and crossover hold against {args.check}")
+        return 0
+
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ the surrounding algebra a user of the join actually needs:
 * :mod:`repro.algebra.setops` -- temporal union, difference, intersection.
 * :mod:`repro.algebra.normalize` -- vertical decomposition and its
   reconstruction via the valid-time natural join.
+* :mod:`repro.algebra.predicates` -- the Allen interval-relation algebra
+  of join predicates the forward-scan sweep evaluates.
 """
 
 from repro.algebra.timeslice import snapshot_join, timeslice
@@ -29,8 +31,20 @@ from repro.algebra.setops import (
 from repro.algebra.normalize import decompose, reconstruct
 from repro.algebra.external_coalesce import external_coalesce
 from repro.algebra.external_setops import external_setop
+from repro.algebra.predicates import (
+    NATURAL_PREDICATE,
+    PREDICATES,
+    TemporalPredicate,
+    predicate_names,
+    resolve_predicate,
+)
 
 __all__ = [
+    "NATURAL_PREDICATE",
+    "PREDICATES",
+    "TemporalPredicate",
+    "predicate_names",
+    "resolve_predicate",
     "external_coalesce",
     "external_setop",
     "snapshot_join",

@@ -152,6 +152,7 @@ def join_partitions(
     checkpointer: Optional[SweepCheckpointer] = None,
     resume_from: Optional[SweepCheckpoint] = None,
     buffer_reductions: Sequence["BufferReduction"] = (),
+    swapped_inputs: bool = False,
     obs: Optional["Observability"] = None,
 ) -> JoinOutcome:
     """Join pre-partitioned relations ``r`` and ``s`` (Appendix A.1).
@@ -206,6 +207,11 @@ def join_partitions(
             from each reduction's position on, the sweep runs with the
             smaller buffer, routing the excess through the Section 3.4
             overflow machinery and recording a degradation event.
+        swapped_inputs: True when the caller passed its inputs in swapped
+            orientation and *pair_fn* already compensates (the
+            single-partition shortcut).  Recorded in the sweep context so
+            :func:`~repro.core.partition_join.resume_join` re-applies the
+            same flip to the caller-supplied ``pair_fn`` on replay.
         obs: optional :class:`~repro.obs.Observability` runtime.  Purely
             observational: spans, events, and metrics are recorded around
             the sweep, but results, outcome counters, and charged I/O are
@@ -337,6 +343,7 @@ def join_partitions(
                     prefetch_depth=effective_depth,
                     sweep_workers=sweep_workers,
                     arena=aux_plan.arena_geometry() if aux_plan is not None else None,
+                    swapped=swapped_inputs,
                 )
             )
     else:

@@ -51,6 +51,16 @@ EXECUTION_MODES: Tuple[str, ...] = (
     "zero-copy-sweep",
 )
 
+#: Modes accepted by :class:`PartitionJoinConfig`: the partition modes above
+#: (bit-identical results *and* per-phase I/O) plus the forward-scan sweep
+#: operator, which produces the identical result multiset and cardinality
+#: but follows its own sort/join phase ledger (see docs/EXECUTION.md) -- so
+#: it deliberately stays out of ``EXECUTION_MODES``.
+ALL_EXECUTION_MODES: Tuple[str, ...] = EXECUTION_MODES + ("forward-sweep",)
+
+#: The temporal predicate the partition machinery evaluates.
+NATURAL_PREDICATE = "intersects"
+
 
 @dataclass(frozen=True)
 class PartitionJoinConfig:
@@ -95,6 +105,16 @@ class PartitionJoinConfig:
             and auxiliary buffers sized jointly by the
             :mod:`repro.planner.multibuffer` pass -- identical results
             and charged I/O again; only in-memory copy traffic changes.
+            ``"forward-sweep"`` is the endpoint-sorted forward-scan sweep
+            operator of :mod:`repro.exec.forward_sweep`: no sampling, no
+            partitioning -- one merged scan with gapless active maps (plus
+            a charged sort pass per input lacking endpoint-sorted
+            metadata), the only execution evaluating non-natural
+            ``predicate`` values.
+        predicate: the temporal predicate to evaluate, by
+            :mod:`repro.algebra.predicates` registry name.  The partition
+            executions support only the natural join (``"intersects"``);
+            every other predicate requires ``execution="forward-sweep"``.
         parallel_workers: process-pool size for ``"batch-parallel"``'s
             partitioning phase (None picks a machine-dependent default; the
             result never depends on the pool size).
@@ -153,6 +173,7 @@ class PartitionJoinConfig:
     cache_buffer_pages: int = 0
     sample_inner_relation: bool = False
     execution: str = "tuple"
+    predicate: str = NATURAL_PREDICATE
     parallel_workers: Optional[int] = None
     prefetch_depth: int = 8
     sweep_workers: Optional[int] = None
@@ -182,11 +203,31 @@ class PartitionJoinConfig:
                 f"cache reservation of {self.cache_buffer_pages} pages leaves no "
                 f"outer-partition space in a {self.memory_pages}-page buffer"
             )
-        if self.execution not in EXECUTION_MODES:
+        if self.execution not in ALL_EXECUTION_MODES:
             raise ValueError(
-                f"execution must be one of {EXECUTION_MODES}, "
+                f"execution must be one of {ALL_EXECUTION_MODES}, "
                 f"got {self.execution!r}"
             )
+        from repro.algebra.predicates import resolve_predicate
+
+        resolve_predicate(self.predicate)  # raises on unknown names
+        if self.predicate != NATURAL_PREDICATE and self.execution != "forward-sweep":
+            raise ValueError(
+                f"predicate {self.predicate!r} requires execution="
+                f"'forward-sweep'; the partition modes evaluate only the "
+                f"valid-time natural join ({NATURAL_PREDICATE!r})"
+            )
+        if self.execution == "forward-sweep":
+            if self.checkpoint_interval > 0:
+                raise ValueError(
+                    "forward-sweep does not checkpoint (it has no partition "
+                    "barriers); set checkpoint_interval=0"
+                )
+            if self.buffer_reductions:
+                raise ValueError(
+                    "forward-sweep ignores the outer buffer area; "
+                    "buffer_reductions only apply to partition executions"
+                )
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1 (or None for the default), "
@@ -386,7 +427,7 @@ def partition_join(
         # every mode and changes no charged I/O (page counts are identical).
         layout = DiskLayout(
             spec=config.page_spec,
-            columnar=(config.execution == "zero-copy-sweep"),
+            columnar=(config.execution in ("zero-copy-sweep", "forward-sweep")),
         )
     if config.retry_limit is not None:
         layout.disk.retry_policy = RetryPolicy(
@@ -429,6 +470,12 @@ def partition_join(
     r_file = layout.place_relation(r)
     s_file = layout.place_relation(s)
     tracker = layout.tracker
+
+    if config.execution == "forward-sweep":
+        return _forward_sweep_eval(
+            r, s, r_file, s_file, result_schema, config, layout, pair_fn,
+            recovery=recovery, pool=pool, obs=obs,
+        )
 
     try:
         # Degenerate case: a whole relation fits in the outer-partition
@@ -594,6 +641,73 @@ def _multibuffer_for(
     return plan
 
 
+def _forward_sweep_eval(
+    r: ValidTimeRelation,
+    s: ValidTimeRelation,
+    r_file,
+    s_file,
+    result_schema,
+    config: PartitionJoinConfig,
+    layout: DiskLayout,
+    pair_fn: PairFn,
+    *,
+    recovery: Optional[RecoveryLog] = None,
+    pool: Optional[BufferPool] = None,
+    obs: Optional[Observability] = None,
+) -> PartitionJoinResult:
+    """Dispatch to the forward-scan sweep operator.
+
+    The sweep neither samples nor partitions, so its buffer appetite is the
+    planner's small fixed grant (:data:`~repro.core.planner.FORWARD_SWEEP_GRANT_PAGES`)
+    rather than the Figure 3 allocation; when a pool is present only that
+    much is reserved.  A permanent page failure degrades to the nested-loop
+    fallback exactly like the partition path -- but only for the natural
+    join, because the fallback evaluates intersection semantics; any other
+    predicate re-raises.
+    """
+    from repro.core.planner import FORWARD_SWEEP_GRANT_PAGES
+    from repro.exec.forward_sweep import forward_sweep_join
+
+    reservation = None
+    if pool is not None:
+        reservation = pool.reserve(
+            "forward-sweep", min(pool.total_pages, FORWARD_SWEEP_GRANT_PAGES)
+        )
+    try:
+        outcome = forward_sweep_join(
+            r_file,
+            s_file,
+            result_schema,
+            layout,
+            predicate=config.predicate,
+            pair_fn=pair_fn,
+            collect=config.collect_result,
+            obs=obs,
+        )
+        plan = _trivial_plan(r, s, config.buff_size, config)
+        if recovery is not None:
+            recovery.plan = plan
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
+        )
+    except PermanentIOFaultError as failure:
+        if not config.degraded_fallback or config.predicate != NATURAL_PREDICATE:
+            raise
+        outcome = _degrade_to_nested_loop(
+            r, s, config.buff_size, layout, result_schema, config, pair_fn,
+            failure, obs=obs,
+        )
+        plan = _trivial_plan(r, s, config.buff_size, config)
+        return PartitionJoinResult(
+            outcome=outcome, plan=plan, layout=layout, recovery=recovery,
+            observability=obs,
+        )
+    finally:
+        if reservation is not None:
+            reservation.release()
+
+
 def resume_join(
     r: ValidTimeRelation,
     s: ValidTimeRelation,
@@ -658,6 +772,15 @@ def resume_join(
 
     context = recovery.context
     checkpointer = SweepCheckpointer(layout, recovery, config.checkpoint_interval)
+    # A single-partition run may have swapped outer/inner (the smaller
+    # relation becomes the resident side) and compensated inside its own
+    # pair_fn wrapper.  The context's partitions are stored in that swapped
+    # orientation, so the resumed sweep needs the same compensation or every
+    # replayed pair comes out payload-reversed.
+    effective_pair = pair_fn
+    if getattr(context, "swapped", False):
+        def effective_pair(x, y, common, _pair_fn=pair_fn):
+            return _pair_fn(y, x, common)
     # Shared-memory segments died with the crashed process; rebuild the
     # multi-buffer plan from the checkpointed geometry so the resumed sweep
     # allocates fresh segments of exactly the original shape.
@@ -681,7 +804,7 @@ def resume_join(
                 layout,
                 context.result_schema,
                 collect=context.collect,
-                pair_fn=pair_fn,
+                pair_fn=effective_pair,
                 direction=context.direction,
                 cache_memory_tuples=context.cache_memory_tuples,
                 execution=context.execution,
@@ -937,6 +1060,7 @@ def _single_partition_join(
             pool=pool,
             checkpointer=checkpointer,
             buffer_reductions=config.buffer_reductions,
+            swapped_inputs=swap,
             obs=obs,
         )
     if recovery is not None:

@@ -304,6 +304,12 @@ def recommend_sweep_workers(
 #: fixed single-page areas of Figure 3 plus one outer-partition page.
 MIN_GRANT_PAGES = 4
 
+#: Admission-grant ceiling of the forward sweep: two scan pages, a result
+#: page, and a small fixed budget for the gapless active maps.  The sweep's
+#: working set is the open-interval population, which does not grow with
+#: the relations' page counts.
+FORWARD_SWEEP_GRANT_PAGES = 8
+
 
 def estimate_grant_pages(
     outer_pages: int,
@@ -338,8 +344,8 @@ def estimate_grant_pages(
         inner_pages: catalog page count of the inner relation.
         requested_pages: the memory budget the query asked for
             (``PartitionJoinConfig.memory_pages``).
-        execution: the query's execution mode; only ``"zero-copy-sweep"``
-            changes the estimate.
+        execution: the query's execution mode; ``"zero-copy-sweep"`` and
+            ``"forward-sweep"`` change the estimate.
         spec: the page geometry (required to size the zero-copy aux pages;
             defaults to :class:`~repro.storage.page.PageSpec`'s default).
         lanes: probe lanes of the fan-out (None = the machine default).
@@ -355,6 +361,15 @@ def estimate_grant_pages(
     if requested_pages < 1:
         raise PlanError(
             f"grant estimate needs a positive request, got {requested_pages}"
+        )
+    if execution == "forward-sweep":
+        # The sweep's appetite is O(open intervals), not O(min input): it
+        # streams both inputs once and holds only the gapless active maps,
+        # one scan page per input, and a result page.  Granting the
+        # partition join's ``min(input) + FIXED`` shape would starve
+        # concurrent queries for pages the sweep never touches.
+        return max(
+            MIN_GRANT_PAGES, min(requested_pages, FORWARD_SWEEP_GRANT_PAGES)
         )
     useful = max(
         MIN_GRANT_PAGES,
@@ -377,6 +392,162 @@ def estimate_grant_pages(
         )
         useful += plan.total_aux_pages
     return max(MIN_GRANT_PAGES, min(requested_pages, useful))
+
+
+@dataclass(frozen=True)
+class SweepCostEstimate:
+    """Predicted charged I/O of a forward-sweep evaluation.
+
+    Attributes:
+        c_scan: the join phase -- one sorted linear scan of each input.
+        c_sort: the external-sort charge for inputs lacking endpoint-sorted
+            metadata -- per unsorted input, one extra base scan plus one
+            sorted-run write (the run's join-phase re-scan replaces the
+            base scan already counted in ``c_scan``).
+    """
+
+    c_scan: float
+    c_sort: float
+
+    @property
+    def total(self) -> float:
+        return self.c_scan + self.c_sort
+
+
+def estimate_forward_sweep_cost(
+    outer_pages: int,
+    inner_pages: int,
+    cost_model: CostModel,
+    *,
+    outer_sorted: bool = False,
+    inner_sorted: bool = False,
+) -> SweepCostEstimate:
+    """The sweep's crossover formula (see docs/COST_MODEL.md).
+
+    A sorted input costs one linear scan; an unsorted one costs three
+    passes (scan, sorted-run write, run re-scan), which is what makes the
+    partition join win once sorting must be charged on both sides.
+    """
+    c_scan = cost_model.cost_of_run(outer_pages) + cost_model.cost_of_run(inner_pages)
+    c_sort = 0.0
+    if not outer_sorted:
+        c_sort += 2 * cost_model.cost_of_run(outer_pages)
+    if not inner_sorted:
+        c_sort += 2 * cost_model.cost_of_run(inner_pages)
+    return SweepCostEstimate(c_scan=c_scan, c_sort=c_sort)
+
+
+@dataclass(frozen=True)
+class OperatorChoice:
+    """The planner's physical-operator decision, surfaced by EXPLAIN.
+
+    Attributes:
+        operator: ``"forward-sweep"`` or ``"partition"``.
+        sweep_cost: predicted charged I/O of the forward sweep.
+        partition_cost: predicted charged I/O of the partition join.
+        sort_charge: the sweep estimate's external-sort component.
+        rationale: one human-readable sentence explaining the pick.
+    """
+
+    operator: str
+    sweep_cost: float
+    partition_cost: float
+    sort_charge: float
+    rationale: str
+
+
+def choose_physical_operator(
+    outer_pages: int,
+    inner_pages: int,
+    memory_pages: int,
+    cost_model: CostModel,
+    *,
+    outer_sorted: bool = False,
+    inner_sorted: bool = False,
+    long_lived_fraction: float = 0.0,
+    predicate: str = "intersects",
+) -> OperatorChoice:
+    """Pick between the partition join and the forward sweep.
+
+    Non-natural predicates force the sweep (the partition machinery only
+    evaluates interval intersection).  For the natural join the cheaper
+    predicted operator wins; ties keep the partition join, so the sweep
+    must be *strictly* cheaper -- typically exactly when sortedness
+    metadata waives its sort charge.
+    """
+    sweep = estimate_forward_sweep_cost(
+        outer_pages,
+        inner_pages,
+        cost_model,
+        outer_sorted=outer_sorted,
+        inner_sorted=inner_sorted,
+    )
+    from repro.engine.optimizer import estimate_costs
+
+    partition_cost = estimate_costs(
+        outer_pages,
+        inner_pages,
+        memory_pages,
+        cost_model,
+        long_lived_fraction=long_lived_fraction,
+    )["partition"].cost
+    from repro.algebra.predicates import resolve_predicate
+
+    if not resolve_predicate(predicate).is_natural:
+        return OperatorChoice(
+            operator="forward-sweep",
+            sweep_cost=sweep.total,
+            partition_cost=partition_cost,
+            sort_charge=sweep.c_sort,
+            rationale=(
+                f"predicate {predicate!r} requires the forward sweep; the "
+                f"partition join evaluates only interval intersection"
+            ),
+        )
+    sortedness = (
+        "both inputs endpoint-sorted"
+        if outer_sorted and inner_sorted
+        else "one input endpoint-sorted"
+        if outer_sorted or inner_sorted
+        else "no endpoint-sorted metadata"
+    )
+    if not (outer_sorted or inner_sorted):
+        # The simulator sorts each unsorted side in one charged TEMP run
+        # regardless of the memory budget -- optimistic next to a real
+        # multi-pass external sort at scarce memory.  Without at least one
+        # sorted input that optimism could undercut the partition join, so
+        # fully-unsorted inputs keep the partition operator outright.
+        return OperatorChoice(
+            operator="partition",
+            sweep_cost=sweep.total,
+            partition_cost=partition_cost,
+            sort_charge=sweep.c_sort,
+            rationale=(
+                f"partition {partition_cost:.1f}: the sweep only competes "
+                f"on endpoint-sorted input ({sortedness})"
+            ),
+        )
+    if sweep.total < partition_cost:
+        return OperatorChoice(
+            operator="forward-sweep",
+            sweep_cost=sweep.total,
+            partition_cost=partition_cost,
+            sort_charge=sweep.c_sort,
+            rationale=(
+                f"sweep {sweep.total:.1f} < partition {partition_cost:.1f} "
+                f"({sortedness}, sort charge {sweep.c_sort:.1f})"
+            ),
+        )
+    return OperatorChoice(
+        operator="partition",
+        sweep_cost=sweep.total,
+        partition_cost=partition_cost,
+        sort_charge=sweep.c_sort,
+        rationale=(
+            f"partition {partition_cost:.1f} <= sweep {sweep.total:.1f} "
+            f"({sortedness}, sort charge {sweep.c_sort:.1f})"
+        ),
+    )
 
 
 class _SpanSample:

@@ -49,6 +49,9 @@ class RelationStatistics:
             :data:`LONG_LIVED_THRESHOLD` of the lifespan.
         n_keys: distinct join-attribute values.
         mean_duration: average timestamp duration in chronons.
+        endpoint_sorted: the relation's tuples iterate in ``(start, end)``
+            order -- the forward-scan sweep can skip its external-sort
+            charge (an empty relation is trivially sorted).
     """
 
     n_tuples: int
@@ -57,6 +60,7 @@ class RelationStatistics:
     long_lived_fraction: float
     n_keys: int
     mean_duration: float
+    endpoint_sorted: bool = False
 
     @property
     def tuples_per_key(self) -> float:
@@ -72,18 +76,24 @@ def analyze(relation: ValidTimeRelation, spec: PageSpec) -> RelationStatistics:
     n_pages = spec.pages_for_tuples(n_tuples)
     span = relation.lifespan()
     if n_tuples == 0 or span is None:
-        return RelationStatistics(0, 0, None, 0.0, 0, 0.0)
+        return RelationStatistics(0, 0, None, 0.0, 0, 0.0, endpoint_sorted=True)
 
     threshold = max(2, int(span.duration * LONG_LIVED_THRESHOLD))
     long_lived = 0
     total_duration = 0
     keys = set()
+    endpoint_sorted = True
+    last_span: Optional[Tuple[int, int]] = None
     for tup in relation:
         duration = tup.valid.duration
         total_duration += duration
         if duration >= threshold:
             long_lived += 1
         keys.add(tup.key)
+        tup_span = (tup.vs, tup.ve)
+        if last_span is not None and tup_span < last_span:
+            endpoint_sorted = False
+        last_span = tup_span
     return RelationStatistics(
         n_tuples=n_tuples,
         n_pages=n_pages,
@@ -91,6 +101,7 @@ def analyze(relation: ValidTimeRelation, spec: PageSpec) -> RelationStatistics:
         long_lived_fraction=long_lived / n_tuples,
         n_keys=len(keys),
         mean_duration=total_duration / n_tuples,
+        endpoint_sorted=endpoint_sorted,
     )
 
 

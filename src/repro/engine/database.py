@@ -10,24 +10,31 @@ trade-offs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.aggregate.operator import temporal_aggregate
 from repro.baselines.nested_loop import nested_loop_join
 from repro.baselines.sort_merge import sort_merge_join
+from repro.algebra.predicates import NATURAL_PREDICATE, resolve_predicate
 from repro.core.partition_join import (
     PartitionJoinConfig,
     partition_join,
     plan_partition_join,
 )
+from repro.core.planner import choose_physical_operator
 from repro.engine.catalog import RelationStatistics, analyze
 from repro.engine.optimizer import JoinEstimate, choose_algorithm, estimate_costs
 from repro.model.errors import SchemaError
 from repro.model.relation import ValidTimeRelation
 from repro.model.schema import RelationSchema
 from repro.obs import Observability, ObservabilityConfig
-from repro.obs.explain import ExplainReport, PhaseCost, predicted_phases
+from repro.obs.explain import (
+    ExplainReport,
+    PhaseCost,
+    predicted_phases,
+    predicted_sweep_phases,
+)
 from repro.resilience.report import ResilienceReport
 from repro.resilience.retry import ResiliencePolicy
 from repro.storage.iostats import CostModel
@@ -164,6 +171,13 @@ class TemporalDatabase:
             return stats
         return cached[1]
 
+    def _sortedness(self, outer: str, inner: str) -> Tuple[bool, bool]:
+        """The catalog's endpoint-sortedness flags for a join's inputs."""
+        return (
+            self.statistics(outer).endpoint_sorted,
+            self.statistics(inner).endpoint_sorted,
+        )
+
     def _estimates(self, outer: str, inner: str) -> Dict[str, JoinEstimate]:
         """The optimizer's per-algorithm estimates for a join."""
         return estimate_costs(
@@ -172,6 +186,7 @@ class TemporalDatabase:
             self.memory_pages,
             self.cost_model,
             long_lived_fraction=self.statistics(inner).long_lived_fraction,
+            endpoint_sorted=self._sortedness(outer, inner),
         )
 
     def _choose(self, outer: str, inner: str) -> str:
@@ -181,10 +196,17 @@ class TemporalDatabase:
             self.memory_pages,
             self.cost_model,
             long_lived_fraction=self.statistics(inner).long_lived_fraction,
+            endpoint_sorted=self._sortedness(outer, inner),
         )
 
     def explain(
-        self, outer: str, inner: str, *, analyze: bool = False, method: str = "auto"
+        self,
+        outer: str,
+        inner: str,
+        *,
+        analyze: bool = False,
+        method: str = "auto",
+        predicate: Optional[str] = None,
     ) -> ExplainReport:
         """EXPLAIN (and optionally ANALYZE) a join of two named relations.
 
@@ -202,11 +224,20 @@ class TemporalDatabase:
         written against the old ``Dict[str, JoinEstimate]`` return shape
         keeps working.
         """
+        predicate_name = resolve_predicate(
+            predicate if predicate is not None else NATURAL_PREDICATE
+        ).name
         estimates = self._estimates(outer, inner)
-        algorithm = method if method != "auto" else self._choose(outer, inner)
+        if method != "auto":
+            algorithm = method
+        elif predicate_name != NATURAL_PREDICATE:
+            algorithm = "sweep"
+        else:
+            algorithm = self._choose(outer, inner)
         r = self.relation(outer)
         s = self.relation(inner)
 
+        outer_sorted, inner_sorted = self._sortedness(outer, inner)
         plan = None
         single = False
         phases: list = []
@@ -220,6 +251,35 @@ class TemporalDatabase:
                 self.statistics(inner).n_pages,
                 config,
             )
+        elif algorithm == "sweep":
+            phases = predicted_sweep_phases(
+                self.statistics(outer).n_pages,
+                self.statistics(inner).n_pages,
+                config,
+                outer_sorted=outer_sorted,
+                inner_sorted=inner_sorted,
+            )
+        operator = None
+        rationale = None
+        if algorithm in ("partition", "sweep"):
+            choice = choose_physical_operator(
+                self.statistics(outer).n_pages,
+                self.statistics(inner).n_pages,
+                self.memory_pages,
+                self.cost_model,
+                outer_sorted=outer_sorted,
+                inner_sorted=inner_sorted,
+                long_lived_fraction=self.statistics(inner).long_lived_fraction,
+                predicate=predicate_name,
+            )
+            operator = "forward-sweep" if algorithm == "sweep" else "partition"
+            if method != "auto" and operator != choice.operator:
+                rationale = (
+                    f"forced by method={method!r} (cost model prefers "
+                    f"{choice.operator}: {choice.rationale})"
+                )
+            else:
+                rationale = choice.rationale
         report = ExplainReport(
             outer=outer,
             inner=inner,
@@ -233,11 +293,15 @@ class TemporalDatabase:
             plan=plan,
             single_partition=single,
             phases=phases,
+            operator=operator,
+            operator_rationale=rationale,
         )
         if not analyze:
             return report
 
-        result = self.join(outer, inner, method=algorithm)
+        result = self.join(
+            outer, inner, method=algorithm, predicate=predicate
+        )
         report.analyzed = True
         report.actual_total = result.cost
         report.result_tuples = len(result.relation)
@@ -265,24 +329,70 @@ class TemporalDatabase:
 
     # -- queries ------------------------------------------------------------------
 
-    def join(self, outer: str, inner: str, *, method: str = "auto") -> QueryResult:
-        """Valid-time natural join of two named relations.
+    def join(
+        self,
+        outer: str,
+        inner: str,
+        *,
+        method: str = "auto",
+        predicate: Optional[str] = None,
+    ) -> QueryResult:
+        """Valid-time join of two named relations.
 
         Args:
             outer: outer relation name.
             inner: inner relation name.
             method: ``"auto"`` (cost-based choice), ``"partition"``,
-                ``"sort_merge"``, or ``"nested_loop"``.
+                ``"sweep"`` (the forward-scan sweep of
+                :mod:`repro.exec.forward_sweep`), ``"sort_merge"``, or
+                ``"nested_loop"``.
+            predicate: Allen-algebra predicate name (default the natural
+                join's ``"intersects"``).  Every predicate other than
+                ``"intersects"`` is evaluated by the forward sweep, so it
+                requires ``method`` ``"auto"`` or ``"sweep"``.
         """
         r = self.relation(outer)
         s = self.relation(inner)
+        predicate_name = resolve_predicate(
+            predicate if predicate is not None else NATURAL_PREDICATE
+        ).name
         estimates = self._estimates(outer, inner)
         if method == "auto":
-            method = self._choose(outer, inner)
+            if predicate_name != NATURAL_PREDICATE:
+                method = "sweep"
+            else:
+                method = self._choose(outer, inner)
+        if predicate_name != NATURAL_PREDICATE and method != "sweep":
+            raise ValueError(
+                f"predicate {predicate_name!r} requires method 'sweep' "
+                f"(or 'auto'); the {method!r} algorithm evaluates only the "
+                f"natural join's {NATURAL_PREDICATE!r}"
+            )
 
         report: Optional[ResilienceReport] = None
         observability: Optional[Observability] = None
-        if method == "partition":
+        if method == "sweep":
+            config = replace(
+                self._join_config(self.memory_pages),
+                execution="forward-sweep",
+                predicate=predicate_name,
+                checkpoint_interval=0,
+                buffer_reductions=(),
+            )
+            layout = None
+            if self.resilience is not None:
+                layout = DiskLayout(
+                    spec=self.page_spec,
+                    retry_policy=self.resilience.retry_policy(),
+                    checksums=self.resilience.checksums,
+                )
+            run = partition_join(r, s, config, layout=layout)
+            relation, cost = run.result, run.total_cost(self.cost_model)
+            tracker = run.layout.tracker
+            observability = run.observability
+            if self.resilience is not None:
+                report = run.resilience
+        elif method == "partition":
             config = self._join_config(self.memory_pages)
             layout = None
             if self.resilience is not None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.nested_loop_cost import nested_loop_cost
 from repro.storage.buffer import JoinBufferAllocation
@@ -45,13 +45,26 @@ def estimate_costs(
     cost_model: CostModel,
     *,
     long_lived_fraction: float = 0.0,
+    endpoint_sorted: Optional[Tuple[bool, bool]] = None,
 ) -> Dict[str, JoinEstimate]:
-    """Estimated evaluation cost of every algorithm, by name."""
+    """Estimated evaluation cost of every algorithm, by name.
+
+    *endpoint_sorted* opts the forward-scan sweep into the comparison: pass
+    the catalog's ``(outer_sorted, inner_sorted)`` flags and a ``"sweep"``
+    entry is added (one sorted scan per input, plus the external-sort
+    charge for each unsorted side).  The entry only appears when at least
+    one flag is True: the simulator's single-run sort charge is optimistic
+    next to a real multi-pass external sort at scarce memory, so
+    fully-unsorted inputs never compete (matching
+    :func:`repro.core.planner.choose_physical_operator`).  None -- the
+    default, and what every pre-sweep caller passes -- leaves the estimate
+    set unchanged.
+    """
     if outer_pages < 0 or inner_pages < 0:
         raise ValueError("relation sizes must be non-negative")
     if not 0.0 <= long_lived_fraction <= 1.0:
         raise ValueError("long_lived_fraction must lie in [0, 1]")
-    return {
+    estimates = {
         "nested_loop": _nested_loop(outer_pages, inner_pages, memory_pages, cost_model),
         "sort_merge": _sort_merge(
             outer_pages, inner_pages, memory_pages, cost_model, long_lived_fraction
@@ -60,6 +73,24 @@ def estimate_costs(
             outer_pages, inner_pages, memory_pages, cost_model, long_lived_fraction
         ),
     }
+    if endpoint_sorted is not None and any(endpoint_sorted):
+        from repro.core.planner import estimate_forward_sweep_cost
+
+        outer_sorted, inner_sorted = endpoint_sorted
+        sweep = estimate_forward_sweep_cost(
+            outer_pages,
+            inner_pages,
+            cost_model,
+            outer_sorted=outer_sorted,
+            inner_sorted=inner_sorted,
+        )
+        note = (
+            "sorted scan of each input"
+            if sweep.c_sort == 0.0
+            else f"sort charge {sweep.c_sort:.0f}"
+        )
+        estimates["sweep"] = JoinEstimate("sweep", sweep.total, note)
+    return estimates
 
 
 def choose_algorithm(
@@ -69,16 +100,23 @@ def choose_algorithm(
     cost_model: CostModel,
     *,
     long_lived_fraction: float = 0.0,
+    endpoint_sorted: Optional[Tuple[bool, bool]] = None,
 ) -> str:
-    """The estimated-cheapest algorithm (partition join wins ties)."""
+    """The estimated-cheapest algorithm (partition join wins ties).
+
+    With *endpoint_sorted* flags the forward-scan sweep competes too, but
+    must be strictly cheaper than every alternative -- ties keep the
+    pre-sweep choice, so existing plans never shift on equal estimates.
+    """
     estimates = estimate_costs(
         outer_pages,
         inner_pages,
         memory_pages,
         cost_model,
         long_lived_fraction=long_lived_fraction,
+        endpoint_sorted=endpoint_sorted,
     )
-    order = {"partition": 0, "sort_merge": 1, "nested_loop": 2}
+    order = {"partition": 0, "sweep": 1, "sort_merge": 2, "nested_loop": 3}
     best = min(estimates.values(), key=lambda e: (e.cost, order[e.algorithm]))
     return best.algorithm
 

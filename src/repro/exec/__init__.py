@@ -15,6 +15,11 @@ package is how the same algorithms run fast.  Three pieces:
 Algorithms select a path via ``PartitionJoinConfig.execution``
 (``"tuple"`` | ``"batch"`` | ``"batch-parallel"``); see
 ``docs/EXECUTION.md`` for the layout and determinism rules.
+
+:mod:`repro.exec.forward_sweep` is the odd one out: not a faster path
+through the partition join but a different physical operator -- the
+endpoint-sorted forward-scan sweep with gapless hash maps, selected via
+``execution="forward-sweep"``.
 """
 
 from repro.exec.backend import BACKEND_ENV_VAR, HAVE_NUMPY, backend_name
@@ -34,7 +39,30 @@ from repro.exec.kernels import (
 )
 from repro.exec.parallel import default_workers, locate_partitions_parallel
 
+# The forward sweep operates on storage.columnar_page buffers, and the
+# storage layer imports repro.exec.backend -- so re-export it lazily
+# (PEP 562) to keep this package importable from inside that cycle.
+_FORWARD_SWEEP_EXPORTS = (
+    "SWEEP_BACKENDS",
+    "GaplessHashMap",
+    "forward_sweep_join",
+    "resolve_sweep_backend",
+)
+
+
+def __getattr__(name: str):
+    if name in _FORWARD_SWEEP_EXPORTS:
+        from repro.exec import forward_sweep
+
+        return getattr(forward_sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "SWEEP_BACKENDS",
+    "GaplessHashMap",
+    "forward_sweep_join",
+    "resolve_sweep_backend",
     "BACKEND_ENV_VAR",
     "HAVE_NUMPY",
     "KeyInterner",

@@ -140,6 +140,23 @@ class ValidTimeRelation:
         """The relation lifespan: hull of all tuple timestamps (None if empty)."""
         return lifespan_of(tup.valid for tup in self._tuples)
 
+    def endpoint_sorted(self) -> bool:
+        """True when tuples iterate in ``(start, end)`` order.
+
+        The forward-scan sweep (:mod:`repro.exec.forward_sweep`) consumes
+        endpoint-sorted inputs without a sort pass; bulk-loading this
+        relation preserves the property as heap-file metadata
+        (:attr:`~repro.storage.heapfile.HeapFile.endpoint_sorted`).  An
+        empty relation is trivially sorted.
+        """
+        last: Optional[Tuple[int, int]] = None
+        for tup in self._tuples:
+            span = (tup.vs, tup.ve)
+            if last is not None and span < last:
+                return False
+            last = span
+        return True
+
     def overlapping(self, interval: Interval) -> Iterator[VTTuple]:
         """Iterate over tuples whose validity overlaps *interval*."""
         return (tup for tup in self._tuples if tup.valid.overlaps(interval))

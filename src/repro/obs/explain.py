@@ -25,8 +25,9 @@ from repro.core.partition_join import PartitionJoinConfig
 from repro.core.planner import PartitionPlan, estimate_partition_cost
 
 #: Phases rendered in the Section 3.4 order; anything else the tracker
-#: recorded (e.g. ``"degraded-join"``) is appended after these.
-_PHASE_ORDER = ("sample", "partition", "join")
+#: recorded (e.g. ``"degraded-join"``) is appended after these.  The
+#: forward sweep's ``"sort"`` phase renders between partitioning and join.
+_PHASE_ORDER = ("sample", "partition", "sort", "join")
 
 
 @dataclass
@@ -90,6 +91,37 @@ def predicted_phases(
     ]
 
 
+def predicted_sweep_phases(
+    outer_pages: int,
+    inner_pages: int,
+    config: PartitionJoinConfig,
+    *,
+    outer_sorted: bool = False,
+    inner_sorted: bool = False,
+) -> List[PhaseCost]:
+    """The forward sweep's per-phase predictions.
+
+    The sweep neither samples nor partitions (those phases predict zero);
+    the sort phase carries the external-sort charge of unsorted inputs and
+    the join phase one sorted scan of each input (docs/COST_MODEL.md).
+    """
+    from repro.core.planner import estimate_forward_sweep_cost
+
+    estimate = estimate_forward_sweep_cost(
+        outer_pages,
+        inner_pages,
+        config.cost_model,
+        outer_sorted=outer_sorted,
+        inner_sorted=inner_sorted,
+    )
+    return [
+        PhaseCost("sample", predicted=0.0),
+        PhaseCost("partition", predicted=0.0),
+        PhaseCost("sort", predicted=estimate.c_sort),
+        PhaseCost("join", predicted=estimate.c_scan),
+    ]
+
+
 class ExplainReport(Mapping):
     """The rendered outcome of EXPLAIN / EXPLAIN ANALYZE.
 
@@ -118,6 +150,8 @@ class ExplainReport(Mapping):
         actual_total: Optional[float] = None,
         result_tuples: Optional[int] = None,
         observability: Optional[Any] = None,
+        operator: Optional[str] = None,
+        operator_rationale: Optional[str] = None,
     ) -> None:
         self.outer = outer
         self.inner = inner
@@ -135,6 +169,11 @@ class ExplainReport(Mapping):
         self.actual_total = actual_total
         self.result_tuples = result_tuples
         self.observability = observability
+        #: The chosen physical operator ("partition" or "forward-sweep")
+        #: and the crossover-model rationale behind it; None when the
+        #: algorithm has no partition/sweep choice (e.g. sort-merge).
+        self.operator = operator
+        self.operator_rationale = operator_rationale
 
     # -- Mapping protocol (over the per-algorithm estimates) -----------------
 
@@ -189,6 +228,8 @@ class ExplainReport(Mapping):
                 }
                 for p in self.phases
             ],
+            "operator": self.operator,
+            "operator_rationale": self.operator_rationale,
             "analyzed": self.analyzed,
             "predicted_total": self.predicted_total,
             "actual_total": self.actual_total,
@@ -209,6 +250,11 @@ class ExplainReport(Mapping):
             + f"   execution: {self.execution}"
             + f"   memory: {self.memory_pages} pages",
         ]
+        if self.operator is not None:
+            line = f"  physical operator: {self.operator}"
+            if self.operator_rationale:
+                line += f" -- {self.operator_rationale}"
+            lines.append(line)
         if self.estimates:
             lines.append("  optimizer estimates:")
             for name, est in sorted(self.estimates.items()):

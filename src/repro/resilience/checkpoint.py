@@ -70,6 +70,11 @@ class SweepContext:
     #: with the process; resume recreates fresh segments of the same shape
     #: so the restarted run degrades (or not) exactly like the original.
     arena: Optional[Any] = None
+    #: True when ``r_parts``/``s_parts`` hold the inputs in *swapped*
+    #: orientation (the single-partition shortcut makes the smaller relation
+    #: the outer side).  Resume must re-apply the same argument flip to its
+    #: ``pair_fn`` or replayed results come out payload-reversed.
+    swapped: bool = False
 
 
 @dataclass(frozen=True)

@@ -33,8 +33,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.baselines.nested_loop import nested_loop_join
 from repro.baselines.sort_merge import sort_merge_join
 from repro.core.joiner import JoinOutcome
+from repro.algebra.predicates import NATURAL_PREDICATE, resolve_predicate
 from repro.core.partition_join import (
-    EXECUTION_MODES,
+    ALL_EXECUTION_MODES,
     PartitionJoinConfig,
     partition_join,
 )
@@ -66,7 +67,7 @@ from repro.storage.page import PageSpec
 #: Queue-wait histogram bounds, in seconds.
 QUEUE_WAIT_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0, 30.0)
 
-_JOIN_METHODS = ("auto", "partition", "sort_merge", "nested_loop")
+_JOIN_METHODS = ("auto", "partition", "sweep", "sort_merge", "nested_loop")
 
 #: Execution modes that spawn worker lanes (and hence feed the lane breaker).
 _LANE_MODES = ("batch-parallel", "batch-parallel-sweep", "zero-copy-sweep")
@@ -171,9 +172,9 @@ class QueryService:
         lane_failure_window: float = 60.0,
         lane_breaker_cooldown: float = 30.0,
     ) -> None:
-        if execution not in EXECUTION_MODES:
+        if execution not in ALL_EXECUTION_MODES:
             raise ServiceError(
-                f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
+                f"execution must be one of {ALL_EXECUTION_MODES}, got {execution!r}"
             )
         if max_sessions < 1:
             raise ServiceError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -267,14 +268,20 @@ class QueryService:
             config = SessionConfig(**overrides)
         elif overrides:
             config = dataclasses.replace(config, **overrides)
-        if config.execution is not None and config.execution not in EXECUTION_MODES:
+        if config.execution is not None and config.execution not in ALL_EXECUTION_MODES:
             raise ServiceError(
-                f"execution must be one of {EXECUTION_MODES}, got {config.execution!r}"
+                f"execution must be one of {ALL_EXECUTION_MODES}, "
+                f"got {config.execution!r}"
             )
         if config.method not in _JOIN_METHODS:
             raise ServiceError(
                 f"method must be one of {_JOIN_METHODS}, got {config.method!r}"
             )
+        if config.predicate is not None:
+            try:
+                resolve_predicate(config.predicate)
+            except ValueError as error:
+                raise ServiceError(str(error)) from None
         if config.memory_pages is not None and config.memory_pages < 4:
             raise ServiceError(
                 f"memory_pages must be >= 4, got {config.memory_pages}"
@@ -367,6 +374,13 @@ class QueryService:
             raise ServiceError(
                 f"method must be one of {_JOIN_METHODS}, got {effective_method!r}"
             )
+        predicate = self._session_predicate(session)
+        if predicate != NATURAL_PREDICATE and effective_method not in ("auto", "sweep"):
+            raise ServiceError(
+                f"predicate {predicate!r} requires method 'sweep' (or 'auto'); "
+                f"the {effective_method!r} algorithm evaluates only the "
+                f"natural join's {NATURAL_PREDICATE!r}"
+            )
         label = f"s{session.session_id}:{outer}x{inner}"
         handle = self.executor.submit(
             lambda h: self._run_join(session, outer, inner, effective_method, timeout, h),
@@ -393,10 +407,21 @@ class QueryService:
                 handle.check_cancelled()
                 snapshot = self.catalog.snapshot()
                 config = self._query_config(session)
+                predicate = self._session_predicate(session)
                 # Resolve "auto" before dispatch so every status of
                 # repro_service_queries_total carries the same method label.
                 if method == "auto":
-                    method = self._choose_method(snapshot, outer, inner, config)
+                    method = self._choose_method(
+                        snapshot, outer, inner, config, predicate=predicate
+                    )
+                # A session-level forward-sweep execution forces the sweep
+                # operator regardless of the cost model's pick.
+                if config.execution == "forward-sweep" and method == "partition":
+                    method = "sweep"
+                if method == "sweep":
+                    config = dataclasses.replace(
+                        config, execution="forward-sweep", predicate=predicate
+                    )
                 return self._run_join_inner(
                     session, snapshot, outer, inner, method, config, timeout, handle
                 )
@@ -469,7 +494,7 @@ class QueryService:
         # 2. Admission: the planner bounds the useful ask.
         outer_pages = self._statistics(r_version).n_pages
         inner_pages = self._statistics(s_version).n_pages
-        if method == "partition":
+        if method in ("partition", "sweep"):
             request = estimate_grant_pages(
                 outer_pages,
                 inner_pages,
@@ -651,6 +676,20 @@ class QueryService:
             cost = run.total_cost(self.cost_model)
             charged_ops = run.layout.tracker.stats.total_ops
             algorithm = "partition"
+        elif method == "sweep":
+            # The forward sweep neither samples a plan nor interns keys:
+            # the plan cache and interner cache have nothing to offer, and
+            # the lane breaker never engages (no worker lanes).  The config
+            # already carries execution="forward-sweep" and the predicate
+            # (set by _run_join), so the result-cache key -- which includes
+            # the config -- distinguishes predicates.
+            pool = BufferPool(granted_pages)
+            run = partition_join(r, s, config, pool=pool)
+            outcome = run.outcome
+            relation = run.outcome.result
+            cost = run.total_cost(self.cost_model)
+            charged_ops = run.layout.tracker.stats.total_ops
+            algorithm = "forward-sweep"
         elif method in ("sort_merge", "nested_loop"):
             runner = sort_merge_join if method == "sort_merge" else nested_loop_join
             run = runner(r, s, granted_pages, page_spec=self.page_spec)
@@ -739,13 +778,26 @@ class QueryService:
                 self._stats_cache[key] = stats
         return stats
 
+    def _session_predicate(self, session: Session) -> str:
+        """The session's resolved (de-aliased) join predicate name."""
+        raw = session.config.predicate
+        if raw is None:
+            return NATURAL_PREDICATE
+        return resolve_predicate(raw).name
+
     def _choose_method(
         self,
         snapshot: CatalogSnapshot,
         outer: str,
         inner: str,
         config: PartitionJoinConfig,
+        *,
+        predicate: str = NATURAL_PREDICATE,
     ) -> str:
+        # Only the forward sweep evaluates non-intersection Allen
+        # predicates; there is nothing to choose for those.
+        if predicate != NATURAL_PREDICATE:
+            return "sweep"
         outer_stats = self._statistics(snapshot.version(outer))
         inner_stats = self._statistics(snapshot.version(inner))
         return choose_algorithm(
@@ -754,6 +806,10 @@ class QueryService:
             config.memory_pages,
             self.cost_model,
             long_lived_fraction=inner_stats.long_lived_fraction,
+            endpoint_sorted=(
+                outer_stats.endpoint_sorted,
+                inner_stats.endpoint_sorted,
+            ),
         )
 
     # -- metrics -------------------------------------------------------------

@@ -31,7 +31,13 @@ class SessionConfig:
             still capped by the planner's grant estimate).
         execution: partition-join execution mode override.
         method: default join method for this session (``"auto"``,
-            ``"partition"``, ``"sort_merge"``, ``"nested_loop"``).
+            ``"partition"``, ``"sweep"``, ``"sort_merge"``,
+            ``"nested_loop"``).
+        predicate: Allen-algebra join predicate
+            (:func:`repro.algebra.predicates.predicate_names`; None = the
+            natural join's ``"intersects"``).  Any other predicate is
+            evaluated by the forward-scan sweep, so it requires ``method``
+            ``"auto"`` or ``"sweep"``.
         use_plan_cache: serve/populate the shared plan cache.
         use_result_cache: serve/populate the shared result cache.
         admission_timeout: seconds this session's queries may queue.
@@ -47,6 +53,7 @@ class SessionConfig:
     memory_pages: Optional[int] = None
     execution: Optional[str] = None
     method: str = "auto"
+    predicate: Optional[str] = None
     use_plan_cache: bool = True
     use_result_cache: bool = True
     admission_timeout: Optional[float] = None

@@ -47,6 +47,12 @@ class HeapFile:
         self.dictionary: Optional[KeyDictionary] = KeyDictionary() if columnar else None
         self._write_page: List[VTTuple] = []
         self._n_tuples = 0
+        # Endpoint-sortedness metadata: True while every tuple has arrived
+        # in (start, end) order.  The planner uses it to skip the forward
+        # sweep's external-sort charge; one out-of-order append invalidates
+        # it permanently (cheap incremental check, never a re-scan).
+        self._endpoint_sorted = True
+        self._last_span: Optional[Tuple[int, int]] = None
 
     # -- construction ----------------------------------------------------------
 
@@ -104,6 +110,18 @@ class HeapFile:
             pages = list(chunks)
         disk.load(heap.extent, pages)
         heap._n_tuples = len(tuple_list)
+        last: Optional[Tuple[int, int]] = None
+        sorted_so_far = True
+        for tup in tuple_list:
+            span = (tup.vs, tup.ve)
+            if last is not None and span < last:
+                sorted_so_far = False
+                break
+            last = span
+        heap._endpoint_sorted = sorted_so_far
+        heap._last_span = (
+            (tuple_list[-1].vs, tuple_list[-1].ve) if tuple_list else None
+        )
         return heap
 
     # -- geometry -----------------------------------------------------------------
@@ -118,10 +136,35 @@ class HeapFile:
         """Tuples stored, including any still in the write buffer."""
         return self._n_tuples
 
+    @property
+    def endpoint_sorted(self) -> bool:
+        """True while every tuple arrived in ``(start, end)`` order.
+
+        An empty file is trivially sorted.  The flag is maintained
+        incrementally by :meth:`bulk_load`, :meth:`append` and
+        :meth:`append_coded_run` (the columnar bulk path), and is
+        conservative: rewinds and abandoned buffers clear it rather than
+        re-scanning.
+        """
+        return self._endpoint_sorted
+
+    def _note_span(self, start: int, end: int) -> None:
+        span = (start, end)
+        if self._last_span is not None and span < self._last_span:
+            self._endpoint_sorted = False
+        self._last_span = span
+
     # -- writing --------------------------------------------------------------------
 
     def append(self, tup: VTTuple) -> None:
         """Buffer *tup*; a full page is flushed to disk automatically."""
+        if hasattr(tup, "vs"):
+            self._note_span(tup.vs, tup.ve)
+        else:
+            # Opaque payloads (some harnesses store bare rows) carry no
+            # timestamps; without spans the flag cannot be maintained.
+            self._endpoint_sorted = False
+            self._last_span = None
         self._write_page.append(tup)
         self._n_tuples += 1
         if len(self._write_page) >= self.spec.capacity:
@@ -165,6 +208,8 @@ class HeapFile:
             self.flush()
         capacity = self.spec.capacity
         n = len(starts)
+        for k in range(n):
+            self._note_span(int(starts[k]), int(ends[k]))
         for i in range(0, n, capacity):
             j = min(i + capacity, n)
             packed = array("q")
@@ -186,6 +231,13 @@ class HeapFile:
         """
         self._n_tuples -= len(self._write_page)
         self._write_page = []
+        if self._n_tuples > 0:
+            # The dropped buffer may have carried the watermark span; without
+            # re-scanning we can no longer vouch for the ordering.
+            self._endpoint_sorted = False
+        else:
+            self._endpoint_sorted = True
+            self._last_span = None
 
     def rewind_to(self, n_pages: int, n_tuples: int) -> None:
         """Roll the file back to a recorded watermark (uncharged).
@@ -198,6 +250,13 @@ class HeapFile:
         self.disk.truncate(self.extent, keep=n_pages)
         self._write_page = []
         self._n_tuples = n_tuples
+        if n_tuples == 0:
+            self._endpoint_sorted = True
+            self._last_span = None
+        else:
+            # Conservative: the watermark span of the surviving prefix is
+            # unknown without a re-scan.
+            self._endpoint_sorted = False
 
     # -- reading --------------------------------------------------------------------
 

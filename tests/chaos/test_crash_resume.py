@@ -152,6 +152,57 @@ class TestPipelinedSweepCrash:
         assert stats.writeback_writes <= stats.writes
 
 
+class TestSwappedSinglePartitionResume:
+    """Crash/resume through the single-partition shortcut's swap.
+
+    When one relation fits in the buffer area, ``_single_partition_join``
+    makes the *smaller* side the outer partition and compensates for the
+    argument flip inside its own ``pair_fn`` wrapper.  The checkpointed
+    context stores the partitions in that swapped orientation, so a resume
+    that forgets the flip replays every pair payload-reversed -- identical
+    counters, wrong tuples.  Regression for exactly that: r spans more
+    pages than the buffer, s fits, so swap is forced.
+    """
+
+    #: 80 tuples = 10 pages of r (exceeds the 5-page outer area) against
+    #: 16 tuples = 2 pages of s (fits): single partition, swapped.
+    R_SMALL = chaos_relation("rswap", 80, CHAOS_SEED + 5)
+    S_SMALL = chaos_relation("sswap", 16, CHAOS_SEED + 6)
+
+    @pytest.mark.parametrize("execution", EXECUTION_MODES)
+    def test_resume_preserves_pair_orientation(self, execution):
+        config = chaos_config(execution)
+        expected = partition_join(
+            self.R_SMALL, self.S_SMALL, config, layout=DiskLayout(spec=SPEC)
+        )
+        assert expected.plan.num_partitions == 1
+
+        probe_layout = crashing_layout()
+        probe = partition_join(
+            self.R_SMALL,
+            self.S_SMALL,
+            config,
+            layout=probe_layout,
+            recovery=RecoveryLog(),
+        )
+        assert_same_outcome(probe, expected)
+        total_ops = probe_layout.disk.fault_injector.ops_seen
+
+        stride = max(1, total_ops // 6)
+        for k in range(1, total_ops + 1, stride):
+            layout = crashing_layout(at_op=k)
+            recovery = RecoveryLog()
+            try:
+                run = partition_join(
+                    self.R_SMALL, self.S_SMALL, config, layout=layout, recovery=recovery
+                )
+            except SimulatedCrashError:
+                run = resume_join(
+                    self.R_SMALL, self.S_SMALL, config, layout=layout, recovery=recovery
+                )
+            assert_same_outcome(run, expected)
+
+
 class TestCheckpointAccounting:
     def test_checkpoints_are_charged_io(self):
         plain_layout = DiskLayout(spec=SPEC)
