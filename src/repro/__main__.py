@@ -222,20 +222,65 @@ def _run_serve(argv: List[str]) -> int:
         action="store_true",
         help="additionally dump the repro_service_* metric families",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through a ShardedQueryService over N shard worker "
+        "processes instead of the single-process service (see "
+        "docs/SHARDING.md); results and counters are bit-identical",
+    )
+    parser.add_argument(
+        "--shard-by",
+        default="key-hash",
+        choices=("key-hash", "time-range"),
+        help="shard routing strategy with --shards (default key-hash; "
+        "time-range needs pre-registered relations)",
+    )
     args = parser.parse_args(argv)
 
     if args.script:
         statements = load_workload(args.script)
     else:
         statements = demo_workload(sessions=args.sessions)
-    report = run_workload(
-        statements,
-        pool_pages=args.pool_pages,
-        workers=args.workers,
-        execution=args.execution,
-        admission_policy=args.admission_policy,
-    )
-    print(json.dumps(report.summary(), indent=2, default=str))
+    service = None
+    if args.shards is not None:
+        from repro.engine.catalog import VersionedCatalog
+        from repro.service.workload import apply_setup, split_statements
+        from repro.shard.coordinator import ShardedQueryService
+
+        # Setup must land before the coordinator forks its workers (and,
+        # for time-range routing, before the boundaries are computed).
+        catalog = VersionedCatalog()
+        setup, _per_session = split_statements(statements)
+        apply_setup(catalog, setup)
+        setup_ids = {id(statement) for statement in setup}
+        statements = [s for s in statements if id(s) not in setup_ids]
+        service = ShardedQueryService(
+            catalog,
+            shards=args.shards,
+            shard_by=args.shard_by,
+            pool_pages=args.pool_pages,
+            workers=args.workers,
+            execution=args.execution,
+            admission_policy=args.admission_policy,
+        )
+    try:
+        report = run_workload(
+            statements,
+            service=service,
+            pool_pages=args.pool_pages,
+            workers=args.workers,
+            execution=args.execution,
+            admission_policy=args.admission_policy,
+        )
+    finally:
+        if service is not None:
+            service.close()
+    summary = report.summary()
+    if args.metrics and service is not None:
+        summary["metrics"] = service.metrics_snapshot()
+    print(json.dumps(summary, indent=2, default=str))
     for line in report.errors:
         print(f"error: {line}", file=sys.stderr)
     return 1 if report.errors else 0

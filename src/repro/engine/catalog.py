@@ -203,6 +203,7 @@ class VersionedCatalog:
         self._current: Dict[str, RelationVersion] = {}
         self._history: Dict[str, List[RelationVersion]] = {}
         self._views: Dict[str, _ViewBinding] = {}
+        self._shard_maps: List[Tuple[int, Dict]] = []
 
     # -- reading --------------------------------------------------------------
 
@@ -251,6 +252,39 @@ class VersionedCatalog:
                     f"(registered at epoch {history[0].epoch})"
                 )
             return candidate
+
+    # -- shard maps -----------------------------------------------------------
+
+    def record_shard_map(self, map_dict: Dict) -> int:
+        """Record the active shard routing, stamped with the current epoch.
+
+        Recording does *not* bump the epoch -- the map describes how
+        existing versions route, it does not create new ones.  Any snapshot
+        taken at or after the stamped epoch resolves to this map
+        (:meth:`shard_map_at`), which keeps fragment routing a pure
+        function of ``(snapshot epoch, shard rank)`` across coordinator
+        restarts.
+        """
+        with self._lock:
+            self._shard_maps.append((self._epoch, dict(map_dict)))
+            return self._epoch
+
+    def shard_map_at(self, epoch: int) -> Optional[Dict]:
+        """The shard map in force at global *epoch* (None if never sharded)."""
+        with self._lock:
+            candidate = None
+            for stamped, map_dict in self._shard_maps:
+                if stamped <= epoch:
+                    candidate = map_dict
+                else:
+                    break
+            return dict(candidate) if candidate is not None else None
+
+    @property
+    def shard_maps(self) -> List[Tuple[int, Dict]]:
+        """Every recorded ``(epoch, map)`` pair, oldest first."""
+        with self._lock:
+            return [(epoch, dict(map_dict)) for epoch, map_dict in self._shard_maps]
 
     # -- mutating -------------------------------------------------------------
 

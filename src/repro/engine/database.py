@@ -207,6 +207,8 @@ class TemporalDatabase:
         analyze: bool = False,
         method: str = "auto",
         predicate: Optional[str] = None,
+        shards: Optional[int] = None,
+        shard_by: str = "key-hash",
     ) -> ExplainReport:
         """EXPLAIN (and optionally ANALYZE) a join of two named relations.
 
@@ -223,6 +225,11 @@ class TemporalDatabase:
         The report is a Mapping over the per-algorithm estimates, so code
         written against the old ``Dict[str, JoinEstimate]`` return shape
         keeps working.
+
+        With ``shards=N`` the report also carries the shard fan-out line:
+        each shard's fragment sizes under *shard_by* routing and the
+        planner's predicted cost for that fragment -- the skew a
+        :class:`~repro.shard.coordinator.ShardedQueryService` would see.
         """
         predicate_name = resolve_predicate(
             predicate if predicate is not None else NATURAL_PREDICATE
@@ -280,6 +287,23 @@ class TemporalDatabase:
                 )
             else:
                 rationale = choice.rationale
+        shard_fanout = None
+        if shards is not None:
+            from repro.shard.coordinator import predict_shard_fanout
+            from repro.shard.partitioning import ShardMap, time_range_map
+
+            if shard_by == "time-range":
+                shard_map = time_range_map(shards, r, s)
+            else:
+                shard_map = ShardMap(shards, strategy=shard_by)
+            shard_fanout = predict_shard_fanout(
+                shard_map,
+                r,
+                s,
+                memory_pages=self.memory_pages,
+                cost_model=self.cost_model,
+                page_spec=self.page_spec,
+            )
         report = ExplainReport(
             outer=outer,
             inner=inner,
@@ -295,6 +319,7 @@ class TemporalDatabase:
             phases=phases,
             operator=operator,
             operator_rationale=rationale,
+            shard_fanout=shard_fanout,
         )
         if not analyze:
             return report
@@ -488,7 +513,7 @@ class TemporalDatabase:
         :func:`repro.aggregate.operator.temporal_aggregate`)."""
         return temporal_aggregate(self.relation(name), op, **kwargs)
 
-    def serve(self, **service_kwargs):
+    def serve(self, *, shards: Optional[int] = None, **service_kwargs):
         """Open a concurrent :class:`~repro.service.service.QueryService`.
 
         Every current relation is copied into a fresh
@@ -498,6 +523,12 @@ class TemporalDatabase:
         page geometry, and execution mode unless overridden via
         *service_kwargs* (see :class:`~repro.service.service.QueryService`).
         Close the returned service (it is a context manager) when done.
+
+        With ``shards=N`` (N >= 1) the returned service is instead a
+        :class:`~repro.shard.coordinator.ShardedQueryService` over N shard
+        worker processes (``shard_by`` in *service_kwargs* picks the
+        routing strategy; see ``docs/SHARDING.md``).  Results, counters,
+        and charged I/O are bit-identical to the single-process service.
         """
         from repro.engine.catalog import VersionedCatalog
         from repro.service.service import QueryService
@@ -510,4 +541,8 @@ class TemporalDatabase:
         service_kwargs.setdefault("cost_model", self.cost_model)
         service_kwargs.setdefault("page_spec", self.page_spec)
         service_kwargs.setdefault("execution", self.execution)
+        if shards is not None:
+            from repro.shard.coordinator import ShardedQueryService
+
+            return ShardedQueryService(catalog, shards=shards, **service_kwargs)
         return QueryService(catalog, **service_kwargs)

@@ -152,6 +152,7 @@ class ExplainReport(Mapping):
         observability: Optional[Any] = None,
         operator: Optional[str] = None,
         operator_rationale: Optional[str] = None,
+        shard_fanout: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.outer = outer
         self.inner = inner
@@ -174,6 +175,10 @@ class ExplainReport(Mapping):
         #: algorithm has no partition/sweep choice (e.g. sort-merge).
         self.operator = operator
         self.operator_rationale = operator_rationale
+        #: The shard fan-out description (shard count, strategy, and the
+        #: per-shard fragment sizes with predicted costs) when the plan is
+        #: sharded; None for single-process plans.
+        self.shard_fanout = shard_fanout
 
     # -- Mapping protocol (over the per-algorithm estimates) -----------------
 
@@ -230,6 +235,7 @@ class ExplainReport(Mapping):
             ],
             "operator": self.operator,
             "operator_rationale": self.operator_rationale,
+            "shard_fanout": self.shard_fanout,
             "analyzed": self.analyzed,
             "predicted_total": self.predicted_total,
             "actual_total": self.actual_total,
@@ -280,6 +286,17 @@ class ExplainReport(Mapping):
                     f" (scan {chosen.c_join_scan:.1f}"
                     f" + cache {chosen.c_join_cache:.1f})"
                 )
+        if self.shard_fanout is not None:
+            fanout = self.shard_fanout
+            per_shard = fanout.get("per_shard", [])
+            costs = ", ".join(
+                f"shard{row['rank']}={row['predicted_cost']:.1f}"
+                for row in per_shard
+            )
+            lines.append(
+                f"  shard fan-out: {fanout.get('shards')} shard(s)"
+                f" [{fanout.get('strategy')}]  predicted per-shard: {costs}"
+            )
         if self.phases:
             lines.append(
                 f"  {'phase':<14} {'predicted':>12} {'actual':>12} {'deviation':>10}"

@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.planner import MIN_GRANT_PAGES
 from repro.model.errors import (
@@ -169,6 +169,11 @@ class AdmissionController:
         self.clamped_requests = 0
         self.grants = 0
         self.events: List[AdmissionEvent] = []
+        # Per-owner accounting (owner = e.g. a session): pages currently
+        # granted and the high-water mark, keyed by the owner string.
+        self._owner_granted: Dict[str, int] = {}
+        self._owner_peak: Dict[str, int] = {}
+        self._reservation_owner: Dict[int, Tuple[str, int]] = {}
 
     # -- introspection -------------------------------------------------------
 
@@ -192,6 +197,15 @@ class AdmissionController:
         with self._condition:
             return len(self._queue)
 
+    def owner_peak_pages(self) -> Dict[str, int]:
+        """Per-owner granted-page high-water marks (owner = e.g. a session).
+
+        Only requests that passed ``owner=`` to :meth:`acquire` appear;
+        the peak covers every concurrent grant the owner held at once.
+        """
+        with self._condition:
+            return dict(self._owner_peak)
+
     # -- the grant loop ------------------------------------------------------
 
     def acquire(
@@ -202,6 +216,7 @@ class AdmissionController:
         timeout: Optional[float] = None,
         min_pages: Optional[int] = None,
         cancelled: Optional[threading.Event] = None,
+        owner: Optional[str] = None,
     ) -> MemoryGrant:
         """Wait for a grant of *pages* pages under the configured policy.
 
@@ -215,6 +230,8 @@ class AdmissionController:
                 ``degrade_after`` is configured.
             cancelled: optional event; when set while queued, the wait
                 aborts with :class:`~repro.model.errors.QueryCancelledError`.
+            owner: optional accounting key (e.g. a session id); grants are
+                rolled into :meth:`owner_peak_pages` per owner.
 
         Raises:
             AdmissionTimeoutError: no grant within the timeout.
@@ -278,6 +295,16 @@ class AdmissionController:
                         self.peak_granted_pages = max(
                             self.peak_granted_pages, self.pool.used_pages
                         )
+                        if owner is not None:
+                            held = self._owner_granted.get(owner, 0) + grant_pages
+                            self._owner_granted[owner] = held
+                            self._owner_peak[owner] = max(
+                                self._owner_peak.get(owner, 0), held
+                            )
+                            self._reservation_owner[id(reservation)] = (
+                                owner,
+                                grant_pages,
+                            )
                         self._condition.notify_all()
                         return MemoryGrant(
                             self,
@@ -336,4 +363,12 @@ class AdmissionController:
     def _release(self, reservation: Reservation) -> None:
         reservation.release()
         with self._condition:
+            owned = self._reservation_owner.pop(id(reservation), None)
+            if owned is not None:
+                owner, pages = owned
+                remaining = self._owner_granted.get(owner, 0) - pages
+                if remaining > 0:
+                    self._owner_granted[owner] = remaining
+                else:
+                    self._owner_granted.pop(owner, None)
             self._condition.notify_all()

@@ -528,6 +528,7 @@ class QueryService:
                 label=handle.label or f"s{session.session_id}",
                 timeout=admission_timeout,
                 cancelled=handle.cancel_event,
+                owner=f"s{session.session_id}",
             )
         except AdmissionTimeoutError as error:
             if deadline_bound:
@@ -888,6 +889,7 @@ class QueryService:
                 "timeouts": self.admission.timeouts,
                 "clamped_requests": self.admission.clamped_requests,
                 "policy": self.admission.policy,
+                "per_session_peak_pages": self.admission.owner_peak_pages(),
             },
             "lane_breaker": {
                 "state": self.lane_breaker.state,

@@ -142,6 +142,149 @@ def test_concurrent_equals_serial_replay(seed: int, execution: str):
         )
 
 
+# -- the sharded variant ------------------------------------------------------
+#
+# The same property, one level up: queries fan out over N shard worker
+# processes, and the *merged* result must still equal a serial replay of
+# the same fragment decomposition -- tuples in order, JoinOutcome
+# counters, and the per-phase charged-I/O ledgers, at every shard count.
+# The full shard-count x execution-mode matrix is `shard_slow` (the CI
+# shard-stress job runs it, optionally overriding SHARD_COUNTS); an
+# unmarked 2-shard smoke keeps the property in tier-1.
+
+_SHARD_COUNTS = tuple(
+    int(n) for n in os.environ.get("SHARD_COUNTS", "1,2,4,8").split(",")
+)
+
+
+def _replay_sharded_serially(catalog, record, execution: str, shards: int):
+    """Re-run one recorded sharded query: same fragments, one at a time."""
+    from repro.shard import ShardedQueryService
+
+    serial_catalog = VersionedCatalog()
+    for name, epoch in zip(("r", "s"), record.epochs):
+        version = catalog.version_at(name, epoch)
+        serial_catalog.register(version.schema, version.relation.tuples)
+    method = "sweep" if record.algorithm == "forward-sweep" else record.algorithm
+    with ShardedQueryService(
+        serial_catalog,
+        shards=shards,
+        pool_pages=POOL_PAGES,
+        memory_pages=MEMORY_PAGES,
+        workers=1,
+        execution=execution,
+    ) as serial_service:
+        with serial_service.open_session() as session:
+            return session.join("r", "s", method=method)
+
+
+def _run_sharded_property(seed: int, execution: str, shards: int) -> None:
+    from repro.shard import ShardedQueryService
+
+    catalog = _build_catalog(seed)
+    results = []
+    errors = []
+    lock = threading.Lock()
+
+    with ShardedQueryService(
+        catalog,
+        shards=shards,
+        pool_pages=POOL_PAGES,
+        memory_pages=MEMORY_PAGES,
+        workers=2,
+        execution=execution,
+    ) as service:
+
+        def run_session(session_number: int) -> None:
+            rng = random.Random((seed, execution, shards, session_number).__repr__())
+            script = _session_script(rng, n_ops=3)
+            try:
+                with service.open_session() as session:
+                    for op in script:
+                        if op[0] == "join":
+                            result = session.join(
+                                "r", "s", method=op[1], result_timeout=240.0
+                            )
+                            with lock:
+                                results.append(result)
+                        else:
+                            session.append(
+                                op[1], make_tuples(3, seed=op[2], n_keys=6, lifespan=50)
+                            )
+            except Exception as error:  # pragma: no cover
+                with lock:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_session, args=(n,)) for n in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors
+        assert results, "the workload must actually produce queries"
+        assert service.report()["redispatches"] == 0
+
+    for record in results:
+        serial = _replay_sharded_serially(catalog, record, execution, shards)
+        assert serial.algorithm == record.algorithm
+        assert outcome_counters(serial.outcome) == outcome_counters(record.outcome)
+        assert list(serial.relation.tuples) == list(record.relation.tuples), (
+            f"sharded bit-identity violated at epochs {record.epochs} "
+            f"(seed {seed}, execution {execution!r}, shards {shards})"
+        )
+        # The merged per-phase charged-I/O ledgers replay exactly too.
+        assert serial.charged_ops == record.charged_ops
+        assert set(serial.phases) == set(record.phases)
+        for name, stats in record.phases.items():
+            assert serial.phases[name].as_dict() == stats.as_dict()
+        assert serial.totals.as_dict() == record.totals.as_dict()
+
+
+def test_sharded_concurrent_equals_serial_replay_smoke():
+    """Tier-1 smoke: the sharded property at 2 shards, tuple execution."""
+    _run_sharded_property(SEEDS[0], "tuple", shards=2)
+
+
+@pytest.mark.shard_slow
+@pytest.mark.parametrize("shards", _SHARD_COUNTS)
+@pytest.mark.parametrize("execution", EXECUTION_MODES)
+def test_sharded_concurrent_equals_serial_replay(execution: str, shards: int):
+    _run_sharded_property(SEEDS[0], execution, shards)
+
+
+@pytest.mark.shard_slow
+@pytest.mark.parametrize("shards", _SHARD_COUNTS)
+def test_sharded_result_multiset_stable_across_shard_counts(shards: int):
+    """Every shard count produces the same result multiset and counters
+    as the single-process service (n_result_tuples exact at every N)."""
+    from repro.shard import ShardedQueryService
+
+    with QueryService(
+        _build_catalog(SEEDS[0]),
+        pool_pages=POOL_PAGES,
+        memory_pages=MEMORY_PAGES,
+        plan_cache_entries=0,
+        result_cache_entries=0,
+    ) as single:
+        with single.open_session() as session:
+            base = session.join("r", "s", method="partition")
+    with ShardedQueryService(
+        _build_catalog(SEEDS[0]),
+        shards=shards,
+        pool_pages=POOL_PAGES,
+        memory_pages=MEMORY_PAGES,
+    ) as service:
+        with service.open_session() as session:
+            result = session.join("r", "s", method="partition")
+    assert sorted(
+        (t.key, t.payload, t.vs, t.ve) for t in result.relation.tuples
+    ) == sorted((t.key, t.payload, t.vs, t.ve) for t in base.relation.tuples)
+    assert result.outcome.n_result_tuples == base.outcome.n_result_tuples
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_queries_straddling_appends_see_consistent_epochs(seed: int):
     """Every observed epoch pair corresponds to versions that existed

@@ -1,0 +1,179 @@
+"""Shard-map routing: stable hashing, fragment disjointness, ownership."""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.model.errors import ServiceError
+from repro.model.relation import ValidTimeRelation
+from repro.model.schema import RelationSchema
+from repro.model.vtuple import VTTuple
+from repro.shard.partitioning import (
+    SHARD_STRATEGIES,
+    ShardMap,
+    stable_key_hash,
+    time_range_map,
+)
+from repro.time.interval import Interval
+
+
+def relation(name: str = "r", n: int = 80, seed: int = 0) -> ValidTimeRelation:
+    schema = RelationSchema(
+        name, join_attributes=("k",), payload_attributes=(f"p_{name}",)
+    )
+    rng = random.Random(seed)
+    tuples = []
+    for i in range(n):
+        vs = rng.randrange(300)
+        tuples.append(
+            VTTuple(
+                (rng.randrange(16),),
+                (f"{name}{i}",),
+                Interval(vs, vs + 1 + rng.randrange(60)),
+            )
+        )
+    return ValidTimeRelation(schema, tuples)
+
+
+class TestStableKeyHash:
+    def test_deterministic(self):
+        assert stable_key_hash(("a", 1)) == stable_key_hash(("a", 1))
+
+    def test_type_sensitive(self):
+        # 1 and "1" must route independently: repr alone would collide
+        # ("1" vs '1' differ, but (1,) vs ("1",) must too).
+        assert stable_key_hash((1,)) != stable_key_hash(("1",))
+
+    def test_stable_across_processes(self):
+        # The whole point vs builtin hash(): no per-process string salt.
+        code = (
+            "from repro.shard.partitioning import stable_key_hash;"
+            "print(stable_key_hash(('emp', 42)))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        )
+        assert int(out.stdout.strip()) == stable_key_hash(("emp", 42))
+
+
+class TestShardMapValidation:
+    def test_strategies_exported(self):
+        assert set(SHARD_STRATEGIES) == {"key-hash", "time-range"}
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ServiceError):
+            ShardMap(0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ServiceError):
+            ShardMap(2, strategy="round-robin")
+
+    def test_key_hash_rejects_boundaries(self):
+        with pytest.raises(ServiceError):
+            ShardMap(2, strategy="key-hash", boundaries=(10,))
+
+    def test_time_range_needs_n_minus_one_boundaries(self):
+        with pytest.raises(ServiceError):
+            ShardMap(3, strategy="time-range", boundaries=(10,))
+
+    def test_boundaries_must_ascend(self):
+        with pytest.raises(ServiceError):
+            ShardMap(3, strategy="time-range", boundaries=(20, 10))
+
+    def test_roundtrips_through_dict(self):
+        for shard_map in (
+            ShardMap(4),
+            ShardMap(3, strategy="time-range", boundaries=(100, 200)),
+        ):
+            assert ShardMap.from_dict(shard_map.as_dict()) == shard_map
+
+
+class TestKeyHashFragments:
+    def test_fragments_partition_the_relation(self):
+        rel = relation()
+        shard_map = ShardMap(4)
+        fragments = [shard_map.fragment(rel, rank) for rank in range(4)]
+        assert sum(len(f) for f in fragments) == len(rel)
+        seen = sorted(
+            (t.key, t.payload, t.vs, t.ve) for f in fragments for t in f.tuples
+        )
+        assert seen == sorted((t.key, t.payload, t.vs, t.ve) for t in rel.tuples)
+
+    def test_fragment_preserves_order(self):
+        rel = relation()
+        shard_map = ShardMap(3)
+        for rank in range(3):
+            fragment = shard_map.fragment(rel, rank)
+            routed = [
+                t for t in rel.tuples if shard_map.shards_of_tuple(t) == (rank,)
+            ]
+            assert list(fragment.tuples) == routed
+
+    def test_single_shard_fragment_is_identity(self):
+        rel = relation()
+        fragment = ShardMap(1).fragment(rel, 0)
+        assert list(fragment.tuples) == list(rel.tuples)
+
+    def test_matching_keys_share_a_shard(self):
+        shard_map = ShardMap(8)
+        for key in [(k,) for k in range(100)]:
+            ranks = {shard_map.shard_of_key(key) for _ in range(3)}
+            assert len(ranks) == 1
+
+    def test_every_shard_owns_its_results(self):
+        shard_map = ShardMap(4)
+        assert all(shard_map.owns_result(rank, 123) for rank in range(4))
+
+
+class TestTimeRangeFragments:
+    def test_replicates_overlapping_tuples(self):
+        shard_map = ShardMap(2, strategy="time-range", boundaries=(100,))
+        straddler = VTTuple((1,), ("x",), Interval(50, 150))
+        assert shard_map.shards_of_tuple(straddler) == (0, 1)
+
+    def test_ownership_is_exclusive_and_total(self):
+        shard_map = ShardMap(3, strategy="time-range", boundaries=(100, 200))
+        for vs in (0, 99, 100, 199, 200, 10_000):
+            owners = [r for r in range(3) if shard_map.owns_result(r, vs)]
+            assert len(owners) == 1
+
+    def test_fragment_counts_include_replicas(self):
+        rel = relation(n=60, seed=3)
+        shard_map = time_range_map(4, rel)
+        counts = shard_map.fragment_counts(rel)
+        assert sum(counts) >= len(rel)
+        assert [len(shard_map.fragment(rel, r)) for r in range(4)] == counts
+
+    def test_union_of_fragments_covers_relation(self):
+        rel = relation(n=60, seed=5)
+        shard_map = time_range_map(3, rel)
+        union = set()
+        for rank in range(3):
+            union.update(
+                (t.key, t.payload, t.vs, t.ve)
+                for t in shard_map.fragment(rel, rank).tuples
+            )
+        assert union == {(t.key, t.payload, t.vs, t.ve) for t in rel.tuples}
+
+    def test_time_range_map_needs_tuples(self):
+        empty = ValidTimeRelation(
+            RelationSchema("e", join_attributes=("k",))
+        )
+        with pytest.raises(ServiceError):
+            time_range_map(2, empty)
+
+    def test_degenerate_lifespan_still_ascends(self):
+        schema = RelationSchema("d", join_attributes=("k",))
+        rel = ValidTimeRelation(
+            schema, [VTTuple((1,), (), Interval(5, 6)) for _ in range(4)]
+        )
+        shard_map = time_range_map(4, rel)
+        assert list(shard_map.boundaries) == sorted(set(shard_map.boundaries))
